@@ -1,0 +1,46 @@
+// Shared setup for the experiment binaries: synthetic fisheye inputs and
+// measurement helpers. Every bench prints through util::Table so outputs
+// are uniform and diffable across runs.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/corrector.hpp"
+#include "image/image.hpp"
+#include "runtime/report.hpp"
+#include "runtime/stats.hpp"
+#include "util/table.hpp"
+#include "video/pipeline.hpp"
+
+namespace fisheye::bench {
+
+/// Deterministic fisheye input frame (equidistant, 180 degrees) rendered
+/// from the synthetic street scene.
+inline img::Image8 make_input(int w, int h, int ch = 1) {
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::kPi, w, h);
+  const video::SyntheticVideoSource source(cam, w, h, ch);
+  return source.frame(0);
+}
+
+/// Median seconds per frame for `backend` correcting `src` via `corr`.
+inline rt::RunStats measure_backend(const core::Corrector& corr,
+                                    img::ConstImageView<std::uint8_t> src,
+                                    core::Backend& backend, int reps,
+                                    int warmup = 1) {
+  img::Image8 out(corr.config().out_width, corr.config().out_height,
+                  src.channels);
+  return rt::measure(
+      [&] { corr.correct(src, out.view(), backend); }, reps, warmup);
+}
+
+/// Repetition count scaled down for large frames so the whole suite stays
+/// fast: ~`base` reps at VGA, fewer as pixel count grows.
+inline int reps_for(int w, int h, int base = 9) {
+  const double mp = static_cast<double>(w) * h / (640.0 * 480.0);
+  const int reps = static_cast<int>(base / mp);
+  return reps < 3 ? 3 : reps;
+}
+
+}  // namespace fisheye::bench

@@ -1,0 +1,199 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: interpolation
+// taps, map generation, packing, SoA SIMD kernel, format conversions.
+#include <benchmark/benchmark.h>
+
+#include "core/aa_remap.hpp"
+#include "core/corrector.hpp"
+#include "core/remap.hpp"
+#include "image/convert.hpp"
+#include "image/pyramid.hpp"
+#include "simd/remap_simd.hpp"
+#include "video/pipeline.hpp"
+
+namespace {
+
+using namespace fisheye;
+
+struct Fixture {
+  int w, h;
+  core::FisheyeCamera cam;
+  core::PerspectiveView view;
+  core::WarpMap map;
+  core::PackedMap packed;
+  img::Image8 src;
+  img::Image8 dst;
+
+  explicit Fixture(int width, int height)
+      : w(width),
+        h(height),
+        cam(core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                          util::kPi, w, h)),
+        view(w, h, cam.lens().focal()),
+        map(core::build_map(cam, view)),
+        packed(core::pack_map(map, w, h, 14)),
+        src(w, h, 1),
+        dst(w, h, 1) {
+    const video::SyntheticVideoSource source(cam, w, h, 1);
+    src = source.frame(0);
+  }
+};
+
+Fixture& fixture720() {
+  static Fixture f(1280, 720);
+  return f;
+}
+
+void BM_RemapFloatLut(benchmark::State& state,
+                      core::Interp interp) {
+  Fixture& f = fixture720();
+  const core::RemapOptions opts{interp, img::BorderMode::Constant, 0};
+  for (auto _ : state) {
+    core::remap_rect(f.src.view(), f.dst.view(), f.map, {0, 0, f.w, f.h},
+                     opts);
+    benchmark::DoNotOptimize(f.dst.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK_CAPTURE(BM_RemapFloatLut, nearest, core::Interp::Nearest);
+BENCHMARK_CAPTURE(BM_RemapFloatLut, bilinear, core::Interp::Bilinear);
+BENCHMARK_CAPTURE(BM_RemapFloatLut, bicubic, core::Interp::Bicubic);
+BENCHMARK_CAPTURE(BM_RemapFloatLut, lanczos3, core::Interp::Lanczos3);
+
+void BM_RemapPacked(benchmark::State& state) {
+  Fixture& f = fixture720();
+  for (auto _ : state) {
+    core::remap_packed_rect(f.src.view(), f.dst.view(), f.packed,
+                            {0, 0, f.w, f.h}, 0);
+    benchmark::DoNotOptimize(f.dst.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_RemapPacked);
+
+void BM_RemapSimdSoA(benchmark::State& state) {
+  Fixture& f = fixture720();
+  for (auto _ : state) {
+    simd::remap_bilinear_soa(f.src.view(), f.dst.view(), f.map,
+                             {0, 0, f.w, f.h}, 0);
+    benchmark::DoNotOptimize(f.dst.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_RemapSimdSoA);
+
+void BM_RemapOtf(benchmark::State& state, bool fast) {
+  Fixture& f = fixture720();
+  const core::RemapOptions opts{core::Interp::Bilinear,
+                                img::BorderMode::Constant, 0};
+  for (auto _ : state) {
+    core::remap_otf_rect(f.src.view(), f.dst.view(), f.cam, f.view,
+                         {0, 0, f.w, f.h}, opts, fast);
+    benchmark::DoNotOptimize(f.dst.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK_CAPTURE(BM_RemapOtf, libm, false);
+BENCHMARK_CAPTURE(BM_RemapOtf, fast_math, true);
+
+void BM_MapGeneration(benchmark::State& state) {
+  Fixture& f = fixture720();
+  for (auto _ : state) {
+    core::WarpMap map = core::build_map(f.cam, f.view);
+    benchmark::DoNotOptimize(map.src_x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_MapGeneration);
+
+void BM_MapPacking(benchmark::State& state) {
+  Fixture& f = fixture720();
+  for (auto _ : state) {
+    core::PackedMap packed = core::pack_map(f.map, f.w, f.h, 14);
+    benchmark::DoNotOptimize(packed.fx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_MapPacking);
+
+void BM_RgbToGray(benchmark::State& state) {
+  const img::Image8 rgb = [] {
+    Fixture& f = fixture720();
+    const video::SyntheticVideoSource source(f.cam, f.w, f.h, 3);
+    return source.frame(0);
+  }();
+  for (auto _ : state) {
+    img::Image8 gray = img::rgb_to_gray(rgb.view());
+    benchmark::DoNotOptimize(gray.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * rgb.width() * rgb.height());
+}
+BENCHMARK(BM_RgbToGray);
+
+void BM_Yuv420RoundTrip(benchmark::State& state) {
+  const img::Image8 rgb = [] {
+    Fixture& f = fixture720();
+    const video::SyntheticVideoSource source(f.cam, f.w, f.h, 3);
+    return source.frame(0);
+  }();
+  for (auto _ : state) {
+    const img::Yuv420 yuv = img::rgb_to_yuv420(rgb.view());
+    img::Image8 back = img::yuv420_to_rgb(yuv);
+    benchmark::DoNotOptimize(back.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * rgb.width() * rgb.height());
+}
+BENCHMARK(BM_Yuv420RoundTrip);
+
+void BM_PyramidBuild(benchmark::State& state) {
+  Fixture& f = fixture720();
+  for (auto _ : state) {
+    const img::Pyramid pyr(f.src.view());
+    benchmark::DoNotOptimize(pyr.levels());
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_PyramidBuild);
+
+void BM_RemapAaTrilinear(benchmark::State& state) {
+  Fixture& f = fixture720();
+  static const img::Pyramid pyr(f.src.view());
+  for (auto _ : state) {
+    core::remap_aa_rect(pyr, f.dst.view(), f.map, {0, 0, f.w, f.h}, 0);
+    benchmark::DoNotOptimize(f.dst.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_RemapAaTrilinear);
+
+void BM_RemapRgbInterleaved(benchmark::State& state) {
+  Fixture& f = fixture720();
+  static const img::Image8 rgb = [] {
+    Fixture& fx = fixture720();
+    const video::SyntheticVideoSource source(fx.cam, fx.w, fx.h, 3);
+    return source.frame(0);
+  }();
+  static img::Image8 out(f.w, f.h, 3);
+  const core::RemapOptions opts{core::Interp::Bilinear,
+                                img::BorderMode::Constant, 0};
+  for (auto _ : state) {
+    core::remap_rect(rgb.view(), out.view(), f.map, {0, 0, f.w, f.h}, opts);
+    benchmark::DoNotOptimize(out.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * f.h);
+}
+BENCHMARK(BM_RemapRgbInterleaved);
+
+void BM_SourceBbox(benchmark::State& state) {
+  Fixture& f = fixture720();
+  for (auto _ : state) {
+    const par::Rect box =
+        core::source_bbox(f.map, {0, 0, f.w, f.h / 8}, f.w, f.h);
+    benchmark::DoNotOptimize(box.x1);
+  }
+  state.SetItemsProcessed(state.iterations() * f.w * (f.h / 8));
+}
+BENCHMARK(BM_SourceBbox);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// F1 — Speedup vs thread count.
+//
+// The study's headline multicore figure: per-frame time and speedup of the
+// bilinear float-LUT kernel across 1..8 worker threads at three
+// resolutions, static row-block scheduling.
+//
+// NOTE: measured speedup reflects the hardware this runs on; on a
+// single-core container the curve is flat and the table says so honestly.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F1", "speedup vs thread count (static row blocks, "
+                         "bilinear, float LUT)");
+
+  util::Table table({"resolution", "threads", "ms/frame", "fps", "speedup"});
+  for (const auto& res : {rt::kResolutions[0], rt::kResolutions[2],
+                          rt::kResolutions[3]}) {
+    const img::Image8 src = bench::make_input(res.width, res.height);
+    const core::Corrector corr =
+        core::Corrector::builder(res.width, res.height).build();
+    const int reps = bench::reps_for(res.width, res.height);
+
+    double t1 = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      par::ThreadPool pool(static_cast<unsigned>(threads));
+      core::PoolBackend backend(
+          pool, {par::Schedule::Static, par::PartitionKind::RowBlocks, 0, 64,
+                 64});
+      const rt::RunStats stats =
+          bench::measure_backend(corr, src.view(), backend, reps);
+      if (threads == 1) t1 = stats.median;
+      table.row()
+          .add(res.name)
+          .add(threads)
+          .add(stats.median * 1e3, 2)
+          .add(rt::fps_from_seconds(stats.median), 1)
+          .add(t1 / stats.median, 2);
+    }
+  }
+  table.print(std::cout, "F1: thread scaling");
+  std::cout << "expected shape: speedup ~= min(threads, hardware cores); "
+               "flat on a 1-core host.\n";
+  return 0;
+}

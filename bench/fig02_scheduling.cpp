@@ -1,0 +1,44 @@
+// F2 — Scheduling policy and decomposition comparison.
+//
+// Per-pixel work varies radially (pixels outside the image circle are pure
+// fill), so static decompositions can be imbalanced. Compares every
+// schedule x partition combination at 1080p on 4 threads.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F2",
+                   "schedule x decomposition at 1080p, 4 threads, bilinear");
+
+  const int w = 1920, h = 1080;
+  const img::Image8 src = bench::make_input(w, h);
+  const core::Corrector corr = core::Corrector::builder(w, h).build();
+  const int reps = bench::reps_for(w, h, 12);
+
+  par::ThreadPool pool(4);
+  util::Table table({"schedule", "partition", "chunks", "ms/frame", "fps"});
+  for (const par::Schedule sched :
+       {par::Schedule::Static, par::Schedule::Dynamic, par::Schedule::Guided}) {
+    for (const par::PartitionKind part :
+         {par::PartitionKind::RowBlocks, par::PartitionKind::RowCyclic,
+          par::PartitionKind::Tiles, par::PartitionKind::ColumnBlocks}) {
+      core::PoolBackend backend(pool, {sched, part, 0, 128, 64});
+      const rt::RunStats stats =
+          bench::measure_backend(corr, src.view(), backend, reps);
+      const std::size_t chunks =
+          par::partition(w, h, part, static_cast<int>(pool.size()) * 4, 128, 64)
+              .size();
+      table.row()
+          .add(par::schedule_name(sched))
+          .add(par::partition_name(part))
+          .add(chunks)
+          .add(stats.median * 1e3, 2)
+          .add(rt::fps_from_seconds(stats.median), 1);
+    }
+  }
+  table.print(std::cout, "F2: scheduling policies");
+  std::cout << "expected shape: dynamic/guided row-cyclic absorb the radial "
+               "load imbalance; column blocks lose to poor row-major "
+               "locality.\n";
+  return 0;
+}

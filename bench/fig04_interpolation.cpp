@@ -1,0 +1,82 @@
+// F4 — Interpolation kernel sweep: throughput vs quality.
+//
+// Cost ladder NN -> bilinear -> bicubic -> lanczos3, with quality measured
+// against a ground truth rendered directly from the scene (the synthetic
+// pipeline's unique capability: pixel-accurate references).
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+#include "image/synth.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F4", "interpolation kernels at 720p (serial, float LUT)");
+
+  const int w = 1280, h = 720;
+  const auto cam = core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                                 util::kPi, w, h);
+  const video::SyntheticVideoSource source(cam, w, h, 1);
+  const img::Image8 fish = source.frame(0);
+  const img::Image8 scene = source.scene_frame(0);
+  const int reps = bench::reps_for(w, h, 6);
+
+  // Ground truth for the corrected view: sample the *scene* directly with
+  // the composed map (scene -> fisheye -> corrected collapses to a pure
+  // scale about the centre, see video::SyntheticVideoSource).
+  core::SerialBackend serial;
+  util::Table table(
+      {"kernel", "taps", "ms/frame", "fps", "PSNR dB", "SSIM"});
+
+  // Reference: correct with lanczos3 at double-resolution path is overkill;
+  // instead compare every kernel's output against the analytic scene view.
+  const core::Corrector ref_corr = core::Corrector::builder(w, h).build();
+  const double f_out = ref_corr.config().out_focal;
+  const double f_scene = 0.25 * scene.width();
+  img::Image8 truth(w, h, 1);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const double sx =
+          (scene.width() - 1) * 0.5 + (x - (w - 1) * 0.5) * (f_scene / f_out);
+      const double sy =
+          (scene.height() - 1) * 0.5 + (y - (h - 1) * 0.5) * (f_scene / f_out);
+      std::uint8_t v = 0;
+      core::sample_lanczos3(scene.view(), static_cast<float>(sx),
+                            static_cast<float>(sy), img::BorderMode::Constant,
+                            0, &v);
+      truth.at(x, y) = v;
+    }
+
+  for (const core::Interp interp :
+       {core::Interp::Nearest, core::Interp::Bilinear, core::Interp::Bicubic,
+        core::Interp::Lanczos3}) {
+    const core::Corrector corr =
+        core::Corrector::builder(w, h).interp(interp).build();
+    const rt::RunStats stats =
+        bench::measure_backend(corr, fish.view(), serial, reps);
+    img::Image8 out(w, h, 1);
+    corr.correct(fish.view(), out.view(), serial);
+
+    // Quality over the central region the fisheye actually saw.
+    const int bx = w / 5, by = h / 5;
+    img::Image8 out_c(w - 2 * bx, h - 2 * by, 1), truth_c(w - 2 * bx,
+                                                          h - 2 * by, 1);
+    for (int y = 0; y < out_c.height(); ++y)
+      for (int x = 0; x < out_c.width(); ++x) {
+        out_c.at(x, y) = out.at(bx + x, by + y);
+        truth_c.at(x, y) = truth.at(bx + x, by + y);
+      }
+    table.row()
+        .add(core::interp_name(interp))
+        .add(core::interp_support(interp) * core::interp_support(interp))
+        .add(stats.median * 1e3, 2)
+        .add(rt::fps_from_seconds(stats.median), 1)
+        .add(img::psnr(truth_c.view(), out_c.view()), 2)
+        .add(img::ssim(truth_c.view(), out_c.view()), 4);
+  }
+  table.print(std::cout, "F4: interpolation kernels");
+  std::cout << "expected shape: cost grows with tap count (1/4/16/36); "
+               "bilinear is the quality/throughput knee - higher-order "
+               "kernels buy ~1 dB at 4-9x the arithmetic.\n";
+  return 0;
+}

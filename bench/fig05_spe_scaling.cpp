@@ -1,0 +1,44 @@
+// F5 — Cell-sim scaling: modeled fps vs SPE count, single vs double
+// buffering. These numbers come from the cycle model (3.2 GHz SPEs), not
+// host timing, so the curve is host-independent.
+#include "accel/accel_backend.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F5", "Cell-sim: fps vs #SPEs, 720p gray, bilinear");
+
+  const int w = 1280, h = 720;
+  const img::Image8 src = bench::make_input(w, h);
+  const core::Corrector corr = core::Corrector::builder(w, h).build();
+  img::Image8 out(w, h, 1);
+
+  util::Table table({"SPEs", "buffering", "modeled fps", "speedup",
+                     "utilization", "DMA MB/frame"});
+  for (const bool dbuf : {false, true}) {
+    double fps1 = 0.0;
+    for (const int spes : {1, 2, 4, 6, 8}) {
+      accel::SpeConfig config;
+      config.num_spes = spes;
+      config.double_buffering = dbuf;
+      accel::CellBackend backend(config);
+      corr.correct(src.view(), out.view(), backend);
+      const accel::AccelFrameStats& stats = backend.last_stats();
+      if (spes == 1) fps1 = stats.fps;
+      table.row()
+          .add(spes)
+          .add(dbuf ? "double" : "single")
+          .add(stats.fps, 1)
+          .add(stats.fps / fps1, 2)
+          .add(stats.utilization, 2)
+          .add(static_cast<double>(stats.bytes_in + stats.bytes_out) / 1e6,
+               2);
+    }
+  }
+  table.print(std::cout, "F5: SPE scaling");
+  std::cout << "expected shape: near-linear scaling while compute-bound; "
+               "double buffering lifts the whole curve by hiding DMA, and "
+               "the gap widens with SPE count as transfers matter more.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// F7 — FPGA-sim: throughput vs clock and block-cache geometry.
+//
+// The streaming pipeline emits one pixel per cycle except on block-cache
+// misses; cache geometry is the design knob that decides whether the
+// non-sequential fisheye read pattern stays on-chip.
+#include "accel/accel_backend.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F7", "FPGA-sim: cache geometry and clock sweeps");
+
+  const int w = 1280, h = 720;
+  const img::Image8 src = bench::make_input(w, h);
+  const core::Corrector corr = core::Corrector::builder(w, h)
+                                   .map_mode(core::MapMode::PackedLut)
+                                   .build();
+  img::Image8 out(w, h, 1);
+
+  util::Table cache_table({"cache cfg", "capacity Kpx", "hit rate",
+                           "stall cyc/px", "fps @150MHz"});
+  struct CacheCase {
+    const char* name;
+    accel::BlockCacheConfig cfg;
+  };
+  const CacheCase cases[] = {
+      {"2KpxDM", {32, 8, 8, 1}},     {"8Kpx2w", {32, 8, 16, 2}},
+      {"16Kpx2w", {32, 8, 32, 2}},   {"64Kpx4w", {32, 8, 64, 4}},
+      {"256Kpx4w", {32, 8, 256, 4}}, {"64Kpx-tall", {8, 32, 64, 4}},
+  };
+  for (const CacheCase& c : cases) {
+    accel::FpgaConfig config;
+    config.cache = c.cfg;
+    accel::FpgaBackend backend(config);
+    corr.correct(src.view(), out.view(), backend);
+    const accel::AccelFrameStats& stats = backend.last_stats();
+    const double px = static_cast<double>(w) * h;
+    cache_table.row()
+        .add(c.name)
+        .add(static_cast<double>(c.cfg.capacity_pixels()) / 1024.0, 0)
+        .add(stats.cache_hit_rate(), 4)
+        .add((stats.cycles - px - config.cost.pipeline_depth) / px, 3)
+        .add(stats.fps, 1);
+  }
+  cache_table.print(std::cout, "F7a: cache geometry at 150 MHz");
+
+  util::Table clock_table({"clock MHz", "fps 720p", "fps 1080p"});
+  for (const double mhz : {100.0, 150.0, 200.0, 250.0}) {
+    double fps[2] = {0.0, 0.0};
+    int i = 0;
+    for (const auto& res : {rt::kResolutions[2], rt::kResolutions[3]}) {
+      const img::Image8 frame = bench::make_input(res.width, res.height);
+      const core::Corrector c = core::Corrector::builder(res.width,
+                                                         res.height)
+                                    .map_mode(core::MapMode::PackedLut)
+                                    .build();
+      img::Image8 o(res.width, res.height, 1);
+      accel::FpgaConfig config;
+      config.cost.clock_hz = mhz * 1e6;
+      accel::FpgaBackend backend(config);
+      c.correct(frame.view(), o.view(), backend);
+      fps[i++] = backend.last_stats().fps;
+    }
+    clock_table.row().add(mhz, 0).add(fps[0], 1).add(fps[1], 1);
+  }
+  clock_table.print(std::cout, "F7b: clock sweep (64Kpx 4-way cache)");
+  std::cout << "expected shape: hit rate climbs with capacity and saturates "
+               "near 1; once misses are rare, fps ~= clock / pixels and "
+               "scales linearly with clock.\n";
+  return 0;
+}

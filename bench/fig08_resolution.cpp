@@ -1,0 +1,59 @@
+// F8 — Resolution scaling and platform crossover: fps vs frame size for
+// the best CPU configuration and both simulated accelerators.
+#include "accel/accel_backend.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F8", "fps vs resolution per platform (gray, bilinear)");
+
+  par::ThreadPool pool(0);  // hardware-sized
+  util::Table table({"resolution", "Mpix", "cpu-serial", "cpu-pool",
+                     "cpu-simd", "cell-sim", "fpga-sim", "gpu-sim"});
+  for (const auto& res : rt::kResolutions) {
+    const img::Image8 src = bench::make_input(res.width, res.height);
+    const core::Corrector fcorr =
+        core::Corrector::builder(res.width, res.height).build();
+    const core::Corrector pcorr = core::Corrector::builder(res.width,
+                                                           res.height)
+                                      .map_mode(core::MapMode::PackedLut)
+                                      .build();
+    const int reps = bench::reps_for(res.width, res.height, 5);
+
+    core::SerialBackend serial;
+    core::PoolBackend pooled(pool, {par::Schedule::Dynamic,
+                                    par::PartitionKind::RowBlocks, 0, 64, 64});
+    core::SimdBackend simd(&pool);
+    const double fps_serial = rt::fps_from_seconds(
+        bench::measure_backend(fcorr, src.view(), serial, reps).median);
+    const double fps_pool = rt::fps_from_seconds(
+        bench::measure_backend(fcorr, src.view(), pooled, reps).median);
+    const double fps_simd = rt::fps_from_seconds(
+        bench::measure_backend(fcorr, src.view(), simd, reps).median);
+
+    img::Image8 out(res.width, res.height, 1);
+    accel::CellBackend cell(accel::SpeConfig{});
+    fcorr.correct(src.view(), out.view(), cell);
+    accel::FpgaBackend fpga(accel::FpgaConfig{});
+    pcorr.correct(src.view(), out.view(), fpga);
+    accel::GpuBackend gpu(accel::GpuConfig{});
+    fcorr.correct(src.view(), out.view(), gpu);
+
+    table.row()
+        .add(res.name)
+        .add(static_cast<double>(res.width) * res.height / 1e6, 2)
+        .add(fps_serial, 1)
+        .add(fps_pool, 1)
+        .add(fps_simd, 1)
+        .add(cell.last_stats().fps, 1)
+        .add(fpga.last_stats().fps, 1)
+        .add(gpu.last_stats().fps, 1);
+  }
+  table.print(std::cout, "F8: resolution scaling");
+  std::cout << "expected shape: all platforms scale ~1/pixels; accelerator "
+               "columns are cycle-model outputs (8-SPE Cell @3.2GHz, FPGA "
+               "@150MHz) and hold their ~constant ratio over the CPU "
+               "columns, which depend on this host.\n";
+  return 0;
+}

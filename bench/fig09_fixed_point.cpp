@@ -1,0 +1,53 @@
+// F9 — Fixed-point LUT precision ablation: coordinate fractional bits vs
+// output quality and LUT behaviour, plus packed vs float kernel speed.
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F9", "packed-LUT precision sweep at 720p");
+
+  const int w = 1280, h = 720;
+  const img::Image8 src = bench::make_input(w, h);
+  core::SerialBackend serial;
+
+  // Float-LUT reference output.
+  const core::Corrector ref_corr = core::Corrector::builder(w, h).build();
+  img::Image8 ref(w, h, 1);
+  ref_corr.correct(src.view(), ref.view(), serial);
+  const int reps = bench::reps_for(w, h, 6);
+  const rt::RunStats float_stats =
+      bench::measure_backend(ref_corr, src.view(), serial, reps);
+
+  util::Table table({"frac bits", "coord LSB px", "PSNR vs float dB",
+                     "max diff", "ms/frame"});
+  table.row()
+      .add("float32")
+      .add("-")
+      .add("inf")
+      .add(0)
+      .add(float_stats.median * 1e3, 2);
+  for (const int bits : {4, 6, 8, 10, 12, 14, 18}) {
+    const core::Corrector corr = core::Corrector::builder(w, h)
+                                     .map_mode(core::MapMode::PackedLut)
+                                     .frac_bits(bits)
+                                     .build();
+    img::Image8 out(w, h, 1);
+    corr.correct(src.view(), out.view(), serial);
+    const rt::RunStats stats =
+        bench::measure_backend(corr, src.view(), serial, reps);
+    table.row()
+        .add(bits)
+        .add(1.0 / static_cast<double>(1 << bits), 5)
+        .add(img::psnr(ref.view(), out.view()), 2)
+        .add(img::max_abs_diff(ref.view(), out.view()))
+        .add(stats.median * 1e3, 2);
+  }
+  table.print(std::cout, "F9: fixed-point precision");
+  std::cout << "expected shape: quality saturates once the coordinate LSB "
+               "drops below the 8-bit blend quantization (~10 bits); the "
+               "integer kernel's speed is precision-independent.\n";
+  return 0;
+}

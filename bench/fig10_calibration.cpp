@@ -1,0 +1,55 @@
+// F10 — Calibration convergence: RMS reprojection error per LM iteration
+// and recovered-parameter error vs detector noise.
+#include "calib/calibrate.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F10", "calibration convergence and noise sensitivity");
+
+  const auto truth = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(175.0), 1280, 720);
+
+  // (a) Convergence trace at 0.3 px noise.
+  {
+    util::Rng rng(42);
+    const auto obs = calib::make_grid_correspondences(
+        truth, 11, util::deg_to_rad(80.0), 0.3, rng);
+    const calib::CalibrationResult result = calib::calibrate_radial(
+        core::LensKind::Equidistant, obs, truth.lens().focal() * 1.25,
+        truth.cx() + 25.0, truth.cy() - 18.0);
+    util::Table table({"iteration", "rms px"});
+    for (std::size_t i = 0; i < result.error_history.size(); ++i)
+      table.row().add(i).add(result.error_history[i], 5);
+    table.print(std::cout, "F10a: LM convergence (0.3 px noise)");
+  }
+
+  // (b) Parameter error vs noise level, averaged over 5 seeds each.
+  util::Table table({"noise px", "focal err px", "centre err px", "rms px"});
+  for (const double noise : {0.0, 0.1, 0.3, 0.5, 1.0, 2.0}) {
+    double focal_err = 0.0, centre_err = 0.0, rms = 0.0;
+    const int seeds = 5;
+    for (int s = 0; s < seeds; ++s) {
+      util::Rng rng(100 + static_cast<std::uint64_t>(s));
+      const auto obs = calib::make_grid_correspondences(
+          truth, 11, util::deg_to_rad(80.0), noise, rng);
+      const calib::CalibrationResult r = calib::calibrate_radial(
+          core::LensKind::Equidistant, obs, truth.lens().focal() * 1.2,
+          truth.cx() + 15.0, truth.cy() - 10.0);
+      focal_err += std::abs(r.focal - truth.lens().focal());
+      centre_err += std::hypot(r.cx - truth.cx(), r.cy - truth.cy());
+      rms += r.rms_error_px;
+    }
+    table.row()
+        .add(noise, 1)
+        .add(focal_err / seeds, 4)
+        .add(centre_err / seeds, 4)
+        .add(rms / seeds, 4);
+  }
+  table.print(std::cout, "F10b: parameter error vs noise");
+  std::cout << "expected shape: error history decreases monotonically; "
+               "parameter error grows ~linearly with noise and stays well "
+               "under a pixel for sub-pixel detectors.\n";
+  return 0;
+}

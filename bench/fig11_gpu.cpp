@@ -1,0 +1,70 @@
+// F11 — GPU-sim roofline: fps vs SM count, texture-cache geometry, and the
+// ALU/bandwidth crossover.
+#include "accel/accel_backend.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F11", "GPU-sim: SM scaling and texture-cache sweep");
+
+  const int w = 1280, h = 720;
+  const img::Image8 src = bench::make_input(w, h);
+  const core::Corrector corr = core::Corrector::builder(w, h).build();
+  img::Image8 out(w, h, 1);
+
+  util::Table sm_table({"SMs", "modeled fps", "speedup vs 1", "ALU util",
+                        "bound"});
+  double fps1 = 0.0;
+  for (const int sms : {1, 2, 4, 8, 15, 30, 60, 120}) {
+    accel::GpuConfig config;
+    config.cost.num_sms = sms;
+    accel::GpuBackend backend(config);
+    corr.correct(src.view(), out.view(), backend);
+    const accel::AccelFrameStats& stats = backend.last_stats();
+    if (sms == 1) fps1 = stats.fps;
+    sm_table.row()
+        .add(sms)
+        .add(stats.fps, 1)
+        .add(stats.fps / fps1, 2)
+        .add(stats.utilization, 2)
+        .add(stats.utilization > 0.9 ? "ALU" : "DRAM");
+  }
+  sm_table.print(std::cout, "F11a: SM scaling at 720p");
+
+  util::Table tex_table({"tex cache", "capacity px", "hit rate",
+                         "DRAM MB/frame", "fps @30sm"});
+  struct Case {
+    const char* name;
+    accel::BlockCacheConfig cfg;
+  };
+  // Capacity barely matters (round-robin block dispatch leaves only
+  // intra-block locality - a real property of the era's GPUs); the line
+  // SHAPE decides how many bytes each compulsory miss drags in.
+  const Case cases[] = {
+      {"1x1 uncached", {1, 1, 64, 4}},
+      {"64x1 lines", {64, 1, 32, 4}},
+      {"16x4 (default)", {16, 4, 32, 4}},
+      {"8x8 tiles", {8, 8, 32, 4}},
+      {"16x4 tiny", {16, 4, 4, 2}},
+  };
+  for (const Case& c : cases) {
+    accel::GpuConfig config;
+    config.tex_cache = c.cfg;
+    accel::GpuBackend backend(config);
+    corr.correct(src.view(), out.view(), backend);
+    const accel::AccelFrameStats& stats = backend.last_stats();
+    tex_table.row()
+        .add(c.name)
+        .add(c.cfg.capacity_pixels())
+        .add(stats.cache_hit_rate(), 4)
+        .add(static_cast<double>(stats.bytes_in + stats.bytes_out) / 1e6, 2)
+        .add(stats.fps, 1);
+  }
+  tex_table.print(std::cout, "F11b: texture-cache geometry");
+  std::cout << "expected shape: near-linear SM scaling until the roofline knee, "
+               "then DRAM-bound saturation; 2D cache lines matched to the "
+               "warp footprint minimize miss traffic, while uncached "
+               "per-pixel fetches multiply it.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// F12 — Anti-aliased remap ablation: quality and cost of mip-mapped
+// trilinear sampling vs the point-sampled kernels under the strong
+// minification of the scene->fisheye synthesis direction.
+//
+// Ground truth: 4x supersampled box-filtered synthesis (the gold-standard
+// area average), downsampled to the target grid.
+#include <cmath>
+
+#include "core/aa_remap.hpp"
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+#include "image/pyramid.hpp"
+#include "image/synth.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F12", "anti-aliased vs point-sampled synthesis, 640x480");
+
+  const int fw = 640, fh = 480;
+  const int sw = 1280, sh = 960;
+  const auto cam = core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                                 util::kPi, fw, fh);
+  // Detail-rich scene: fine checkerboard (worst case for aliasing).
+  const img::Image8 scene = img::make_checkerboard(sw, sh, 6, 16, 240);
+  const core::WarpMap synth =
+      core::build_synthesis_map(cam, sw, sh, 0.25 * sw, fw, fh);
+
+  // Gold standard: render at 3x output resolution, box-average down.
+  const int ss = 4;
+  const core::WarpMap synth_hi =
+      core::build_synthesis_map(cam, sw, sh, 0.25 * sw, fw * ss, fh * ss);
+  img::Image8 hi(fw * ss, fh * ss, 1);
+  core::remap_rect(scene.view(), hi.view(), synth_hi,
+                   {0, 0, fw * ss, fh * ss},
+                   {core::Interp::Bilinear, img::BorderMode::Constant, 0});
+  img::Image8 truth(fw, fh, 1);
+  for (int y = 0; y < fh; ++y)
+    for (int x = 0; x < fw; ++x) {
+      int acc = 0;
+      for (int dy = 0; dy < ss; ++dy)
+        for (int dx = 0; dx < ss; ++dx)
+          acc += hi.at(x * ss + dx, y * ss + dy);
+      truth.at(x, y) = static_cast<std::uint8_t>((acc + ss * ss / 2) /
+                                                 (ss * ss));
+    }
+
+  const rt::Stopwatch pyr_sw;
+  const img::Pyramid pyramid(scene.view());
+  const double pyr_ms = pyr_sw.elapsed_ms();
+
+  // PSNR per radial band: the minification (and thus the aliasing) grows
+  // from ~2x at the centre to unbounded at the rim.
+  auto band_psnr = [&](const img::Image8& a, const img::Image8& b,
+                       double r0, double r1) {
+    const double cx = (fw - 1) * 0.5, cy = (fh - 1) * 0.5;
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (int y = 0; y < fh; ++y)
+      for (int x = 0; x < fw; ++x) {
+        const double r = std::hypot(x - cx, y - cy);
+        if (r < r0 || r >= r1) continue;
+        const double d =
+            static_cast<double>(a.at(x, y)) - static_cast<double>(b.at(x, y));
+        acc += d * d;
+        ++n;
+      }
+    const double mse_v = acc / static_cast<double>(n);
+    return mse_v == 0.0 ? 99.0 : 10.0 * std::log10(255.0 * 255.0 / mse_v);
+  };
+  // Valid radius: the scene plane (focal 0.25*sw, half-height sh/2) covers
+  // theta up to atan((sh/2)/(0.25*sw)); beyond that every sampler emits
+  // fill. Bands live inside it.
+  const double theta_max = std::atan((sh / 2.0) / (0.25 * sw));
+  const double rim = cam.lens().radius_from_theta(theta_max) - 2.0;
+
+  util::Table table({"sampler", "ms/frame", "centre dB", "mid dB",
+                     "rim dB"});
+  img::Image8 out(fw, fh, 1);
+  const par::Rect whole{0, 0, fw, fh};
+
+  for (const core::Interp interp :
+       {core::Interp::Nearest, core::Interp::Bilinear, core::Interp::Bicubic,
+        core::Interp::Lanczos3}) {
+    const rt::RunStats stats = rt::measure(
+        [&] {
+          core::remap_rect(scene.view(), out.view(), synth, whole,
+                           {interp, img::BorderMode::Constant, 0});
+        },
+        5);
+    table.row()
+        .add(core::interp_name(interp))
+        .add(stats.median * 1e3, 2)
+        .add(band_psnr(truth, out, 0.0, 0.4 * rim), 2)
+        .add(band_psnr(truth, out, 0.4 * rim, 0.8 * rim), 2)
+        .add(band_psnr(truth, out, 0.8 * rim, rim), 2);
+  }
+  const rt::RunStats aa_stats = rt::measure(
+      [&] { core::remap_aa_rect(pyramid, out.view(), synth, whole, 0); }, 5);
+  table.row()
+      .add("mip-trilinear")
+      .add(aa_stats.median * 1e3, 2)
+      .add(band_psnr(truth, out, 0.0, 0.4 * rim), 2)
+      .add(band_psnr(truth, out, 0.4 * rim, 0.8 * rim), 2)
+      .add(band_psnr(truth, out, 0.8 * rim, rim), 2);
+
+  table.print(std::cout, "F12: sampling under minification");
+  std::cout << "pyramid build (one-time per frame): " << pyr_ms << " ms\n"
+            << "expected shape: every point sampler aliases the compressed "
+               "rim regardless of tap count; the mip sampler wins on "
+               "quality at roughly bilinear cost (plus the pyramid "
+               "build).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// F15 — Surround-view stitching: throughput vs camera count and blend
+// mode, plus panorama quality vs the environment ground truth.
+#include <cmath>
+
+#include "image/metrics.hpp"
+#include "stitch/environment.hpp"
+#include "stitch/stitcher.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F15", "multi-camera stitching (1440x360 panorama)");
+
+  const img::Image8 env = stitch::make_street_environment(2048, 1024);
+  const int fw = 480, fh = 480;
+  const int pw = 1440, ph = 360;
+  const double hfov = util::deg_to_rad(360.0);
+  const double vfov = util::deg_to_rad(90.0);
+
+  // Ground truth panorama: sample the environment directly.
+  img::Image8 truth(pw, ph, 3);
+  for (int y = 0; y < ph; ++y)
+    for (int x = 0; x < pw; ++x) {
+      const double lon = (static_cast<double>(x) / (pw - 1) - 0.5) * hfov;
+      const double lat = (static_cast<double>(y) / (ph - 1) - 0.5) * vfov;
+      const util::Vec3 ray{std::sin(lon) * std::cos(lat), std::sin(lat),
+                           std::cos(lon) * std::cos(lat)};
+      const util::Vec2 uv = stitch::environment_coords(ray, env.width(),
+                                                       env.height());
+      core::sample_bilinear(env.view(), static_cast<float>(uv.x),
+                            static_cast<float>(uv.y),
+                            img::BorderMode::Replicate, 0,
+                            &truth.at(x, y, 0));
+    }
+
+  par::ThreadPool pool(0);
+  util::Table table({"cameras", "blend", "coverage %", "setup ms",
+                     "ms/frame", "PSNR vs env dB"});
+  for (const int n_cams : {2, 3, 4, 6}) {
+    // Evenly spaced 185-degree cameras around the rig.
+    std::vector<stitch::RigCamera> rig;
+    std::vector<img::Image8> frames;
+    std::vector<img::ConstImageView<std::uint8_t>> views;
+    for (int c = 0; c < n_cams; ++c) {
+      rig.push_back(
+          {core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                         util::deg_to_rad(185.0), fw, fh),
+           util::Mat3::rot_y(2.0 * util::kPi * c / n_cams), fw, fh});
+    }
+    for (const auto& rc : rig) {
+      frames.push_back(stitch::render_from_environment(
+          env.view(), rc.camera, rc.world_from_cam, fw, fh));
+    }
+    for (const auto& f : frames) views.push_back(f.view());
+
+    for (const stitch::BlendMode mode :
+         {stitch::BlendMode::Feather, stitch::BlendMode::NearestCamera}) {
+      const rt::Stopwatch setup_sw;
+      const stitch::PanoramaStitcher stitcher(rig, pw, ph, hfov, vfov, mode);
+      const double setup_ms = setup_sw.elapsed_ms();
+      img::Image8 pano;
+      const rt::RunStats stats = rt::measure(
+          [&] { pano = stitcher.stitch(views, &pool); }, 3);
+      const double coverage =
+          100.0 * (1.0 - static_cast<double>(stitcher.uncovered_pixels()) /
+                             (static_cast<double>(pw) * ph));
+      table.row()
+          .add(n_cams)
+          .add(stitch::blend_mode_name(mode))
+          .add(coverage, 1)
+          .add(setup_ms, 0)
+          .add(stats.median * 1e3, 2)
+          .add(img::psnr(truth.view(), pano.view()), 2);
+    }
+  }
+  table.print(std::cout, "F15: stitching");
+  std::cout << "expected shape: two back-to-back 185-degree lenses just "
+               "cover 360 deg (coverage 100% but razor-thin seam weights); "
+               "per-frame cost grows sub-linearly with cameras (each adds "
+               "work only where it has weight); feather matches or beats "
+               "nearest-camera on PSNR by removing seam steps, and the gap "
+               "widens with more (more seams) cameras.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// F17 — Message-passing cluster: scaling, efficiency, interconnect and
+// distribution-strategy comparison. Compute is measured on this host; the
+// network is a latency/bandwidth model (see src/cluster/cluster_sim.hpp).
+#include "cluster/cluster_sim.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("F17", "cluster scale-out at 1080p (gray, bilinear LUT)");
+
+  const int w = 1920, h = 1080;
+  const img::Image8 src = bench::make_input(w, h);
+  const core::Corrector corr = core::Corrector::builder(w, h).build();
+  img::Image8 out(w, h, 1);
+
+  util::Table table({"ranks", "network", "distribution", "modeled fps",
+                     "efficiency", "comm MB/frame"});
+  for (const auto& net :
+       {cluster::InterconnectModel::gigabit_ethernet(),
+        cluster::InterconnectModel::ten_gige(),
+        cluster::InterconnectModel::infiniband_qdr()}) {
+    for (const int ranks : {1, 2, 4, 8, 16}) {
+      cluster::ClusterConfig config;
+      config.ranks = ranks;
+      config.network = net;
+      cluster::ClusterSimBackend backend(config);
+      corr.correct(src.view(), out.view(), backend);
+      const cluster::ClusterFrameStats& s = backend.last_stats();
+      table.row()
+          .add(ranks)
+          .add(net.name)
+          .add("strip-scatter")
+          .add(s.fps, 1)
+          .add(s.efficiency, 2)
+          .add(static_cast<double>(s.bytes_scattered + s.bytes_gathered) /
+                   1e6,
+               2);
+    }
+  }
+  table.print(std::cout, "F17a: ranks x interconnect");
+
+  util::Table dist({"distribution", "ranks", "scatter MB", "modeled fps"});
+  for (const cluster::Distribution d :
+       {cluster::Distribution::StripScatter,
+        cluster::Distribution::FullBroadcast}) {
+    for (const int ranks : {4, 16}) {
+      cluster::ClusterConfig config;
+      config.ranks = ranks;
+      config.distribution = d;
+      cluster::ClusterSimBackend backend(config);
+      corr.correct(src.view(), out.view(), backend);
+      const cluster::ClusterFrameStats& s = backend.last_stats();
+      dist.row()
+          .add(cluster::distribution_name(d))
+          .add(ranks)
+          .add(static_cast<double>(s.bytes_scattered) / 1e6, 2)
+          .add(s.fps, 1);
+    }
+  }
+  dist.print(std::cout, "F17b: distribution strategy (GigE)");
+  std::cout << "expected shape: per-frame scatter/gather makes the kernel "
+               "communication-bound on GigE (efficiency collapses with "
+               "ranks); faster links push the knee out; strip-scatter "
+               "beats full-broadcast by moving ~1/ranks of the source.\n";
+  return 0;
+}

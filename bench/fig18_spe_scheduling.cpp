@@ -1,0 +1,84 @@
+// F18 — Cell-sim tile-scheduling ablation.
+//
+// Finding worth stating plainly: for the *centred* correction the per-tile
+// cost field is radially symmetric, so cyclic assignment pairs cheap and
+// expensive tiles automatically and every policy produces the same
+// makespan (part a — a true null result). Scheduling starts to matter for
+// asymmetric workloads: an off-axis virtual-PTZ view puts all the fill
+// pixels on one side (part b), where cost-aware policies beat round-robin.
+#include "accel/spe_platform.hpp"
+#include "core/corrector.hpp"
+#include "core/projection.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fisheye;
+
+void run_case(util::Table& table, const char* label,
+              const core::WarpMap& map, int src_w, int src_h,
+              const img::Image8& src, int tiles_per_side) {
+  img::Image8 out(map.width, map.height, 1);
+  double rr_fps = 0.0;
+  for (const accel::TileSchedule policy :
+       {accel::TileSchedule::RoundRobin, accel::TileSchedule::GreedyEft,
+        accel::TileSchedule::Lpt}) {
+    accel::SpeConfig config;
+    config.schedule = policy;
+    config.tile_w = (map.width + tiles_per_side - 1) / tiles_per_side;
+    config.tile_h = (map.height + tiles_per_side - 1) / tiles_per_side;
+    // Enlarged local store: no forced splits, the ablation controls tile
+    // count exactly.
+    config.local_store_bytes = 64 * 1024 * 1024;
+    accel::CellLikePlatform platform(map, src_w, src_h, 1, config);
+    const accel::AccelFrameStats stats =
+        platform.run_frame(src.view(), out.view(), 0);
+    if (policy == accel::TileSchedule::RoundRobin) rr_fps = stats.fps;
+    table.row()
+        .add(label)
+        .add(accel::tile_schedule_name(policy))
+        .add(static_cast<unsigned long long>(stats.tiles))
+        .add(stats.fps, 1)
+        .add(stats.utilization, 3)
+        .add(stats.fps / rr_fps, 3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  rt::print_banner("F18", "Cell-sim tile scheduling policies, 720p source");
+
+  const int w = 1280, h = 720;
+  const img::Image8 src = bench::make_input(w, h);
+  util::Table table({"workload", "policy", "tiles", "modeled fps",
+                     "utilization", "vs round-robin"});
+
+  // (a) Centred correction: radially symmetric cost field.
+  const core::Corrector centred = core::Corrector::builder(w, h).build();
+  run_case(table, "centred", *centred.map(), w, h, src, 4);
+
+  // (b) Off-axis PTZ view: rays beyond the lens field concentrate on one
+  // side, so tile costs are strongly skewed left-to-right.
+  // A 100-degree lens panned hard right: only the leftmost ~quarter of
+  // the view is real work, the rest is fill -- so an optimal schedule
+  // pairs each heavy tile with cheap ones, while column-cyclic round-robin
+  // stacks the heavy column onto the same lanes.
+  const auto cam = core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                                 util::deg_to_rad(100.0), w,
+                                                 h);
+  const core::PerspectiveView ptz = core::PerspectiveView::ptz(
+      1536, 864, util::deg_to_rad(75.0), util::deg_to_rad(5.0),
+      util::deg_to_rad(110.0));
+  const core::WarpMap ptz_map = core::build_map(cam, ptz);
+  run_case(table, "off-axis ptz", ptz_map, w, h, src, 4);
+
+  table.print(std::cout, "F18: tile scheduling");
+  std::cout << "expected shape: centred workloads self-balance (all "
+               "policies tie - a genuine null result worth knowing); the "
+               "skewed PTZ workload separates them, with cost-aware EFT/"
+               "LPT recovering the idle time round-robin leaves on the "
+               "cheap side.\n";
+  return 0;
+}

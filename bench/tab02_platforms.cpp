@@ -1,0 +1,75 @@
+// T2 — The headline platform-comparison table: fps for every platform at
+// every resolution (gray, bilinear, constant border).
+//
+// CPU columns are measured on this host; accelerator columns are cycle-
+// model outputs for the era hardware (8-SPE Cell @3.2 GHz with double
+// buffering, FPGA @150 MHz with a 64 Kpx 4-way block cache).
+#include "accel/accel_backend.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("T2", "platform comparison (fps)");
+  std::cout << "cpu columns measured on this host; cell/fpga columns are "
+               "cycle-model estimates for the simulated hardware.\n";
+
+  par::ThreadPool pool(0);
+  util::Table table({"resolution", "serial", "pool", "simd-1t", "simd-pool",
+                     "openmp", "cell 8spe", "fpga 150MHz", "gpu 30sm"});
+  for (const auto& res : rt::kResolutions) {
+    const img::Image8 src = bench::make_input(res.width, res.height);
+    const core::Corrector fcorr =
+        core::Corrector::builder(res.width, res.height).build();
+    const core::Corrector pcorr = core::Corrector::builder(res.width,
+                                                           res.height)
+                                      .map_mode(core::MapMode::PackedLut)
+                                      .build();
+    const int reps = bench::reps_for(res.width, res.height, 5);
+
+    core::SerialBackend serial;
+    core::PoolBackend pooled(pool, {par::Schedule::Dynamic,
+                                    par::PartitionKind::RowBlocks, 0, 64,
+                                    64});
+    core::SimdBackend simd1(nullptr);
+    core::SimdBackend simdp(&pool);
+    auto fps = [&](core::Backend& b) {
+      return rt::fps_from_seconds(
+          bench::measure_backend(fcorr, src.view(), b, reps).median);
+    };
+    const double f_serial = fps(serial);
+    const double f_pool = fps(pooled);
+    const double f_simd1 = fps(simd1);
+    const double f_simdp = fps(simdp);
+#ifdef _OPENMP
+    core::OpenMpBackend omp;
+    const double f_omp = fps(omp);
+#else
+    const double f_omp = 0.0;
+#endif
+
+    img::Image8 out(res.width, res.height, 1);
+    accel::CellBackend cell(accel::SpeConfig{});
+    fcorr.correct(src.view(), out.view(), cell);
+    accel::FpgaBackend fpga(accel::FpgaConfig{});
+    pcorr.correct(src.view(), out.view(), fpga);
+    accel::GpuBackend gpu(accel::GpuConfig{});
+    fcorr.correct(src.view(), out.view(), gpu);
+
+    table.row()
+        .add(res.name)
+        .add(f_serial, 1)
+        .add(f_pool, 1)
+        .add(f_simd1, 1)
+        .add(f_simdp, 1)
+        .add(f_omp, 1)
+        .add(cell.last_stats().fps, 1)
+        .add(fpga.last_stats().fps, 1)
+        .add(gpu.last_stats().fps, 1);
+  }
+  table.print(std::cout, "T2: platforms x resolutions");
+  std::cout << "expected shape: simd > serial at every size; pool tracks "
+               "core count; the modeled accelerators sustain real-time "
+               "(>30 fps) through 1080p, the study's central claim.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// T3 — Accuracy: exact equidistant inversion vs the classical Brown-Conrady
+// polynomial baseline, swept over field of view. Reports worst/mean
+// geometric error of the polynomial map and the image-space PSNR between
+// the two corrected outputs.
+#include <cmath>
+
+#include "core/brown_conrady.hpp"
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fisheye;
+  rt::print_banner("T3",
+                   "exact inversion vs Brown-Conrady baseline, 640x480");
+
+  const int w = 640, h = 480;
+  util::Table table({"fov deg", "fit half-angle", "max err px",
+                     "mean err px", "err@edge px", "PSNR dB"});
+  for (const double fov_deg : {120.0, 140.0, 160.0, 170.0, 178.0}) {
+    const double fov = util::deg_to_rad(fov_deg);
+    const auto cam =
+        core::FisheyeCamera::centered(core::LensKind::Equidistant, fov, w, h);
+    const core::PerspectiveView view(w, h, cam.lens().focal());
+    const core::WarpMap exact = core::build_map(cam, view);
+    // The classical toolchain fits the polynomial over the lens' field,
+    // capped below the tan singularity.
+    const double fit_half = std::min(fov / 2.0, util::deg_to_rad(80.0));
+    const core::BrownConrady bc = core::fit_brown_conrady(cam.lens(), fit_half);
+    const core::WarpMap poly =
+        core::build_brown_conrady_map(bc, cam.cx(), cam.cy(), view);
+
+    double worst = 0.0, sum = 0.0, edge = 0.0;
+    std::size_t n = 0;
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) {
+        const std::size_t i = exact.index(x, y);
+        if (exact.src_x[i] <= -1.0f || exact.src_x[i] >= w) continue;
+        const double e = std::hypot(exact.src_x[i] - poly.src_x[i],
+                                    exact.src_y[i] - poly.src_y[i]);
+        worst = std::max(worst, e);
+        sum += e;
+        ++n;
+        const double r = std::hypot(x - cam.cx(), y - cam.cy());
+        if (r > 0.9 * (h / 2.0)) edge = std::max(edge, e);
+      }
+
+    // Image-space comparison on a real frame.
+    const img::Image8 src = bench::make_input(w, h);
+    img::Image8 out_exact(w, h, 1), out_poly(w, h, 1);
+    const core::RemapOptions opts{core::Interp::Bilinear,
+                                  img::BorderMode::Constant, 0};
+    core::remap_rect(src.view(), out_exact.view(), exact, {0, 0, w, h}, opts);
+    core::remap_rect(src.view(), out_poly.view(), poly, {0, 0, w, h}, opts);
+
+    table.row()
+        .add(fov_deg, 0)
+        .add(util::rad_to_deg(fit_half), 0)
+        .add(worst, 2)
+        .add(sum / static_cast<double>(n), 3)
+        .add(edge, 2)
+        .add(img::psnr(out_exact.view(), out_poly.view()), 2);
+  }
+  table.print(std::cout, "T3: geometric error of the polynomial baseline");
+  std::cout << "expected shape: sub-pixel agreement at narrow fov; error "
+               "(especially at the field edge) grows steeply past ~150 "
+               "degrees - the reason the exact inversion replaces the "
+               "classical model for true fisheye optics.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "accel/accel_backend.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fisheye::accel {
+
+void CellBackend::execute(const core::ExecContext& ctx) {
+  FE_EXPECTS(ctx.mode == core::MapMode::FloatLut && ctx.map != nullptr);
+  FE_EXPECTS(ctx.opts.interp == core::Interp::Bilinear);
+  FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
+  if (platform_ == nullptr || cached_map_ != ctx.map ||
+      cached_channels_ != ctx.src.channels) {
+    platform_ = std::make_unique<CellLikePlatform>(
+        *ctx.map, ctx.src.width, ctx.src.height, ctx.src.channels, config_);
+    cached_map_ = ctx.map;
+    cached_channels_ = ctx.src.channels;
+  }
+  last_stats_ = platform_->run_frame(ctx.src, ctx.dst, ctx.opts.fill);
+}
+
+std::string CellBackend::name() const {
+  std::ostringstream os;
+  os << "cell-sim(" << config_.num_spes << "spe,"
+     << (config_.double_buffering ? "dbuf" : "sbuf") << ')';
+  return os.str();
+}
+
+void GpuBackend::execute(const core::ExecContext& ctx) {
+  FE_EXPECTS(ctx.mode == core::MapMode::FloatLut && ctx.map != nullptr);
+  FE_EXPECTS(ctx.opts.interp == core::Interp::Bilinear);
+  FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
+  if (platform_ == nullptr || cached_map_ != ctx.map) {
+    platform_ = std::make_unique<GpuPlatform>(*ctx.map, config_);
+    cached_map_ = ctx.map;
+  }
+  last_stats_ = platform_->run_frame(ctx.src, ctx.dst, ctx.opts.fill);
+}
+
+std::string GpuBackend::name() const {
+  std::ostringstream os;
+  os << "gpu-sim(" << config_.cost.num_sms << "sm,"
+     << config_.cost.clock_hz / 1e9 << "GHz)";
+  return os.str();
+}
+
+void FpgaBackend::execute(const core::ExecContext& ctx) {
+  FE_EXPECTS(ctx.mode == core::MapMode::PackedLut && ctx.packed != nullptr);
+  if (platform_ == nullptr || cached_map_ != ctx.packed) {
+    platform_ = std::make_unique<FpgaPlatform>(*ctx.packed, config_);
+    cached_map_ = ctx.packed;
+  }
+  last_stats_ = platform_->run_frame(ctx.src, ctx.dst, ctx.opts.fill);
+}
+
+std::string FpgaBackend::name() const {
+  std::ostringstream os;
+  os << "fpga-sim(" << config_.cost.clock_hz / 1e6 << "MHz,"
+     << config_.cache.capacity_pixels() / 1024 << "Kpx)";
+  return os.str();
+}
+
+}  // namespace fisheye::accel

@@ -1,0 +1,81 @@
+// core::Backend adapters for the simulated accelerator platforms, so the
+// bench harness drives CPUs and accelerators through one interface.
+//
+// Platform setup (tile decomposition, map reorganization) happens on the
+// first execute() for a given map and is cached — mirroring the one-time
+// initialization cost a real deployment pays; last_stats() exposes the
+// modeled per-frame timing for the harness.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "accel/fpga_platform.hpp"
+#include "accel/gpu_platform.hpp"
+#include "accel/spe_platform.hpp"
+#include "core/backend.hpp"
+
+namespace fisheye::accel {
+
+class CellBackend final : public core::Backend {
+ public:
+  explicit CellBackend(SpeConfig config) : config_(config) {}
+
+  /// Requires ctx.mode == FloatLut with bilinear + constant border.
+  void execute(const core::ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const AccelFrameStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+  [[nodiscard]] const CellLikePlatform* platform() const noexcept {
+    return platform_.get();
+  }
+
+ private:
+  SpeConfig config_;
+  std::unique_ptr<CellLikePlatform> platform_;
+  const core::WarpMap* cached_map_ = nullptr;
+  int cached_channels_ = 0;
+  AccelFrameStats last_stats_;
+};
+
+class GpuBackend final : public core::Backend {
+ public:
+  explicit GpuBackend(GpuConfig config) : config_(config) {}
+
+  /// Requires ctx.mode == FloatLut with bilinear + constant border.
+  void execute(const core::ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const AccelFrameStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+
+ private:
+  GpuConfig config_;
+  std::unique_ptr<GpuPlatform> platform_;
+  const core::WarpMap* cached_map_ = nullptr;
+  AccelFrameStats last_stats_;
+};
+
+class FpgaBackend final : public core::Backend {
+ public:
+  explicit FpgaBackend(FpgaConfig config) : config_(config) {}
+
+  /// Requires ctx.mode == PackedLut.
+  void execute(const core::ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const AccelFrameStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+
+ private:
+  FpgaConfig config_;
+  std::unique_ptr<FpgaPlatform> platform_;
+  const core::PackedMap* cached_map_ = nullptr;
+  AccelFrameStats last_stats_;
+};
+
+}  // namespace fisheye::accel

@@ -1,0 +1,74 @@
+#include "accel/cache_sim.hpp"
+
+#include "util/aligned.hpp"
+
+namespace fisheye::accel {
+
+namespace {
+
+int log2_exact(int v) {
+  FE_EXPECTS(v > 0 && util::is_pow2(static_cast<std::size_t>(v)));
+  int s = 0;
+  while ((1 << s) < v) ++s;
+  return s;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(const BlockCacheConfig& config)
+    : config_(config),
+      block_w_shift_(log2_exact(config.block_w)),
+      block_h_shift_(log2_exact(config.block_h)),
+      set_mask_(static_cast<std::uint64_t>(config.sets) - 1),
+      ways_(static_cast<std::size_t>(config.sets) *
+            static_cast<std::size_t>(config.ways)) {
+  FE_EXPECTS(util::is_pow2(static_cast<std::size_t>(config.sets)));
+  FE_EXPECTS(config.ways >= 1 && config.ways <= 64);
+}
+
+std::uint64_t BlockCache::block_id(int x, int y) const noexcept {
+  const auto bx = static_cast<std::uint64_t>(x >> block_w_shift_);
+  const auto by = static_cast<std::uint64_t>(y >> block_h_shift_);
+  // 4 M blocks per row is far beyond any frame; packs into unique ids.
+  return (by << 22) | bx;
+}
+
+bool BlockCache::access(int x, int y) noexcept {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t id = block_id(x, y);
+  // Index by block coordinates; XOR-fold the y part in so vertically
+  // adjacent blocks do not collide on the same set (classic 2D tiling fix).
+  const std::uint64_t set = (id ^ (id >> 22)) & set_mask_;
+  Way* base = ways_.data() + set * static_cast<std::uint64_t>(config_.ways);
+
+  Way* victim = base;
+  for (int w = 0; w < config_.ways; ++w) {
+    if (base[w].tag == id) {
+      base[w].lru = clock_;
+      return true;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  ++misses_;
+  victim->tag = id;
+  victim->lru = clock_;
+  return false;
+}
+
+int BlockCache::access_footprint(int x, int y) noexcept {
+  int miss_count = access(x, y) ? 0 : 1;
+  const bool x_split = ((x + 1) >> block_w_shift_) != (x >> block_w_shift_);
+  const bool y_split = ((y + 1) >> block_h_shift_) != (y >> block_h_shift_);
+  if (x_split) miss_count += access(x + 1, y) ? 0 : 1;
+  if (y_split) miss_count += access(x, y + 1) ? 0 : 1;
+  if (x_split && y_split) miss_count += access(x + 1, y + 1) ? 0 : 1;
+  return miss_count;
+}
+
+void BlockCache::flush() noexcept {
+  for (Way& w : ways_) w = Way{};
+  // Counters survive a flush; callers reset by reconstructing.
+}
+
+}  // namespace fisheye::accel

@@ -1,0 +1,75 @@
+// Block cache simulator (FPGA BRAM cache in front of DDR).
+//
+// The streaming correction pipeline reads the source image in a data-
+// dependent order; a real FPGA implementation hides DDR latency behind an
+// on-chip block cache. This is a tag-only set-associative simulator over
+// 2D pixel blocks: accesses return hit/miss, counters accumulate, and the
+// platform charges miss penalties. LRU replacement within a set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fisheye::accel {
+
+struct BlockCacheConfig {
+  int block_w = 32;  ///< pixels per block horizontally (power of two)
+  int block_h = 8;   ///< rows per block (power of two)
+  int sets = 64;     ///< number of sets (power of two)
+  int ways = 4;      ///< associativity
+
+  /// Total capacity in pixels.
+  [[nodiscard]] constexpr std::size_t capacity_pixels() const noexcept {
+    return static_cast<std::size_t>(block_w) * block_h * sets * ways;
+  }
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(const BlockCacheConfig& config);
+
+  /// Access pixel (x, y); returns true on hit, false on miss (the block is
+  /// then resident). Coordinates must be non-negative.
+  bool access(int x, int y) noexcept;
+
+  /// Touch the whole aligned footprint of a bilinear tap pair: accesses
+  /// (x, y) and, when they fall in different blocks, (x+1, y), (x, y+1),
+  /// (x+1, y+1). Returns the number of misses incurred (0-4).
+  int access_footprint(int x, int y) noexcept;
+
+  void flush() noexcept;
+
+  [[nodiscard]] std::size_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses_ == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(misses_) /
+                           static_cast<double>(accesses_);
+  }
+  [[nodiscard]] const BlockCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = kEmpty;
+    std::uint64_t lru = 0;  ///< last-use stamp
+  };
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  [[nodiscard]] std::uint64_t block_id(int x, int y) const noexcept;
+
+  BlockCacheConfig config_;
+  int block_w_shift_;
+  int block_h_shift_;
+  std::uint64_t set_mask_;
+  std::vector<Way> ways_;  ///< sets * ways, row-major by set
+  std::uint64_t clock_ = 0;
+  std::size_t accesses_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace fisheye::accel

@@ -1,0 +1,62 @@
+#include "accel/fpga_platform.hpp"
+
+#include "core/remap.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::accel {
+
+FpgaPlatform::FpgaPlatform(const core::PackedMap& map,
+                           const FpgaConfig& config)
+    : map_(&map), config_(config) {}
+
+AccelFrameStats FpgaPlatform::run_frame(img::ConstImageView<std::uint8_t> src,
+                                        img::ImageView<std::uint8_t> dst,
+                                        std::uint8_t fill) {
+  FE_EXPECTS(dst.width == map_->width && dst.height == map_->height);
+  FE_EXPECTS(src.channels == dst.channels);
+
+  // Functional output: identical datapath to the CPU packed-LUT kernel.
+  core::remap_packed_rect(src, dst, *map_,
+                          {0, 0, dst.width, dst.height}, fill);
+
+  // Timing: raster scan of the output; every valid pixel touches its
+  // bilinear footprint through the block cache.
+  BlockCache cache(config_.cache);
+  const int frac = map_->frac_bits;
+  std::size_t total_misses = 0;
+  for (int y = 0; y < map_->height; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map_->width;
+    for (int x = 0; x < map_->width; ++x) {
+      const std::int32_t fx = map_->fx[row + x];
+      if (fx == core::PackedMap::kInvalid) continue;
+      const std::int32_t fy = map_->fy[row + x];
+      total_misses += cache.access_footprint(fx >> frac, fy >> frac);
+    }
+  }
+
+  AccelFrameStats stats;
+  const auto pixels =
+      static_cast<double>(map_->width) * static_cast<double>(map_->height);
+  const FpgaCostModel& c = config_.cost;
+  stats.cycles = c.pipeline_depth + pixels * c.initiation_interval +
+                 static_cast<double>(total_misses) * c.miss_penalty_cycles;
+  stats.seconds = stats.cycles / c.clock_hz;
+  stats.fps = stats.seconds > 0.0 ? 1.0 / stats.seconds : 0.0;
+  stats.cache_accesses = cache.accesses();
+  stats.cache_misses = cache.misses();
+  stats.tiles = 1;
+  // DDR traffic: LUT stream + output stream + one block per miss.
+  const std::size_t block_bytes =
+      static_cast<std::size_t>(config_.cache.block_w) *
+      static_cast<std::size_t>(config_.cache.block_h) *
+      static_cast<std::size_t>(src.channels);
+  stats.bytes_in = map_->bytes() + cache.misses() * block_bytes;
+  stats.bytes_out = static_cast<std::size_t>(dst.width) * dst.height *
+                    static_cast<std::size_t>(dst.channels);
+  stats.compute_cycles = pixels * c.initiation_interval;
+  stats.utilization = stats.cycles > 0.0 ? stats.compute_cycles / stats.cycles
+                                         : 0.0;
+  return stats;
+}
+
+}  // namespace fisheye::accel

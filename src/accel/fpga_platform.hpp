@@ -1,0 +1,48 @@
+// FPGA streaming-pipeline platform simulator.
+//
+// Architecture modeled (the standard way the kernel is hardened):
+//   coordinate stream (packed fixed-point LUT from DDR, sequential bursts)
+//     -> address generator
+//     -> block cache (BRAM) in front of the DDR source-frame reader
+//     -> 4-tap bilinear blend datapath, II = 1
+//     -> sequential output writer.
+// Output pixels are produced in raster order, one per II cycles, except
+// that each block-cache miss stalls the pipeline for a DDR burst. The LUT
+// and output streams are sequential and prefetched, so they do not stall;
+// their bandwidth is accounted but rarely binds.
+//
+// Functional execution uses the same packed fixed-point kernel as the CPU
+// PackedLut path, so output equality is testable bit-for-bit.
+#pragma once
+
+#include "accel/cache_sim.hpp"
+#include "accel/cost_model.hpp"
+#include "core/mapping.hpp"
+#include "image/image.hpp"
+
+namespace fisheye::accel {
+
+struct FpgaConfig {
+  BlockCacheConfig cache;
+  FpgaCostModel cost;
+};
+
+class FpgaPlatform {
+ public:
+  /// `map` must outlive the platform.
+  FpgaPlatform(const core::PackedMap& map, const FpgaConfig& config);
+
+  /// Simulate one frame: fills `dst` (bilinear, constant fill) and returns
+  /// modeled timing including cache statistics.
+  AccelFrameStats run_frame(img::ConstImageView<std::uint8_t> src,
+                            img::ImageView<std::uint8_t> dst,
+                            std::uint8_t fill);
+
+  [[nodiscard]] const FpgaConfig& config() const noexcept { return config_; }
+
+ private:
+  const core::PackedMap* map_;
+  FpgaConfig config_;
+};
+
+}  // namespace fisheye::accel

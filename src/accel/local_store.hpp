@@ -1,0 +1,57 @@
+// Capacity-limited local store (SPE scratchpad) model.
+//
+// A bump arena over a real aligned allocation: the simulated kernel's
+// buffers live here, so exceeding the 256 KB budget is a hard failure
+// (ResourceError) exactly as it would be on hardware — the tile-splitting
+// logic in the platform exists to avoid it, and tests drive both paths.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::accel {
+
+class LocalStore {
+ public:
+  explicit LocalStore(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes), storage_(capacity_bytes) {
+    FE_EXPECTS(capacity_bytes >= 4096);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t free_bytes() const noexcept {
+    return capacity_ - used_;
+  }
+  /// High-water mark since construction (reported as occupancy in F6).
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+
+  /// Allocate `bytes` aligned to 16 (DMA quadword). Throws ResourceError
+  /// when the store cannot hold the request — the hardware equivalent of a
+  /// kernel that does not fit.
+  std::uint8_t* allocate(std::size_t bytes) {
+    const std::size_t aligned = util::align_up(bytes, 16);
+    if (aligned > free_bytes())
+      throw ResourceError("local store exhausted: need " +
+                          std::to_string(aligned) + " B, free " +
+                          std::to_string(free_bytes()) + " B of " +
+                          std::to_string(capacity_) + " B");
+    std::uint8_t* p = storage_.data() + used_;
+    used_ += aligned;
+    if (used_ > peak_) peak_ = used_;
+    return p;
+  }
+
+  /// Release everything (between tiles). Peak is preserved.
+  void reset() noexcept { used_ = 0; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  util::AlignedBuffer<std::uint8_t> storage_;
+};
+
+}  // namespace fisheye::accel

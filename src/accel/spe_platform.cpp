@@ -1,0 +1,342 @@
+#include "accel/spe_platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace fisheye::accel {
+
+namespace {
+
+/// Bilinear sample from a local source window with constant fill; (sx, sy)
+/// are window-local coordinates. Bit-compatible with the scalar reference
+/// kernel for constant-border maps (see spe_platform.hpp).
+inline std::uint8_t blend_u8(float v) noexcept {
+  const int r = static_cast<int>(v + 0.5f);
+  return static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
+}
+
+}  // namespace
+
+CellLikePlatform::CellLikePlatform(const core::WarpMap& map, int src_width,
+                                   int src_height, int channels,
+                                   const SpeConfig& config)
+    : map_(&map),
+      src_width_(src_width),
+      src_height_(src_height),
+      channels_(channels),
+      config_(config) {
+  FE_EXPECTS(config.num_spes >= 1 && config.num_spes <= 64);
+  FE_EXPECTS(config.tile_w >= 8 && config.tile_h >= 1);
+  FE_EXPECTS(channels >= 1 && channels <= 4);
+
+  const std::vector<par::Rect> grid =
+      par::partition(map.width, map.height, par::PartitionKind::Tiles,
+                     /*chunks=*/0, config.tile_w, config.tile_h);
+  for (const par::Rect& r : grid) decompose(r, 0);
+
+  // Reorganize the map tile-contiguously (setup-time work, done once).
+  tile_maps_.reserve(tiles_.size());
+  for (const SpeTile& t : tiles_) {
+    std::vector<float> tm;
+    tm.reserve(static_cast<std::size_t>(t.out.area()) * 2);
+    for (int y = t.out.y0; y < t.out.y1; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * map.width;
+      for (int x = t.out.x0; x < t.out.x1; ++x)
+        tm.push_back(map.src_x[row + x]);
+    }
+    for (int y = t.out.y0; y < t.out.y1; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * map.width;
+      for (int x = t.out.x0; x < t.out.x1; ++x)
+        tm.push_back(map.src_y[row + x]);
+    }
+    tile_maps_.push_back(std::move(tm));
+  }
+}
+
+std::size_t CellLikePlatform::working_set(par::Rect out,
+                                          par::Rect src_box) const noexcept {
+  const std::size_t out_px = static_cast<std::size_t>(out.area());
+  const std::size_t map_bytes = out_px * 2 * sizeof(float);
+  const std::size_t out_bytes = out_px * static_cast<std::size_t>(channels_);
+  const std::size_t src_bytes =
+      src_box.empty() ? 0
+                      : static_cast<std::size_t>(src_box.area()) *
+                            static_cast<std::size_t>(channels_);
+  const std::size_t buffers = map_bytes + out_bytes + src_bytes;
+  // Double buffering keeps two complete buffer sets resident.
+  return config_.double_buffering ? 2 * buffers : buffers;
+}
+
+void CellLikePlatform::decompose(par::Rect rect, int depth) {
+  const par::Rect box = core::source_bbox(*map_, rect, src_width_, src_height_);
+  const std::size_t ws = working_set(rect, box);
+  // Keep ~2 KB headroom for code/stack the way a real SPE budget would.
+  const std::size_t budget = config_.local_store_bytes - 2048;
+  if (ws <= budget || rect.area() <= 64) {
+    if (ws > budget)
+      throw ResourceError(
+          "SPE tile irreducible: working set " + std::to_string(ws) +
+          " B exceeds local store budget " + std::to_string(budget) + " B");
+    // Count pixels whose bilinear footprint touches the source: the SPE
+    // kernel runs the full gather for those and a cheap fill store for the
+    // rest, so the cost model needs the split.
+    std::size_t valid = 0;
+    for (int y = rect.y0; y < rect.y1; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * map_->width;
+      for (int x = rect.x0; x < rect.x1; ++x) {
+        const float sx = map_->src_x[row + x];
+        const float sy = map_->src_y[row + x];
+        valid += (sx > -1.0f && sy > -1.0f &&
+                  sx < static_cast<float>(src_width_) &&
+                  sy < static_cast<float>(src_height_))
+                     ? 1
+                     : 0;
+      }
+    }
+    tiles_.push_back({rect, box, ws, valid, depth > 0});
+    return;
+  }
+  FE_EXPECTS(depth < 16);
+  // Split along the longer output dimension; halving the output roughly
+  // halves the source window too (the map is smooth).
+  par::Rect a = rect, b = rect;
+  if (rect.width() >= rect.height()) {
+    const int mid = rect.x0 + rect.width() / 2;
+    a.x1 = mid;
+    b.x0 = mid;
+  } else {
+    const int mid = rect.y0 + rect.height() / 2;
+    a.y1 = mid;
+    b.y0 = mid;
+  }
+  decompose(a, depth + 1);
+  decompose(b, depth + 1);
+}
+
+CellLikePlatform::TileCost CellLikePlatform::tile_cost(
+    const SpeTile& tile) const noexcept {
+  const SpeCostModel& c = config_.cost;
+  TileCost tc;
+  const auto out_px = static_cast<double>(tile.out.area());
+  const auto ch = static_cast<double>(channels_);
+
+  const std::size_t map_bytes =
+      static_cast<std::size_t>(tile.out.area()) * 2 * sizeof(float);
+  const std::size_t src_bytes =
+      tile.src_box.empty() ? 0
+                           : static_cast<std::size_t>(tile.src_box.area()) *
+                                 static_cast<std::size_t>(channels_);
+  const std::size_t out_bytes =
+      static_cast<std::size_t>(tile.out.area()) *
+      static_cast<std::size_t>(channels_);
+
+  // get(map) + get(src): two MFC commands.
+  tc.dma_in = c.dispatch_cycles_per_tile + c.dma_latency_cycles +
+              static_cast<double>(map_bytes) / c.dma_bytes_per_cycle;
+  if (src_bytes > 0)
+    tc.dma_in += c.dma_latency_cycles +
+                 static_cast<double>(src_bytes) / c.dma_bytes_per_cycle;
+
+  // Valid pixels run the full gather kernel; fill pixels stream a constant
+  // (~1 cycle / pixel / channel).
+  const auto valid = static_cast<double>(tile.valid_px);
+  tc.compute = valid * ch * c.cycles_per_pixel + (out_px - valid) * ch;
+
+  tc.dma_out = c.dma_latency_cycles +
+               static_cast<double>(out_bytes) / c.dma_bytes_per_cycle;
+  return tc;
+}
+
+std::size_t CellLikePlatform::peak_working_set() const noexcept {
+  std::size_t peak = 0;
+  for (const SpeTile& t : tiles_) peak = std::max(peak, t.working_set_bytes);
+  return peak;
+}
+
+AccelFrameStats CellLikePlatform::run_frame(
+    img::ConstImageView<std::uint8_t> src, img::ImageView<std::uint8_t> dst,
+    std::uint8_t fill) {
+  FE_EXPECTS(src.width == src_width_ && src.height == src_height_);
+  FE_EXPECTS(dst.width == map_->width && dst.height == map_->height);
+  FE_EXPECTS(src.channels == channels_ && dst.channels == channels_);
+
+  AccelFrameStats stats;
+  stats.tiles = tiles_.size();
+
+  // --- scheduling: greedy earliest-finish assignment of tiles to SPEs ---
+  const int n_spes = config_.num_spes;
+  struct Lane {
+    // Three-stage pipeline clocks (double buffering) or serial clock.
+    double in_done = 0.0;
+    double in_done_prev = 0.0;    // in_done of tile k-1 on this lane
+    double comp_done = 0.0;
+    double comp_done_prev = 0.0;  // comp_done of tile k-1
+    double out_done = 0.0;
+    double busy_compute = 0.0;
+  };
+  std::vector<Lane> lanes(static_cast<std::size_t>(n_spes));
+
+  const SpeCostModel& c = config_.cost;
+  LocalStore store(config_.local_store_bytes);
+
+  // Dispatch order and lane choice per the configured policy.
+  std::vector<std::size_t> order(tiles_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (config_.schedule == TileSchedule::Lpt) {
+    std::vector<double> total(tiles_.size());
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+      const TileCost tc = tile_cost(tiles_[i]);
+      total[i] = tc.dma_in + tc.compute + tc.dma_out;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return total[a] > total[b]; });
+  }
+
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t t = order[idx];
+    const SpeTile& tile = tiles_[t];
+    const TileCost tc = tile_cost(tile);
+    stats.tile_splits += tile.split ? 1 : 0;
+
+    // Pick the lane per policy.
+    std::size_t best = 0;
+    if (config_.schedule == TileSchedule::RoundRobin) {
+      best = idx % lanes.size();
+    } else {  // GreedyEft and Lpt: earliest finish time
+      for (std::size_t l = 1; l < lanes.size(); ++l)
+        if (lanes[l].out_done < lanes[best].out_done) best = l;
+    }
+    Lane& lane = lanes[best];
+
+    if (config_.double_buffering) {
+      // DMA-in of tile k may start once the input buffer of tile k-2 is
+      // free, i.e. after compute of k-2 finished (two buffer sets).
+      const double in_start = std::max(lane.in_done, lane.comp_done_prev);
+      const double in_done = in_start + tc.dma_in;
+      const double comp_start = std::max(lane.comp_done, in_done);
+      const double comp_done = comp_start + tc.compute;
+      const double out_done = std::max(lane.out_done, comp_done) + tc.dma_out;
+      lane.comp_done_prev = lane.comp_done;
+      lane.in_done_prev = lane.in_done;
+      lane.in_done = in_done;
+      lane.comp_done = comp_done;
+      lane.out_done = out_done;
+    } else {
+      // Strictly serial: get, compute, put.
+      lane.out_done += tc.dma_in + tc.compute + tc.dma_out;
+      lane.in_done = lane.comp_done = lane.out_done;
+    }
+    lane.busy_compute += tc.compute;
+    stats.compute_cycles += tc.compute;
+    stats.dma_cycles += tc.dma_in + tc.dma_out;
+
+    // --- functional execution through the local store ---
+    store.reset();
+    const std::size_t out_px = static_cast<std::size_t>(tile.out.area());
+    const std::size_t map_bytes = out_px * 2 * sizeof(float);
+    DmaEngine dma(c);
+    auto* map_local = reinterpret_cast<float*>(store.allocate(map_bytes));
+    dma.get_linear(tile_maps_[t].data(), map_bytes,
+                   reinterpret_cast<std::uint8_t*>(map_local), map_bytes);
+
+    std::uint8_t* out_local = store.allocate(out_px * channels_);
+    const int tw = tile.out.width();
+    const int th = tile.out.height();
+
+    if (tile.src_box.empty()) {
+      std::fill_n(out_local, out_px * channels_, fill);
+    } else {
+      const std::size_t src_bytes =
+          static_cast<std::size_t>(tile.src_box.area()) *
+          static_cast<std::size_t>(channels_);
+      std::uint8_t* src_local = store.allocate(src_bytes);
+      dma.get_rect(src, tile.src_box, src_local, src_bytes);
+      stats.bytes_in += src_bytes;
+
+      const int win_w = tile.src_box.width();
+      const int win_h = tile.src_box.height();
+      const std::size_t win_pitch =
+          static_cast<std::size_t>(win_w) * channels_;
+      const float off_x = static_cast<float>(tile.src_box.x0);
+      const float off_y = static_cast<float>(tile.src_box.y0);
+      const float* mx = map_local;
+      const float* my = map_local + out_px;
+
+      for (int yy = 0; yy < th; ++yy) {
+        for (int xx = 0; xx < tw; ++xx) {
+          const std::size_t i =
+              static_cast<std::size_t>(yy) * tw + xx;
+          const float sx = mx[i] - off_x;
+          const float sy = my[i] - off_y;
+          std::uint8_t* out_px_ptr = out_local + i * channels_;
+          const float fx = std::floor(sx);
+          const float fy = std::floor(sy);
+          const int x0 = static_cast<int>(fx);
+          const int y0 = static_cast<int>(fy);
+          const float ax = sx - fx;
+          const float ay = sy - fy;
+          const float w00 = (1.0f - ax) * (1.0f - ay);
+          const float w10 = ax * (1.0f - ay);
+          const float w01 = (1.0f - ax) * ay;
+          const float w11 = ax * ay;
+          if (x0 >= 0 && y0 >= 0 && x0 + 1 < win_w && y0 + 1 < win_h) {
+            const std::uint8_t* r0 =
+                src_local + static_cast<std::size_t>(y0) * win_pitch +
+                static_cast<std::size_t>(x0) * channels_;
+            const std::uint8_t* r1 = r0 + win_pitch;
+            for (int ch2 = 0; ch2 < channels_; ++ch2) {
+              const float v = w00 * r0[ch2] + w10 * r0[channels_ + ch2] +
+                              w01 * r1[ch2] + w11 * r1[channels_ + ch2];
+              out_px_ptr[ch2] = blend_u8(v);
+            }
+          } else {
+            // Border taps: constant fill outside the window.
+            auto fetch = [&](int xi, int yi, int ch2) -> float {
+              if (xi < 0 || yi < 0 || xi >= win_w || yi >= win_h)
+                return static_cast<float>(fill);
+              return static_cast<float>(
+                  src_local[static_cast<std::size_t>(yi) * win_pitch +
+                            static_cast<std::size_t>(xi) * channels_ + ch2]);
+            };
+            for (int ch2 = 0; ch2 < channels_; ++ch2) {
+              const float v = w00 * fetch(x0, y0, ch2) +
+                              w10 * fetch(x0 + 1, y0, ch2) +
+                              w01 * fetch(x0, y0 + 1, ch2) +
+                              w11 * fetch(x0 + 1, y0 + 1, ch2);
+              out_px_ptr[ch2] = blend_u8(v);
+            }
+          }
+        }
+      }
+    }
+    dma.put_rect(out_local, dst, tile.out);
+    stats.bytes_in += map_bytes;
+    stats.bytes_out += out_px * channels_;
+  }
+
+  // Frame time: the slowest lane, bounded below by shared memory bandwidth.
+  double pipeline_cycles = 0.0;
+  double busiest = 0.0;
+  for (const Lane& l : lanes) {
+    pipeline_cycles = std::max(pipeline_cycles, l.out_done);
+    busiest = std::max(busiest, l.busy_compute);
+  }
+  const double bw_cycles =
+      static_cast<double>(stats.bytes_in + stats.bytes_out) /
+      c.shared_memory_bytes_per_cycle;
+  stats.cycles = std::max(pipeline_cycles, bw_cycles);
+  stats.seconds = stats.cycles / c.clock_hz;
+  stats.fps = stats.seconds > 0.0 ? 1.0 / stats.seconds : 0.0;
+  stats.utilization =
+      stats.cycles > 0.0
+          ? stats.compute_cycles /
+                (static_cast<double>(config_.num_spes) * stats.cycles)
+          : 0.0;
+  FE_ENSURES(store.peak() <= config_.local_store_bytes);
+  return stats;
+}
+
+}  // namespace fisheye::accel

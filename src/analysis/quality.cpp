@@ -1,0 +1,142 @@
+#include "analysis/quality.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fisheye::analysis {
+
+StraightnessReport stripe_straightness(img::ConstImageView<std::uint8_t> im,
+                                       int y0, int y1,
+                                       std::uint8_t threshold) {
+  FE_EXPECTS(im.channels == 1);
+  FE_EXPECTS(y0 >= 0 && y1 <= im.height && y0 < y1);
+
+  std::vector<double> ys, xs;
+  for (int y = y0; y < y1; ++y) {
+    const std::uint8_t* row = im.row(y);
+    double num = 0.0, den = 0.0;
+    for (int x = 0; x < im.width; ++x) {
+      if (row[x] < threshold) continue;
+      num += static_cast<double>(x) * row[x];
+      den += row[x];
+    }
+    if (den <= 0.0) continue;
+    ys.push_back(static_cast<double>(y));
+    xs.push_back(num / den);
+  }
+
+  StraightnessReport report;
+  report.rows_used = static_cast<int>(ys.size());
+  if (ys.size() < 2) return report;
+
+  // Least-squares line x = a + b*y.
+  double sy = 0.0, sx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    sy += ys[i];
+    sx += xs[i];
+    syy += ys[i] * ys[i];
+    sxy += ys[i] * xs[i];
+  }
+  const auto n = static_cast<double>(ys.size());
+  const double denom = n * syy - sy * sy;
+  const double b = denom != 0.0 ? (n * sxy - sy * sx) / denom : 0.0;
+  const double a = (sx - b * sy) / n;
+  report.slope = b;
+
+  double worst = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double r = xs[i] - (a + b * ys[i]);
+    worst = std::max(worst, std::abs(r));
+    acc += r * r;
+  }
+  report.max_deviation_px = worst;
+  report.rms_deviation_px = std::sqrt(acc / n);
+  return report;
+}
+
+std::vector<double> radial_contrast(img::ConstImageView<std::uint8_t> im,
+                                    int bands, double max_radius) {
+  FE_EXPECTS(im.channels == 1);
+  FE_EXPECTS(bands >= 1 && max_radius > 0.0);
+  const double cx = 0.5 * (im.width - 1);
+  const double cy = 0.5 * (im.height - 1);
+
+  // Percentile-based contrast: raw min/max saturate on any surviving
+  // extreme pixel (and on ringing overshoot); the p5/p95 spread tracks
+  // actual blur. One 256-bin histogram per band.
+  std::vector<std::array<std::size_t, 256>> hist(
+      static_cast<std::size_t>(bands));
+  for (auto& h : hist) h.fill(0);
+  std::vector<std::size_t> count(static_cast<std::size_t>(bands), 0);
+  for (int y = 0; y < im.height; ++y) {
+    const std::uint8_t* row = im.row(y);
+    for (int x = 0; x < im.width; ++x) {
+      const double r = std::hypot(x - cx, y - cy);
+      if (r >= max_radius) continue;
+      const int band = std::min(
+          bands - 1, static_cast<int>(r / max_radius * bands));
+      ++hist[static_cast<std::size_t>(band)][row[x]];
+      ++count[static_cast<std::size_t>(band)];
+    }
+  }
+  auto percentile = [&](int band, double p) {
+    const std::size_t target =
+        static_cast<std::size_t>(p * static_cast<double>(count[band]));
+    std::size_t acc = 0;
+    for (int v = 0; v < 256; ++v) {
+      acc += hist[static_cast<std::size_t>(band)][static_cast<std::size_t>(v)];
+      if (acc > target) return static_cast<double>(v);
+    }
+    return 255.0;
+  };
+  std::vector<double> contrast(static_cast<std::size_t>(bands), 0.0);
+  for (int b = 0; b < bands; ++b) {
+    if (count[static_cast<std::size_t>(b)] == 0) continue;
+    const double lo = percentile(b, 0.05);
+    const double hi = percentile(b, 0.95);
+    const double sum = hi + lo;
+    contrast[static_cast<std::size_t>(b)] = sum > 0.0 ? (hi - lo) / sum : 0.0;
+  }
+  return contrast;
+}
+
+MapErrorStats map_error_stats(const core::WarpMap& a, const core::WarpMap& b,
+                              int src_width, int src_height) {
+  FE_EXPECTS(a.width == b.width && a.height == b.height);
+  auto valid = [&](const core::WarpMap& m, std::size_t i) {
+    return m.src_x[i] > -1.0f && m.src_y[i] > -1.0f &&
+           m.src_x[i] < static_cast<float>(src_width) &&
+           m.src_y[i] < static_cast<float>(src_height);
+  };
+  std::vector<double> errors;
+  errors.reserve(a.pixel_count());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    if (!valid(a, i) || !valid(b, i)) continue;
+    const double e = std::hypot(a.src_x[i] - b.src_x[i],
+                                a.src_y[i] - b.src_y[i]);
+    errors.push_back(e);
+    sum += e;
+  }
+  MapErrorStats stats;
+  stats.samples = errors.size();
+  if (errors.empty()) return stats;
+  std::sort(errors.begin(), errors.end());
+  stats.mean = sum / static_cast<double>(errors.size());
+  auto pct = [&](double p) {
+    const std::size_t idx = std::min(
+        errors.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(errors.size())));
+    return errors[idx];
+  };
+  stats.p50 = pct(0.50);
+  stats.p95 = pct(0.95);
+  stats.p99 = pct(0.99);
+  stats.max = errors.back();
+  return stats;
+}
+
+}  // namespace fisheye::analysis

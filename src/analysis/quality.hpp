@@ -1,0 +1,55 @@
+// Geometric/image quality analysis used by the accuracy experiments.
+//
+// Three instruments:
+//  * line straightness — the visual definition of "distortion corrected":
+//    fit a line to the centroid track of a bright stripe and report the
+//    worst deviation (px);
+//  * radial contrast profile — Michelson contrast of a Siemens-star target
+//    per radial band (an MTF proxy): shows where interpolation or residual
+//    distortion destroys resolution;
+//  * warp-error field statistics — percentile summary of the geometric
+//    difference between two maps (e.g. exact vs polynomial baseline).
+#pragma once
+
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "image/image.hpp"
+
+namespace fisheye::analysis {
+
+/// Deviation-from-straight of a bright (high-intensity) stripe crossing
+/// the image vertically: for each row in [y0, y1) compute the intensity
+/// centroid x, fit a least-squares line x(y), return the maximum absolute
+/// residual in pixels. Rows with no signal are skipped.
+struct StraightnessReport {
+  double max_deviation_px = 0.0;
+  double rms_deviation_px = 0.0;
+  double slope = 0.0;   ///< fitted px per row (shear)
+  int rows_used = 0;
+};
+StraightnessReport stripe_straightness(img::ConstImageView<std::uint8_t> im,
+                                       int y0, int y1,
+                                       std::uint8_t threshold = 128);
+
+/// Robust Michelson contrast (p95-p5)/(p95+p5) of `im` per radial band
+/// around the image centre; `bands` equal-width rings out to `max_radius`.
+/// Percentiles rather than extremes so blur registers and ringing
+/// overshoot does not inflate the score.
+std::vector<double> radial_contrast(img::ConstImageView<std::uint8_t> im,
+                                    int bands, double max_radius);
+
+/// Percentile summary of the per-pixel Euclidean distance between two maps
+/// (restricted to entries where both are valid for a src_w x src_h source).
+struct MapErrorStats {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  std::size_t samples = 0;
+};
+MapErrorStats map_error_stats(const core::WarpMap& a, const core::WarpMap& b,
+                              int src_width, int src_height);
+
+}  // namespace fisheye::analysis

@@ -1,0 +1,255 @@
+#include "calib/calibrate.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::calib {
+
+std::vector<Correspondence> make_grid_correspondences(
+    const core::FisheyeCamera& truth, int grid_n, double max_theta,
+    double noise_px, util::Rng& rng) {
+  FE_EXPECTS(grid_n >= 3);
+  FE_EXPECTS(max_theta > 0.0 && max_theta <= truth.lens().max_theta());
+  std::vector<Correspondence> obs;
+  obs.reserve(static_cast<std::size_t>(grid_n) * grid_n);
+  // Rays on a polar grid: `grid_n` rings x `grid_n` azimuths, plus centre.
+  for (int i = 0; i < grid_n; ++i) {
+    const double theta = max_theta * (i + 1) / grid_n;
+    for (int j = 0; j < grid_n; ++j) {
+      const double phi = 2.0 * util::kPi * j / grid_n +
+                         0.1 * i;  // stagger rings to avoid degenerate rows
+      const util::Vec3 ray{std::sin(theta) * std::cos(phi),
+                           std::sin(theta) * std::sin(phi), std::cos(theta)};
+      util::Vec2 px = truth.project(ray);
+      px.x += rng.normal(0.0, noise_px);
+      px.y += rng.normal(0.0, noise_px);
+      obs.push_back({ray, px});
+    }
+  }
+  obs.push_back({{0.0, 0.0, 1.0}, {truth.cx(), truth.cy()}});
+  return obs;
+}
+
+namespace {
+
+/// Residual vector (2 entries per observation) for parameters p=(f,cx,cy).
+std::vector<double> residuals(core::LensKind kind,
+                              const std::vector<Correspondence>& obs,
+                              double focal, double cx, double cy) {
+  const auto lens = core::make_lens(kind, focal);
+  const core::FisheyeCamera cam(
+      std::shared_ptr<const core::LensModel>(lens.get(),
+                                             [](const core::LensModel*) {}),
+      cx, cy);
+  std::vector<double> r;
+  r.reserve(obs.size() * 2);
+  for (const Correspondence& o : obs) {
+    const util::Vec2 proj = cam.project(o.ray);
+    r.push_back(proj.x - o.pixel.x);
+    r.push_back(proj.y - o.pixel.y);
+  }
+  return r;
+}
+
+double cost_of(const std::vector<double>& r) {
+  double c = 0.0;
+  for (double v : r) c += v * v;
+  return c;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_radial(core::LensKind kind,
+                                   const std::vector<Correspondence>& obs,
+                                   double initial_focal, double initial_cx,
+                                   double initial_cy,
+                                   const CalibrationOptions& options) {
+  FE_EXPECTS(obs.size() >= 3);
+  FE_EXPECTS(initial_focal > 0.0);
+
+  double p[3] = {initial_focal, initial_cx, initial_cy};
+  std::vector<double> r = residuals(kind, obs, p[0], p[1], p[2]);
+  double cost = cost_of(r);
+  double lambda = options.initial_lambda;
+
+  CalibrationResult result;
+  const auto record_error = [&](double c) {
+    result.error_history.push_back(
+        std::sqrt(c / static_cast<double>(obs.size() * 2)));
+  };
+  record_error(cost);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Numeric Jacobian, central differences.
+    util::MatX jac(r.size(), 3);
+    for (int k = 0; k < 3; ++k) {
+      const double h = std::max(1e-6, std::abs(p[k]) * 1e-6);
+      double pk = p[k];
+      p[k] = pk + h;
+      const std::vector<double> rp = residuals(kind, obs, p[0], p[1], p[2]);
+      p[k] = pk - h;
+      const std::vector<double> rm = residuals(kind, obs, p[0], p[1], p[2]);
+      p[k] = pk;
+      for (std::size_t i = 0; i < r.size(); ++i)
+        jac(i, k) = (rp[i] - rm[i]) / (2.0 * h);
+    }
+
+    // LM step: solve (J^T J + lambda I) d = -J^T r.
+    std::vector<double> neg_r(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) neg_r[i] = -r[i];
+
+    bool accepted = false;
+    for (int attempt = 0; attempt < 8 && !accepted; ++attempt) {
+      std::vector<double> d;
+      try {
+        d = util::solve_least_squares(jac, neg_r, lambda);
+      } catch (const InvalidArgument&) {
+        lambda *= 10.0;
+        continue;
+      }
+      const double cand[3] = {p[0] + d[0], p[1] + d[1], p[2] + d[2]};
+      if (cand[0] <= 0.0) {
+        lambda *= 10.0;
+        continue;
+      }
+      const std::vector<double> rc =
+          residuals(kind, obs, cand[0], cand[1], cand[2]);
+      const double cc = cost_of(rc);
+      if (cc < cost) {
+        p[0] = cand[0];
+        p[1] = cand[1];
+        p[2] = cand[2];
+        const double improvement = (cost - cc) / std::max(cost, 1e-30);
+        r = rc;
+        cost = cc;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        accepted = true;
+        record_error(cost);
+        ++result.iterations;
+        if (improvement < options.tolerance) {
+          result.converged = true;
+          it = options.max_iterations;  // stop outer loop
+        }
+      } else {
+        lambda *= 10.0;
+      }
+    }
+    if (!accepted) {
+      result.converged = true;  // no descent direction left
+      break;
+    }
+  }
+
+  result.focal = p[0];
+  result.cx = p[1];
+  result.cy = p[2];
+  result.rms_error_px =
+      std::sqrt(cost / static_cast<double>(obs.size() * 2));
+  return result;
+}
+
+namespace {
+
+/// Residuals of the Brown-Conrady camera p = (f, cx, cy, k1, k2, k3).
+/// Observations behind (or at) the image plane are skipped by the caller.
+std::vector<double> bc_residuals(const std::vector<Correspondence>& obs,
+                                 const double* p) {
+  const core::BrownConrady model(
+      core::BrownConradyCoeffs{p[3], p[4], p[5], 0.0, 0.0}, p[0]);
+  std::vector<double> r;
+  r.reserve(obs.size() * 2);
+  for (const Correspondence& o : obs) {
+    const util::Vec2 undist{o.ray.x / o.ray.z, o.ray.y / o.ray.z};
+    const util::Vec2 dist = model.distort_normalized(undist);
+    r.push_back(p[0] * dist.x + p[1] - o.pixel.x);
+    r.push_back(p[0] * dist.y + p[2] - o.pixel.y);
+  }
+  return r;
+}
+
+}  // namespace
+
+BrownConradyCalibration calibrate_brown_conrady(
+    const std::vector<Correspondence>& obs, double initial_focal,
+    double initial_cx, double initial_cy, const CalibrationOptions& options) {
+  FE_EXPECTS(initial_focal > 0.0);
+  // Reject rays the pinhole parameterization cannot express.
+  std::vector<Correspondence> usable;
+  usable.reserve(obs.size());
+  for (const Correspondence& o : obs)
+    if (o.ray.z > 0.05) usable.push_back(o);
+  FE_EXPECTS(usable.size() >= 4);
+
+  double p[6] = {initial_focal, initial_cx, initial_cy, 0.0, 0.0, 0.0};
+  std::vector<double> r = bc_residuals(usable, p);
+  double cost = cost_of(r);
+  double lambda = options.initial_lambda;
+
+  BrownConradyCalibration result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    util::MatX jac(r.size(), 6);
+    for (int k = 0; k < 6; ++k) {
+      const double h = std::max(1e-8, std::abs(p[k]) * 1e-6);
+      const double pk = p[k];
+      p[k] = pk + h;
+      const std::vector<double> rp = bc_residuals(usable, p);
+      p[k] = pk - h;
+      const std::vector<double> rm = bc_residuals(usable, p);
+      p[k] = pk;
+      for (std::size_t i = 0; i < r.size(); ++i)
+        jac(i, k) = (rp[i] - rm[i]) / (2.0 * h);
+    }
+    std::vector<double> neg_r(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) neg_r[i] = -r[i];
+
+    bool accepted = false;
+    for (int attempt = 0; attempt < 8 && !accepted; ++attempt) {
+      std::vector<double> d;
+      try {
+        d = util::solve_least_squares(jac, neg_r, lambda);
+      } catch (const InvalidArgument&) {
+        lambda *= 10.0;
+        continue;
+      }
+      double cand[6];
+      for (int k = 0; k < 6; ++k) cand[k] = p[k] + d[k];
+      if (cand[0] <= 0.0) {
+        lambda *= 10.0;
+        continue;
+      }
+      const std::vector<double> rc = bc_residuals(usable, cand);
+      const double cc = cost_of(rc);
+      if (cc < cost) {
+        const double improvement = (cost - cc) / std::max(cost, 1e-30);
+        for (int k = 0; k < 6; ++k) p[k] = cand[k];
+        r = rc;
+        cost = cc;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        accepted = true;
+        ++result.iterations;
+        if (improvement < options.tolerance) {
+          result.converged = true;
+          it = options.max_iterations;
+        }
+      } else {
+        lambda *= 10.0;
+      }
+    }
+    if (!accepted) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.focal = p[0];
+  result.cx = p[1];
+  result.cy = p[2];
+  result.coeffs = core::BrownConradyCoeffs{p[3], p[4], p[5], 0.0, 0.0};
+  result.rms_error_px =
+      std::sqrt(cost / static_cast<double>(usable.size() * 2));
+  return result;
+}
+
+}  // namespace fisheye::calib

@@ -1,0 +1,82 @@
+// Fisheye intrinsic calibration from point correspondences.
+//
+// Estimates focal length and principal point of a radial lens model by
+// Gauss-Newton/Levenberg-Marquardt on reprojection error. Correspondences
+// come from a synthetic target generator (grid of known 3D directions with
+// controllable detector noise) — the stand-in for a checkerboard detection
+// pipeline, exercising the identical optimization path.
+#pragma once
+
+#include <vector>
+
+#include "core/brown_conrady.hpp"
+#include "core/camera.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::calib {
+
+/// One observation: a known ray direction (target geometry) and where the
+/// lens imaged it (detected pixel).
+struct Correspondence {
+  util::Vec3 ray;     ///< unit direction in camera frame
+  util::Vec2 pixel;   ///< observed fisheye pixel
+};
+
+/// Generate correspondences for a planar grid target held in front of a
+/// ground-truth camera, with Gaussian detector noise of `noise_px`.
+/// The grid spans angles up to `max_theta` off-axis, `grid_n` x `grid_n`
+/// points.
+std::vector<Correspondence> make_grid_correspondences(
+    const core::FisheyeCamera& truth, int grid_n, double max_theta,
+    double noise_px, util::Rng& rng);
+
+/// Calibration unknowns and the result of fitting them.
+struct CalibrationResult {
+  double focal = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  double rms_error_px = 0.0;   ///< final RMS reprojection error
+  int iterations = 0;
+  bool converged = false;
+  /// RMS error after each accepted iteration (for the F10 curve).
+  std::vector<double> error_history;
+};
+
+struct CalibrationOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-10;      ///< relative cost improvement to stop
+  double initial_lambda = 1e-3;  ///< LM damping start
+};
+
+/// Fit (focal, cx, cy) of a `kind` lens to the correspondences starting
+/// from `initial` guesses. Uses LM with numeric Jacobians (central
+/// differences) — 3 parameters, so the cost is negligible.
+CalibrationResult calibrate_radial(core::LensKind kind,
+                                   const std::vector<Correspondence>& obs,
+                                   double initial_focal, double initial_cx,
+                                   double initial_cy,
+                                   const CalibrationOptions& options = {});
+
+/// Result of fitting the classical Brown-Conrady pinhole+polynomial model.
+struct BrownConradyCalibration {
+  double focal = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  core::BrownConradyCoeffs coeffs;
+  double rms_error_px = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit the 6-parameter Brown-Conrady camera (focal, centre, k1..k3) to the
+/// correspondences — the estimator every classical toolchain runs. Rays at
+/// or beyond 90 degrees off-axis are rejected (the pinhole model cannot
+/// represent them); T3/F10 use the residual of this fit on true-fisheye
+/// data as the baseline's accuracy ceiling.
+BrownConradyCalibration calibrate_brown_conrady(
+    const std::vector<Correspondence>& obs, double initial_focal,
+    double initial_cx, double initial_cy,
+    const CalibrationOptions& options = {});
+
+}  // namespace fisheye::calib

@@ -1,0 +1,102 @@
+#include "core/backend.hpp"
+
+#include <sstream>
+
+#include "simd/remap_simd.hpp"
+#include "util/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fisheye::core {
+
+void execute_rect(const ExecContext& ctx, par::Rect rect) {
+  switch (ctx.mode) {
+    case MapMode::FloatLut:
+      FE_EXPECTS(ctx.map != nullptr);
+      remap_rect(ctx.src, ctx.dst, *ctx.map, rect, ctx.opts);
+      return;
+    case MapMode::PackedLut:
+      FE_EXPECTS(ctx.packed != nullptr);
+      FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
+      remap_packed_rect(ctx.src, ctx.dst, *ctx.packed, rect, ctx.opts.fill);
+      return;
+    case MapMode::OnTheFly:
+      FE_EXPECTS(ctx.camera != nullptr && ctx.view != nullptr);
+      remap_otf_rect(ctx.src, ctx.dst, *ctx.camera, *ctx.view, rect, ctx.opts,
+                     ctx.fast_math);
+      return;
+  }
+  throw InvalidArgument("execute_rect: unknown map mode");
+}
+
+void SerialBackend::execute(const ExecContext& ctx) {
+  execute_rect(ctx, {0, 0, ctx.dst.width, ctx.dst.height});
+}
+
+PoolBackend::PoolBackend(par::ThreadPool& pool) : PoolBackend(pool, Options{}) {}
+
+PoolBackend::PoolBackend(par::ThreadPool& pool, Options options)
+    : pool_(pool), options_(options) {}
+
+std::string PoolBackend::name() const {
+  std::ostringstream os;
+  os << "pool(" << pool_.size() << "t," << schedule_name(options_.schedule)
+     << ',' << par::partition_name(options_.partition) << ')';
+  return os.str();
+}
+
+void PoolBackend::execute(const ExecContext& ctx) {
+  int chunks = options_.chunks;
+  if (chunks == 0) chunks = static_cast<int>(pool_.size()) * 4;
+  const std::vector<par::Rect> rects =
+      par::partition(ctx.dst.width, ctx.dst.height, options_.partition,
+                     chunks, options_.tile_w, options_.tile_h);
+  par::parallel_for_each(
+      pool_, rects.size(),
+      [&](std::size_t i) { execute_rect(ctx, rects[i]); },
+      {options_.schedule, 1});
+}
+
+std::string SimdBackend::name() const {
+  std::ostringstream os;
+  os << "simd";
+  if (pool_ != nullptr) os << '(' << pool_->size() << "t)";
+  return os.str();
+}
+
+void SimdBackend::execute(const ExecContext& ctx) {
+  FE_EXPECTS(ctx.mode == MapMode::FloatLut && ctx.map != nullptr);
+  FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
+  // The SoA kernel supports constant fill only (see remap_simd.hpp).
+  FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
+  const par::Rect whole{0, 0, ctx.dst.width, ctx.dst.height};
+  if (pool_ == nullptr) {
+    simd::remap_bilinear_soa(ctx.src, ctx.dst, *ctx.map, whole, ctx.opts.fill);
+    return;
+  }
+  const std::vector<par::Rect> rects =
+      par::partition(ctx.dst.width, ctx.dst.height,
+                     par::PartitionKind::RowBlocks,
+                     static_cast<int>(pool_->size()) * 4);
+  par::parallel_for_each(
+      *pool_, rects.size(),
+      [&](std::size_t i) {
+        simd::remap_bilinear_soa(ctx.src, ctx.dst, *ctx.map, rects[i],
+                                 ctx.opts.fill);
+      },
+      {par::Schedule::Dynamic, 1});
+}
+
+#ifdef _OPENMP
+void OpenMpBackend::execute(const ExecContext& ctx) {
+  const int rows = ctx.dst.height;
+  const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (int y = 0; y < rows; ++y)
+    execute_rect(ctx, {0, y, ctx.dst.width, y + 1});
+}
+#endif
+
+}  // namespace fisheye::core

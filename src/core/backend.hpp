@@ -1,0 +1,124 @@
+// Execution backends: how a frame's remap work is scheduled onto hardware.
+//
+// The study's axis of comparison is exactly this interface: the same warp,
+// executed serially, across a thread pool with different schedules and
+// decompositions, through the SIMD kernel, or on a simulated accelerator
+// (src/accel provides those backends).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/camera.hpp"
+#include "core/mapping.hpp"
+#include "core/projection.hpp"
+#include "core/remap.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fisheye::core {
+
+/// How source coordinates are obtained per output pixel.
+enum class MapMode {
+  FloatLut,   ///< precomputed float WarpMap
+  PackedLut,  ///< precomputed fixed-point PackedMap (bilinear only)
+  OnTheFly,   ///< recomputed per pixel from camera + view
+};
+
+[[nodiscard]] constexpr const char* map_mode_name(MapMode m) noexcept {
+  switch (m) {
+    case MapMode::FloatLut: return "float-lut";
+    case MapMode::PackedLut: return "packed-lut";
+    case MapMode::OnTheFly: return "on-the-fly";
+  }
+  return "?";
+}
+
+/// Everything a backend needs to produce one output frame. Pointers are
+/// non-owning and valid for the duration of execute(); which of map/packed/
+/// camera+view are non-null depends on `mode`.
+struct ExecContext {
+  img::ConstImageView<std::uint8_t> src;
+  img::ImageView<std::uint8_t> dst;
+  const WarpMap* map = nullptr;
+  const PackedMap* packed = nullptr;
+  const FisheyeCamera* camera = nullptr;
+  const ViewProjection* view = nullptr;
+  RemapOptions opts;
+  MapMode mode = MapMode::FloatLut;
+  bool fast_math = false;
+};
+
+/// Strategy interface. Implementations must be safe to call concurrently
+/// from one thread at a time (no internal frame-to-frame state).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual void execute(const ExecContext& ctx) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Executes a rectangle of ctx.dst with the serial kernels; shared by every
+/// CPU backend below and by the accelerator simulators.
+void execute_rect(const ExecContext& ctx, par::Rect rect);
+
+/// Single-thread whole-frame execution.
+class SerialBackend final : public Backend {
+ public:
+  void execute(const ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "serial"; }
+};
+
+/// Thread-pool execution with a choice of decomposition and schedule.
+class PoolBackend final : public Backend {
+ public:
+  struct Options {
+    par::Schedule schedule = par::Schedule::Static;
+    par::PartitionKind partition = par::PartitionKind::RowBlocks;
+    /// RowBlocks/ColumnBlocks chunk count; 0 = 4 x pool size.
+    int chunks = 0;
+    int tile_w = 64;
+    int tile_h = 64;
+  };
+
+  /// `pool` must outlive the backend.
+  explicit PoolBackend(par::ThreadPool& pool);
+  PoolBackend(par::ThreadPool& pool, Options options);
+
+  void execute(const ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  par::ThreadPool& pool_;
+  Options options_;
+};
+
+/// SoA SIMD kernel (bilinear + FloatLut only) run across a thread pool.
+class SimdBackend final : public Backend {
+ public:
+  /// `pool` may be null for single-threaded SIMD.
+  explicit SimdBackend(par::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  void execute(const ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  par::ThreadPool* pool_;
+};
+
+#ifdef _OPENMP
+/// OpenMP parallel-for over row blocks; the study's original multicore
+/// implementation style. Only built when the toolchain provides OpenMP.
+class OpenMpBackend final : public Backend {
+ public:
+  explicit OpenMpBackend(int threads = 0) : threads_(threads) {}
+  void execute(const ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "openmp"; }
+
+ private:
+  int threads_;
+};
+#endif
+
+}  // namespace fisheye::core

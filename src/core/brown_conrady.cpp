@@ -1,0 +1,129 @@
+#include "core/brown_conrady.hpp"
+
+#include <cmath>
+
+#include "core/lens_model.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+BrownConrady::BrownConrady(BrownConradyCoeffs coeffs, double focal_px)
+    : coeffs_(coeffs), focal_(focal_px) {
+  FE_EXPECTS(focal_px > 0.0);
+}
+
+namespace {
+
+double radial_factor(const BrownConradyCoeffs& c, double r2) noexcept {
+  return 1.0 + r2 * (c.k1 + r2 * (c.k2 + r2 * c.k3));
+}
+
+/// d/dr of r * radial_factor(r^2).
+double radial_derivative(const BrownConradyCoeffs& c, double r) noexcept {
+  const double r2 = r * r;
+  return 1.0 + r2 * (3.0 * c.k1 + r2 * (5.0 * c.k2 + r2 * 7.0 * c.k3));
+}
+
+util::Vec2 tangential(const BrownConradyCoeffs& c, util::Vec2 p) noexcept {
+  const double r2 = p.x * p.x + p.y * p.y;
+  return {2.0 * c.p1 * p.x * p.y + c.p2 * (r2 + 2.0 * p.x * p.x),
+          c.p1 * (r2 + 2.0 * p.y * p.y) + 2.0 * c.p2 * p.x * p.y};
+}
+
+}  // namespace
+
+util::Vec2 BrownConrady::distort_normalized(util::Vec2 u) const {
+  const double r2 = u.x * u.x + u.y * u.y;
+  const double rho = radial_factor(coeffs_, r2);
+  const util::Vec2 t = tangential(coeffs_, u);
+  return {u.x * rho + t.x, u.y * rho + t.y};
+}
+
+double BrownConrady::distort_radius(double r) const {
+  return r * radial_factor(coeffs_, r * r);
+}
+
+double BrownConrady::undistort_radius(double rd, int max_iterations) const {
+  FE_EXPECTS(rd >= 0.0 && max_iterations > 0);
+  if (rd == 0.0) return 0.0;
+  // Newton on g(r) = r * rho(r^2) - rd. The radial polynomial fitted against
+  // real lenses is monotone over the fitted range, so Newton from rd
+  // converges quadratically; we guard against a non-positive derivative
+  // (outside the monotone range) by falling back to bisection steps.
+  double r = rd;
+  for (int i = 0; i < max_iterations; ++i) {
+    const double g = distort_radius(r) - rd;
+    if (std::abs(g) < 1e-12) break;
+    const double dg = radial_derivative(coeffs_, r);
+    if (dg <= 1e-9) {
+      r *= g > 0.0 ? 0.5 : 1.5;
+      continue;
+    }
+    r -= g / dg;
+    if (r < 0.0) r = 0.0;
+  }
+  return r;
+}
+
+util::Vec2 BrownConrady::undistort_normalized(util::Vec2 d,
+                                              int max_iterations) const {
+  // Fixed-point iteration u <- (d - tang(u)) / rho(|u|^2), seeded by the
+  // radial Newton solve. With zero tangential terms one pass is exact.
+  const double rd = std::hypot(d.x, d.y);
+  double scale = 1.0;
+  if (rd > 0.0) scale = undistort_radius(rd, max_iterations) / rd;
+  util::Vec2 u{d.x * scale, d.y * scale};
+  for (int i = 0; i < max_iterations; ++i) {
+    const util::Vec2 t = tangential(coeffs_, u);
+    const double r2 = u.x * u.x + u.y * u.y;
+    const double rho = radial_factor(coeffs_, r2);
+    if (rho <= 1e-9) break;
+    const util::Vec2 next{(d.x - t.x) / rho, (d.y - t.y) / rho};
+    const double step = std::hypot(next.x - u.x, next.y - u.y);
+    u = next;
+    if (step < 1e-12) break;
+  }
+  return u;
+}
+
+util::Vec2 BrownConrady::distort_pixel(util::Vec2 px, util::Vec2 centre) const {
+  const util::Vec2 n{(px.x - centre.x) / focal_, (px.y - centre.y) / focal_};
+  const util::Vec2 d = distort_normalized(n);
+  return {d.x * focal_ + centre.x, d.y * focal_ + centre.y};
+}
+
+util::Vec2 BrownConrady::undistort_pixel(util::Vec2 px,
+                                         util::Vec2 centre) const {
+  const util::Vec2 n{(px.x - centre.x) / focal_, (px.y - centre.y) / focal_};
+  const util::Vec2 u = undistort_normalized(n);
+  return {u.x * focal_ + centre.x, u.y * focal_ + centre.y};
+}
+
+BrownConrady fit_brown_conrady(const LensModel& lens, double max_theta,
+                               int samples) {
+  FE_EXPECTS(samples >= 8);
+  FE_EXPECTS(max_theta > 0.0 && max_theta <= lens.max_theta());
+  // tan(theta) must stay finite: the undistorted (pinhole) radius of a ray
+  // at theta is f*tan(theta).
+  FE_EXPECTS(max_theta < util::kHalfPi);
+
+  // Solve min sum_i (ru_i*(1 + k1 ru^2 + k2 ru^4 + k3 ru^6) - rd_i)^2 over
+  // normalized radii: ru = tan(theta), rd = radius_from_theta(theta)/f.
+  util::MatX a(static_cast<std::size_t>(samples), 3);
+  std::vector<double> b(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double theta = max_theta * (i + 1) / samples;
+    const double ru = std::tan(theta);
+    const double rd = lens.radius_from_theta(theta) / lens.focal();
+    const double ru2 = ru * ru;
+    a(static_cast<std::size_t>(i), 0) = ru * ru2;
+    a(static_cast<std::size_t>(i), 1) = ru * ru2 * ru2;
+    a(static_cast<std::size_t>(i), 2) = ru * ru2 * ru2 * ru2;
+    b[static_cast<std::size_t>(i)] = rd - ru;
+  }
+  const std::vector<double> k = util::solve_least_squares(a, b);
+  return {BrownConradyCoeffs{k[0], k[1], k[2], 0.0, 0.0}, lens.focal()};
+}
+
+}  // namespace fisheye::core

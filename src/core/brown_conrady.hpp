@@ -1,0 +1,72 @@
+// Brown-Conrady polynomial distortion model — the classical baseline.
+//
+// The model expresses the distorted radius as a polynomial in the
+// undistorted radius over normalized coordinates:
+//
+//   x_d = x_u (1 + k1 r^2 + k2 r^4 + k3 r^6) + tangential(p1, p2)
+//
+// Correction therefore needs the inverse, which has no closed form; we
+// invert with Newton iterations. The T3 experiment measures how far this
+// polynomial baseline drifts from the exact equidistant inversion as the
+// field of view grows — the motivating accuracy comparison.
+#pragma once
+
+#include "util/matrix.hpp"
+
+namespace fisheye::core {
+
+class LensModel;
+
+struct BrownConradyCoeffs {
+  double k1 = 0.0;
+  double k2 = 0.0;
+  double k3 = 0.0;
+  double p1 = 0.0;  ///< tangential
+  double p2 = 0.0;
+};
+
+class BrownConrady {
+ public:
+  /// `focal_px` scales between pixels and the normalized coordinates the
+  /// polynomial operates on.
+  BrownConrady(BrownConradyCoeffs coeffs, double focal_px);
+
+  [[nodiscard]] const BrownConradyCoeffs& coeffs() const noexcept {
+    return coeffs_;
+  }
+  [[nodiscard]] double focal() const noexcept { return focal_; }
+
+  /// Forward model: undistorted normalized point -> distorted normalized.
+  [[nodiscard]] util::Vec2 distort_normalized(util::Vec2 undist) const;
+
+  /// Inverse via Newton on the radial polynomial followed by a tangential
+  /// fixed-point refinement; converges in < 10 iterations for any radius
+  /// the fit below produces. Returns the undistorted normalized point.
+  [[nodiscard]] util::Vec2 undistort_normalized(util::Vec2 dist,
+                                                int max_iterations = 20) const;
+
+  /// Pixel-space versions relative to a principal point.
+  [[nodiscard]] util::Vec2 distort_pixel(util::Vec2 px, util::Vec2 centre) const;
+  [[nodiscard]] util::Vec2 undistort_pixel(util::Vec2 px,
+                                           util::Vec2 centre) const;
+
+  /// Radial-only scalar forms used by the fitting and accuracy code.
+  [[nodiscard]] double distort_radius(double r_undist) const;
+  [[nodiscard]] double undistort_radius(double r_dist,
+                                        int max_iterations = 20) const;
+
+ private:
+  BrownConradyCoeffs coeffs_;
+  double focal_;
+};
+
+/// Least-squares fit of k1..k3 so that the Brown-Conrady forward model best
+/// reproduces `lens` over rays up to `max_theta` (radians). This is how one
+/// deploys the classical pipeline on a fisheye lens: approximate the exact
+/// trigonometric mapping with the polynomial. Returns the fitted model with
+/// the same focal length (the paper-era calibration toolchains did exactly
+/// this, which is the source of the edge error T3 quantifies).
+BrownConrady fit_brown_conrady(const LensModel& lens, double max_theta,
+                               int samples = 256);
+
+}  // namespace fisheye::core

@@ -1,0 +1,54 @@
+#include "core/camera.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+FisheyeCamera::FisheyeCamera(std::shared_ptr<const LensModel> lens, double cx,
+                             double cy)
+    : lens_(std::move(lens)), cx_(cx), cy_(cy) {
+  FE_EXPECTS(lens_ != nullptr);
+}
+
+FisheyeCamera FisheyeCamera::centered(LensKind kind, double fov_rad, int width,
+                                      int height) {
+  FE_EXPECTS(width > 0 && height > 0);
+  // The image circle is inscribed in the smaller frame dimension — the usual
+  // "circular fisheye" fit used by surveillance sensors.
+  const double circle_radius = 0.5 * std::min(width, height);
+  const double focal = focal_for_fov(kind, fov_rad, circle_radius);
+  auto lens = std::shared_ptr<const LensModel>(make_lens(kind, focal));
+  return {std::move(lens), 0.5 * (width - 1), 0.5 * (height - 1)};
+}
+
+util::Vec2 FisheyeCamera::project(util::Vec3 ray) const {
+  const double rxy = std::hypot(ray.x, ray.y);
+  double theta = std::atan2(rxy, ray.z);
+  const double tmax = lens_->max_theta();
+  double r;
+  if (theta <= tmax) {
+    r = lens_->radius_from_theta(theta);
+  } else {
+    // Saturate smoothly beyond the lens' field: keep the mapping monotone so
+    // bounds tests on the projected point remain meaningful.
+    r = lens_->radius_from_theta(tmax) + lens_->focal() * (theta - tmax);
+  }
+  if (rxy == 0.0) return {cx_, cy_};
+  const double inv = r / rxy;
+  return {cx_ + ray.x * inv, cy_ + ray.y * inv};
+}
+
+util::Vec3 FisheyeCamera::unproject(util::Vec2 pixel) const {
+  const double dx = pixel.x - cx_;
+  const double dy = pixel.y - cy_;
+  const double r = std::hypot(dx, dy);
+  if (r == 0.0) return {0.0, 0.0, 1.0};
+  const double theta = lens_->theta_from_radius(r);
+  const double s = std::sin(theta) / r;
+  return {dx * s, dy * s, std::cos(theta)};
+}
+
+}  // namespace fisheye::core

@@ -1,0 +1,47 @@
+// Fisheye camera = radial lens model + principal point.
+//
+// Converts between 3D viewing rays (camera frame: +Z forward, +X right,
+// +Y down, matching image coordinates) and fisheye pixel coordinates.
+#pragma once
+
+#include <memory>
+
+#include "core/lens_model.hpp"
+#include "util/matrix.hpp"
+
+namespace fisheye::core {
+
+class FisheyeCamera {
+ public:
+  /// Takes shared ownership of the lens (cameras are copied into worker
+  /// contexts; the immutable model is safely shared).
+  FisheyeCamera(std::shared_ptr<const LensModel> lens, double cx, double cy);
+
+  /// Convenience: build lens and camera together, principal point at the
+  /// centre of a width x height sensor.
+  static FisheyeCamera centered(LensKind kind, double fov_rad, int width,
+                                int height);
+
+  [[nodiscard]] const LensModel& lens() const noexcept { return *lens_; }
+  [[nodiscard]] std::shared_ptr<const LensModel> lens_ptr() const noexcept {
+    return lens_;
+  }
+  [[nodiscard]] double cx() const noexcept { return cx_; }
+  [[nodiscard]] double cy() const noexcept { return cy_; }
+
+  /// Project a camera-frame ray to a fisheye pixel. The ray need not be
+  /// normalized. Rays beyond the lens' max_theta land outside the image
+  /// circle by construction (radius saturates at max_theta's radius plus
+  /// a gradient epsilon) so callers can simply bounds-test the result.
+  [[nodiscard]] util::Vec2 project(util::Vec3 ray) const;
+
+  /// Back-project a fisheye pixel to a unit camera-frame ray.
+  [[nodiscard]] util::Vec3 unproject(util::Vec2 pixel) const;
+
+ private:
+  std::shared_ptr<const LensModel> lens_;
+  double cx_;
+  double cy_;
+};
+
+}  // namespace fisheye::core

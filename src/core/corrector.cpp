@@ -1,0 +1,66 @@
+#include "core/corrector.hpp"
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+Corrector::Corrector(const CorrectorConfig& config) : config_(config) {
+  FE_EXPECTS(config.src_width > 0 && config.src_height > 0);
+  FE_EXPECTS(config.fov_rad > 0.0);
+  if (config_.out_width == 0) config_.out_width = config_.src_width;
+  if (config_.out_height == 0) config_.out_height = config_.src_height;
+  FE_EXPECTS(config_.out_width > 0 && config_.out_height > 0);
+  FE_EXPECTS(config_.frac_bits >= 1 && config_.frac_bits <= 22);
+
+  camera_ = std::make_unique<FisheyeCamera>(FisheyeCamera::centered(
+      config_.lens, config_.fov_rad, config_.src_width, config_.src_height));
+
+  double out_focal = config_.out_focal;
+  if (out_focal == 0.0) {
+    // Match the centre-of-image resolution of the fisheye input: the output
+    // perspective focal equals d(radius)/d(theta) at theta = 0.
+    out_focal = camera_->lens().dradius_dtheta(0.0);
+    config_.out_focal = out_focal;
+  }
+  view_ = std::make_unique<PerspectiveView>(config_.out_width,
+                                            config_.out_height, out_focal);
+
+  if (config_.map_mode != MapMode::OnTheFly) {
+    map_ = build_map(*camera_, *view_);
+    if (config_.map_mode == MapMode::PackedLut) {
+      FE_EXPECTS(config_.remap.interp == Interp::Bilinear);
+      packed_ = pack_map(*map_, config_.src_width, config_.src_height,
+                         config_.frac_bits);
+    }
+  }
+}
+
+ExecContext Corrector::make_context(img::ConstImageView<std::uint8_t> src,
+                                    img::ImageView<std::uint8_t> dst) const {
+  FE_EXPECTS(src.width == config_.src_width &&
+             src.height == config_.src_height);
+  FE_EXPECTS(dst.width == config_.out_width &&
+             dst.height == config_.out_height);
+  FE_EXPECTS(src.channels == dst.channels);
+
+  ExecContext ctx;
+  ctx.src = src;
+  ctx.dst = dst;
+  ctx.map = map_ ? &*map_ : nullptr;
+  ctx.packed = packed_ ? &*packed_ : nullptr;
+  ctx.camera = camera_.get();
+  ctx.view = view_.get();
+  ctx.opts = config_.remap;
+  ctx.mode = config_.map_mode;
+  ctx.fast_math = config_.fast_math;
+  return ctx;
+}
+
+void Corrector::correct(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        Backend& backend) const {
+  backend.execute(make_context(src, dst));
+}
+
+}  // namespace fisheye::core

@@ -1,0 +1,143 @@
+// Corrector: the library's front door.
+//
+// Configure once (lens, field of view, output geometry, kernel options),
+// then correct frames repeatedly. Construction does all the expensive work
+// (map generation, packing); correct() is the steady-state per-frame cost —
+// the quantity every bench reports.
+//
+//   auto corr = core::Corrector::builder(1280, 720)
+//                   .fov_degrees(180.0)
+//                   .output_size(1280, 720)
+//                   .build();
+//   core::SerialBackend serial;
+//   corr.correct(fisheye_frame.view(), out.view(), serial);
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/backend.hpp"
+
+namespace fisheye::core {
+
+struct CorrectorConfig {
+  // --- input geometry ---
+  int src_width = 0;
+  int src_height = 0;
+  LensKind lens = LensKind::Equidistant;
+  double fov_rad = 0.0;  ///< full field of view of the fisheye input
+
+  // --- output geometry ---
+  int out_width = 0;    ///< 0 = same as input
+  int out_height = 0;
+  /// Output (perspective) focal length in pixels; 0 = match the lens focal,
+  /// which preserves centre-of-image spatial resolution.
+  double out_focal = 0.0;
+
+  // --- kernel options ---
+  RemapOptions remap;
+  MapMode map_mode = MapMode::FloatLut;
+  int frac_bits = 14;      ///< PackedLut coordinate precision
+  bool fast_math = false;  ///< OnTheFly: polynomial atan instead of libm
+};
+
+class Corrector {
+ public:
+  explicit Corrector(const CorrectorConfig& config);
+
+  /// Correct one frame. `src` must be src_width x src_height, `dst` must be
+  /// out_width x out_height, equal channel counts.
+  void correct(img::ConstImageView<std::uint8_t> src,
+               img::ImageView<std::uint8_t> dst, Backend& backend) const;
+
+  /// The context correct() hands to the backend; exposed so benches and the
+  /// accelerator simulators can drive backends directly.
+  [[nodiscard]] ExecContext make_context(
+      img::ConstImageView<std::uint8_t> src,
+      img::ImageView<std::uint8_t> dst) const;
+
+  [[nodiscard]] const CorrectorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const FisheyeCamera& camera() const noexcept {
+    return *camera_;
+  }
+  [[nodiscard]] const PerspectiveView& view() const noexcept { return *view_; }
+  /// Null unless map_mode needs it (FloatLut; also built for PackedLut as
+  /// the packing source and kept for bbox analysis).
+  [[nodiscard]] const WarpMap* map() const noexcept {
+    return map_ ? &*map_ : nullptr;
+  }
+  [[nodiscard]] const PackedMap* packed() const noexcept {
+    return packed_ ? &*packed_ : nullptr;
+  }
+
+  /// Builder with the defaults spelled out.
+  class Builder;
+  static Builder builder(int src_width, int src_height);
+
+ private:
+  CorrectorConfig config_;
+  std::unique_ptr<FisheyeCamera> camera_;
+  std::unique_ptr<PerspectiveView> view_;
+  std::optional<WarpMap> map_;
+  std::optional<PackedMap> packed_;
+};
+
+class Corrector::Builder {
+ public:
+  Builder(int src_width, int src_height) {
+    config_.src_width = src_width;
+    config_.src_height = src_height;
+    config_.fov_rad = 3.14159265358979323846;  // 180 degrees
+  }
+  Builder& lens(LensKind kind) {
+    config_.lens = kind;
+    return *this;
+  }
+  Builder& fov_degrees(double deg) {
+    config_.fov_rad = deg * 3.14159265358979323846 / 180.0;
+    return *this;
+  }
+  Builder& output_size(int w, int h) {
+    config_.out_width = w;
+    config_.out_height = h;
+    return *this;
+  }
+  Builder& output_focal(double f) {
+    config_.out_focal = f;
+    return *this;
+  }
+  Builder& interp(Interp i) {
+    config_.remap.interp = i;
+    return *this;
+  }
+  Builder& border(img::BorderMode mode, std::uint8_t fill = 0) {
+    config_.remap.border = mode;
+    config_.remap.fill = fill;
+    return *this;
+  }
+  Builder& map_mode(MapMode mode) {
+    config_.map_mode = mode;
+    return *this;
+  }
+  Builder& frac_bits(int bits) {
+    config_.frac_bits = bits;
+    return *this;
+  }
+  Builder& fast_math(bool on) {
+    config_.fast_math = on;
+    return *this;
+  }
+  [[nodiscard]] Corrector build() const { return Corrector(config_); }
+  [[nodiscard]] CorrectorConfig config() const { return config_; }
+
+ private:
+  CorrectorConfig config_;
+};
+
+inline Corrector::Builder Corrector::builder(int src_width, int src_height) {
+  return {src_width, src_height};
+}
+
+}  // namespace fisheye::core

@@ -1,0 +1,147 @@
+#include "core/lens_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+using util::kHalfPi;
+using util::kPi;
+
+const char* lens_kind_name(LensKind kind) noexcept {
+  switch (kind) {
+    case LensKind::Equidistant: return "equidistant";
+    case LensKind::Equisolid: return "equisolid";
+    case LensKind::Orthographic: return "orthographic";
+    case LensKind::Stereographic: return "stereographic";
+    case LensKind::Rectilinear: return "rectilinear";
+  }
+  return "?";
+}
+
+LensModel::LensModel(double focal_px) : focal_(focal_px) {
+  FE_EXPECTS(focal_px > 0.0);
+}
+
+std::string LensModel::name() const { return lens_kind_name(kind()); }
+
+double LensModel::image_circle_radius(double fov) const {
+  FE_EXPECTS(fov > 0.0 && fov / 2.0 <= max_theta());
+  return radius_from_theta(fov / 2.0);
+}
+
+namespace {
+
+class Equidistant final : public LensModel {
+ public:
+  explicit Equidistant(double f) : LensModel(f) {}
+  double radius_from_theta(double theta) const override {
+    return focal() * theta;
+  }
+  double theta_from_radius(double r) const override { return r / focal(); }
+  double dradius_dtheta(double) const override { return focal(); }
+  double max_theta() const override { return kPi; }
+  LensKind kind() const override { return LensKind::Equidistant; }
+};
+
+class Equisolid final : public LensModel {
+ public:
+  explicit Equisolid(double f) : LensModel(f) {}
+  double radius_from_theta(double theta) const override {
+    return 2.0 * focal() * std::sin(theta / 2.0);
+  }
+  double theta_from_radius(double r) const override {
+    const double s = util::clamp(r / (2.0 * focal()), -1.0, 1.0);
+    return 2.0 * std::asin(s);
+  }
+  double dradius_dtheta(double theta) const override {
+    return focal() * std::cos(theta / 2.0);
+  }
+  double max_theta() const override { return kPi; }
+  LensKind kind() const override { return LensKind::Equisolid; }
+};
+
+class Orthographic final : public LensModel {
+ public:
+  explicit Orthographic(double f) : LensModel(f) {}
+  double radius_from_theta(double theta) const override {
+    return focal() * std::sin(theta);
+  }
+  double theta_from_radius(double r) const override {
+    const double s = util::clamp(r / focal(), -1.0, 1.0);
+    return std::asin(s);
+  }
+  double dradius_dtheta(double theta) const override {
+    return focal() * std::cos(theta);
+  }
+  double max_theta() const override { return kHalfPi; }
+  LensKind kind() const override { return LensKind::Orthographic; }
+};
+
+class Stereographic final : public LensModel {
+ public:
+  explicit Stereographic(double f) : LensModel(f) {}
+  double radius_from_theta(double theta) const override {
+    return 2.0 * focal() * std::tan(theta / 2.0);
+  }
+  double theta_from_radius(double r) const override {
+    return 2.0 * std::atan(r / (2.0 * focal()));
+  }
+  double dradius_dtheta(double theta) const override {
+    const double c = std::cos(theta / 2.0);
+    return focal() / (c * c);
+  }
+  double max_theta() const override { return kPi - 1e-6; }
+  LensKind kind() const override { return LensKind::Stereographic; }
+};
+
+class Rectilinear final : public LensModel {
+ public:
+  explicit Rectilinear(double f) : LensModel(f) {}
+  double radius_from_theta(double theta) const override {
+    return focal() * std::tan(theta);
+  }
+  double theta_from_radius(double r) const override {
+    return std::atan(r / focal());
+  }
+  double dradius_dtheta(double theta) const override {
+    const double c = std::cos(theta);
+    return focal() / (c * c);
+  }
+  double max_theta() const override { return kHalfPi - 1e-6; }
+  LensKind kind() const override { return LensKind::Rectilinear; }
+};
+
+}  // namespace
+
+std::unique_ptr<LensModel> make_lens(LensKind kind, double focal_px) {
+  switch (kind) {
+    case LensKind::Equidistant:
+      return std::make_unique<Equidistant>(focal_px);
+    case LensKind::Equisolid:
+      return std::make_unique<Equisolid>(focal_px);
+    case LensKind::Orthographic:
+      return std::make_unique<Orthographic>(focal_px);
+    case LensKind::Stereographic:
+      return std::make_unique<Stereographic>(focal_px);
+    case LensKind::Rectilinear:
+      return std::make_unique<Rectilinear>(focal_px);
+  }
+  throw InvalidArgument("make_lens: unknown kind");
+}
+
+double focal_for_fov(LensKind kind, double fov_rad, double circle_radius_px) {
+  FE_EXPECTS(fov_rad > 0.0 && circle_radius_px > 0.0);
+  // radius_from_theta is linear in focal for every model, so compute the
+  // radius at focal=1 and scale.
+  const auto unit = make_lens(kind, 1.0);
+  const double half = fov_rad / 2.0;
+  FE_EXPECTS(half <= unit->max_theta());
+  const double unit_radius = unit->radius_from_theta(half);
+  FE_EXPECTS(unit_radius > 0.0);
+  return circle_radius_px / unit_radius;
+}
+
+}  // namespace fisheye::core

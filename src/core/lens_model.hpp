@@ -1,0 +1,77 @@
+// Radial lens projection models.
+//
+// A fisheye lens is characterized by how the angle theta between an incoming
+// ray and the optical axis maps to a radial distance r on the sensor. All
+// models here are radially symmetric; r is in pixels when `focal` is the
+// focal length in pixels.
+//
+//   equidistant   r = f * theta          (the study's lens; linear in angle)
+//   equisolid     r = 2f * sin(theta/2)
+//   orthographic  r = f * sin(theta)     (theta <= pi/2)
+//   stereographic r = 2f * tan(theta/2)
+//   rectilinear   r = f * tan(theta)     (the distortion-free pinhole)
+//
+// Every model provides the exact forward map and its exact inverse; the
+// polynomial Brown-Conrady baseline lives in brown_conrady.hpp and is fitted
+// against these.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace fisheye::core {
+
+enum class LensKind {
+  Equidistant,
+  Equisolid,
+  Orthographic,
+  Stereographic,
+  Rectilinear,
+};
+
+[[nodiscard]] const char* lens_kind_name(LensKind kind) noexcept;
+
+/// Immutable radial projection model. Thread-safe: all methods are const and
+/// stateless, so one instance is shared by every worker.
+class LensModel {
+ public:
+  virtual ~LensModel() = default;
+
+  /// Radial distance (pixels) for a ray at angle `theta` (radians) off-axis.
+  /// Domain: [0, max_theta()].
+  [[nodiscard]] virtual double radius_from_theta(double theta) const = 0;
+
+  /// Exact inverse of radius_from_theta. Domain: [0, max_radius()].
+  [[nodiscard]] virtual double theta_from_radius(double r) const = 0;
+
+  /// d(radius)/d(theta) at `theta`; used to match centre resolution when
+  /// choosing the output focal length.
+  [[nodiscard]] virtual double dradius_dtheta(double theta) const = 0;
+
+  /// Largest representable off-axis angle.
+  [[nodiscard]] virtual double max_theta() const = 0;
+
+  [[nodiscard]] virtual LensKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const;
+
+  /// Focal length in pixels.
+  [[nodiscard]] double focal() const noexcept { return focal_; }
+
+  /// Radius of the image circle for a given field of view (full angle, rad).
+  [[nodiscard]] double image_circle_radius(double fov) const;
+
+ protected:
+  explicit LensModel(double focal_px);
+
+ private:
+  double focal_;
+};
+
+/// Construct a model of `kind` with focal length `focal_px` (> 0).
+std::unique_ptr<LensModel> make_lens(LensKind kind, double focal_px);
+
+/// Focal length (pixels) such that a lens of `kind` images a full field of
+/// view `fov_rad` onto an image circle of radius `circle_radius_px`.
+double focal_for_fov(LensKind kind, double fov_rad, double circle_radius_px);
+
+}  // namespace fisheye::core

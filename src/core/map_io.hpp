@@ -1,0 +1,33 @@
+// Warp-map serialization.
+//
+// Production deployments compute the LUT offline (calibration time) and
+// load it at startup — embedded targets often cannot afford the double-
+// precision trigonometry at all. Simple self-describing little-endian
+// binary format:
+//   magic "FEMAP1\n" | kind u8 (0 float, 1 packed) | w i32 | h i32 |
+//   frac_bits i32 (packed only) | payload
+// Payload: float maps store src_x then src_y as f32; packed maps store fx
+// then fy as i32. A trailing FNV-1a checksum of the payload guards against
+// truncation and bit rot.
+#pragma once
+
+#include <string>
+
+#include "core/mapping.hpp"
+
+namespace fisheye::core {
+
+void save_map(const std::string& path, const WarpMap& map);
+void save_map(const std::string& path, const PackedMap& map);
+
+/// Throws IoError on missing/corrupt/wrong-kind files.
+WarpMap load_map(const std::string& path);
+PackedMap load_packed_map(const std::string& path);
+
+/// In-memory forms (used by tests and any transport other than files).
+std::string encode_map(const WarpMap& map);
+std::string encode_map(const PackedMap& map);
+WarpMap decode_map(const std::string& bytes);
+PackedMap decode_packed_map(const std::string& bytes);
+
+}  // namespace fisheye::core

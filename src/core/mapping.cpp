@@ -1,0 +1,176 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/brown_conrady.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+namespace {
+
+WarpMap alloc_map(int width, int height) {
+  FE_EXPECTS(width > 0 && height > 0);
+  WarpMap map;
+  map.width = width;
+  map.height = height;
+  map.src_x.resize(map.pixel_count());
+  map.src_y.resize(map.pixel_count());
+  return map;
+}
+
+// Coordinate far outside any realistic source image; keeps packed-map
+// sentinel handling and float bounds tests on a single code path.
+constexpr float kFarOutside = -1.0e9f;
+
+}  // namespace
+
+WarpMap build_map(const FisheyeCamera& camera, const ViewProjection& view) {
+  WarpMap map = alloc_map(view.width(), view.height());
+  for (int y = 0; y < map.height; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map.width;
+    for (int x = 0; x < map.width; ++x) {
+      const util::Vec3 ray = view.ray_for_pixel(
+          {static_cast<double>(x), static_cast<double>(y)});
+      const util::Vec2 src = camera.project(ray);
+      map.src_x[row + x] = static_cast<float>(src.x);
+      map.src_y[row + x] = static_cast<float>(src.y);
+    }
+  }
+  return map;
+}
+
+WarpMap build_synthesis_map(const FisheyeCamera& camera, int scene_width,
+                            int scene_height, double scene_focal_px,
+                            int fisheye_width, int fisheye_height) {
+  FE_EXPECTS(scene_width > 0 && scene_height > 0 && scene_focal_px > 0.0);
+  WarpMap map = alloc_map(fisheye_width, fisheye_height);
+  const double scx = 0.5 * (scene_width - 1);
+  const double scy = 0.5 * (scene_height - 1);
+  for (int y = 0; y < fisheye_height; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * fisheye_width;
+    for (int x = 0; x < fisheye_width; ++x) {
+      const util::Vec3 ray = camera.unproject(
+          {static_cast<double>(x), static_cast<double>(y)});
+      if (ray.z <= 1e-6) {  // at or behind the scene plane
+        map.src_x[row + x] = kFarOutside;
+        map.src_y[row + x] = kFarOutside;
+        continue;
+      }
+      map.src_x[row + x] =
+          static_cast<float>(scx + scene_focal_px * ray.x / ray.z);
+      map.src_y[row + x] =
+          static_cast<float>(scy + scene_focal_px * ray.y / ray.z);
+    }
+  }
+  return map;
+}
+
+WarpMap build_brown_conrady_map(const BrownConrady& model, double src_cx,
+                                double src_cy, const PerspectiveView& view) {
+  WarpMap map = alloc_map(view.width(), view.height());
+  const util::Vec2 centre{src_cx, src_cy};
+  const double ocx = 0.5 * (view.width() - 1);
+  const double ocy = 0.5 * (view.height() - 1);
+  // The classical pipeline treats the output as undistorted pixel
+  // coordinates (normalized by the model focal) and pushes them through the
+  // polynomial forward model to find where to sample.
+  const double scale = model.focal() / view.focal();
+  for (int y = 0; y < map.height; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map.width;
+    for (int x = 0; x < map.width; ++x) {
+      const util::Vec2 undist_px{src_cx + (x - ocx) * scale,
+                                 src_cy + (y - ocy) * scale};
+      const util::Vec2 src = model.distort_pixel(undist_px, centre);
+      map.src_x[row + x] = static_cast<float>(src.x);
+      map.src_y[row + x] = static_cast<float>(src.y);
+    }
+  }
+  return map;
+}
+
+PackedMap pack_map(const WarpMap& map, int src_width, int src_height,
+                   int frac_bits) {
+  FE_EXPECTS(src_width > 0 && src_height > 0);
+  FE_EXPECTS(frac_bits >= 1 && frac_bits <= 22);
+  PackedMap packed;
+  packed.width = map.width;
+  packed.height = map.height;
+  packed.frac_bits = frac_bits;
+  packed.fx.resize(map.pixel_count());
+  packed.fy.resize(map.pixel_count());
+
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  // The packed kernel clamps the bilinear footprint instead of testing it,
+  // so coordinates are clamped into [0, dim-1] with the fractional part of
+  // edge pixels zeroed; fully-outside pixels become the sentinel.
+  for (std::size_t i = 0; i < map.pixel_count(); ++i) {
+    const double sx = map.src_x[i];
+    const double sy = map.src_y[i];
+    const bool outside = sx <= -1.0 || sy <= -1.0 ||
+                         sx >= static_cast<double>(src_width) ||
+                         sy >= static_cast<double>(src_height);
+    if (outside) {
+      packed.fx[i] = PackedMap::kInvalid;
+      packed.fy[i] = PackedMap::kInvalid;
+      continue;
+    }
+    const double cx = util::clamp(sx, 0.0, src_width - 1.0);
+    const double cy = util::clamp(sy, 0.0, src_height - 1.0);
+    packed.fx[i] = static_cast<std::int32_t>(std::lround(cx * scale));
+    packed.fy[i] = static_cast<std::int32_t>(std::lround(cy * scale));
+    // lround can land exactly on (dim-1).0; the kernel's x0+1 access is then
+    // clamped there, so no further adjustment is needed.
+  }
+  return packed;
+}
+
+par::Rect source_bbox(const WarpMap& map, par::Rect r, int src_width,
+                      int src_height) {
+  FE_EXPECTS(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= map.width &&
+             r.y1 <= map.height);
+  float min_x = std::numeric_limits<float>::max();
+  float min_y = std::numeric_limits<float>::max();
+  float max_x = std::numeric_limits<float>::lowest();
+  float max_y = std::numeric_limits<float>::lowest();
+  bool any = false;
+  for (int y = r.y0; y < r.y1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map.width;
+    for (int x = r.x0; x < r.x1; ++x) {
+      const float sx = map.src_x[row + x];
+      const float sy = map.src_y[row + x];
+      if (sx <= -1.0f || sy <= -1.0f || sx >= static_cast<float>(src_width) ||
+          sy >= static_cast<float>(src_height))
+        continue;
+      any = true;
+      min_x = std::min(min_x, sx);
+      min_y = std::min(min_y, sy);
+      max_x = std::max(max_x, sx);
+      max_y = std::max(max_y, sy);
+    }
+  }
+  if (!any) return {};
+  // Expand to the bilinear footprint and clamp to the source.
+  par::Rect box;
+  box.x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+  box.y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  box.x1 = std::min(src_width, static_cast<int>(std::floor(max_x)) + 2);
+  box.y1 = std::min(src_height, static_cast<int>(std::floor(max_y)) + 2);
+  return box;
+}
+
+double valid_fraction(const WarpMap& map, int src_width, int src_height) {
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < map.pixel_count(); ++i) {
+    const float sx = map.src_x[i];
+    const float sy = map.src_y[i];
+    if (sx > -1.0f && sy > -1.0f && sx < static_cast<float>(src_width) &&
+        sy < static_cast<float>(src_height))
+      ++valid;
+  }
+  return static_cast<double>(valid) / static_cast<double>(map.pixel_count());
+}
+
+}  // namespace fisheye::core

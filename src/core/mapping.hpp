@@ -1,0 +1,101 @@
+// Warp maps: the per-output-pixel source coordinates that drive remapping.
+//
+// Two representations, matching the two execution strategies the study
+// compares (F3/F9):
+//  * WarpMap     — float32 source coordinates in structure-of-arrays layout
+//                  (SIMD-friendly; generated once per configuration).
+//  * PackedMap   — fixed-point Q(31-frac).frac coordinates in one int32 pair
+//                  per pixel, the format a LUT-driven hardware datapath
+//                  streams; invalid (out-of-source) pixels are a sentinel.
+//
+// Generation is exact double-precision math regardless of representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/camera.hpp"
+#include "core/projection.hpp"
+#include "parallel/partition.hpp"
+
+namespace fisheye::core {
+
+class BrownConrady;
+
+/// Float warp map (SoA). Entry (x, y) gives the *source* pixel sampled by
+/// output pixel (x, y); entries may lie outside the source image — border
+/// policy is applied at remap time.
+struct WarpMap {
+  int width = 0;
+  int height = 0;
+  std::vector<float> src_x;  ///< width*height, row-major
+  std::vector<float> src_y;
+
+  [[nodiscard]] std::size_t index(int x, int y) const noexcept {
+    return static_cast<std::size_t>(y) * width + x;
+  }
+  [[nodiscard]] std::size_t pixel_count() const noexcept {
+    return static_cast<std::size_t>(width) * height;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return pixel_count() * 2 * sizeof(float);
+  }
+};
+
+/// Fixed-point packed map; `frac_bits` fractional bits per coordinate.
+struct PackedMap {
+  static constexpr std::int32_t kInvalid =
+      std::numeric_limits<std::int32_t>::min();
+
+  int width = 0;
+  int height = 0;
+  int frac_bits = 14;
+  std::vector<std::int32_t> fx;  ///< fixed-point source x, or kInvalid
+  std::vector<std::int32_t> fy;
+
+  [[nodiscard]] std::size_t index(int x, int y) const noexcept {
+    return static_cast<std::size_t>(y) * width + x;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return static_cast<std::size_t>(width) * height * 2 * sizeof(std::int32_t);
+  }
+};
+
+/// Build the inverse map for correcting `camera`'s distortion into `view`.
+/// For every output pixel: ray_for_pixel -> camera.project.
+WarpMap build_map(const FisheyeCamera& camera, const ViewProjection& view);
+
+/// Build the *synthesis* map that renders a fisheye image from an ideal
+/// pinhole scene: for every fisheye pixel, the scene pixel it sees. Scene
+/// camera: focal `scene_focal_px`, principal point at the scene centre.
+/// Fisheye rays with theta >= pi/2 (behind the scene plane) are mapped far
+/// out of bounds so the border policy blanks them.
+WarpMap build_synthesis_map(const FisheyeCamera& camera, int scene_width,
+                            int scene_height, double scene_focal_px,
+                            int fisheye_width, int fisheye_height);
+
+/// Build the inverse map the *classical baseline* produces: undistortion via
+/// a Brown-Conrady polynomial (T3). Output geometry matches build_map with a
+/// PerspectiveView of the same size/focal, but source coordinates come from
+/// the polynomial forward model instead of the exact lens equations.
+WarpMap build_brown_conrady_map(const BrownConrady& model, double src_cx,
+                                double src_cy, const PerspectiveView& view);
+
+/// Quantize a float map into the packed fixed-point form. Coordinates whose
+/// bilinear footprint lies fully outside [0,src_w)x[0,src_h) become
+/// kInvalid; the remaining ones are clamped into the valid footprint.
+PackedMap pack_map(const WarpMap& map, int src_width, int src_height,
+                   int frac_bits = 14);
+
+/// Source-space bounding box (in whole pixels, inclusive of the bilinear
+/// footprint) touched by output rect `r`; empty() when no valid pixel maps
+/// inside the source. Drives accelerator tile DMA.
+par::Rect source_bbox(const WarpMap& map, par::Rect r, int src_width,
+                      int src_height);
+
+/// Fraction of map entries whose bilinear footprint intersects the source.
+double valid_fraction(const WarpMap& map, int src_width, int src_height);
+
+}  // namespace fisheye::core

@@ -1,0 +1,64 @@
+#include "core/projection.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+PerspectiveView::PerspectiveView(int width, int height, double focal_px,
+                                 util::Mat3 rotation)
+    : width_(width),
+      height_(height),
+      focal_(focal_px),
+      cx_(0.5 * (width - 1)),
+      cy_(0.5 * (height - 1)),
+      rotation_(rotation) {
+  FE_EXPECTS(width > 0 && height > 0 && focal_px > 0.0);
+}
+
+PerspectiveView PerspectiveView::ptz(int width, int height, double pan,
+                                     double tilt, double hfov) {
+  FE_EXPECTS(hfov > 0.0 && hfov < util::kPi);
+  const double focal = 0.5 * width / std::tan(hfov / 2.0);
+  // Tilt about X after panning about Y. rot_x(a) maps +Z toward -Y, and
+  // image +Y points down, so looking down (+tilt) needs the negative angle.
+  const util::Mat3 rot = util::Mat3::rot_y(pan) * util::Mat3::rot_x(-tilt);
+  return {width, height, focal, rot};
+}
+
+util::Vec3 PerspectiveView::ray_for_pixel(util::Vec2 px) const {
+  const util::Vec3 view_ray{(px.x - cx_) / focal_, (px.y - cy_) / focal_, 1.0};
+  return rotation_ * view_ray;
+}
+
+EquirectangularView::EquirectangularView(int width, int height, double hfov,
+                                         double vfov)
+    : width_(width), height_(height), hfov_(hfov), vfov_(vfov) {
+  FE_EXPECTS(width > 0 && height > 0);
+  FE_EXPECTS(hfov > 0.0 && hfov <= 2.0 * util::kPi);
+  FE_EXPECTS(vfov > 0.0 && vfov <= util::kPi);
+}
+
+util::Vec3 EquirectangularView::ray_for_pixel(util::Vec2 px) const {
+  const double lon = (px.x / (width_ - 1) - 0.5) * hfov_;
+  const double lat = (px.y / (height_ - 1) - 0.5) * vfov_;  // +down
+  const double cl = std::cos(lat);
+  return {std::sin(lon) * cl, std::sin(lat), std::cos(lon) * cl};
+}
+
+CylindricalView::CylindricalView(int width, int height, double hfov,
+                                 double focal_px)
+    : width_(width), height_(height), hfov_(hfov), focal_(focal_px) {
+  FE_EXPECTS(width > 0 && height > 0 && focal_px > 0.0);
+  FE_EXPECTS(hfov > 0.0 && hfov <= 2.0 * util::kPi);
+}
+
+util::Vec3 CylindricalView::ray_for_pixel(util::Vec2 px) const {
+  const double lon = (px.x / (width_ - 1) - 0.5) * hfov_;
+  const double v = (px.y - 0.5 * (height_ - 1)) / focal_;
+  return {std::sin(lon), v, std::cos(lon)};
+}
+
+}  // namespace fisheye::core

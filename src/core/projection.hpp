@@ -1,0 +1,93 @@
+// Output-view projections: how each *corrected* output pixel maps to a
+// viewing ray in the fisheye camera's frame. Combining a ViewProjection
+// with FisheyeCamera::project yields the inverse warp the remap kernels
+// consume.
+//
+// Camera frame convention: +Z optical axis (forward), +X right, +Y down.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/matrix.hpp"
+
+namespace fisheye::core {
+
+/// Immutable, thread-safe pixel->ray mapping for an output view.
+class ViewProjection {
+ public:
+  virtual ~ViewProjection() = default;
+
+  /// Ray (not necessarily unit length) seen by output pixel (x, y).
+  [[nodiscard]] virtual util::Vec3 ray_for_pixel(util::Vec2 px) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int width() const noexcept = 0;
+  [[nodiscard]] virtual int height() const noexcept = 0;
+};
+
+/// Pinhole output view with an optional rotation — the workhorse both for
+/// full-frame undistortion (identity rotation) and virtual pan-tilt-zoom.
+class PerspectiveView final : public ViewProjection {
+ public:
+  /// `rotation` maps view-frame rays into the fisheye camera frame.
+  PerspectiveView(int width, int height, double focal_px,
+                  util::Mat3 rotation = util::Mat3::identity());
+
+  /// Virtual PTZ factory: pan (+right, rad), tilt (+down), and horizontal
+  /// field of view of the virtual camera.
+  static PerspectiveView ptz(int width, int height, double pan, double tilt,
+                             double hfov);
+
+  [[nodiscard]] util::Vec3 ray_for_pixel(util::Vec2 px) const override;
+  [[nodiscard]] std::string name() const override { return "perspective"; }
+  [[nodiscard]] int width() const noexcept override { return width_; }
+  [[nodiscard]] int height() const noexcept override { return height_; }
+  [[nodiscard]] double focal() const noexcept { return focal_; }
+
+ private:
+  int width_;
+  int height_;
+  double focal_;
+  double cx_;
+  double cy_;
+  util::Mat3 rotation_;
+};
+
+/// Equirectangular (longitude/latitude) panorama covering +-hfov/2 by
+/// +-vfov/2 around the optical axis.
+class EquirectangularView final : public ViewProjection {
+ public:
+  EquirectangularView(int width, int height, double hfov, double vfov);
+
+  [[nodiscard]] util::Vec3 ray_for_pixel(util::Vec2 px) const override;
+  [[nodiscard]] std::string name() const override { return "equirectangular"; }
+  [[nodiscard]] int width() const noexcept override { return width_; }
+  [[nodiscard]] int height() const noexcept override { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  double hfov_;
+  double vfov_;
+};
+
+/// Cylindrical panorama: longitude on x, perspective (tangent) on y. Keeps
+/// verticals straight — the projection automotive surround views use.
+class CylindricalView final : public ViewProjection {
+ public:
+  CylindricalView(int width, int height, double hfov, double focal_px);
+
+  [[nodiscard]] util::Vec3 ray_for_pixel(util::Vec2 px) const override;
+  [[nodiscard]] std::string name() const override { return "cylindrical"; }
+  [[nodiscard]] int width() const noexcept override { return width_; }
+  [[nodiscard]] int height() const noexcept override { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  double hfov_;
+  double focal_;
+};
+
+}  // namespace fisheye::core

@@ -1,0 +1,169 @@
+#include "core/remap.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+
+namespace {
+
+void expect_rect_in(const par::Rect& r, int width, int height) {
+  FE_EXPECTS(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= width && r.y1 <= height);
+  FE_EXPECTS(!r.empty());
+}
+
+template <class SampleFn>
+void remap_rect_generic(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                        par::Rect rect, int src_off_x, int src_off_y,
+                        const RemapOptions& opts, SampleFn&& sample_fn) {
+  FE_EXPECTS(src.channels == dst.channels);
+  FE_EXPECTS(map.width == dst.width && map.height == dst.height);
+  expect_rect_in(rect, dst.width, dst.height);
+
+  const auto off_x = static_cast<float>(src_off_x);
+  const auto off_y = static_cast<float>(src_off_y);
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map.width;
+    std::uint8_t* out_row = dst.row(y);
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      const float sx = map.src_x[row + x] - off_x;
+      const float sy = map.src_y[row + x] - off_y;
+      sample_fn(src, sx, sy, opts.border, opts.fill,
+                out_row + static_cast<std::size_t>(x) * dst.channels);
+    }
+  }
+}
+
+}  // namespace
+
+void remap_rect_offset(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                       par::Rect rect, int src_off_x, int src_off_y,
+                       const RemapOptions& opts) {
+  switch (opts.interp) {
+    case Interp::Nearest:
+      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                         [](auto&&... args) { sample_nearest(args...); });
+      return;
+    case Interp::Bilinear:
+      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                         [](auto&&... args) { sample_bilinear(args...); });
+      return;
+    case Interp::Bicubic:
+      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                         [](auto&&... args) { sample_bicubic(args...); });
+      return;
+    case Interp::Lanczos3:
+      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                         [](auto&&... args) { sample_lanczos3(args...); });
+      return;
+  }
+  throw InvalidArgument("remap: unknown interpolation");
+}
+
+void remap_rect(img::ConstImageView<std::uint8_t> src,
+                img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                par::Rect rect, const RemapOptions& opts) {
+  remap_rect_offset(src, dst, map, rect, 0, 0, opts);
+}
+
+void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst, const PackedMap& map,
+                       par::Rect rect, std::uint8_t fill) {
+  FE_EXPECTS(src.channels == dst.channels);
+  FE_EXPECTS(map.width == dst.width && map.height == dst.height);
+  expect_rect_in(rect, dst.width, dst.height);
+
+  const int frac = map.frac_bits;
+  // 8-bit blend weights: top 8 fractional bits (shift up if narrower).
+  const int wshift = frac >= 8 ? frac - 8 : 0;
+  const int wscale_up = frac >= 8 ? 0 : 8 - frac;
+  const std::int32_t frac_mask = (std::int32_t{1} << frac) - 1;
+  const int ch = src.channels;
+
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map.width;
+    std::uint8_t* out_row = dst.row(y);
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      const std::int32_t fx = map.fx[row + x];
+      std::uint8_t* out = out_row + static_cast<std::size_t>(x) * ch;
+      if (fx == PackedMap::kInvalid) {
+        for (int c = 0; c < ch; ++c) out[c] = fill;
+        continue;
+      }
+      const std::int32_t fy = map.fy[row + x];
+      const int x0 = fx >> frac;
+      const int y0 = fy >> frac;
+      const int ax = ((fx & frac_mask) >> wshift) << wscale_up;  // 0..256
+      const int ay = ((fy & frac_mask) >> wshift) << wscale_up;
+      const int x1 = x0 + 1 < src.width ? x0 + 1 : x0;
+      const int y1 = y0 + 1 < src.height ? y0 + 1 : y0;
+      const std::uint8_t* r0 = src.row(y0);
+      const std::uint8_t* r1 = src.row(y1);
+      const int w00 = (256 - ax) * (256 - ay);
+      const int w10 = ax * (256 - ay);
+      const int w01 = (256 - ax) * ay;
+      const int w11 = ax * ay;
+      for (int c = 0; c < ch; ++c) {
+        const int v = w00 * r0[x0 * ch + c] + w10 * r0[x1 * ch + c] +
+                      w01 * r1[x0 * ch + c] + w11 * r1[x1 * ch + c];
+        out[c] = static_cast<std::uint8_t>((v + (1 << 15)) >> 16);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Exact per-pixel inverse mapping (double precision, libm).
+util::Vec2 project_exact(const FisheyeCamera& camera,
+                         const ViewProjection& view, double x, double y) {
+  return camera.project(view.ray_for_pixel({x, y}));
+}
+
+/// Fast-math variant: atan2/sin replaced by polynomial approximations.
+util::Vec2 project_fast(const FisheyeCamera& camera,
+                        const ViewProjection& view, double x, double y) {
+  const util::Vec3 ray = view.ray_for_pixel({x, y});
+  const double rxy = std::sqrt(ray.x * ray.x + ray.y * ray.y);
+  if (rxy == 0.0) return {camera.cx(), camera.cy()};
+  double theta = util::fast_atan2(rxy, ray.z);
+  const LensModel& lens = camera.lens();
+  const double tmax = lens.max_theta();
+  double r;
+  if (theta <= tmax) {
+    r = lens.radius_from_theta(theta);
+  } else {
+    r = lens.radius_from_theta(tmax) + lens.focal() * (theta - tmax);
+  }
+  const double inv = r / rxy;
+  return {camera.cx() + ray.x * inv, camera.cy() + ray.y * inv};
+}
+
+}  // namespace
+
+void remap_otf_rect(img::ConstImageView<std::uint8_t> src,
+                    img::ImageView<std::uint8_t> dst,
+                    const FisheyeCamera& camera, const ViewProjection& view,
+                    par::Rect rect, const RemapOptions& opts, bool fast_math) {
+  FE_EXPECTS(src.channels == dst.channels);
+  FE_EXPECTS(view.width() == dst.width && view.height() == dst.height);
+  expect_rect_in(rect, dst.width, dst.height);
+
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    std::uint8_t* out_row = dst.row(y);
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      const util::Vec2 s =
+          fast_math ? project_fast(camera, view, x, y)
+                    : project_exact(camera, view, x, y);
+      sample(opts.interp, src, static_cast<float>(s.x),
+             static_cast<float>(s.y), opts.border, opts.fill,
+             out_row + static_cast<std::size_t>(x) * dst.channels);
+    }
+  }
+}
+
+}  // namespace fisheye::core

@@ -1,0 +1,64 @@
+// Remap executors: produce a rectangle of output pixels from a source image
+// plus a warp description. These are the serial building blocks every
+// backend (CPU pool, SIMD, simulated accelerators) composes.
+//
+// Three strategies, matching the F3/F9 comparisons:
+//  * remap_rect         — float LUT (WarpMap) + any interpolation kernel.
+//  * remap_packed_rect  — fixed-point LUT (PackedMap), integer bilinear;
+//                         the hardware-datapath kernel.
+//  * remap_otf_rect     — no LUT: source coordinates recomputed per pixel
+//                         from camera + view (trades FLOPs for bandwidth).
+#pragma once
+
+#include <cstdint>
+
+#include "core/camera.hpp"
+#include "core/interp.hpp"
+#include "core/mapping.hpp"
+#include "core/projection.hpp"
+#include "image/border.hpp"
+#include "image/image.hpp"
+#include "parallel/partition.hpp"
+
+namespace fisheye::core {
+
+struct RemapOptions {
+  Interp interp = Interp::Bilinear;
+  img::BorderMode border = img::BorderMode::Constant;
+  std::uint8_t fill = 0;
+};
+
+/// Float-LUT remap of `rect` (a sub-rectangle of `dst`/`map` space).
+/// `map` dimensions must equal `dst` dimensions; channels must match between
+/// src and dst. `map_origin_*` shift map lookups when `dst` is a tile view
+/// whose (0,0) corresponds to map entry (map_origin_x, map_origin_y) — the
+/// accelerator local-store path uses this.
+void remap_rect(img::ConstImageView<std::uint8_t> src,
+                img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                par::Rect rect, const RemapOptions& opts);
+
+/// Same, but source coordinates are offset by (-src_off_x, -src_off_y)
+/// before sampling: `src` is a copied sub-window of the real source whose
+/// top-left corner sits at (src_off_x, src_off_y) in full-frame coordinates.
+void remap_rect_offset(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                       par::Rect rect, int src_off_x, int src_off_y,
+                       const RemapOptions& opts);
+
+/// Fixed-point bilinear remap from a PackedMap. Invalid entries produce
+/// `fill`. Weights use the top 8 fractional bits (or all of them when
+/// frac_bits < 8), mirroring an 8-bit blending datapath.
+void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst, const PackedMap& map,
+                       par::Rect rect, std::uint8_t fill);
+
+/// On-the-fly remap: recomputes the inverse mapping per pixel.
+/// `fast_math` swaps libm atan/sin for the polynomial approximations in
+/// util/mathx.hpp (the accuracy cost is measured in F3).
+void remap_otf_rect(img::ConstImageView<std::uint8_t> src,
+                    img::ImageView<std::uint8_t> dst,
+                    const FisheyeCamera& camera, const ViewProjection& view,
+                    par::Rect rect, const RemapOptions& opts,
+                    bool fast_math = false);
+
+}  // namespace fisheye::core

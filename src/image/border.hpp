@@ -1,0 +1,47 @@
+// Border (out-of-range source sample) policies for remapping.
+//
+// The fisheye inverse map sends many output pixels outside the source image
+// circle; the policy chosen here is visible in every corrected frame, so it
+// is part of the public CorrectionParams.
+#pragma once
+
+#include "util/error.hpp"
+
+namespace fisheye::img {
+
+enum class BorderMode {
+  Constant,   ///< use a fixed fill value (the classic black surround)
+  Replicate,  ///< clamp to the nearest edge pixel
+  Reflect,    ///< mirror about the edge (abcb|abcba-style, no edge repeat)
+};
+
+/// Map an out-of-range index into [0, n) under Replicate.
+[[nodiscard]] constexpr int clamp_index(int i, int n) noexcept {
+  return i < 0 ? 0 : (i >= n ? n - 1 : i);
+}
+
+/// Map an out-of-range index into [0, n) under Reflect (period 2n-2).
+[[nodiscard]] constexpr int reflect_index(int i, int n) noexcept {
+  if (n == 1) return 0;
+  const int period = 2 * (n - 1);
+  int m = i % period;
+  if (m < 0) m += period;
+  return m < n ? m : period - m;
+}
+
+/// Resolve an index for any border mode; for Constant the caller must test
+/// bounds first (this helper is only defined for Replicate/Reflect).
+[[nodiscard]] constexpr int border_index(int i, int n, BorderMode mode) noexcept {
+  return mode == BorderMode::Reflect ? reflect_index(i, n) : clamp_index(i, n);
+}
+
+[[nodiscard]] constexpr const char* border_name(BorderMode mode) noexcept {
+  switch (mode) {
+    case BorderMode::Constant: return "constant";
+    case BorderMode::Replicate: return "replicate";
+    case BorderMode::Reflect: return "reflect";
+  }
+  return "?";
+}
+
+}  // namespace fisheye::img

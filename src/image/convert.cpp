@@ -1,0 +1,159 @@
+#include "image/convert.hpp"
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::img {
+
+namespace {
+
+// BT.601 full-range, integer-exact coefficients scaled by 2^16 so that the
+// conversion is branch-free integer math (what a fixed-function block does).
+constexpr int kYr = 19595, kYg = 38470, kYb = 7471;  // sums to 65536
+
+std::uint8_t clamp_u8(int v) noexcept {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+struct YuvPix {
+  std::uint8_t y, u, v;
+};
+
+YuvPix rgb_px_to_yuv(std::uint8_t r, std::uint8_t g, std::uint8_t b) noexcept {
+  const int y = (kYr * r + kYg * g + kYb * b + 32768) >> 16;
+  const int u = ((b - y) * 32244 >> 16) + 128;  // 0.492 * 2^16
+  const int v = ((r - y) * 57475 >> 16) + 128;  // 0.877 * 2^16
+  return {clamp_u8(y), clamp_u8(u), clamp_u8(v)};
+}
+
+void yuv_px_to_rgb(std::uint8_t y, std::uint8_t u, std::uint8_t v,
+                   std::uint8_t* rgb) noexcept {
+  const int cu = u - 128, cv = v - 128;
+  rgb[0] = clamp_u8(y + ((74711 * cv) >> 16));                     // 1.140 V
+  rgb[1] = clamp_u8(y - ((25559 * cu + 38014 * cv) >> 16));        // 0.395/0.581
+  rgb[2] = clamp_u8(y + ((133176 * cu) >> 16));                    // 2.032 U
+}
+
+}  // namespace
+
+Image8 rgb_to_gray(ConstImageView<std::uint8_t> rgb) {
+  FE_EXPECTS(rgb.channels == 3);
+  Image8 gray(rgb.width, rgb.height, 1);
+  for (int y = 0; y < rgb.height; ++y) {
+    const std::uint8_t* src = rgb.row(y);
+    std::uint8_t* dst = gray.row(y);
+    for (int x = 0; x < rgb.width; ++x) {
+      dst[x] = clamp_u8((kYr * src[x * 3] + kYg * src[x * 3 + 1] +
+                         kYb * src[x * 3 + 2] + 32768) >>
+                        16);
+    }
+  }
+  return gray;
+}
+
+Image8 gray_to_rgb(ConstImageView<std::uint8_t> gray) {
+  FE_EXPECTS(gray.channels == 1);
+  Image8 rgb(gray.width, gray.height, 3);
+  for (int y = 0; y < gray.height; ++y) {
+    const std::uint8_t* src = gray.row(y);
+    std::uint8_t* dst = rgb.row(y);
+    for (int x = 0; x < gray.width; ++x) {
+      dst[x * 3 + 0] = src[x];
+      dst[x * 3 + 1] = src[x];
+      dst[x * 3 + 2] = src[x];
+    }
+  }
+  return rgb;
+}
+
+Yuv420 rgb_to_yuv420(ConstImageView<std::uint8_t> rgb) {
+  FE_EXPECTS(rgb.channels == 3);
+  FE_EXPECTS(rgb.width % 2 == 0 && rgb.height % 2 == 0);
+  Yuv420 out{Image8(rgb.width, rgb.height, 1),
+             Image8(rgb.width / 2, rgb.height / 2, 1),
+             Image8(rgb.width / 2, rgb.height / 2, 1)};
+  for (int y = 0; y < rgb.height; ++y) {
+    const std::uint8_t* src = rgb.row(y);
+    std::uint8_t* dst = out.y.row(y);
+    for (int x = 0; x < rgb.width; ++x)
+      dst[x] =
+          rgb_px_to_yuv(src[x * 3], src[x * 3 + 1], src[x * 3 + 2]).y;
+  }
+  // Chroma: average the 2x2 block's chroma (standard 4:2:0 siting).
+  for (int cy = 0; cy < rgb.height / 2; ++cy) {
+    std::uint8_t* du = out.u.row(cy);
+    std::uint8_t* dv = out.v.row(cy);
+    for (int cx = 0; cx < rgb.width / 2; ++cx) {
+      int su = 0, sv = 0;
+      for (int dy = 0; dy < 2; ++dy)
+        for (int dx = 0; dx < 2; ++dx) {
+          const std::uint8_t* px = rgb.row(cy * 2 + dy) + (cx * 2 + dx) * 3;
+          const YuvPix p = rgb_px_to_yuv(px[0], px[1], px[2]);
+          su += p.u;
+          sv += p.v;
+        }
+      du[cx] = static_cast<std::uint8_t>((su + 2) / 4);
+      dv[cx] = static_cast<std::uint8_t>((sv + 2) / 4);
+    }
+  }
+  return out;
+}
+
+Image8 yuv420_to_rgb(const Yuv420& yuv) {
+  FE_EXPECTS(!yuv.y.empty());
+  FE_EXPECTS(yuv.u.width() == yuv.y.width() / 2 &&
+             yuv.v.width() == yuv.y.width() / 2);
+  Image8 rgb(yuv.y.width(), yuv.y.height(), 3);
+  for (int y = 0; y < rgb.height(); ++y) {
+    const std::uint8_t* sy = yuv.y.row(y);
+    const std::uint8_t* su = yuv.u.row(y / 2);
+    const std::uint8_t* sv = yuv.v.row(y / 2);
+    std::uint8_t* dst = rgb.row(y);
+    for (int x = 0; x < rgb.width(); ++x)
+      yuv_px_to_rgb(sy[x], su[x / 2], sv[x / 2], dst + x * 3);
+  }
+  return rgb;
+}
+
+std::vector<std::uint8_t> rgb_to_yuyv(ConstImageView<std::uint8_t> rgb) {
+  FE_EXPECTS(rgb.channels == 3 && rgb.width % 2 == 0);
+  std::vector<std::uint8_t> out(
+      static_cast<std::size_t>(rgb.width) * rgb.height * 2);
+  std::size_t o = 0;
+  for (int y = 0; y < rgb.height; ++y) {
+    const std::uint8_t* src = rgb.row(y);
+    for (int x = 0; x < rgb.width; x += 2) {
+      const YuvPix p0 =
+          rgb_px_to_yuv(src[x * 3], src[x * 3 + 1], src[x * 3 + 2]);
+      const YuvPix p1 = rgb_px_to_yuv(src[(x + 1) * 3], src[(x + 1) * 3 + 1],
+                                      src[(x + 1) * 3 + 2]);
+      out[o++] = p0.y;
+      out[o++] = static_cast<std::uint8_t>((p0.u + p1.u) / 2);
+      out[o++] = p1.y;
+      out[o++] = static_cast<std::uint8_t>((p0.v + p1.v) / 2);
+    }
+  }
+  return out;
+}
+
+Image8 yuyv_to_rgb(const std::vector<std::uint8_t>& yuyv, int width,
+                   int height) {
+  FE_EXPECTS(width > 0 && height > 0 && width % 2 == 0);
+  FE_EXPECTS(yuyv.size() ==
+             static_cast<std::size_t>(width) * height * 2);
+  Image8 rgb(width, height, 3);
+  std::size_t o = 0;
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* dst = rgb.row(y);
+    for (int x = 0; x < width; x += 2) {
+      const std::uint8_t y0 = yuyv[o], u = yuyv[o + 1], y1 = yuyv[o + 2],
+                         v = yuyv[o + 3];
+      o += 4;
+      yuv_px_to_rgb(y0, u, v, dst + x * 3);
+      yuv_px_to_rgb(y1, u, v, dst + (x + 1) * 3);
+    }
+  }
+  return rgb;
+}
+
+}  // namespace fisheye::img

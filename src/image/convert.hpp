@@ -1,0 +1,47 @@
+// Pixel-format conversions for the video pipeline.
+//
+// Surveillance/automotive sensors of the study's era delivered YUV; the
+// pipeline converts to the format the correction kernel wants and back, and
+// the conversion cost shows up in the per-frame profile (T1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace fisheye::img {
+
+/// BT.601 luma from interleaved RGB.
+Image8 rgb_to_gray(ConstImageView<std::uint8_t> rgb);
+
+/// Replicate a gray plane into interleaved RGB.
+Image8 gray_to_rgb(ConstImageView<std::uint8_t> gray);
+
+/// Planar YUV 4:2:0 frame (I420): full-res Y plane plus quarter-res U, V.
+struct Yuv420 {
+  Image8 y;  ///< width x height, 1 channel
+  Image8 u;  ///< width/2 x height/2
+  Image8 v;  ///< width/2 x height/2
+
+  [[nodiscard]] int width() const noexcept { return y.width(); }
+  [[nodiscard]] int height() const noexcept { return y.height(); }
+};
+
+/// BT.601 full-range RGB -> I420. Width/height must be even.
+Yuv420 rgb_to_yuv420(ConstImageView<std::uint8_t> rgb);
+
+/// I420 -> interleaved RGB (bilinear chroma upsampling is deliberately NOT
+/// applied: nearest chroma matches what the era's fixed-function pipelines
+/// did and keeps the conversion exactly invertible on gray content).
+Image8 yuv420_to_rgb(const Yuv420& yuv);
+
+/// Packed YUYV (YUY2) byte stream for a full frame, 2 pixels per 4 bytes.
+std::vector<std::uint8_t> rgb_to_yuyv(ConstImageView<std::uint8_t> rgb);
+
+/// YUYV stream -> interleaved RGB. `width` must be even and the stream size
+/// exactly width*height*2 bytes.
+Image8 yuyv_to_rgb(const std::vector<std::uint8_t>& yuyv, int width,
+                   int height);
+
+}  // namespace fisheye::img

@@ -1,0 +1,160 @@
+// Image containers and non-owning views.
+//
+// Layout: channel-interleaved rows, each row padded so that the row pitch is
+// a multiple of 64 bytes (see util::AlignedBuffer). All remap kernels and
+// the simulated accelerators operate on ImageView/ConstImageView so the same
+// kernel code runs on whole frames, tiles, and local-store copies.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::img {
+
+/// Non-owning mutable view of an interleaved image region.
+template <class T>
+struct ImageView {
+  T* data = nullptr;
+  int width = 0;           ///< pixels per row
+  int height = 0;          ///< rows
+  int channels = 1;        ///< interleaved samples per pixel
+  std::size_t pitch = 0;   ///< elements (not bytes) between rows
+
+  [[nodiscard]] T* row(int y) const noexcept { return data + pitch * y; }
+  [[nodiscard]] T& at(int x, int y, int c = 0) const noexcept {
+    return data[pitch * y + static_cast<std::size_t>(x) * channels + c];
+  }
+  [[nodiscard]] bool contains(int x, int y) const noexcept {
+    return x >= 0 && y >= 0 && x < width && y < height;
+  }
+  /// Sub-view of rows [y0, y0+h); shares storage.
+  [[nodiscard]] ImageView rows(int y0, int h) const noexcept {
+    return {data + pitch * y0, width, h, channels, pitch};
+  }
+};
+
+/// Non-owning read-only view.
+template <class T>
+struct ConstImageView {
+  const T* data = nullptr;
+  int width = 0;
+  int height = 0;
+  int channels = 1;
+  std::size_t pitch = 0;
+
+  ConstImageView() = default;
+  ConstImageView(const T* d, int w, int h, int c, std::size_t p) noexcept
+      : data(d), width(w), height(h), channels(c), pitch(p) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors span's const-conversion
+  ConstImageView(ImageView<T> v) noexcept
+      : data(v.data), width(v.width), height(v.height), channels(v.channels),
+        pitch(v.pitch) {}
+
+  [[nodiscard]] const T* row(int y) const noexcept { return data + pitch * y; }
+  [[nodiscard]] const T& at(int x, int y, int c = 0) const noexcept {
+    return data[pitch * y + static_cast<std::size_t>(x) * channels + c];
+  }
+  [[nodiscard]] bool contains(int x, int y) const noexcept {
+    return x >= 0 && y >= 0 && x < width && y < height;
+  }
+  [[nodiscard]] ConstImageView rows(int y0, int h) const noexcept {
+    return {data + pitch * y0, width, h, channels, pitch};
+  }
+};
+
+/// Owning image. Storage is 64-byte aligned with padded rows; zeroed on
+/// construction.
+template <class T>
+class Image {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Image() = default;
+
+  Image(int width, int height, int channels = 1)
+      : width_(width), height_(height), channels_(channels) {
+    FE_EXPECTS(width > 0 && height > 0 && channels > 0 && channels <= 4);
+    const std::size_t row_elems =
+        static_cast<std::size_t>(width) * channels;
+    pitch_ = util::align_up(row_elems * sizeof(T), util::kCacheLine) /
+             sizeof(T);
+    buf_ = util::AlignedBuffer<T>(pitch_ * static_cast<std::size_t>(height));
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t pitch() const noexcept { return pitch_; }
+  [[nodiscard]] bool empty() const noexcept { return buf_.empty(); }
+  /// Payload bytes (excluding row padding) — what a frame costs to DMA.
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return static_cast<std::size_t>(width_) * height_ * channels_ * sizeof(T);
+  }
+
+  [[nodiscard]] T* row(int y) noexcept { return buf_.data() + pitch_ * y; }
+  [[nodiscard]] const T* row(int y) const noexcept {
+    return buf_.data() + pitch_ * y;
+  }
+  [[nodiscard]] T& at(int x, int y, int c = 0) noexcept {
+    return row(y)[static_cast<std::size_t>(x) * channels_ + c];
+  }
+  [[nodiscard]] const T& at(int x, int y, int c = 0) const noexcept {
+    return row(y)[static_cast<std::size_t>(x) * channels_ + c];
+  }
+
+  [[nodiscard]] ImageView<T> view() noexcept {
+    return {buf_.data(), width_, height_, channels_, pitch_};
+  }
+  [[nodiscard]] ConstImageView<T> view() const noexcept {
+    return {buf_.data(), width_, height_, channels_, pitch_};
+  }
+  [[nodiscard]] ConstImageView<T> cview() const noexcept { return view(); }
+
+  void fill(T value) noexcept {
+    for (int y = 0; y < height_; ++y) {
+      T* r = row(y);
+      for (std::size_t i = 0;
+           i < static_cast<std::size_t>(width_) * channels_; ++i)
+        r[i] = value;
+    }
+  }
+
+  [[nodiscard]] Image clone() const {
+    Image copy(width_, height_, channels_);
+    for (int y = 0; y < height_; ++y)
+      std::memcpy(copy.row(y), row(y),
+                  static_cast<std::size_t>(width_) * channels_ * sizeof(T));
+    return copy;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 1;
+  std::size_t pitch_ = 0;
+  util::AlignedBuffer<T> buf_;
+};
+
+using Image8 = Image<std::uint8_t>;
+using ImageF = Image<float>;
+using View8 = ImageView<std::uint8_t>;
+using CView8 = ConstImageView<std::uint8_t>;
+
+/// Deep equality of the visible payload (padding ignored).
+template <class T>
+[[nodiscard]] bool equal_pixels(ConstImageView<T> a, ConstImageView<T> b) noexcept {
+  if (a.width != b.width || a.height != b.height || a.channels != b.channels)
+    return false;
+  for (int y = 0; y < a.height; ++y)
+    if (std::memcmp(a.row(y), b.row(y),
+                    static_cast<std::size_t>(a.width) * a.channels *
+                        sizeof(T)) != 0)
+      return false;
+  return true;
+}
+
+}  // namespace fisheye::img

@@ -1,0 +1,152 @@
+#include "image/io_bmp.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fisheye::img {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t get_u16(const std::string& s, std::size_t off) {
+  if (off + 2 > s.size()) throw IoError("bmp: truncated header");
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(s[off]) |
+      (static_cast<unsigned char>(s[off + 1]) << 8));
+}
+
+std::uint32_t get_u32(const std::string& s, std::size_t off) {
+  if (off + 4 > s.size()) throw IoError("bmp: truncated header");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(s[off + static_cast<std::size_t>(i)]);
+  return v;
+}
+
+}  // namespace
+
+std::string encode_bmp(ConstImageView<std::uint8_t> image) {
+  FE_EXPECTS(image.channels == 1 || image.channels == 3);
+  FE_EXPECTS(image.width > 0 && image.height > 0);
+
+  const std::uint32_t row_bytes =
+      (static_cast<std::uint32_t>(image.width) * 3 + 3) & ~3u;
+  const std::uint32_t pixel_bytes =
+      row_bytes * static_cast<std::uint32_t>(image.height);
+  const std::uint32_t header_bytes = 14 + 40;
+
+  std::string out;
+  out.reserve(header_bytes + pixel_bytes);
+  // BITMAPFILEHEADER
+  out += "BM";
+  put_u32(out, header_bytes + pixel_bytes);
+  put_u32(out, 0);  // reserved
+  put_u32(out, header_bytes);
+  // BITMAPINFOHEADER
+  put_u32(out, 40);
+  put_u32(out, static_cast<std::uint32_t>(image.width));
+  put_u32(out, static_cast<std::uint32_t>(image.height));
+  put_u16(out, 1);   // planes
+  put_u16(out, 24);  // bpp
+  put_u32(out, 0);   // BI_RGB
+  put_u32(out, pixel_bytes);
+  put_u32(out, 2835);  // 72 dpi
+  put_u32(out, 2835);
+  put_u32(out, 0);
+  put_u32(out, 0);
+
+  // Bottom-up raster, BGR order, rows padded to 4 bytes.
+  for (int y = image.height - 1; y >= 0; --y) {
+    const std::uint8_t* r = image.row(y);
+    std::size_t emitted = 0;
+    for (int x = 0; x < image.width; ++x) {
+      std::uint8_t rgb[3];
+      if (image.channels == 1) {
+        rgb[0] = rgb[1] = rgb[2] = r[x];
+      } else {
+        rgb[0] = r[x * 3 + 0];
+        rgb[1] = r[x * 3 + 1];
+        rgb[2] = r[x * 3 + 2];
+      }
+      out.push_back(static_cast<char>(rgb[2]));  // B
+      out.push_back(static_cast<char>(rgb[1]));  // G
+      out.push_back(static_cast<char>(rgb[0]));  // R
+      emitted += 3;
+    }
+    while (emitted++ < row_bytes) out.push_back('\0');
+  }
+  return out;
+}
+
+Image8 decode_bmp(const std::string& s) {
+  if (s.size() < 54 || s[0] != 'B' || s[1] != 'M')
+    throw IoError("bmp: bad magic");
+  const std::uint32_t data_off = get_u32(s, 10);
+  const std::uint32_t dib = get_u32(s, 14);
+  if (dib < 40) throw IoError("bmp: unsupported DIB header");
+  const auto width = static_cast<std::int32_t>(get_u32(s, 18));
+  const auto height_raw = static_cast<std::int32_t>(get_u32(s, 22));
+  const std::uint16_t bpp = get_u16(s, 28);
+  const std::uint32_t compression = get_u32(s, 30);
+  if (width <= 0 || height_raw == 0) throw IoError("bmp: bad dimensions");
+  if (static_cast<long long>(width) *
+          (height_raw < 0 ? -static_cast<long long>(height_raw)
+                          : height_raw) >
+      (1LL << 28))
+    throw IoError("bmp: image too large");
+  if (compression != 0) throw IoError("bmp: compressed BMP unsupported");
+  if (bpp != 24 && bpp != 32) throw IoError("bmp: only 24/32 bpp supported");
+
+  const bool top_down = height_raw < 0;
+  const int height = top_down ? -height_raw : height_raw;
+  const std::size_t bytes_pp = bpp / 8;
+  const std::size_t row_bytes =
+      (static_cast<std::size_t>(width) * bytes_pp + 3) & ~std::size_t{3};
+  if (static_cast<std::size_t>(data_off) + row_bytes * height > s.size())
+    throw IoError("bmp: truncated raster");
+
+  Image8 image(width, height, 3);
+  for (int y = 0; y < height; ++y) {
+    const int src_row = top_down ? y : height - 1 - y;
+    const char* src = s.data() + data_off + row_bytes * src_row;
+    std::uint8_t* dst = image.row(y);
+    for (int x = 0; x < width; ++x) {
+      const auto* px =
+          reinterpret_cast<const unsigned char*>(src + x * bytes_pp);
+      dst[x * 3 + 0] = px[2];  // R
+      dst[x * 3 + 1] = px[1];  // G
+      dst[x * 3 + 2] = px[0];  // B
+    }
+  }
+  return image;
+}
+
+void write_bmp(const std::string& path, ConstImageView<std::uint8_t> image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("bmp: cannot open for write: " + path);
+  const std::string bytes = encode_bmp(image);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("bmp: write failed: " + path);
+}
+
+Image8 read_bmp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("bmp: cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode_bmp(buf.str());
+}
+
+}  // namespace fisheye::img

@@ -1,0 +1,25 @@
+// Uncompressed 24-bit BMP writer/reader.
+//
+// Provided so corrected frames can be opened by any stock viewer; BMP is the
+// second interchange format next to PNM and exercises a different row order
+// (bottom-up) and padding convention in the I/O tests.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace fisheye::img {
+
+/// Write a 1- or 3-channel 8-bit image as a 24-bit BMP (gray is replicated
+/// across B, G, R). Throws IoError on failure.
+void write_bmp(const std::string& path, ConstImageView<std::uint8_t> image);
+
+/// Read a 24-bit or 32-bit uncompressed BMP into a 3-channel RGB image.
+Image8 read_bmp(const std::string& path);
+
+/// In-memory variants for tests.
+std::string encode_bmp(ConstImageView<std::uint8_t> image);
+Image8 decode_bmp(const std::string& bytes);
+
+}  // namespace fisheye::img

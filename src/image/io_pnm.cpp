@@ -1,0 +1,134 @@
+#include "image/io_pnm.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fisheye::img {
+
+namespace {
+
+/// Read the next PNM header token, skipping whitespace and '#' comments.
+std::string next_token(std::istream& in) {
+  std::string tok;
+  int ch = 0;
+  while ((ch = in.get()) != EOF) {
+    if (ch == '#') {
+      while ((ch = in.get()) != EOF && ch != '\n') {
+      }
+      continue;
+    }
+    if (!std::isspace(ch)) {
+      tok += static_cast<char>(ch);
+      break;
+    }
+  }
+  while ((ch = in.get()) != EOF && !std::isspace(ch))
+    tok += static_cast<char>(ch);
+  return tok;
+}
+
+int parse_int(std::istream& in, const char* what) {
+  const std::string tok = next_token(in);
+  if (tok.empty()) throw IoError(std::string("pnm: missing ") + what);
+  int value = 0;
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw IoError(std::string("pnm: malformed ") + what + ": " + tok);
+    value = value * 10 + (c - '0');
+    if (value > 1 << 28) throw IoError(std::string("pnm: absurd ") + what);
+  }
+  return value;
+}
+
+Image8 decode_stream(std::istream& in) {
+  const std::string magic = next_token(in);
+  int channels = 0;
+  bool binary = false;
+  if (magic == "P5") {
+    channels = 1;
+    binary = true;
+  } else if (magic == "P6") {
+    channels = 3;
+    binary = true;
+  } else if (magic == "P2") {
+    channels = 1;
+  } else if (magic == "P3") {
+    channels = 3;
+  } else {
+    throw IoError("pnm: unsupported magic '" + magic + "'");
+  }
+
+  const int width = parse_int(in, "width");
+  const int height = parse_int(in, "height");
+  const int maxval = parse_int(in, "maxval");
+  if (width <= 0 || height <= 0) throw IoError("pnm: non-positive dimensions");
+  // Bound total pixels before allocating (decoders must not be a way to
+  // request gigabytes from untrusted bytes).
+  if (static_cast<long long>(width) * height > (1LL << 28))
+    throw IoError("pnm: image too large");
+  if (maxval <= 0 || maxval > 255)
+    throw IoError("pnm: unsupported maxval " + std::to_string(maxval));
+
+  Image8 image(width, height, channels);
+  const std::size_t row_bytes = static_cast<std::size_t>(width) * channels;
+  if (binary) {
+    // Exactly one whitespace byte separates the header from the raster; the
+    // header parse above already consumed it.
+    for (int y = 0; y < height; ++y) {
+      in.read(reinterpret_cast<char*>(image.row(y)),
+              static_cast<std::streamsize>(row_bytes));
+      if (static_cast<std::size_t>(in.gcount()) != row_bytes)
+        throw IoError("pnm: short raster read");
+    }
+  } else {
+    for (int y = 0; y < height; ++y) {
+      std::uint8_t* r = image.row(y);
+      for (std::size_t i = 0; i < row_bytes; ++i) {
+        const int v = parse_int(in, "sample");
+        if (v > maxval) throw IoError("pnm: sample exceeds maxval");
+        r[i] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace
+
+std::string encode_pnm(ConstImageView<std::uint8_t> image) {
+  FE_EXPECTS(image.channels == 1 || image.channels == 3);
+  FE_EXPECTS(image.width > 0 && image.height > 0);
+  std::ostringstream os;
+  os << (image.channels == 1 ? "P5" : "P6") << '\n'
+     << image.width << ' ' << image.height << "\n255\n";
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(image.width) * image.channels;
+  for (int y = 0; y < image.height; ++y)
+    os.write(reinterpret_cast<const char*>(image.row(y)),
+             static_cast<std::streamsize>(row_bytes));
+  return os.str();
+}
+
+Image8 decode_pnm(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return decode_stream(in);
+}
+
+void write_pnm(const std::string& path, ConstImageView<std::uint8_t> image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("pnm: cannot open for write: " + path);
+  const std::string bytes = encode_pnm(image);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("pnm: write failed: " + path);
+}
+
+Image8 read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("pnm: cannot open for read: " + path);
+  return decode_stream(in);
+}
+
+}  // namespace fisheye::img

@@ -1,0 +1,26 @@
+// PGM/PPM (netpbm) reader/writer for 8-bit images.
+//
+// Supports binary P5/P6 and ASCII P2/P3 with comments and maxval <= 255.
+// This is the interchange format the examples emit; it keeps the repository
+// free of external image-codec dependencies.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace fisheye::img {
+
+/// Write `image` (1 channel -> PGM, 3 channels -> PPM) in binary form.
+/// Throws IoError on failure.
+void write_pnm(const std::string& path, ConstImageView<std::uint8_t> image);
+
+/// Read a PGM/PPM file; returns a 1- or 3-channel image.
+/// Throws IoError on malformed input.
+Image8 read_pnm(const std::string& path);
+
+/// In-memory encode/decode (used by tests to avoid filesystem round trips).
+std::string encode_pnm(ConstImageView<std::uint8_t> image);
+Image8 decode_pnm(const std::string& bytes);
+
+}  // namespace fisheye::img

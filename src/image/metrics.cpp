@@ -1,0 +1,114 @@
+#include "image/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fisheye::img {
+
+namespace {
+
+void expect_same_shape(ConstImageView<std::uint8_t> a,
+                       ConstImageView<std::uint8_t> b) {
+  FE_EXPECTS(a.width == b.width && a.height == b.height &&
+             a.channels == b.channels);
+  FE_EXPECTS(a.width > 0 && a.height > 0);
+}
+
+}  // namespace
+
+double mse(ConstImageView<std::uint8_t> a, ConstImageView<std::uint8_t> b) {
+  expect_same_shape(a, b);
+  const std::size_t row_samples =
+      static_cast<std::size_t>(a.width) * a.channels;
+  double acc = 0.0;
+  for (int y = 0; y < a.height; ++y) {
+    const std::uint8_t* ra = a.row(y);
+    const std::uint8_t* rb = b.row(y);
+    for (std::size_t i = 0; i < row_samples; ++i) {
+      const double d = static_cast<double>(ra[i]) - rb[i];
+      acc += d * d;
+    }
+  }
+  return acc / (static_cast<double>(row_samples) * a.height);
+}
+
+double psnr(ConstImageView<std::uint8_t> a, ConstImageView<std::uint8_t> b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+int max_abs_diff(ConstImageView<std::uint8_t> a,
+                 ConstImageView<std::uint8_t> b) {
+  expect_same_shape(a, b);
+  const std::size_t row_samples =
+      static_cast<std::size_t>(a.width) * a.channels;
+  int worst = 0;
+  for (int y = 0; y < a.height; ++y) {
+    const std::uint8_t* ra = a.row(y);
+    const std::uint8_t* rb = b.row(y);
+    for (std::size_t i = 0; i < row_samples; ++i) {
+      const int d = std::abs(static_cast<int>(ra[i]) - rb[i]);
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+double fraction_differing(ConstImageView<std::uint8_t> a,
+                          ConstImageView<std::uint8_t> b, int tolerance) {
+  expect_same_shape(a, b);
+  const std::size_t row_samples =
+      static_cast<std::size_t>(a.width) * a.channels;
+  std::size_t bad = 0;
+  for (int y = 0; y < a.height; ++y) {
+    const std::uint8_t* ra = a.row(y);
+    const std::uint8_t* rb = b.row(y);
+    for (std::size_t i = 0; i < row_samples; ++i)
+      if (std::abs(static_cast<int>(ra[i]) - rb[i]) > tolerance) ++bad;
+  }
+  return static_cast<double>(bad) /
+         (static_cast<double>(row_samples) * a.height);
+}
+
+double ssim(ConstImageView<std::uint8_t> a, ConstImageView<std::uint8_t> b) {
+  expect_same_shape(a, b);
+  FE_EXPECTS(a.channels == 1);
+  constexpr int kWin = 8;
+  constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+  constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (int y0 = 0; y0 + kWin <= a.height; y0 += kWin) {
+    for (int x0 = 0; x0 + kWin <= a.width; x0 += kWin) {
+      double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        const std::uint8_t* ra = a.row(y);
+        const std::uint8_t* rb = b.row(y);
+        for (int x = x0; x < x0 + kWin; ++x) {
+          const double va = ra[x], vb = rb[x];
+          sum_a += va;
+          sum_b += vb;
+          sum_aa += va * va;
+          sum_bb += vb * vb;
+          sum_ab += va * vb;
+        }
+      }
+      constexpr double n = kWin * kWin;
+      const double mu_a = sum_a / n, mu_b = sum_b / n;
+      const double var_a = sum_aa / n - mu_a * mu_a;
+      const double var_b = sum_bb / n - mu_b * mu_b;
+      const double cov = sum_ab / n - mu_a * mu_b;
+      total += ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+               ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
+      ++windows;
+    }
+  }
+  FE_ENSURES(windows > 0);
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace fisheye::img

@@ -1,0 +1,29 @@
+// Image-quality metrics used by the accuracy experiments (T3, F4, F9).
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace fisheye::img {
+
+/// Mean squared error across all channels. Views must match in shape.
+double mse(ConstImageView<std::uint8_t> a, ConstImageView<std::uint8_t> b);
+
+/// Peak signal-to-noise ratio in dB (peak = 255). Returns +inf for identical
+/// images (mse == 0).
+double psnr(ConstImageView<std::uint8_t> a, ConstImageView<std::uint8_t> b);
+
+/// Largest absolute per-sample difference.
+int max_abs_diff(ConstImageView<std::uint8_t> a,
+                 ConstImageView<std::uint8_t> b);
+
+/// Mean structural similarity (SSIM) over 8x8 windows with the standard
+/// constants (K1=0.01, K2=0.03, L=255). Single-channel only.
+double ssim(ConstImageView<std::uint8_t> a, ConstImageView<std::uint8_t> b);
+
+/// Fraction of samples differing by more than `tolerance` levels.
+double fraction_differing(ConstImageView<std::uint8_t> a,
+                          ConstImageView<std::uint8_t> b, int tolerance);
+
+}  // namespace fisheye::img

@@ -1,0 +1,53 @@
+#include "image/pyramid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fisheye::img {
+
+Image8 downsample_2x2(ConstImageView<std::uint8_t> src) {
+  FE_EXPECTS(src.width >= 1 && src.height >= 1);
+  const int out_w = std::max(1, (src.width + 1) / 2);
+  const int out_h = std::max(1, (src.height + 1) / 2);
+  const int ch = src.channels;
+  Image8 out(out_w, out_h, ch);
+  for (int y = 0; y < out_h; ++y) {
+    const int y0 = 2 * y;
+    const int y1 = std::min(y0 + 1, src.height - 1);
+    std::uint8_t* dst = out.row(y);
+    for (int x = 0; x < out_w; ++x) {
+      const int x0 = 2 * x;
+      const int x1 = std::min(x0 + 1, src.width - 1);
+      for (int c = 0; c < ch; ++c) {
+        const int sum = src.at(x0, y0, c) + src.at(x1, y0, c) +
+                        src.at(x0, y1, c) + src.at(x1, y1, c);
+        dst[x * ch + c] = static_cast<std::uint8_t>((sum + 2) / 4);
+      }
+    }
+  }
+  return out;
+}
+
+Pyramid::Pyramid(ConstImageView<std::uint8_t> src, int levels) {
+  FE_EXPECTS(src.width > 0 && src.height > 0);
+  FE_EXPECTS(levels >= 0);
+  // Copy level 0 (owning) so the pyramid is self-contained.
+  Image8 base(src.width, src.height, src.channels);
+  for (int y = 0; y < src.height; ++y)
+    std::copy_n(src.row(y),
+                static_cast<std::size_t>(src.width) * src.channels,
+                base.row(y));
+  levels_.push_back(std::move(base));
+
+  const int max_fit =
+      1 + static_cast<int>(std::max(
+              0.0, std::floor(std::log2(std::min(src.width, src.height)))));
+  const int target = levels == 0 ? max_fit : std::min(levels, max_fit);
+  while (static_cast<int>(levels_.size()) < target) {
+    const Image8& prev = levels_.back();
+    if (prev.width() == 1 && prev.height() == 1) break;
+    levels_.push_back(downsample_2x2(prev.view()));
+  }
+}
+
+}  // namespace fisheye::img

@@ -1,0 +1,41 @@
+// Mip pyramid for anti-aliased (minification-aware) sampling.
+//
+// The inverse fisheye map is strongly minifying in places (the synthesis
+// direction compresses the whole scene rim into a few pixels; aggressive
+// zoom-out corrections do the same), where point-sampled bilinear aliases.
+// The classic fix is a power-of-two pyramid plus per-pixel level-of-detail
+// — built here with an exact 2x2 box filter (area-weighted at odd edges).
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace fisheye::img {
+
+/// Power-of-two image pyramid; level 0 is a copy of the source.
+class Pyramid {
+ public:
+  /// Build `levels` levels (capped so the coarsest is >= 1x1). levels == 0
+  /// means "as many as fit".
+  Pyramid(ConstImageView<std::uint8_t> src, int levels = 0);
+
+  [[nodiscard]] int levels() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] const Image8& level(int i) const {
+    FE_EXPECTS(i >= 0 && i < levels());
+    return levels_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int channels() const noexcept {
+    return levels_.front().channels();
+  }
+
+ private:
+  std::vector<Image8> levels_;
+};
+
+/// One 2x2 box-filter reduction (area-weighted on odd dimensions).
+Image8 downsample_2x2(ConstImageView<std::uint8_t> src);
+
+}  // namespace fisheye::img

@@ -1,0 +1,182 @@
+#include "image/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace fisheye::img {
+
+Image8 make_checkerboard(int width, int height, int cell, std::uint8_t dark,
+                         std::uint8_t light) {
+  FE_EXPECTS(cell > 0);
+  Image8 image(width, height, 1);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* r = image.row(y);
+    const int cy = (y / cell) & 1;
+    for (int x = 0; x < width; ++x)
+      r[x] = ((x / cell) & 1) == cy ? light : dark;
+  }
+  return image;
+}
+
+Image8 make_circle_grid(int width, int height, int spacing, int radius,
+                        std::uint8_t background, std::uint8_t foreground) {
+  FE_EXPECTS(spacing > 0 && radius > 0 && radius < spacing);
+  Image8 image(width, height, 1);
+  image.fill(background);
+  const int r2 = radius * radius;
+  for (int cy = spacing / 2; cy < height; cy += spacing) {
+    for (int cx = spacing / 2; cx < width; cx += spacing) {
+      const int y0 = std::max(0, cy - radius);
+      const int y1 = std::min(height - 1, cy + radius);
+      for (int y = y0; y <= y1; ++y) {
+        std::uint8_t* row = image.row(y);
+        const int x0 = std::max(0, cx - radius);
+        const int x1 = std::min(width - 1, cx + radius);
+        for (int x = x0; x <= x1; ++x) {
+          const int dx = x - cx, dy = y - cy;
+          if (dx * dx + dy * dy <= r2) row[x] = foreground;
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Image8 make_siemens_star(int width, int height, int spokes, std::uint8_t dark,
+                         std::uint8_t light) {
+  FE_EXPECTS(spokes > 0);
+  Image8 image(width, height, 1);
+  const double cx = 0.5 * (width - 1), cy = 0.5 * (height - 1);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* r = image.row(y);
+    for (int x = 0; x < width; ++x) {
+      const double a = std::atan2(y - cy, x - cx) + util::kPi;
+      const int sector =
+          static_cast<int>(a / (2.0 * util::kPi) * 2.0 * spokes) & 1;
+      r[x] = sector != 0 ? light : dark;
+    }
+  }
+  return image;
+}
+
+Image8 make_gradient(int width, int height) {
+  Image8 image(width, height, 1);
+  const double cx = 0.5 * (width - 1), cy = 0.5 * (height - 1);
+  const double rmax = std::hypot(cx, cy);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* r = image.row(y);
+    for (int x = 0; x < width; ++x) {
+      const double radial = std::hypot(x - cx, y - cy) / rmax;     // [0,1]
+      const double horiz = static_cast<double>(x) / (width - 1);   // [0,1]
+      r[x] = static_cast<std::uint8_t>(
+          util::clamp(127.5 * radial + 127.5 * horiz, 0.0, 255.0));
+    }
+  }
+  return image;
+}
+
+Image8 make_noise(int width, int height, util::Rng& rng) {
+  Image8 image(width, height, 1);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* r = image.row(y);
+    for (int x = 0; x < width; ++x)
+      r[x] = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return image;
+}
+
+Image8 make_rings(int width, int height, int ring_width, std::uint8_t dark,
+                  std::uint8_t light) {
+  FE_EXPECTS(ring_width > 0);
+  Image8 image(width, height, 1);
+  const double cx = 0.5 * (width - 1), cy = 0.5 * (height - 1);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* r = image.row(y);
+    for (int x = 0; x < width; ++x) {
+      const int ring =
+          static_cast<int>(std::hypot(x - cx, y - cy)) / ring_width;
+      r[x] = (ring & 1) != 0 ? light : dark;
+    }
+  }
+  return image;
+}
+
+namespace {
+
+void fill_rect_rgb(Image8& image, int x0, int y0, int x1, int y1,
+                   std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(image.width(), x1);
+  y1 = std::min(image.height(), y1);
+  for (int y = y0; y < y1; ++y) {
+    std::uint8_t* row = image.row(y);
+    for (int x = x0; x < x1; ++x) {
+      row[x * 3 + 0] = r;
+      row[x * 3 + 1] = g;
+      row[x * 3 + 2] = b;
+    }
+  }
+}
+
+}  // namespace
+
+Image8 make_scene_rgb(int width, int height, double time_s) {
+  Image8 image(width, height, 3);
+
+  // Sky-to-ground vertical gradient.
+  for (int y = 0; y < height; ++y) {
+    const double t = static_cast<double>(y) / std::max(1, height - 1);
+    const auto sky_r = static_cast<std::uint8_t>(110 + 60 * (1.0 - t));
+    const auto sky_g = static_cast<std::uint8_t>(140 + 60 * (1.0 - t));
+    const auto sky_b = static_cast<std::uint8_t>(170 + 60 * (1.0 - t));
+    std::uint8_t* row = image.row(y);
+    for (int x = 0; x < width; ++x) {
+      row[x * 3 + 0] = sky_r;
+      row[x * 3 + 1] = sky_g;
+      row[x * 3 + 2] = sky_b;
+    }
+  }
+
+  // Buildings: deterministic pseudo-random block skyline; `time_s` slides the
+  // skyline horizontally so consecutive video frames differ.
+  util::Rng rng(42);
+  const int horizon = height * 55 / 100;
+  const int shift = static_cast<int>(time_s * 40.0);  // 40 px/s pan
+  int x = -((shift % 160) + 160) % 160 - 40;
+  while (x < width) {
+    const int bw = 60 + static_cast<int>(rng.next_below(100));
+    const int bh = height / 6 + static_cast<int>(rng.next_below(
+                                    static_cast<std::uint64_t>(height) / 3));
+    const auto shade = static_cast<std::uint8_t>(60 + rng.next_below(90));
+    fill_rect_rgb(image, x, horizon - bh, x + bw, horizon, shade,
+                  static_cast<std::uint8_t>(shade * 9 / 10),
+                  static_cast<std::uint8_t>(shade * 8 / 10));
+    // Window grid.
+    for (int wy = horizon - bh + 8; wy < horizon - 8; wy += 18)
+      for (int wx = x + 6; wx < x + bw - 6; wx += 14)
+        fill_rect_rgb(image, wx, wy, wx + 7, wy + 10, 230, 225, 160);
+    x += bw + 12;
+  }
+
+  // Road with dashed lane markings.
+  fill_rect_rgb(image, 0, horizon, width, height, 70, 70, 74);
+  const int dash_phase = static_cast<int>(time_s * 120.0);
+  for (int ly = horizon + 20; ly < height; ly += 46) {
+    for (int lx = -((dash_phase % 64) + 64) % 64; lx < width; lx += 64)
+      fill_rect_rgb(image, lx, ly, lx + 34, ly + 5, 235, 235, 210);
+  }
+
+  // High-contrast verticals (lamp posts) — sensitive to residual curvature.
+  for (int px = width / 8; px < width; px += width / 4) {
+    fill_rect_rgb(image, px - 2, horizon - height / 4, px + 2, horizon, 20, 20,
+                  22);
+    fill_rect_rgb(image, px - 8, horizon - height / 4 - 8, px + 8,
+                  horizon - height / 4, 250, 240, 150);
+  }
+  return image;
+}
+
+}  // namespace fisheye::img

@@ -1,0 +1,48 @@
+// Synthetic scene generators.
+//
+// These stand in for the production camera footage the original study used:
+// calibration-style patterns (checkerboard, circle grid, Siemens star) whose
+// geometry is known analytically, plus a detailed "urban" composite used by
+// the video pipeline. Each generator is deterministic given its parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::img {
+
+/// Gray checkerboard with `cell` px squares (the classic calibration target).
+Image8 make_checkerboard(int width, int height, int cell,
+                         std::uint8_t dark = 32, std::uint8_t light = 224);
+
+/// Gray grid of filled circles, spaced `spacing` px with radius `radius`.
+Image8 make_circle_grid(int width, int height, int spacing, int radius,
+                        std::uint8_t background = 230,
+                        std::uint8_t foreground = 20);
+
+/// Siemens star: `spokes` alternating sectors around the image centre; the
+/// standard resolution target (interpolation-quality measurements use it).
+Image8 make_siemens_star(int width, int height, int spokes,
+                         std::uint8_t dark = 16, std::uint8_t light = 240);
+
+/// Smooth radial+horizontal gradient (exercises interpolation exactness:
+/// bilinear reproduces affine ramps to quantization error).
+Image8 make_gradient(int width, int height);
+
+/// Uniform noise image (worst case for any cache/prefetch heuristic).
+Image8 make_noise(int width, int height, util::Rng& rng);
+
+/// RGB composite "street scene": horizon gradient, building blocks, window
+/// grids, lane markings and a few high-contrast poles. Detailed enough that
+/// warping artifacts are visible, cheap enough to synthesize per frame.
+Image8 make_scene_rgb(int width, int height, double time_s = 0.0);
+
+/// Concentric circles of alternating intensity (matches the wall-of-circles
+/// test target described in fisheye-correction papers: straight-line
+/// restoration is judged on the warped rings).
+Image8 make_rings(int width, int height, int ring_width,
+                  std::uint8_t dark = 16, std::uint8_t light = 240);
+
+}  // namespace fisheye::img

@@ -1,0 +1,53 @@
+// parallel_for with OpenMP-style scheduling policies over a ThreadPool.
+//
+// Static: the index space is pre-split into one contiguous chunk per lane.
+// Dynamic: lanes pull fixed-size chunks from a shared cursor.
+// Guided: like dynamic but chunk size decays (remaining / (2 * lanes)),
+//         so early chunks are large (low overhead) and late chunks are small
+//         (good tail balance) — exactly the OpenMP `guided` semantics.
+//
+// Exceptions thrown by the body are captured, the loop completes, and the
+// first exception is rethrown on the calling thread (E.25-friendly: no
+// exception crosses a thread boundary unobserved).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::par {
+
+enum class Schedule { Static, Dynamic, Guided };
+
+[[nodiscard]] constexpr const char* schedule_name(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::Static: return "static";
+    case Schedule::Dynamic: return "dynamic";
+    case Schedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+struct ForOptions {
+  Schedule schedule = Schedule::Static;
+  /// Chunk size for Dynamic (indices per grab); minimum chunk for Guided.
+  std::size_t chunk = 1;
+};
+
+/// Run `body(begin, end)` over [0, n) split across `pool` per `opts`.
+/// `body` receives contiguous half-open subranges and must be data-race
+/// free across disjoint ranges.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  ForOptions opts = {});
+
+/// Convenience: per-index body.
+void parallel_for_each(ThreadPool& pool, std::size_t n,
+                       const std::function<void(std::size_t)>& body,
+                       ForOptions opts = {});
+
+}  // namespace fisheye::par

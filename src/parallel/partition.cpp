@@ -1,0 +1,68 @@
+#include "parallel/partition.hpp"
+
+#include <algorithm>
+
+namespace fisheye::par {
+
+const char* partition_name(PartitionKind kind) noexcept {
+  switch (kind) {
+    case PartitionKind::RowBlocks: return "row-blocks";
+    case PartitionKind::RowCyclic: return "row-cyclic";
+    case PartitionKind::Tiles: return "tiles";
+    case PartitionKind::ColumnBlocks: return "column-blocks";
+  }
+  return "?";
+}
+
+std::vector<Rect> partition(int width, int height, PartitionKind kind,
+                            int chunks, int tile_w, int tile_h) {
+  FE_EXPECTS(width > 0 && height > 0);
+  std::vector<Rect> out;
+
+  switch (kind) {
+    case PartitionKind::RowBlocks: {
+      FE_EXPECTS(chunks > 0);
+      const int n = std::min(chunks, height);
+      out.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        // Balanced split: first (height % n) bands get one extra row.
+        const int y0 = static_cast<int>(
+            static_cast<long long>(height) * i / n);
+        const int y1 = static_cast<int>(
+            static_cast<long long>(height) * (i + 1) / n);
+        out.push_back({0, y0, width, y1});
+      }
+      break;
+    }
+    case PartitionKind::ColumnBlocks: {
+      FE_EXPECTS(chunks > 0);
+      const int n = std::min(chunks, width);
+      out.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        const int x0 =
+            static_cast<int>(static_cast<long long>(width) * i / n);
+        const int x1 =
+            static_cast<int>(static_cast<long long>(width) * (i + 1) / n);
+        out.push_back({x0, 0, x1, height});
+      }
+      break;
+    }
+    case PartitionKind::RowCyclic: {
+      out.reserve(static_cast<std::size_t>(height));
+      for (int y = 0; y < height; ++y) out.push_back({0, y, width, y + 1});
+      break;
+    }
+    case PartitionKind::Tiles: {
+      FE_EXPECTS(tile_w > 0 && tile_h > 0);
+      for (int y = 0; y < height; y += tile_h)
+        for (int x = 0; x < width; x += tile_w)
+          out.push_back({x, y, std::min(x + tile_w, width),
+                         std::min(y + tile_h, height)});
+      break;
+    }
+  }
+  FE_ENSURES(!out.empty());
+  return out;
+}
+
+}  // namespace fisheye::par

@@ -1,0 +1,51 @@
+// Frame decomposition strategies.
+//
+// How a frame is split across workers decides both load balance (per-pixel
+// remap work varies radially: edge pixels of a constant-border output cost
+// almost nothing, centre pixels interpolate) and locality (source accesses
+// of a tile stay inside one bounding box; rows of the output touch a wide
+// arc of the source). F2 compares these policies head to head.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fisheye::par {
+
+/// Half-open pixel-space rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+
+  [[nodiscard]] constexpr int width() const noexcept { return x1 - x0; }
+  [[nodiscard]] constexpr int height() const noexcept { return y1 - y0; }
+  [[nodiscard]] constexpr long long area() const noexcept {
+    return static_cast<long long>(width()) * height();
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return x1 <= x0 || y1 <= y0;
+  }
+  constexpr bool operator==(const Rect&) const noexcept = default;
+};
+
+enum class PartitionKind {
+  RowBlocks,    ///< contiguous horizontal bands, one per chunk
+  RowCyclic,    ///< single rows dealt round-robin (fine-grained, balanced)
+  Tiles,        ///< 2D tile grid (the locality-friendly accelerator layout)
+  ColumnBlocks  ///< vertical bands (pathological for row-major locality)
+};
+
+[[nodiscard]] const char* partition_name(PartitionKind kind) noexcept;
+
+/// Split `width` x `height` into chunks according to `kind`.
+/// - RowBlocks/ColumnBlocks: `chunks` near-equal bands.
+/// - RowCyclic: one chunk per row (chunks parameter ignored).
+/// - Tiles: grid of `tile_w` x `tile_h` tiles (last row/column truncated).
+/// Every pixel is covered exactly once (tested property).
+std::vector<Rect> partition(int width, int height, PartitionKind kind,
+                            int chunks, int tile_w = 64, int tile_h = 64);
+
+}  // namespace fisheye::par

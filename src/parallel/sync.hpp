@@ -1,0 +1,44 @@
+// Small synchronization helpers shared by the parallel backends and the
+// accelerator simulators.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/aligned.hpp"
+
+namespace fisheye::par {
+
+/// Pads T to its own cache line; used for per-worker counters so that the
+/// scheduling statistics gathered during benches never false-share.
+template <class T>
+struct alignas(util::kCacheLine) CacheAligned {
+  T value{};
+};
+
+/// Sense-reversing spin barrier for a fixed set of participants. The SPE
+/// simulator uses it to model the hardware barrier between DMA phases.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants) noexcept
+      : participants_(participants) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense)
+        std::this_thread::yield();
+    }
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace fisheye::par

@@ -1,0 +1,85 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/cpu.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::par {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = util::cpu_info().hardware_threads;
+  FE_EXPECTS(threads >= 1 && threads <= 1024);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mu_);
+    FE_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One shared atomic cursor instead of n queue entries: cheaper for the
+  // fine-grained dynamic schedules, and every worker stays busy until the
+  // index space is drained.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t lanes = std::min<std::size_t>(n, workers_.size());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    submit([cursor, n, &fn] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::scoped_lock lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fisheye::par

@@ -1,0 +1,63 @@
+// Fixed-size worker pool.
+//
+// This is the multicore substrate of the study: the CPU backends decompose
+// a frame into ranges/tiles and run them on this pool. The pool is built
+// once per Corrector (thread creation is far more expensive than a frame)
+// and torn down deterministically in the destructor (CP.23: joined, never
+// detached).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fisheye::par {
+
+class ThreadPool {
+ public:
+  /// Create `threads` workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task. Tasks must not throw; kernels report errors through
+  /// their own channels (the parallel_for wrapper converts exceptions into
+  /// a stored first-error that is rethrown on the caller thread).
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished executing.
+  void wait_idle();
+
+  /// Run `n` invocations of `fn(index)` across the pool and wait. Work runs
+  /// exclusively on the workers so that "pool of N" means exactly N lanes —
+  /// the property the thread-scaling benches (F1) depend on.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool, sized to the hardware; created on first use.
+ThreadPool& default_pool();
+
+}  // namespace fisheye::par

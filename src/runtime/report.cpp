@@ -1,0 +1,31 @@
+#include "runtime/report.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/cpu.hpp"
+
+namespace fisheye::rt {
+
+void print_banner(const std::string& experiment_id,
+                  const std::string& description) {
+  std::cout << "## " << experiment_id << " — " << description << '\n'
+            << "host: " << util::cpu_info().summary() << '\n';
+}
+
+double fps_from_seconds(double seconds_per_frame) noexcept {
+  return seconds_per_frame > 0.0 ? 1.0 / seconds_per_frame : 0.0;
+}
+
+double mpix_per_s(int width, int height, double seconds_per_frame) noexcept {
+  if (seconds_per_frame <= 0.0) return 0.0;
+  return static_cast<double>(width) * height / 1e6 / seconds_per_frame;
+}
+
+std::string resolution_label(int width, int height) {
+  std::ostringstream os;
+  os << width << 'x' << height;
+  return os.str();
+}
+
+}  // namespace fisheye::rt

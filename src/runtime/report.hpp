@@ -1,0 +1,39 @@
+// Shared bench-report header/footer so every experiment binary prints the
+// same preamble (experiment id, hardware, configuration) and the tables are
+// directly comparable across runs.
+#pragma once
+
+#include <string>
+
+#include "runtime/stats.hpp"
+
+namespace fisheye::rt {
+
+/// Print the standard experiment banner to stdout.
+void print_banner(const std::string& experiment_id,
+                  const std::string& description);
+
+/// Frames per second implied by a per-frame time.
+[[nodiscard]] double fps_from_seconds(double seconds_per_frame) noexcept;
+
+/// Megapixels per second of output produced.
+[[nodiscard]] double mpix_per_s(int width, int height,
+                                double seconds_per_frame) noexcept;
+
+/// "1280x720" style label.
+[[nodiscard]] std::string resolution_label(int width, int height);
+
+/// Standard resolution set used across experiments (name, width, height).
+struct Resolution {
+  const char* name;
+  int width;
+  int height;
+};
+
+/// VGA through 4K — the sweep axis of T2/F8.
+inline constexpr Resolution kResolutions[] = {
+    {"VGA", 640, 480},     {"D1", 720, 576},      {"720p", 1280, 720},
+    {"1080p", 1920, 1080}, {"4MP", 2048, 2048},
+};
+
+}  // namespace fisheye::rt

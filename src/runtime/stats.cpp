@@ -1,0 +1,40 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fisheye::rt {
+
+namespace {
+
+double median_of_sorted(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+RunStats summarize(std::vector<double> samples) {
+  FE_EXPECTS(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+
+  RunStats s;
+  s.samples = static_cast<int>(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = median_of_sorted(samples);
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+
+  std::vector<double> dev(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    dev[i] = std::abs(samples[i] - s.median);
+  std::sort(dev.begin(), dev.end());
+  s.mad_sigma = 1.4826 * median_of_sorted(dev);
+  return s;
+}
+
+}  // namespace fisheye::rt

@@ -1,0 +1,45 @@
+// Robust run statistics for measurements.
+//
+// Bench binaries report the median of repeated runs (robust to scheduler
+// noise in a shared container) plus min and spread, so the tables are
+// meaningful on loaded machines.
+#pragma once
+
+#include <vector>
+
+namespace fisheye::rt {
+
+struct RunStats {
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Median absolute deviation (scaled by 1.4826 to estimate sigma).
+  double mad_sigma = 0.0;
+  int samples = 0;
+};
+
+/// Compute statistics of `samples` (not modified).
+RunStats summarize(std::vector<double> samples);
+
+/// Run `fn` `warmup + reps` times, timing the last `reps`; returns stats of
+/// the per-run seconds.
+template <class Fn>
+RunStats measure(Fn&& fn, int reps, int warmup = 1);
+
+}  // namespace fisheye::rt
+
+#include "runtime/timer.hpp"
+
+namespace fisheye::rt {
+
+template <class Fn>
+RunStats measure(Fn&& fn, int reps, int warmup) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(time_once(fn));
+  return summarize(std::move(samples));
+}
+
+}  // namespace fisheye::rt

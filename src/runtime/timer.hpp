@@ -1,0 +1,36 @@
+// Wall-clock timing utilities for the bench harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fisheye::rt {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Time a callable once; returns seconds.
+template <class Fn>
+double time_once(Fn&& fn) {
+  const Stopwatch sw;
+  fn();
+  return sw.elapsed_seconds();
+}
+
+}  // namespace fisheye::rt

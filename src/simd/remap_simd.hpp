@@ -1,0 +1,34 @@
+// SIMD-oriented remap kernel.
+//
+// The scalar kernel interleaves address math, weight math and gathers per
+// pixel — a long dependence chain the vector units cannot chew on. This
+// kernel restructures the loop the way the study's hand-SIMDized versions
+// did:
+//   pass 1 (vectorizable): for a strip of output pixels, compute integer
+//           tap coordinates, validity mask and the four bilinear weights
+//           into contiguous SoA scratch arrays;
+//   pass 2 (gather-bound): fetch the four taps per pixel and blend with the
+//           precomputed weights.
+// Pass 1 auto-vectorizes to AVX2/AVX-512 under -march=native; pass 2 is the
+// irreducible gather cost. The F-series "simd" backend is this kernel run
+// on the thread pool.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapping.hpp"
+#include "image/image.hpp"
+#include "parallel/partition.hpp"
+
+namespace fisheye::simd {
+
+/// Bilinear remap of `rect` with constant-fill border. Bit-exact against
+/// core::remap_rect with Interp::Bilinear + BorderMode::Constant is NOT
+/// guaranteed (float rounding order differs); agreement within +-1 level is
+/// (tested property).
+void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const core::WarpMap& map, par::Rect rect,
+                        std::uint8_t fill);
+
+}  // namespace fisheye::simd

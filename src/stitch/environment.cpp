@@ -1,0 +1,125 @@
+#include "stitch/environment.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::stitch {
+
+using util::kHalfPi;
+using util::kPi;
+
+util::Vec2 environment_coords(util::Vec3 world_ray, int env_width,
+                              int env_height) {
+  const double lon = std::atan2(world_ray.x, world_ray.z);   // [-pi, pi]
+  const double rxz = std::hypot(world_ray.x, world_ray.z);
+  const double lat = std::atan2(world_ray.y, rxz);           // +down
+  double x = (lon + kPi) / (2.0 * kPi) * env_width;
+  double y = (lat + kHalfPi) / kPi * (env_height - 1);
+  if (x >= env_width) x -= env_width;
+  return {x, y};
+}
+
+util::Vec3 environment_ray(double x, double y, int env_width,
+                           int env_height) {
+  const double lon = x / env_width * 2.0 * kPi - kPi;
+  const double lat = y / (env_height - 1) * kPi - kHalfPi;
+  const double cl = std::cos(lat);
+  return {std::sin(lon) * cl, std::sin(lat), std::cos(lon) * cl};
+}
+
+img::Image8 render_from_environment(img::ConstImageView<std::uint8_t> env,
+                                    const core::FisheyeCamera& camera,
+                                    const util::Mat3& world_from_cam,
+                                    int width, int height,
+                                    core::Interp interp) {
+  FE_EXPECTS(width > 0 && height > 0);
+  img::Image8 out(width, height, env.channels);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* row = out.row(y);
+    for (int x = 0; x < width; ++x) {
+      const util::Vec3 cam_ray = camera.unproject(
+          {static_cast<double>(x), static_cast<double>(y)});
+      const util::Vec3 world = world_from_cam * cam_ray;
+      const util::Vec2 uv = environment_coords(world, env.width, env.height);
+      // Longitude wraps; Replicate handles the poles and the (rare) x at
+      // the wrap column within a pixel of the seam.
+      core::sample(interp, env, static_cast<float>(uv.x),
+                   static_cast<float>(uv.y), img::BorderMode::Replicate, 0,
+                   row + static_cast<std::size_t>(x) * env.channels);
+    }
+  }
+  return out;
+}
+
+img::Image8 make_street_environment(int width, int height) {
+  FE_EXPECTS(width >= 8 && height >= 8);
+  img::Image8 env(width, height, 3);
+  const int horizon = height * 60 / 100;
+
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* row = env.row(y);
+    if (y < horizon) {
+      const double t = static_cast<double>(y) / horizon;
+      for (int x = 0; x < width; ++x) {
+        row[x * 3 + 0] = static_cast<std::uint8_t>(120 + 50 * t);
+        row[x * 3 + 1] = static_cast<std::uint8_t>(150 + 45 * t);
+        row[x * 3 + 2] = static_cast<std::uint8_t>(190 + 40 * t);
+      }
+    } else {
+      for (int x = 0; x < width; ++x) {
+        row[x * 3 + 0] = 78;
+        row[x * 3 + 1] = 78;
+        row[x * 3 + 2] = 82;
+      }
+    }
+  }
+
+  // Buildings: deterministic skyline that wraps (the last block is forced
+  // to end exactly at width).
+  util::Rng rng(7);
+  int x = 0;
+  while (x < width) {
+    int bw = 40 + static_cast<int>(rng.next_below(80));
+    if (width - (x + bw) < 40) bw = width - x;  // close the wrap seamlessly
+    const int bh = height / 8 + static_cast<int>(rng.next_below(
+                                    static_cast<std::uint64_t>(height) / 4));
+    const auto shade = static_cast<std::uint8_t>(70 + rng.next_below(80));
+    for (int yy = std::max(0, horizon - bh); yy < horizon; ++yy) {
+      std::uint8_t* row = env.row(yy);
+      for (int xx = x; xx < x + bw && xx < width; ++xx) {
+        row[xx * 3 + 0] = shade;
+        row[xx * 3 + 1] = static_cast<std::uint8_t>(shade * 9 / 10);
+        row[xx * 3 + 2] = static_cast<std::uint8_t>(shade * 8 / 10);
+      }
+    }
+    // Window grid.
+    for (int wy = horizon - bh + 6; wy < horizon - 4; wy += 12) {
+      if (wy < 0) continue;
+      std::uint8_t* row = env.row(wy);
+      for (int wx = x + 4; wx < x + bw - 4 && wx < width; wx += 10)
+        for (int k = 0; k < 5 && wx + k < width; ++k) {
+          row[(wx + k) * 3 + 0] = 235;
+          row[(wx + k) * 3 + 1] = 228;
+          row[(wx + k) * 3 + 2] = 160;
+        }
+    }
+    x += bw + 8;
+  }
+
+  // Road dashes below the horizon.
+  for (int ly = horizon + 12; ly < height - 4; ly += 28) {
+    std::uint8_t* row = env.row(ly);
+    for (int lx = 0; lx < width; lx += 48)
+      for (int k = 0; k < 24 && lx + k < width; ++k) {
+        row[(lx + k) * 3 + 0] = 230;
+        row[(lx + k) * 3 + 1] = 230;
+        row[(lx + k) * 3 + 2] = 205;
+      }
+  }
+  return env;
+}
+
+}  // namespace fisheye::stitch

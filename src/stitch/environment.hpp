@@ -1,0 +1,40 @@
+// Environment-map rendering: the multi-camera test-data generator.
+//
+// A single planar scene cannot feed a rig of cameras pointing in different
+// directions; an equirectangular environment texture (a full 360x180-degree
+// light field at infinity) can. Each rig camera's input frame is rendered
+// by tracing every fisheye pixel to a world ray and sampling the
+// environment — giving every stitching experiment a pixel-accurate ground
+// truth: the stitched panorama should reproduce the environment itself.
+#pragma once
+
+#include "core/camera.hpp"
+#include "core/interp.hpp"
+#include "image/image.hpp"
+#include "util/matrix.hpp"
+
+namespace fisheye::stitch {
+
+/// Equirectangular texture coordinates of a world ray: longitude in
+/// [-pi, pi) maps to x in [0, width), latitude (+down) in [-pi/2, pi/2]
+/// maps to y in [0, height).
+util::Vec2 environment_coords(util::Vec3 world_ray, int env_width,
+                              int env_height);
+
+/// Inverse: the world ray seen by environment texel (x, y).
+util::Vec3 environment_ray(double x, double y, int env_width, int env_height);
+
+/// Render the fisheye frame a camera with rotation `world_from_cam` sees of
+/// the environment. Pixels beyond the lens field sample along their
+/// (saturated) ray — in practice the lens' max_theta bounds what is seen.
+img::Image8 render_from_environment(img::ConstImageView<std::uint8_t> env,
+                                    const core::FisheyeCamera& camera,
+                                    const util::Mat3& world_from_cam,
+                                    int width, int height,
+                                    core::Interp interp = core::Interp::Bilinear);
+
+/// Synthetic 360-degree street environment (wraps horizontally without a
+/// seam): sky band, building skyline, road band; deterministic.
+img::Image8 make_street_environment(int width, int height);
+
+}  // namespace fisheye::stitch

@@ -1,0 +1,48 @@
+// Bird's-eye (top-down) output projection for surround-view rigs.
+//
+// The rig sits `height_m` above a flat ground plane; output pixel (x, y)
+// corresponds to the ground point ((x - cx) * mpp, (cy - y) * mpp) metres
+// right/ahead of the rig, seen along the ray from the rig origin to that
+// point. Combined with PanoramaStitcher this yields the classic automotive
+// top-down parking view. Pure-rotation rig assumption: all cameras share
+// the rig origin (valid when baseline << height).
+#pragma once
+
+#include "core/projection.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::stitch {
+
+class GroundPlaneView final : public core::ViewProjection {
+ public:
+  /// `meters_per_pixel` scales the output; `height_m` the rig height.
+  GroundPlaneView(int width, int height, double meters_per_pixel,
+                  double height_m)
+      : width_(width),
+        height_(height),
+        mpp_(meters_per_pixel),
+        rig_height_(height_m) {
+    FE_EXPECTS(width > 1 && height > 1);
+    FE_EXPECTS(meters_per_pixel > 0.0 && height_m > 0.0);
+  }
+
+  /// Ray to the ground point; +image-up is +world-forward (+Z), +image-
+  /// right is +world-right (+X), and the ground lies toward +Y (down).
+  [[nodiscard]] util::Vec3 ray_for_pixel(util::Vec2 px) const override {
+    const double gx = (px.x - 0.5 * (width_ - 1)) * mpp_;
+    const double gz = (0.5 * (height_ - 1) - px.y) * mpp_;
+    return {gx, rig_height_, gz};
+  }
+
+  [[nodiscard]] std::string name() const override { return "ground-plane"; }
+  [[nodiscard]] int width() const noexcept override { return width_; }
+  [[nodiscard]] int height() const noexcept override { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  double mpp_;
+  double rig_height_;
+};
+
+}  // namespace fisheye::stitch

@@ -1,0 +1,114 @@
+// Multi-camera panorama stitching — the surround-view application.
+//
+// A rig of fisheye cameras (pure-rotation extrinsics: valid for scenery at
+// distance, the panorama regime) is fused into one equirectangular output.
+// Setup precomputes, per camera, the inverse warp map into that camera's
+// frame plus a per-pixel blend weight (cosine feather on angular distance
+// from the camera axis, zero where the camera cannot see the ray or the
+// sample would fall outside its image). Per frame, stitching is one remap
+// per camera plus a weighted accumulate — embarrassingly parallel over
+// output rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/camera.hpp"
+#include "core/mapping.hpp"
+#include "image/image.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/matrix.hpp"
+
+namespace fisheye::stitch {
+
+/// One physical camera of the rig.
+struct RigCamera {
+  core::FisheyeCamera camera;
+  util::Mat3 world_from_cam = util::Mat3::identity();
+  int frame_width = 0;
+  int frame_height = 0;
+};
+
+enum class BlendMode {
+  Feather,        ///< normalized cosine-falloff weighted average
+  NearestCamera,  ///< winner-takes-all by weight (hard seams, no ghosting)
+};
+
+[[nodiscard]] constexpr const char* blend_mode_name(BlendMode m) noexcept {
+  switch (m) {
+    case BlendMode::Feather: return "feather";
+    case BlendMode::NearestCamera: return "nearest-camera";
+  }
+  return "?";
+}
+
+class PanoramaStitcher {
+ public:
+  /// Output: equirectangular, longitudes spanning `hfov` and latitudes
+  /// `vfov` about the rig's forward axis.
+  PanoramaStitcher(std::vector<RigCamera> rig, int out_width, int out_height,
+                   double hfov, double vfov,
+                   BlendMode blend = BlendMode::Feather);
+
+  /// General form: fuse into ANY output projection (equirectangular,
+  /// cylindrical, perspective, ground-plane top-down...). `view` is only
+  /// read during construction.
+  PanoramaStitcher(std::vector<RigCamera> rig,
+                   const core::ViewProjection& view,
+                   BlendMode blend = BlendMode::Feather);
+
+  /// Fuse one frame per camera (order matches the rig vector; dimensions
+  /// must match each RigCamera). `pool` may be null for serial execution.
+  img::Image8 stitch(const std::vector<img::ConstImageView<std::uint8_t>>&
+                         frames,
+                     par::ThreadPool* pool = nullptr) const;
+
+  /// Estimate one multiplicative gain per camera that reconciles exposure
+  /// differences: cameras' mean intensities are compared over the output
+  /// pixels where they overlap, and gains are solved in least squares with
+  /// the mean gain anchored at 1 (the classic panorama gain compensation).
+  /// Returns one factor per camera; feed it to stitch_with_gains.
+  std::vector<double> estimate_gains(
+      const std::vector<img::ConstImageView<std::uint8_t>>& frames) const;
+
+  /// stitch() with per-camera gains applied to the samples before blending.
+  img::Image8 stitch_with_gains(
+      const std::vector<img::ConstImageView<std::uint8_t>>& frames,
+      const std::vector<double>& gains,
+      par::ThreadPool* pool = nullptr) const;
+
+  [[nodiscard]] std::size_t cameras() const noexcept { return rig_.size(); }
+  [[nodiscard]] int width() const noexcept { return out_width_; }
+  [[nodiscard]] int height() const noexcept { return out_height_; }
+  /// Per-camera warp map (output pixel -> that camera's image).
+  [[nodiscard]] const core::WarpMap& map(std::size_t cam) const {
+    return maps_[cam];
+  }
+  /// Per-camera blend weight per output pixel, 0..1.
+  [[nodiscard]] const std::vector<float>& weights(std::size_t cam) const {
+    return weights_[cam];
+  }
+  /// Number of output pixels no camera covers (diagnostic).
+  [[nodiscard]] std::size_t uncovered_pixels() const noexcept {
+    return uncovered_;
+  }
+
+ private:
+  void stitch_rows(const std::vector<img::ConstImageView<std::uint8_t>>&
+                       frames,
+                   img::ImageView<std::uint8_t> out, int y0, int y1,
+                   const std::vector<double>* gains) const;
+  img::Image8 stitch_impl(
+      const std::vector<img::ConstImageView<std::uint8_t>>& frames,
+      const std::vector<double>* gains, par::ThreadPool* pool) const;
+
+  std::vector<RigCamera> rig_;
+  int out_width_;
+  int out_height_;
+  BlendMode blend_;
+  std::vector<core::WarpMap> maps_;
+  std::vector<std::vector<float>> weights_;
+  std::size_t uncovered_ = 0;
+};
+
+}  // namespace fisheye::stitch

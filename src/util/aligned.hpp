@@ -1,0 +1,71 @@
+// Cache-line / SIMD-lane aligned storage.
+//
+// Remap kernels stream through large planes; aligning rows to 64 bytes keeps
+// vector loads unsplit and avoids false sharing between the per-thread output
+// strips produced by the parallel backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "util/error.hpp"
+
+namespace fisheye::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Round `n` up to the next multiple of `alignment` (a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t alignment) noexcept {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// RAII owner of a 64-byte aligned, zero-initialized buffer of `T`.
+/// Movable, non-copyable; the canonical backing store for image planes,
+/// warp-map LUTs and simulated accelerator local stores.
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = align_up(count * sizeof(T), kCacheLine);
+    void* p = std::aligned_alloc(kCacheLine, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    data_.reset(static_cast<T*>(p));
+    std::uninitialized_value_construct_n(data_.get(), count);
+  }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_.get(); }
+  [[nodiscard]] T* end() noexcept { return data_.get() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_.get(); }
+  [[nodiscard]] const T* end() const noexcept { return data_.get() + size_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<T, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fisheye::util

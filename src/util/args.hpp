@@ -1,0 +1,93 @@
+// Minimal command-line flag parser for the example tools.
+//
+// Supports `--name value`, `--name=value`, boolean `--flag`, and collects
+// positional arguments. No external dependency, deterministic errors.
+// Grammar note: `--name value` binds greedily (there is no schema), so a
+// boolean flag directly followed by a positional would swallow it — place
+// positionals before boolean flags, or use `--flag=1`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fisheye::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv) {
+    FE_EXPECTS(argc >= 1);
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(token));
+        continue;
+      }
+      token.erase(0, 2);
+      const std::size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        named_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        named_[token] = argv[++i];
+      } else {
+        named_[token] = "";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return named_.count(name) != 0;
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    const auto it = named_.find(name);
+    return it == named_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    const auto it = named_.find(name);
+    if (it == named_.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      throw InvalidArgument("--" + name + ": expected a number, got '" +
+                            it->second + "'");
+    }
+  }
+
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const {
+    const double v = get_double(name, fallback);
+    const int i = static_cast<int>(v);
+    if (static_cast<double>(i) != v)
+      throw InvalidArgument("--" + name + ": expected an integer");
+    return i;
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name) const {
+    const auto it = named_.find(name);
+    if (it == named_.end()) return false;
+    return it->second.empty() || it->second == "1" || it->second == "true";
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fisheye::util

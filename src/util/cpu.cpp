@@ -1,0 +1,49 @@
+#include "util/cpu.hpp"
+
+#include <sstream>
+#include <thread>
+
+namespace fisheye::util {
+
+namespace {
+
+CpuInfo detect() noexcept {
+  CpuInfo info;
+  info.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  info.sse2 = __builtin_cpu_supports("sse2") != 0;
+  info.avx2 = __builtin_cpu_supports("avx2") != 0;
+  info.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  info.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& cpu_info() noexcept {
+  static const CpuInfo info = detect();
+  return info;
+}
+
+std::string CpuInfo::summary() const {
+  std::ostringstream os;
+  os << hardware_threads << " hw thread" << (hardware_threads == 1 ? "" : "s");
+  os << ", isa:";
+  bool any = false;
+  auto add = [&](bool have, const char* name) {
+    if (have) {
+      os << (any ? "+" : " ") << name;
+      any = true;
+    }
+  };
+  add(sse2, "sse2");
+  add(avx2, "avx2");
+  add(avx512f, "avx512f");
+  add(fma, "fma");
+  if (!any) os << " scalar";
+  return os.str();
+}
+
+}  // namespace fisheye::util

@@ -1,0 +1,23 @@
+// Runtime CPU capability report used by the bench harness headers so that
+// every printed table records the hardware it ran on.
+#pragma once
+
+#include <string>
+
+namespace fisheye::util {
+
+struct CpuInfo {
+  unsigned hardware_threads = 1;
+  bool sse2 = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool fma = false;
+
+  /// One-line human-readable summary, e.g. "8 threads, avx2+fma".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Query the executing CPU (cached after the first call).
+const CpuInfo& cpu_info() noexcept;
+
+}  // namespace fisheye::util

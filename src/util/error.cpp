@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace fisheye::detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   std::source_location loc) {
+  std::ostringstream os;
+  os << kind << " violated: `" << expr << "` at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace fisheye::detail

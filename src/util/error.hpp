@@ -1,0 +1,61 @@
+// Error-handling primitives shared by every fisheye module.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions for
+// errors that cannot be handled locally and use FE_EXPECTS/FE_ENSURES for
+// contract violations that indicate programmer error.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace fisheye {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument is outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (missing file, malformed header, short read...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulated hardware resource is exhausted (e.g. a tile does
+/// not fit into an accelerator local store even after splitting).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   std::source_location loc);
+}  // namespace detail
+
+}  // namespace fisheye
+
+/// Precondition check. Always on: correction kernels index raw buffers and a
+/// silently violated precondition is far more expensive than the branch.
+#define FE_EXPECTS(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::fisheye::detail::contract_failure("precondition", #expr,         \
+                                          std::source_location::current()); \
+  } while (false)
+
+/// Postcondition check.
+#define FE_ENSURES(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::fisheye::detail::contract_failure("postcondition", #expr,        \
+                                          std::source_location::current()); \
+  } while (false)

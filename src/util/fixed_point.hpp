@@ -1,0 +1,100 @@
+// Q-format fixed-point arithmetic.
+//
+// The packed warp-map LUT stores source coordinates as Q18.14 (the format a
+// 2010-era FPGA/Cell implementation would pick: 18 integer bits cover any
+// realistic frame dimension, 14 fractional bits keep bilinear weights well
+// below the 8-bit quantization floor). The F9 ablation sweeps the fractional
+// width, so the format is a template parameter rather than a constant.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "util/error.hpp"
+
+namespace fisheye::util {
+
+/// Fixed-point value with `Frac` fractional bits stored in `Rep`.
+/// Arithmetic is the minimal set the remap kernels need; everything is
+/// constexpr so LUT packing can be tested exhaustively at compile time.
+template <class Rep, int Frac>
+class Fixed {
+  static_assert(std::is_integral_v<Rep> && std::is_signed_v<Rep>);
+  static_assert(Frac >= 0 && Frac < static_cast<int>(sizeof(Rep) * 8 - 1));
+
+ public:
+  using rep_type = Rep;
+  static constexpr int frac_bits = Frac;
+  static constexpr Rep one = Rep{1} << Frac;
+
+  constexpr Fixed() noexcept = default;
+
+  /// Bit-exact construction from a raw representation.
+  static constexpr Fixed from_raw(Rep raw) noexcept {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Round-to-nearest conversion from floating point.
+  static Fixed from_double(double v) noexcept {
+    return from_raw(static_cast<Rep>(std::lround(v * static_cast<double>(one))));
+  }
+  static constexpr Fixed from_int(Rep v) noexcept {
+    return from_raw(static_cast<Rep>(v << Frac));
+  }
+
+  [[nodiscard]] constexpr Rep raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return static_cast<double>(raw_) / static_cast<double>(one);
+  }
+  /// Integer part (floor).
+  [[nodiscard]] constexpr Rep floor() const noexcept {
+    return raw_ >> Frac;  // arithmetic shift: floor for negatives too
+  }
+  /// Fractional part in [0, 1) as raw Q0.Frac bits.
+  [[nodiscard]] constexpr Rep frac_raw() const noexcept {
+    return raw_ & (one - 1);
+  }
+  /// Fractional part in [0, 1).
+  [[nodiscard]] constexpr double frac() const noexcept {
+    return static_cast<double>(frac_raw()) / static_cast<double>(one);
+  }
+
+  constexpr Fixed operator+(Fixed o) const noexcept {
+    return from_raw(static_cast<Rep>(raw_ + o.raw_));
+  }
+  constexpr Fixed operator-(Fixed o) const noexcept {
+    return from_raw(static_cast<Rep>(raw_ - o.raw_));
+  }
+  constexpr Fixed operator-() const noexcept {
+    return from_raw(static_cast<Rep>(-raw_));
+  }
+  /// Full-width multiply then rescale; rounds toward nearest.
+  constexpr Fixed operator*(Fixed o) const noexcept {
+    using Wide = std::conditional_t<sizeof(Rep) <= 4, std::int64_t, __int128>;
+    const Wide p = static_cast<Wide>(raw_) * static_cast<Wide>(o.raw_);
+    const Wide rounded = p + (Wide{1} << (Frac - 1));
+    return from_raw(static_cast<Rep>(rounded >> Frac));
+  }
+
+  constexpr auto operator<=>(const Fixed&) const noexcept = default;
+
+ private:
+  Rep raw_ = 0;
+};
+
+/// The library's canonical LUT coordinate format.
+using Q18_14 = Fixed<std::int32_t, 14>;
+
+/// Quantize `v` to `frac_bits` fractional bits (round to nearest), returning
+/// the quantized double. Used by the precision-ablation bench to emulate an
+/// arbitrary-width datapath without instantiating every template width.
+[[nodiscard]] inline double quantize(double v, int frac_bits) noexcept {
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  return std::nearbyint(v * scale) / scale;
+}
+
+}  // namespace fisheye::util

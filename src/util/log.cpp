@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace fisheye::util {
+
+namespace {
+
+LogLevel parse_env() noexcept {
+  const char* env = std::getenv("FISHEYE_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<int>& level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(parse_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  const std::scoped_lock lock(mu);
+  std::cerr << "[fisheye " << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace fisheye::util

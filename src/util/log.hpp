@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr. The library itself logs nothing at
+// Info by default; benches and the accelerator simulators use Debug traces
+// that can be enabled per-run (FISHEYE_LOG=debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fisheye::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current threshold; initialized from the FISHEYE_LOG environment variable
+/// (debug|info|warn|error|off), defaulting to Warn.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace fisheye::util
+
+#define FE_LOG(level, expr_stream)                                       \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::fisheye::util::log_level())) {                \
+      std::ostringstream fe_log_os_;                                     \
+      fe_log_os_ << expr_stream;                                         \
+      ::fisheye::util::detail::log_emit(level, fe_log_os_.str());        \
+    }                                                                    \
+  } while (false)
+
+#define FE_DEBUG(s) FE_LOG(::fisheye::util::LogLevel::Debug, s)
+#define FE_INFO(s) FE_LOG(::fisheye::util::LogLevel::Info, s)
+#define FE_WARN(s) FE_LOG(::fisheye::util::LogLevel::Warn, s)
+#define FE_ERROR(s) FE_LOG(::fisheye::util::LogLevel::Error, s)

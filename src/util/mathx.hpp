@@ -1,0 +1,84 @@
+// Scalar math helpers used throughout the correction kernels.
+//
+// The on-the-fly remap path spends almost all of its time in atan/tan, so we
+// provide polynomial approximations with documented error bounds alongside
+// the exact libm versions; the F3 bench quantifies the trade-off.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace fisheye::util {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kHalfPi = kPi / 2.0;
+
+constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+template <class T>
+constexpr T clamp(T v, T lo, T hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+constexpr double sq(double v) noexcept { return v * v; }
+
+/// Fast atan approximation for x in [-1, 1].
+///
+/// Minimax-style polynomial (odd, degree 9); max abs error < 1.5e-5 rad,
+/// i.e. well under a hundredth of a pixel at any realistic focal length.
+/// Matches the precision/me-throughput trade a fixed-function datapath makes.
+[[nodiscard]] constexpr double fast_atan_unit(double x) noexcept {
+  // Coefficients fitted over [-1, 1] (Remez-like, from the classic
+  // Abramowitz-Stegun family refined to degree 9).
+  const double x2 = x * x;
+  return x * (0.99997726 +
+              x2 * (-0.33262347 +
+                    x2 * (0.19354346 +
+                          x2 * (-0.11643287 +
+                                x2 * (0.05265332 + x2 * -0.01172120)))));
+}
+
+/// Fast full-range atan: range-reduces |x| > 1 via atan(x) = pi/2 - atan(1/x).
+[[nodiscard]] constexpr double fast_atan(double x) noexcept {
+  const bool swap = x > 1.0 || x < -1.0;
+  const double xr = swap ? 1.0 / x : x;
+  double a = fast_atan_unit(xr);
+  if (swap) a = (x > 0.0 ? kHalfPi : -kHalfPi) - a;
+  return a;
+}
+
+/// Fast atan2 built on fast_atan; same error bound, full quadrant handling.
+[[nodiscard]] constexpr double fast_atan2(double y, double x) noexcept {
+  if (x == 0.0 && y == 0.0) return 0.0;
+  if (x == 0.0) return y > 0.0 ? kHalfPi : -kHalfPi;
+  const double a = fast_atan(y / x);
+  if (x > 0.0) return a;
+  return y >= 0.0 ? a + kPi : a - kPi;
+}
+
+/// Fast sine for x in [-pi, pi]; reduces to [-pi/2, pi/2] by symmetry, then
+/// a degree-7 odd polynomial. Max abs error ~2e-5 over the full domain.
+[[nodiscard]] constexpr double fast_sin(double x) noexcept {
+  if (x > kHalfPi) x = kPi - x;
+  if (x < -kHalfPi) x = -kPi - x;
+  const double x2 = x * x;
+  return x * (0.9999966 +
+              x2 * (-0.16664824 + x2 * (0.00830629 + x2 * -0.00018363)));
+}
+
+/// Linear interpolation.
+constexpr double lerp(double a, double b, double t) noexcept {
+  return a + t * (b - a);
+}
+
+/// True when |a - b| <= atol + rtol * |b|.
+[[nodiscard]] constexpr bool almost_equal(double a, double b,
+                                          double atol = 1e-12,
+                                          double rtol = 1e-9) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  const double mag = b > 0 ? b : -b;
+  return diff <= atol + rtol * mag;
+}
+
+}  // namespace fisheye::util

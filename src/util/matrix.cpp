@@ -1,0 +1,112 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+
+namespace fisheye::util {
+
+double Vec2::norm() const noexcept { return std::hypot(x, y); }
+
+double Vec3::norm() const noexcept { return std::sqrt(dot(*this)); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  FE_EXPECTS(n > 0.0);
+  return {x / n, y / n, z / n};
+}
+
+Mat3 Mat3::rot_x(double a) noexcept {
+  const double c = std::cos(a), s = std::sin(a);
+  return {1, 0, 0, 0, c, -s, 0, s, c};
+}
+
+Mat3 Mat3::rot_y(double a) noexcept {
+  const double c = std::cos(a), s = std::sin(a);
+  return {c, 0, s, 0, 1, 0, -s, 0, c};
+}
+
+Mat3 Mat3::rot_z(double a) noexcept {
+  const double c = std::cos(a), s = std::sin(a);
+  return {c, -s, 0, s, c, 0, 0, 0, 1};
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const noexcept {
+  Mat3 r{0, 0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+      r(i, j) = s;
+    }
+  return r;
+}
+
+double Mat3::det() const noexcept {
+  const Mat3& m = *this;
+  return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+         m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+         m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+MatX MatX::gram() const {
+  MatX g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r)
+        s += (*this)(r, i) * (*this)(r, j);
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  return g;
+}
+
+std::vector<double> MatX::mul_transposed(const std::vector<double>& b) const {
+  FE_EXPECTS(b.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += (*this)(r, c) * b[r];
+  return out;
+}
+
+std::vector<double> solve_spd(MatX a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  FE_EXPECTS(a.cols() == n && b.size() == n);
+
+  // In-place Cholesky: A = L L^T, lower triangle of `a` becomes L.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) throw InvalidArgument("solve_spd: matrix is not SPD");
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back substitution: L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a(k, ii) * b[k];
+    b[ii] = s / a(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> solve_least_squares(const MatX& a,
+                                        const std::vector<double>& b,
+                                        double lambda) {
+  MatX normal = a.gram();
+  for (std::size_t i = 0; i < normal.rows(); ++i)
+    normal(i, i) += lambda + 1e-12;  // tiny Tikhonov floor for stability
+  return solve_spd(std::move(normal), a.mul_transposed(b));
+}
+
+}  // namespace fisheye::util

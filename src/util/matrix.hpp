@@ -1,0 +1,130 @@
+// Small fixed-size vectors/matrices plus the tiny dense solver the
+// calibration module needs (normal equations + Cholesky). Self-contained on
+// purpose: the library has no external linear-algebra dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fisheye::util {
+
+/// 2-vector (image-plane points, map entries).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  [[nodiscard]] double norm() const noexcept;
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+};
+
+/// 3-vector (camera rays).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr double dot(Vec3 o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(Vec3 o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const noexcept;
+  [[nodiscard]] Vec3 normalized() const;
+  constexpr bool operator==(const Vec3&) const noexcept = default;
+};
+
+/// Row-major 3x3 matrix; enough rotation machinery for virtual PTZ views.
+class Mat3 {
+ public:
+  constexpr Mat3() noexcept : m_{{1, 0, 0, 0, 1, 0, 0, 0, 1}} {}
+  constexpr Mat3(double a, double b, double c, double d, double e, double f,
+                 double g, double h, double i) noexcept
+      : m_{{a, b, c, d, e, f, g, h, i}} {}
+
+  static constexpr Mat3 identity() noexcept { return Mat3{}; }
+  /// Rotation about +X (tilt), angle in radians.
+  static Mat3 rot_x(double a) noexcept;
+  /// Rotation about +Y (pan).
+  static Mat3 rot_y(double a) noexcept;
+  /// Rotation about +Z (roll).
+  static Mat3 rot_z(double a) noexcept;
+
+  constexpr double operator()(std::size_t r, std::size_t c) const noexcept {
+    return m_[r * 3 + c];
+  }
+  constexpr double& operator()(std::size_t r, std::size_t c) noexcept {
+    return m_[r * 3 + c];
+  }
+
+  [[nodiscard]] Mat3 operator*(const Mat3& o) const noexcept;
+  [[nodiscard]] constexpr Vec3 operator*(Vec3 v) const noexcept {
+    return {m_[0] * v.x + m_[1] * v.y + m_[2] * v.z,
+            m_[3] * v.x + m_[4] * v.y + m_[5] * v.z,
+            m_[6] * v.x + m_[7] * v.y + m_[8] * v.z};
+  }
+  [[nodiscard]] constexpr Mat3 transposed() const noexcept {
+    return {m_[0], m_[3], m_[6], m_[1], m_[4], m_[7], m_[2], m_[5], m_[8]};
+  }
+  [[nodiscard]] double det() const noexcept;
+
+ private:
+  std::array<double, 9> m_;
+};
+
+/// Dense row-major matrix of run-time size; only what Gauss-Newton needs.
+class MatX {
+ public:
+  MatX() = default;
+  MatX(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// A^T * A (the Gauss-Newton normal matrix).
+  [[nodiscard]] MatX gram() const;
+  /// A^T * b.
+  [[nodiscard]] std::vector<double> mul_transposed(
+      const std::vector<double>& b) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve the symmetric positive-definite system `A x = b` in place via
+/// Cholesky. Throws InvalidArgument if A is not SPD (pivot <= 0).
+std::vector<double> solve_spd(MatX a, std::vector<double> b);
+
+/// Solve a least-squares problem `min |A x - b|` via normal equations with
+/// optional Levenberg damping `lambda` added to the diagonal.
+std::vector<double> solve_least_squares(const MatX& a,
+                                        const std::vector<double>& b,
+                                        double lambda = 0.0);
+
+}  // namespace fisheye::util

@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace fisheye::util {
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * kPi * u2);
+}
+
+}  // namespace fisheye::util

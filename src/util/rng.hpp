@@ -1,0 +1,65 @@
+// Deterministic PRNG (xoshiro256++) for synthetic scenes and noise models.
+//
+// All randomness in the library flows through this type so that every test,
+// example and bench is reproducible bit-for-bit across runs and platforms;
+// std::mt19937 distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace fisheye::util {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+      t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact
+  /// enough for noise injection in calibration tests).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace fisheye::util

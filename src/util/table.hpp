@@ -1,0 +1,58 @@
+// Plain-text/markdown/CSV table formatting for the bench harness.
+//
+// Every reproduced table/figure is printed through this one writer so the
+// bench outputs share a uniform, machine-greppable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fisheye::util {
+
+/// Column-aligned table builder. Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(double v, int precision = 2);
+  Table& add(long long v);
+  Table& add(unsigned long long v);
+  Table& add(int v) { return add(static_cast<long long>(v)); }
+  Table& add(unsigned v) { return add(static_cast<unsigned long long>(v)); }
+  Table& add(std::size_t v) {
+    return add(static_cast<unsigned long long>(v));
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Render as a GitHub-style markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+  /// Render as RFC-4180-ish CSV (no quoting of commas needed for our cells,
+  /// but quotes are applied defensively when a cell contains ',' or '"').
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print markdown to `os` with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` digits after the point.
+std::string format_double(double v, int precision);
+
+}  // namespace fisheye::util

@@ -1,0 +1,68 @@
+#include "video/ptz_controller.hpp"
+
+#include "core/projection.hpp"
+#include "runtime/timer.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::video {
+
+PtzPose PtzPath::at(double t) const {
+  FE_EXPECTS(!keys.empty());
+  for (std::size_t i = 1; i < keys.size(); ++i)
+    FE_EXPECTS(keys[i].time_s > keys[i - 1].time_s);
+  if (t <= keys.front().time_s) return keys.front().pose;
+  if (t >= keys.back().time_s) return keys.back().pose;
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (t > keys[i].time_s) continue;
+    const Key& a = keys[i - 1];
+    const Key& b = keys[i];
+    const double u = (t - a.time_s) / (b.time_s - a.time_s);
+    return {util::lerp(a.pose.pan, b.pose.pan, u),
+            util::lerp(a.pose.tilt, b.pose.tilt, u),
+            util::lerp(a.pose.hfov, b.pose.hfov, u)};
+  }
+  return keys.back().pose;  // unreachable
+}
+
+VirtualPtz::VirtualPtz(const core::FisheyeCamera& camera, int out_width,
+                       int out_height)
+    : camera_(&camera), out_width_(out_width), out_height_(out_height) {
+  FE_EXPECTS(out_width > 0 && out_height > 0);
+  pose_ = {0.0, 0.0, util::deg_to_rad(60.0)};
+}
+
+void VirtualPtz::set_view(const PtzPose& pose) {
+  FE_EXPECTS(pose.hfov > 0.0 && pose.hfov < util::kPi);
+  if (pose == pose_) return;
+  pose_ = pose;
+  map_.reset();  // rebuild lazily
+}
+
+void VirtualPtz::ensure_map() const {
+  if (map_.has_value()) {
+    last_rebuild_ms_ = 0.0;
+    return;
+  }
+  const rt::Stopwatch sw;
+  const core::PerspectiveView view = core::PerspectiveView::ptz(
+      out_width_, out_height_, pose_.pan, pose_.tilt, pose_.hfov);
+  map_ = core::build_map(*camera_, view);
+  last_rebuild_ms_ = sw.elapsed_ms();
+  ++rebuilds_;
+}
+
+const core::WarpMap& VirtualPtz::map() const {
+  ensure_map();
+  return *map_;
+}
+
+void VirtualPtz::render(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const core::RemapOptions& opts) const {
+  FE_EXPECTS(dst.width == out_width_ && dst.height == out_height_);
+  ensure_map();
+  core::remap_rect(src, dst, *map_, {0, 0, out_width_, out_height_}, opts);
+}
+
+}  // namespace fisheye::video

@@ -1,0 +1,79 @@
+// Virtual PTZ controller: a steerable perspective view into a fisheye
+// stream, with lazy map regeneration.
+//
+// An operator (or an automated tour) changes pan/tilt/zoom at UI rate while
+// frames arrive at video rate; regenerating the warp map is the expensive
+// step (tens of ms at 1080p), so the controller rebuilds it only when the
+// view actually changed and exposes the cost so pipelines can budget it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/camera.hpp"
+#include "core/mapping.hpp"
+#include "core/remap.hpp"
+
+namespace fisheye::video {
+
+/// One PTZ pose (radians).
+struct PtzPose {
+  double pan = 0.0;
+  double tilt = 0.0;
+  double hfov = 1.0;
+
+  bool operator==(const PtzPose&) const = default;
+};
+
+/// Piecewise-linear PTZ tour through timed keyframes.
+struct PtzPath {
+  struct Key {
+    double time_s = 0.0;
+    PtzPose pose;
+  };
+  std::vector<Key> keys;
+
+  /// Pose at time `t` (clamped to the first/last keyframe). Keyframes must
+  /// be in strictly increasing time order.
+  [[nodiscard]] PtzPose at(double t) const;
+};
+
+class VirtualPtz {
+ public:
+  /// `camera` must outlive the controller; output is out_w x out_h.
+  VirtualPtz(const core::FisheyeCamera& camera, int out_width,
+             int out_height);
+
+  /// Set the current view; the map rebuild is deferred to the next render
+  /// (or map()) and skipped entirely when the pose is unchanged.
+  void set_view(const PtzPose& pose);
+
+  /// Warp map for the current pose (builds it if stale).
+  [[nodiscard]] const core::WarpMap& map() const;
+
+  /// Render the current view of `src` into `dst` (bilinear by default).
+  void render(img::ConstImageView<std::uint8_t> src,
+              img::ImageView<std::uint8_t> dst,
+              const core::RemapOptions& opts = {}) const;
+
+  [[nodiscard]] const PtzPose& pose() const noexcept { return pose_; }
+  /// Milliseconds spent in the most recent map rebuild (0 if cached).
+  [[nodiscard]] double last_rebuild_ms() const noexcept {
+    return last_rebuild_ms_;
+  }
+  /// Total rebuilds since construction.
+  [[nodiscard]] int rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  void ensure_map() const;
+
+  const core::FisheyeCamera* camera_;
+  int out_width_;
+  int out_height_;
+  PtzPose pose_;
+  mutable std::optional<core::WarpMap> map_;
+  mutable double last_rebuild_ms_ = 0.0;
+  mutable int rebuilds_ = 0;
+};
+
+}  // namespace fisheye::video

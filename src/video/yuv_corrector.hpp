@@ -1,0 +1,48 @@
+// YUV-native correction.
+//
+// Cameras of the study's era delivered YUV 4:2:0; converting to RGB just to
+// remap and converting back doubles the per-frame cost. The production path
+// corrects the planes directly: the luma plane with the full-resolution
+// map, both chroma planes with a half-resolution map derived from the same
+// camera geometry. Chroma siting follows the 4:2:0 convention (a chroma
+// sample sits between its four luma samples), handled by the half-pixel
+// offsets in decimate_map.
+#pragma once
+
+#include "core/corrector.hpp"
+#include "image/convert.hpp"
+
+namespace fisheye::video {
+
+/// Derive the map for a plane subsampled `factor`x in both directions from
+/// the full-resolution map: out pixel (x, y) of the small plane corresponds
+/// to full-res position (factor*x + (factor-1)/2), and source coordinates
+/// scale down the same way. Exposed for tests.
+core::WarpMap decimate_map(const core::WarpMap& full, int factor);
+
+/// Corrects Yuv420 frames in place of the RGB path. Build once, then
+/// correct_frame per frame on any Backend.
+class YuvCorrector {
+ public:
+  /// `config` describes the *luma* geometry (as Corrector). Width/height
+  /// must be even.
+  explicit YuvCorrector(const core::CorrectorConfig& config);
+
+  /// Correct all three planes of `in` into a fresh frame.
+  [[nodiscard]] img::Yuv420 correct_frame(const img::Yuv420& in,
+                                          core::Backend& backend) const;
+
+  [[nodiscard]] const core::WarpMap& luma_map() const noexcept {
+    return *luma_.map();
+  }
+  [[nodiscard]] const core::WarpMap& chroma_map() const noexcept {
+    return chroma_map_;
+  }
+
+ private:
+  core::Corrector luma_;
+  core::WarpMap chroma_map_;
+  core::RemapOptions opts_;
+};
+
+}  // namespace fisheye::video

@@ -1,0 +1,140 @@
+// Brown-Conrady polynomial model: forward/inverse consistency, fitting
+// against exact lens models, and the edge-error growth that motivates the
+// exact pipeline (T3's property, asserted qualitatively here).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brown_conrady.hpp"
+#include "core/lens_model.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+namespace {
+
+TEST(BrownConrady, ZeroCoefficientsIsIdentity) {
+  const BrownConrady bc({}, 100.0);
+  const util::Vec2 p{0.3, -0.7};
+  const util::Vec2 d = bc.distort_normalized(p);
+  EXPECT_DOUBLE_EQ(d.x, p.x);
+  EXPECT_DOUBLE_EQ(d.y, p.y);
+  EXPECT_DOUBLE_EQ(bc.distort_radius(0.5), 0.5);
+}
+
+TEST(BrownConrady, RadialInverseRoundTrip) {
+  const BrownConrady bc({-0.2, 0.05, -0.01, 0.0, 0.0}, 100.0);
+  for (double r = 0.0; r <= 1.2; r += 0.05) {
+    const double rd = bc.distort_radius(r);
+    EXPECT_NEAR(bc.undistort_radius(rd), r, 1e-9) << "r=" << r;
+  }
+}
+
+TEST(BrownConrady, NormalizedInverseRoundTripWithTangential) {
+  const BrownConrady bc({-0.15, 0.02, 0.0, 1e-3, -5e-4}, 100.0);
+  for (double a = 0.0; a < 6.28; a += 0.37) {
+    const util::Vec2 u{0.6 * std::cos(a), 0.6 * std::sin(a)};
+    const util::Vec2 d = bc.distort_normalized(u);
+    const util::Vec2 back = bc.undistort_normalized(d);
+    EXPECT_NEAR(back.x, u.x, 1e-8);
+    EXPECT_NEAR(back.y, u.y, 1e-8);
+  }
+}
+
+TEST(BrownConrady, PixelFormsAreConsistentWithNormalized) {
+  const BrownConrady bc({-0.1, 0.0, 0.0, 0.0, 0.0}, 200.0);
+  const util::Vec2 centre{320.0, 240.0};
+  const util::Vec2 px{420.0, 180.0};
+  const util::Vec2 d = bc.distort_pixel(px, centre);
+  const util::Vec2 back = bc.undistort_pixel(d, centre);
+  EXPECT_NEAR(back.x, px.x, 1e-6);
+  EXPECT_NEAR(back.y, px.y, 1e-6);
+  // Barrel distortion pulls points toward the centre.
+  EXPECT_LT(std::hypot(d.x - centre.x, d.y - centre.y),
+            std::hypot(px.x - centre.x, px.y - centre.y));
+}
+
+TEST(BrownConrady, UndistortZeroRadius) {
+  const BrownConrady bc({-0.2, 0.0, 0.0, 0.0, 0.0}, 100.0);
+  EXPECT_DOUBLE_EQ(bc.undistort_radius(0.0), 0.0);
+}
+
+TEST(BrownConrady, InvalidFocalViolatesContract) {
+  EXPECT_THROW(BrownConrady({}, 0.0), fisheye::InvalidArgument);
+}
+
+TEST(Fit, ReproducesEquidistantAtModerateAngles) {
+  const auto lens = make_lens(LensKind::Equidistant, 300.0);
+  const double max_theta = util::deg_to_rad(50.0);
+  const BrownConrady bc = fit_brown_conrady(*lens, max_theta);
+  // Compare distorted radii over the fitted range: sub-half-pixel.
+  double worst = 0.0;
+  for (int i = 1; i <= 40; ++i) {
+    const double theta = max_theta * i / 40.0;
+    const double exact = lens->radius_from_theta(theta);
+    const double approx =
+        bc.distort_radius(std::tan(theta)) * lens->focal();
+    worst = std::max(worst, std::abs(exact - approx));
+  }
+  EXPECT_LT(worst, 0.5);
+}
+
+TEST(Fit, CoefficientsAreNegativeForBarrel) {
+  // Equidistant compresses relative to pinhole -> leading k1 < 0.
+  const auto lens = make_lens(LensKind::Equidistant, 300.0);
+  const BrownConrady bc =
+      fit_brown_conrady(*lens, util::deg_to_rad(60.0));
+  EXPECT_LT(bc.coeffs().k1, 0.0);
+  EXPECT_DOUBLE_EQ(bc.coeffs().p1, 0.0);
+  EXPECT_DOUBLE_EQ(bc.coeffs().p2, 0.0);
+}
+
+TEST(Fit, EdgeErrorGrowsWithFieldOfView) {
+  // The motivating T3 shape: the polynomial fit's worst-case radial error
+  // (in pixels, over its own fitted range) grows steeply as the fitted
+  // field of view widens.
+  const auto lens = make_lens(LensKind::Equidistant, 300.0);
+  auto worst_error = [&](double max_theta_deg) {
+    const double max_theta = util::deg_to_rad(max_theta_deg);
+    const BrownConrady bc = fit_brown_conrady(*lens, max_theta);
+    double worst = 0.0;
+    for (int i = 1; i <= 100; ++i) {
+      const double theta = max_theta * i / 100.0;
+      const double exact = lens->radius_from_theta(theta);
+      const double approx =
+          bc.distort_radius(std::tan(theta)) * lens->focal();
+      worst = std::max(worst, std::abs(exact - approx));
+    }
+    return worst;
+  };
+  const double e40 = worst_error(40.0);
+  const double e60 = worst_error(60.0);
+  const double e80 = worst_error(80.0);
+  EXPECT_LT(e40, e60);
+  EXPECT_LT(e60, e80);
+  EXPECT_GT(e80, 10.0 * e40);  // steep growth, not linear drift
+}
+
+TEST(Fit, WorksForOtherModels) {
+  for (const LensKind kind :
+       {LensKind::Equisolid, LensKind::Orthographic, LensKind::Stereographic}) {
+    const auto lens = make_lens(kind, 250.0);
+    const BrownConrady bc =
+        fit_brown_conrady(*lens, util::deg_to_rad(45.0));
+    const double theta = util::deg_to_rad(30.0);
+    const double exact = lens->radius_from_theta(theta);
+    const double approx = bc.distort_radius(std::tan(theta)) * lens->focal();
+    EXPECT_NEAR(approx, exact, 0.5) << lens_kind_name(kind);
+  }
+}
+
+TEST(Fit, RejectsInvalidRange) {
+  const auto lens = make_lens(LensKind::Equidistant, 300.0);
+  EXPECT_THROW(fit_brown_conrady(*lens, util::kHalfPi),
+               fisheye::InvalidArgument);  // tan singularity
+  EXPECT_THROW(fit_brown_conrady(*lens, 0.5, 4),
+               fisheye::InvalidArgument);  // too few samples
+}
+
+}  // namespace
+}  // namespace fisheye::core

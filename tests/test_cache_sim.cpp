@@ -1,0 +1,110 @@
+// Block-cache simulator: hit/miss semantics, LRU, footprint accounting.
+#include <gtest/gtest.h>
+
+#include "accel/cache_sim.hpp"
+
+namespace fisheye::accel {
+namespace {
+
+BlockCacheConfig small_cache() {
+  BlockCacheConfig c;
+  c.block_w = 8;
+  c.block_h = 4;
+  c.sets = 4;
+  c.ways = 2;
+  return c;
+}
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  BlockCache cache(small_cache());
+  EXPECT_FALSE(cache.access(3, 2));
+  EXPECT_TRUE(cache.access(3, 2));
+  EXPECT_TRUE(cache.access(7, 3));  // same 8x4 block
+  EXPECT_FALSE(cache.access(8, 0));  // next block over
+  EXPECT_EQ(cache.accesses(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(Cache, SequentialScanHitRateMatchesBlockGeometry) {
+  // Raster scan of a 64x16 region with 8x4 blocks: one miss per block,
+  // 32 blocks, 1024 accesses -> hit rate 1 - 32/1024.
+  BlockCacheConfig cfg;
+  cfg.block_w = 8;
+  cfg.block_h = 4;
+  cfg.sets = 64;  // large enough to avoid conflict misses across a band
+  cfg.ways = 4;
+  BlockCache cache(cfg);
+  for (int y = 0; y < 4; ++y)  // one block row at a time stays resident
+    for (int x = 0; x < 64; ++x) cache.access(x, y);
+  for (int y = 4; y < 8; ++y)
+    for (int x = 0; x < 64; ++x) cache.access(x, y);
+  EXPECT_EQ(cache.misses(), 16u);
+  EXPECT_EQ(cache.accesses(), 512u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 1 set x 2 ways: third distinct block evicts the older one.
+  BlockCacheConfig cfg;
+  cfg.block_w = 8;
+  cfg.block_h = 8;
+  cfg.sets = 1;
+  cfg.ways = 2;
+  BlockCache cache(cfg);
+  cache.access(0, 0);    // block A miss
+  cache.access(8, 0);    // block B miss
+  cache.access(0, 0);    // A hit (B becomes LRU)
+  cache.access(16, 0);   // block C miss, evicts B
+  EXPECT_TRUE(cache.access(0, 0));    // A still resident
+  EXPECT_FALSE(cache.access(8, 0));   // B was evicted
+}
+
+TEST(Cache, FlushEmptiesTags) {
+  BlockCache cache(small_cache());
+  cache.access(0, 0);
+  EXPECT_TRUE(cache.access(0, 0));
+  cache.flush();
+  EXPECT_FALSE(cache.access(0, 0));
+}
+
+TEST(Cache, FootprintCountsSplitAccesses) {
+  BlockCache cache(small_cache());
+  // Interior of a block: footprint = 1 access.
+  EXPECT_EQ(cache.access_footprint(2, 1), 1);  // cold: 1 miss
+  EXPECT_EQ(cache.access_footprint(2, 1), 0);  // warm
+  // Corner spanning 4 blocks: (7,3) footprint touches (8,3),(7,4),(8,4).
+  BlockCache cold(small_cache());
+  EXPECT_EQ(cold.access_footprint(7, 3), 4);
+  EXPECT_EQ(cold.accesses(), 4u);
+}
+
+TEST(Cache, CapacityPixels) {
+  EXPECT_EQ(small_cache().capacity_pixels(), 8u * 4u * 4u * 2u);
+}
+
+TEST(Cache, NonPow2GeometryViolatesContract) {
+  BlockCacheConfig cfg = small_cache();
+  cfg.block_w = 6;
+  EXPECT_THROW(BlockCache{cfg}, fisheye::InvalidArgument);
+  cfg = small_cache();
+  cfg.sets = 5;
+  EXPECT_THROW(BlockCache{cfg}, fisheye::InvalidArgument);
+}
+
+TEST(Cache, ThrashingPatternMissesEveryTime) {
+  // Direct-mapped single set, alternating between two conflicting blocks.
+  BlockCacheConfig cfg;
+  cfg.block_w = 8;
+  cfg.block_h = 8;
+  cfg.sets = 1;
+  cfg.ways = 1;
+  BlockCache cache(cfg);
+  for (int i = 0; i < 10; ++i) {
+    cache.access(0, 0);
+    cache.access(8, 0);
+  }
+  EXPECT_EQ(cache.misses(), 20u);
+}
+
+}  // namespace
+}  // namespace fisheye::accel

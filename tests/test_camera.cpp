@@ -1,0 +1,138 @@
+// FisheyeCamera projection/back-projection tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/camera.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+namespace {
+
+using util::kPi;
+using util::Vec2;
+using util::Vec3;
+
+class CameraSweep : public ::testing::TestWithParam<LensKind> {};
+
+TEST_P(CameraSweep, ProjectUnprojectRoundTrip) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(GetParam(), util::deg_to_rad(170.0), 640, 480);
+  // Rays across the field (stay inside each model's domain).
+  const double max_theta =
+      std::min(cam.lens().max_theta() * 0.9, util::deg_to_rad(84.0));
+  for (int i = 0; i <= 20; ++i) {
+    const double theta = max_theta * i / 20.0;
+    for (int j = 0; j < 8; ++j) {
+      const double phi = 2.0 * kPi * j / 8.0;
+      const Vec3 ray{std::sin(theta) * std::cos(phi),
+                     std::sin(theta) * std::sin(phi), std::cos(theta)};
+      const Vec2 px = cam.project(ray);
+      const Vec3 back = cam.unproject(px);
+      EXPECT_NEAR(back.x, ray.x, 1e-9);
+      EXPECT_NEAR(back.y, ray.y, 1e-9);
+      EXPECT_NEAR(back.z, ray.z, 1e-9);
+    }
+  }
+}
+
+TEST_P(CameraSweep, UnprojectProjectRoundTripInsideCircle) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(GetParam(), util::deg_to_rad(150.0), 512, 512);
+  const double circle = cam.lens().image_circle_radius(util::deg_to_rad(150.0));
+  for (int i = 0; i < 50; ++i) {
+    const double r = circle * 0.95 * i / 50.0;
+    const double a = 0.37 * i;
+    const Vec2 px{cam.cx() + r * std::cos(a), cam.cy() + r * std::sin(a)};
+    const Vec2 back = cam.project(cam.unproject(px));
+    EXPECT_NEAR(back.x, px.x, 1e-8);
+    EXPECT_NEAR(back.y, px.y, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CameraSweep,
+                         ::testing::Values(LensKind::Equidistant,
+                                           LensKind::Equisolid,
+                                           LensKind::Orthographic,
+                                           LensKind::Stereographic),
+                         [](const auto& info) {
+                           return std::string(lens_kind_name(info.param));
+                         });
+
+TEST(Camera, OpticalAxisHitsPrincipalPoint) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equidistant, kPi, 640, 480);
+  const Vec2 px = cam.project({0.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(px.x, cam.cx());
+  EXPECT_DOUBLE_EQ(px.y, cam.cy());
+  EXPECT_NEAR(cam.cx(), 319.5, 1e-12);
+  EXPECT_NEAR(cam.cy(), 239.5, 1e-12);
+}
+
+TEST(Camera, CentredCircleInscribedInShortDimension) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equidistant, kPi, 640, 480);
+  // A ray at 90 degrees (the fov edge) lands exactly 240 px from centre.
+  const Vec2 px = cam.project({1.0, 0.0, 0.0});
+  EXPECT_NEAR(px.x - cam.cx(), 240.0, 1e-9);
+}
+
+TEST(Camera, ProjectionIsRadiallySymmetric) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equisolid, kPi, 512, 512);
+  const double theta = util::deg_to_rad(55.0);
+  const Vec3 a{std::sin(theta), 0.0, std::cos(theta)};
+  const Vec3 b{0.0, std::sin(theta), std::cos(theta)};
+  const Vec2 pa = cam.project(a);
+  const Vec2 pb = cam.project(b);
+  EXPECT_NEAR(pa.x - cam.cx(), pb.y - cam.cy(), 1e-9);
+  EXPECT_NEAR(pa.y - cam.cy(), 0.0, 1e-9);
+  EXPECT_NEAR(pb.x - cam.cx(), 0.0, 1e-9);
+}
+
+TEST(Camera, ScaleInvariantInRayLength) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equidistant, kPi, 640, 480);
+  const Vec3 ray{0.3, -0.2, 0.8};
+  const Vec2 a = cam.project(ray);
+  const Vec2 b = cam.project(ray * 7.5);
+  EXPECT_NEAR(a.x, b.x, 1e-9);
+  EXPECT_NEAR(a.y, b.y, 1e-9);
+}
+
+TEST(Camera, BehindLensSaturatesMonotonically) {
+  // Orthographic max_theta = pi/2; rays beyond must land strictly farther
+  // out than the image circle, monotonically in angle.
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Orthographic, kPi * 0.999, 512, 512);
+  const double circle = (cam.project({1.0, 0.0, 1e-9}).x - cam.cx());
+  double prev = circle;
+  for (double extra = 0.1; extra < 1.0; extra += 0.1) {
+    const double theta = util::kHalfPi + extra;
+    const Vec2 px = cam.project({std::sin(theta), 0.0, std::cos(theta)});
+    const double r = px.x - cam.cx();
+    EXPECT_GT(r, prev - 1e-12);
+    prev = r;
+  }
+}
+
+TEST(Camera, UnprojectCentreIsForward) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equidistant, kPi, 100, 100);
+  const Vec3 ray = cam.unproject({cam.cx(), cam.cy()});
+  EXPECT_DOUBLE_EQ(ray.x, 0.0);
+  EXPECT_DOUBLE_EQ(ray.y, 0.0);
+  EXPECT_DOUBLE_EQ(ray.z, 1.0);
+}
+
+TEST(Camera, UnprojectReturnsUnitRays) {
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equisolid, kPi, 256, 256);
+  for (int i = 0; i < 20; ++i) {
+    const Vec2 px{13.0 * i, 7.0 * i};
+    EXPECT_NEAR(cam.unproject(px).norm(), 1.0, 1e-12) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fisheye::core

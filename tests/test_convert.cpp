@@ -1,0 +1,129 @@
+// Pixel-format conversion tests.
+#include <gtest/gtest.h>
+
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "image/synth.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::img {
+namespace {
+
+Image8 random_rgb(int w, int h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Image8 im(w, h, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w * 3; ++x)
+      im.row(y)[x] = static_cast<std::uint8_t>(rng.next_below(256));
+  return im;
+}
+
+TEST(Convert, GrayOfGrayRgbIsIdentity) {
+  // Gray pixels replicated into RGB must convert back to the same gray
+  // (the BT.601 coefficients sum to exactly 2^16).
+  Image8 gray(16, 16, 1);
+  util::Rng rng(3);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      gray.at(x, y) = static_cast<std::uint8_t>(rng.next_below(256));
+  const Image8 rgb = gray_to_rgb(gray.view());
+  const Image8 back = rgb_to_gray(rgb.view());
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(gray.view(), back.view()));
+}
+
+TEST(Convert, GrayWeightsFavourGreen) {
+  Image8 r(1, 1, 3), g(1, 1, 3), b(1, 1, 3);
+  r.at(0, 0, 0) = 255;
+  g.at(0, 0, 1) = 255;
+  b.at(0, 0, 2) = 255;
+  const int yr = rgb_to_gray(r.view()).at(0, 0);
+  const int yg = rgb_to_gray(g.view()).at(0, 0);
+  const int yb = rgb_to_gray(b.view()).at(0, 0);
+  EXPECT_GT(yg, yr);
+  EXPECT_GT(yr, yb);
+  EXPECT_NEAR(yr, 76, 1);   // 0.299 * 255
+  EXPECT_NEAR(yg, 150, 1);  // 0.587 * 255
+  EXPECT_NEAR(yb, 29, 1);   // 0.114 * 255
+}
+
+class Yuv420RoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Yuv420RoundTrip, LumaIsPreservedExactlyOnGrayContent) {
+  const auto [w, h] = GetParam();
+  Image8 gray(w, h, 1);
+  util::Rng rng(9);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      gray.at(x, y) = static_cast<std::uint8_t>(rng.next_below(256));
+  const Image8 rgb = gray_to_rgb(gray.view());
+  const Yuv420 yuv = rgb_to_yuv420(rgb.view());
+  // Gray content has neutral chroma and exact luma.
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(gray.view(), yuv.y.view()));
+  const Image8 back = yuv420_to_rgb(yuv);
+  EXPECT_LE(max_abs_diff(rgb.view(), back.view()), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Yuv420RoundTrip,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{16, 8},
+                                           std::tuple{64, 64},
+                                           std::tuple{34, 18}));
+
+TEST(Convert, Yuv420PlaneShapes) {
+  const Image8 rgb = random_rgb(32, 24, 1);
+  const Yuv420 yuv = rgb_to_yuv420(rgb.view());
+  EXPECT_EQ(yuv.y.width(), 32);
+  EXPECT_EQ(yuv.u.width(), 16);
+  EXPECT_EQ(yuv.v.height(), 12);
+}
+
+TEST(Convert, Yuv420RoundTripCloseOnColor) {
+  // 4:2:0 chroma subsampling loses information; on smooth color content the
+  // round trip stays visually lossless (PSNR > 30 dB).
+  const Image8 rgb = make_scene_rgb(128, 96, 0.5);
+  const Image8 back = yuv420_to_rgb(rgb_to_yuv420(rgb.view()));
+  EXPECT_GT(psnr(rgb.view(), back.view()), 30.0);
+}
+
+TEST(Convert, Yuv420OddSizeViolatesContract) {
+  Image8 odd(15, 16, 3);
+  EXPECT_THROW(rgb_to_yuv420(odd.view()), InvalidArgument);
+}
+
+TEST(Convert, YuyvRoundTripShapeAndQuality) {
+  const Image8 rgb = make_scene_rgb(64, 32, 0.0);
+  const auto stream = rgb_to_yuyv(rgb.view());
+  EXPECT_EQ(stream.size(), 64u * 32u * 2u);
+  const Image8 back = yuyv_to_rgb(stream, 64, 32);
+  EXPECT_GT(psnr(rgb.view(), back.view()), 28.0);
+}
+
+TEST(Convert, YuyvExactOnGray) {
+  Image8 gray(8, 4, 1);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 8; ++x)
+      gray.at(x, y) = static_cast<std::uint8_t>(x * 30 + y);
+  const Image8 rgb = gray_to_rgb(gray.view());
+  const Image8 back = yuyv_to_rgb(rgb_to_yuyv(rgb.view()), 8, 4);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(rgb.view(), back.view()));
+}
+
+TEST(Convert, YuyvContracts) {
+  Image8 rgb(8, 4, 3);
+  std::vector<std::uint8_t> stream = rgb_to_yuyv(rgb.view());
+  stream.pop_back();
+  EXPECT_THROW(yuyv_to_rgb(stream, 8, 4), InvalidArgument);
+  Image8 odd(7, 4, 3);
+  EXPECT_THROW(rgb_to_yuyv(odd.view()), InvalidArgument);
+}
+
+TEST(Convert, WrongChannelCountsViolateContracts) {
+  Image8 gray(8, 8, 1);
+  Image8 rgb(8, 8, 3);
+  EXPECT_THROW(rgb_to_gray(gray.view()), InvalidArgument);
+  EXPECT_THROW(gray_to_rgb(rgb.view()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye::img

@@ -1,0 +1,132 @@
+// FPGA streaming platform: functional equivalence with the packed CPU
+// kernel, cycle model sanity, cache-geometry sensitivity.
+#include <gtest/gtest.h>
+
+#include "accel/fpga_platform.hpp"
+#include "core/corrector.hpp"
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+#include "image/synth.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::accel {
+namespace {
+
+using util::deg_to_rad;
+
+struct Env {
+  core::FisheyeCamera cam;
+  core::PerspectiveView view;
+  core::WarpMap map;
+  core::PackedMap packed;
+  img::Image8 src;
+
+  explicit Env(int w, int h)
+      : cam(core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                          deg_to_rad(180.0), w, h)),
+        view(w, h, cam.lens().focal()),
+        map(core::build_map(cam, view)),
+        packed(core::pack_map(map, w, h, 14)),
+        src(img::make_rings(w, h, 7)) {}
+};
+
+TEST(FpgaPlatform, OutputMatchesPackedKernelBitExact) {
+  const Env s(160, 120);
+  FpgaPlatform platform(s.packed, FpgaConfig{});
+  img::Image8 out(160, 120, 1), ref(160, 120, 1);
+  platform.run_frame(s.src.view(), out.view(), 0);
+  core::remap_packed_rect(s.src.view(), ref.view(), s.packed,
+                          {0, 0, 160, 120}, 0);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out.view()));
+}
+
+TEST(FpgaPlatform, CyclesAtLeastOnePerPixel) {
+  const Env s(160, 120);
+  FpgaPlatform platform(s.packed, FpgaConfig{});
+  img::Image8 out(160, 120, 1);
+  const AccelFrameStats stats = platform.run_frame(s.src.view(), out.view(), 0);
+  EXPECT_GE(stats.cycles, 160.0 * 120.0);
+  EXPECT_GT(stats.fps, 0.0);
+  EXPECT_LE(stats.utilization, 1.0);
+}
+
+TEST(FpgaPlatform, GenerousCacheYieldsHighHitRate) {
+  const Env s(320, 240);
+  FpgaConfig config;  // default 64-set 4-way 32x8 blocks = 64K pixels
+  FpgaPlatform platform(s.packed, config);
+  img::Image8 out(320, 240, 1);
+  const AccelFrameStats stats = platform.run_frame(s.src.view(), out.view(), 0);
+  EXPECT_GT(stats.cache_hit_rate(), 0.95);
+}
+
+TEST(FpgaPlatform, TinyCacheDegradesThroughput) {
+  const Env s(320, 240);
+  FpgaConfig big;
+  FpgaConfig tiny;
+  tiny.cache.block_w = 8;
+  tiny.cache.block_h = 2;
+  tiny.cache.sets = 2;
+  tiny.cache.ways = 1;
+  img::Image8 out(320, 240, 1);
+  FpgaPlatform pb(s.packed, big);
+  FpgaPlatform pt(s.packed, tiny);
+  const AccelFrameStats sb = pb.run_frame(s.src.view(), out.view(), 0);
+  const AccelFrameStats st = pt.run_frame(s.src.view(), out.view(), 0);
+  EXPECT_GT(st.cache_misses, sb.cache_misses * 10);
+  EXPECT_LT(st.fps, sb.fps);
+}
+
+TEST(FpgaPlatform, FpsScalesWithClock) {
+  const Env s(160, 120);
+  FpgaConfig slow, fast;
+  slow.cost.clock_hz = 100e6;
+  fast.cost.clock_hz = 200e6;
+  img::Image8 out(160, 120, 1);
+  const double fps_slow =
+      FpgaPlatform(s.packed, slow).run_frame(s.src.view(), out.view(), 0).fps;
+  const double fps_fast =
+      FpgaPlatform(s.packed, fast).run_frame(s.src.view(), out.view(), 0).fps;
+  EXPECT_NEAR(fps_fast / fps_slow, 2.0, 1e-9);
+}
+
+TEST(FpgaPlatform, MissPenaltyRaisesCycles) {
+  const Env s(160, 120);
+  FpgaConfig cheap, dear;
+  cheap.cost.miss_penalty_cycles = 0.0;
+  dear.cost.miss_penalty_cycles = 100.0;
+  img::Image8 out(160, 120, 1);
+  const double c0 =
+      FpgaPlatform(s.packed, cheap).run_frame(s.src.view(), out.view(), 0).cycles;
+  const double c1 =
+      FpgaPlatform(s.packed, dear).run_frame(s.src.view(), out.view(), 0).cycles;
+  EXPECT_GT(c1, c0);
+}
+
+TEST(FpgaPlatform, InvalidPixelsSkipCacheAccesses) {
+  // The synthesis map of a 180-degree lens has invalid corners; those emit
+  // fill without touching the cache.
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, deg_to_rad(180.0), 160, 120);
+  const core::WarpMap synth =
+      core::build_synthesis_map(cam, 320, 240, 80.0, 160, 120);
+  const core::PackedMap packed = core::pack_map(synth, 320, 240, 14);
+  std::size_t invalid = 0;
+  for (std::int32_t v : packed.fx) invalid += v == core::PackedMap::kInvalid;
+  ASSERT_GT(invalid, 0u);
+  img::Image8 src(320, 240, 1), out(160, 120, 1);
+  FpgaPlatform platform(packed, FpgaConfig{});
+  const AccelFrameStats stats = platform.run_frame(src.view(), out.view(), 0);
+  EXPECT_LT(stats.cache_accesses, 4u * 160u * 120u);
+}
+
+TEST(FpgaPlatform, DimensionMismatchViolatesContract) {
+  const Env s(64, 64);
+  FpgaPlatform platform(s.packed, FpgaConfig{});
+  img::Image8 src(64, 64, 1);
+  img::Image8 wrong(32, 32, 1);
+  EXPECT_THROW(platform.run_frame(src.view(), wrong.view(), 0),
+               fisheye::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye::accel

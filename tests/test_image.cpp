@@ -1,0 +1,137 @@
+// Unit tests for image containers, views, and border policies.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "image/border.hpp"
+#include "image/image.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::img {
+namespace {
+
+TEST(Image, AllocatesPaddedAlignedRows) {
+  Image8 im(100, 10, 3);
+  EXPECT_EQ(im.width(), 100);
+  EXPECT_EQ(im.height(), 10);
+  EXPECT_EQ(im.channels(), 3);
+  // Pitch must cover the payload and be 64-byte aligned in bytes.
+  EXPECT_GE(im.pitch(), 300u);
+  EXPECT_EQ((im.pitch() * sizeof(std::uint8_t)) % 64, 0u);
+  for (int y = 0; y < im.height(); ++y)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(im.row(y)) % 64, 0u);
+}
+
+TEST(Image, ZeroInitialized) {
+  Image8 im(33, 7, 1);
+  for (int y = 0; y < 7; ++y)
+    for (int x = 0; x < 33; ++x) EXPECT_EQ(im.at(x, y), 0);
+}
+
+TEST(Image, FillAndAt) {
+  Image8 im(5, 4, 2);
+  im.fill(9);
+  EXPECT_EQ(im.at(4, 3, 1), 9);
+  im.at(2, 1, 0) = 77;
+  EXPECT_EQ(im.at(2, 1, 0), 77);
+  EXPECT_EQ(im.at(2, 1, 1), 9);
+}
+
+TEST(Image, CloneIsDeep) {
+  Image8 a(8, 8, 1);
+  a.fill(5);
+  Image8 b = a.clone();
+  b.at(0, 0) = 200;
+  EXPECT_EQ(a.at(0, 0), 5);
+  EXPECT_EQ(b.at(0, 0), 200);
+}
+
+TEST(Image, PayloadBytesExcludesPadding) {
+  Image8 im(10, 10, 3);
+  EXPECT_EQ(im.payload_bytes(), 300u);
+}
+
+TEST(Image, InvalidDimensionsViolateContract) {
+  EXPECT_THROW(Image8(0, 5, 1), InvalidArgument);
+  EXPECT_THROW(Image8(5, -1, 1), InvalidArgument);
+  EXPECT_THROW(Image8(5, 5, 0), InvalidArgument);
+  EXPECT_THROW(Image8(5, 5, 5), InvalidArgument);
+}
+
+TEST(ImageView, RowSubviewSharesStorage) {
+  Image8 im(6, 6, 1);
+  ImageView<std::uint8_t> v = im.view().rows(2, 3);
+  EXPECT_EQ(v.height, 3);
+  v.at(0, 0) = 42;  // row 2 of the parent
+  EXPECT_EQ(im.at(0, 2), 42);
+}
+
+TEST(ImageView, ConstConversion) {
+  Image8 im(4, 4, 1);
+  ImageView<std::uint8_t> v = im.view();
+  ConstImageView<std::uint8_t> cv = v;  // implicit, like span
+  EXPECT_EQ(cv.width, 4);
+  EXPECT_EQ(cv.row(1), im.row(1));
+}
+
+TEST(ImageView, Contains) {
+  Image8 im(4, 3, 1);
+  const auto v = im.view();
+  EXPECT_TRUE(v.contains(0, 0));
+  EXPECT_TRUE(v.contains(3, 2));
+  EXPECT_FALSE(v.contains(4, 0));
+  EXPECT_FALSE(v.contains(0, 3));
+  EXPECT_FALSE(v.contains(-1, 0));
+}
+
+TEST(EqualPixels, DetectsDifferenceAndShapeMismatch) {
+  Image8 a(5, 5, 1), b(5, 5, 1), c(5, 4, 1);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(a.view(), b.view()));
+  b.at(4, 4) = 1;
+  EXPECT_FALSE(equal_pixels<std::uint8_t>(a.view(), b.view()));
+  EXPECT_FALSE(equal_pixels<std::uint8_t>(a.view(), c.view()));
+}
+
+TEST(Border, ClampIndex) {
+  EXPECT_EQ(clamp_index(-5, 10), 0);
+  EXPECT_EQ(clamp_index(0, 10), 0);
+  EXPECT_EQ(clamp_index(9, 10), 9);
+  EXPECT_EQ(clamp_index(12, 10), 9);
+}
+
+TEST(Border, ReflectIndexMirrorsWithoutEdgeRepeat) {
+  // n=4 pattern: 0 1 2 3 2 1 0 1 2 3 ...
+  EXPECT_EQ(reflect_index(-1, 4), 1);
+  EXPECT_EQ(reflect_index(-2, 4), 2);
+  EXPECT_EQ(reflect_index(4, 4), 2);
+  EXPECT_EQ(reflect_index(5, 4), 1);
+  EXPECT_EQ(reflect_index(6, 4), 0);
+  EXPECT_EQ(reflect_index(2, 4), 2);
+}
+
+TEST(Border, ReflectSingleton) { EXPECT_EQ(reflect_index(7, 1), 0); }
+
+class ReflectProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReflectProperty, AlwaysInRangeAndPeriodic) {
+  const int n = GetParam();
+  for (int i = -3 * n; i <= 3 * n; ++i) {
+    const int r = reflect_index(i, n);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, n);
+    if (n > 1)
+      EXPECT_EQ(reflect_index(i + 2 * (n - 1), n), r) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReflectProperty,
+                         ::testing::Values(2, 3, 4, 7, 16));
+
+TEST(Border, Names) {
+  EXPECT_STREQ(border_name(BorderMode::Constant), "constant");
+  EXPECT_STREQ(border_name(BorderMode::Replicate), "replicate");
+  EXPECT_STREQ(border_name(BorderMode::Reflect), "reflect");
+}
+
+}  // namespace
+}  // namespace fisheye::img

@@ -1,0 +1,149 @@
+// PNM and BMP codec tests: round trips, format variants, malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "image/image.hpp"
+#include "image/io_bmp.hpp"
+#include "image/io_pnm.hpp"
+#include "image/synth.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::img {
+namespace {
+
+Image8 random_image(int w, int h, int ch, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Image8 im(w, h, ch);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w * ch; ++x)
+      im.row(y)[x] = static_cast<std::uint8_t>(rng.next_below(256));
+  return im;
+}
+
+class PnmRoundTrip : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PnmRoundTrip, EncodeDecodeIsIdentity) {
+  const auto [w, h, ch] = GetParam();
+  const Image8 original = random_image(w, h, ch, 42);
+  const Image8 decoded = decode_pnm(encode_pnm(original.view()));
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(original.view(), decoded.view()));
+  EXPECT_EQ(decoded.channels(), ch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PnmRoundTrip,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{7, 3, 1},
+                      std::tuple{64, 64, 1}, std::tuple{1, 1, 3},
+                      std::tuple{33, 17, 3}, std::tuple{128, 1, 3}));
+
+TEST(Pnm, HeaderFormat) {
+  Image8 im(3, 2, 1);
+  im.fill(7);
+  const std::string bytes = encode_pnm(im.view());
+  EXPECT_EQ(bytes.substr(0, 2), "P5");
+  EXPECT_NE(bytes.find("3 2"), std::string::npos);
+  EXPECT_NE(bytes.find("255"), std::string::npos);
+}
+
+TEST(Pnm, AsciiP2Decodes) {
+  const std::string ascii = "P2\n# a comment\n3 2\n255\n0 10 20\n30 40 50\n";
+  const Image8 im = decode_pnm(ascii);
+  ASSERT_EQ(im.width(), 3);
+  ASSERT_EQ(im.height(), 2);
+  EXPECT_EQ(im.at(0, 0), 0);
+  EXPECT_EQ(im.at(2, 1), 50);
+}
+
+TEST(Pnm, AsciiP3Decodes) {
+  const std::string ascii = "P3\n1 1\n255\n9 8 7\n";
+  const Image8 im = decode_pnm(ascii);
+  ASSERT_EQ(im.channels(), 3);
+  EXPECT_EQ(im.at(0, 0, 0), 9);
+  EXPECT_EQ(im.at(0, 0, 2), 7);
+}
+
+TEST(Pnm, CommentsInsideHeaderAreSkipped) {
+  const std::string ascii = "P2\n#c1\n2 #c2\n1\n255\n5 6\n";
+  const Image8 im = decode_pnm(ascii);
+  EXPECT_EQ(im.at(1, 0), 6);
+}
+
+TEST(Pnm, MalformedInputsThrowIoError) {
+  EXPECT_THROW(decode_pnm(""), IoError);
+  EXPECT_THROW(decode_pnm("P9\n1 1\n255\n"), IoError);
+  EXPECT_THROW(decode_pnm("P5\n0 1\n255\n"), IoError);          // zero width
+  EXPECT_THROW(decode_pnm("P5\n2 2\n70000\n"), IoError);        // maxval
+  EXPECT_THROW(decode_pnm("P5\n4 4\n255\nxx"), IoError);        // short raster
+  EXPECT_THROW(decode_pnm("P2\n1 1\n255\n999\n"), IoError);     // > maxval
+  EXPECT_THROW(decode_pnm("P5\nab cd\n255\n"), IoError);        // non-numeric
+}
+
+TEST(Pnm, FileRoundTrip) {
+  const Image8 original = random_image(20, 10, 3, 7);
+  const std::string path = ::testing::TempDir() + "/fe_io_test.ppm";
+  write_pnm(path, original.view());
+  const Image8 back = read_pnm(path);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(original.view(), back.view()));
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, MissingFileThrows) {
+  EXPECT_THROW(read_pnm("/nonexistent/nowhere.pgm"), IoError);
+}
+
+class BmpRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BmpRoundTrip, RgbEncodeDecodeIsIdentity) {
+  // Widths chosen to hit every row-padding remainder (0..3 bytes).
+  const auto [w, h] = GetParam();
+  const Image8 original = random_image(w, h, 3, 13);
+  const Image8 decoded = decode_bmp(encode_bmp(original.view()));
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(original.view(), decoded.view()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingWidths, BmpRoundTrip,
+                         ::testing::Values(std::tuple{4, 3}, std::tuple{5, 3},
+                                           std::tuple{6, 2}, std::tuple{7, 2},
+                                           std::tuple{32, 8}));
+
+TEST(Bmp, GrayReplicatesToRgb) {
+  Image8 gray(3, 3, 1);
+  gray.fill(99);
+  const Image8 decoded = decode_bmp(encode_bmp(gray.view()));
+  ASSERT_EQ(decoded.channels(), 3);
+  EXPECT_EQ(decoded.at(1, 1, 0), 99);
+  EXPECT_EQ(decoded.at(1, 1, 1), 99);
+  EXPECT_EQ(decoded.at(1, 1, 2), 99);
+}
+
+TEST(Bmp, MalformedInputsThrow) {
+  EXPECT_THROW(decode_bmp(""), IoError);
+  EXPECT_THROW(decode_bmp("XX123456789012345678901234567890123456789012345678901234"),
+               IoError);
+  // Valid header but truncated raster.
+  Image8 im(16, 16, 3);
+  std::string bytes = encode_bmp(im.view());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode_bmp(bytes), IoError);
+}
+
+TEST(Bmp, FileRoundTrip) {
+  const Image8 original = random_image(9, 5, 3, 21);
+  const std::string path = ::testing::TempDir() + "/fe_io_test.bmp";
+  write_bmp(path, original.view());
+  const Image8 back = read_bmp(path);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(original.view(), back.view()));
+  std::remove(path.c_str());
+}
+
+TEST(Bmp, EncodedSizeMatchesHeaderMath) {
+  Image8 im(5, 4, 3);  // row 15 bytes -> padded 16
+  const std::string bytes = encode_bmp(im.view());
+  EXPECT_EQ(bytes.size(), 54u + 16u * 4u);
+}
+
+}  // namespace
+}  // namespace fisheye::img

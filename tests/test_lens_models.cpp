@@ -1,0 +1,144 @@
+// Lens model properties: exact inverses, monotonicity, derivative
+// consistency, focal solving. Parameterized across every model kind.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lens_model.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+namespace {
+
+using util::kHalfPi;
+using util::kPi;
+
+class LensSweep : public ::testing::TestWithParam<LensKind> {
+ protected:
+  static constexpr double kFocal = 320.0;
+  std::unique_ptr<LensModel> lens_ = make_lens(GetParam(), kFocal);
+  /// A safe upper test angle strictly inside the model's domain.
+  [[nodiscard]] double theta_hi() const {
+    return std::min(lens_->max_theta() * 0.95, kHalfPi * 0.98);
+  }
+};
+
+TEST_P(LensSweep, InverseIsExactOverDomain) {
+  for (int i = 0; i <= 200; ++i) {
+    const double theta = theta_hi() * i / 200.0;
+    const double r = lens_->radius_from_theta(theta);
+    EXPECT_NEAR(lens_->theta_from_radius(r), theta, 1e-10) << "theta=" << theta;
+  }
+}
+
+TEST_P(LensSweep, RadiusIsStrictlyMonotone) {
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double theta = theta_hi() * i / 100.0;
+    const double r = lens_->radius_from_theta(theta);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST_P(LensSweep, ZeroMapsToZero) {
+  EXPECT_DOUBLE_EQ(lens_->radius_from_theta(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lens_->theta_from_radius(0.0), 0.0);
+}
+
+TEST_P(LensSweep, DerivativeMatchesNumericDifference) {
+  for (int i = 1; i < 20; ++i) {
+    const double theta = theta_hi() * i / 20.0;
+    const double h = 1e-6;
+    const double numeric = (lens_->radius_from_theta(theta + h) -
+                            lens_->radius_from_theta(theta - h)) /
+                           (2.0 * h);
+    EXPECT_NEAR(lens_->dradius_dtheta(theta), numeric,
+                1e-3 * std::abs(numeric) + 1e-6)
+        << "theta=" << theta;
+  }
+}
+
+TEST_P(LensSweep, CentreDerivativeEqualsFocal) {
+  // Every model behaves like r = f*theta near the axis.
+  EXPECT_NEAR(lens_->dradius_dtheta(0.0), kFocal, 1e-9);
+}
+
+TEST_P(LensSweep, FocalForFovInvertsImageCircle) {
+  const double fov = std::min(2.0 * theta_hi(), 2.9);
+  const double radius = 250.0;
+  const double f = focal_for_fov(GetParam(), fov, radius);
+  const auto lens = make_lens(GetParam(), f);
+  EXPECT_NEAR(lens->radius_from_theta(fov / 2.0), radius, 1e-9);
+  EXPECT_NEAR(lens->image_circle_radius(fov), radius, 1e-9);
+}
+
+TEST_P(LensSweep, NameMatchesKind) {
+  EXPECT_EQ(lens_->kind(), GetParam());
+  EXPECT_EQ(lens_->name(), lens_kind_name(GetParam()));
+  EXPECT_FALSE(lens_->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, LensSweep,
+                         ::testing::Values(LensKind::Equidistant,
+                                           LensKind::Equisolid,
+                                           LensKind::Orthographic,
+                                           LensKind::Stereographic,
+                                           LensKind::Rectilinear),
+                         [](const auto& info) {
+                           return std::string(lens_kind_name(info.param));
+                         });
+
+TEST(Equidistant, IsLinearInTheta) {
+  const auto lens = make_lens(LensKind::Equidistant, 100.0);
+  EXPECT_DOUBLE_EQ(lens->radius_from_theta(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(lens->radius_from_theta(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(lens->max_theta(), kPi);
+}
+
+TEST(Equidistant, HalfSolidAngleCircle) {
+  // The study's lens: 180 degrees maps to radius f*pi/2.
+  const auto lens = make_lens(LensKind::Equidistant, 200.0);
+  EXPECT_DOUBLE_EQ(lens->image_circle_radius(kPi), 200.0 * kHalfPi);
+}
+
+TEST(Rectilinear, MatchesTanAndIsBoundedBelowHalfPi) {
+  const auto lens = make_lens(LensKind::Rectilinear, 100.0);
+  EXPECT_NEAR(lens->radius_from_theta(0.6), 100.0 * std::tan(0.6), 1e-12);
+  EXPECT_LT(lens->max_theta(), kHalfPi);
+}
+
+TEST(Orthographic, SaturatesAtHalfPi) {
+  const auto lens = make_lens(LensKind::Orthographic, 100.0);
+  EXPECT_DOUBLE_EQ(lens->max_theta(), kHalfPi);
+  EXPECT_NEAR(lens->radius_from_theta(kHalfPi), 100.0, 1e-12);
+}
+
+TEST(LensModels, ModelsOrderByCompressionAtWideAngle) {
+  // At 80 degrees off-axis, for equal focal: stereographic > rectilinear...
+  // no — the relevant property for the study: equidistant compresses less
+  // than orthographic, more than stereographic.
+  const double theta = util::deg_to_rad(80.0);
+  const double f = 100.0;
+  const double r_ortho =
+      make_lens(LensKind::Orthographic, f)->radius_from_theta(theta);
+  const double r_equi =
+      make_lens(LensKind::Equidistant, f)->radius_from_theta(theta);
+  const double r_stereo =
+      make_lens(LensKind::Stereographic, f)->radius_from_theta(theta);
+  EXPECT_LT(r_ortho, r_equi);
+  EXPECT_LT(r_equi, r_stereo);
+}
+
+TEST(LensModels, InvalidConstruction) {
+  EXPECT_THROW(make_lens(LensKind::Equidistant, 0.0),
+               fisheye::InvalidArgument);
+  EXPECT_THROW(make_lens(LensKind::Equidistant, -5.0),
+               fisheye::InvalidArgument);
+  EXPECT_THROW(focal_for_fov(LensKind::Rectilinear, kPi, 100.0),
+               fisheye::InvalidArgument);  // fov/2 beyond max_theta
+}
+
+}  // namespace
+}  // namespace fisheye::core

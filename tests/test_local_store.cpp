@@ -1,0 +1,62 @@
+// Local-store arena semantics.
+#include <gtest/gtest.h>
+
+#include "accel/local_store.hpp"
+
+namespace fisheye::accel {
+namespace {
+
+TEST(LocalStore, AllocatesAlignedWithinCapacity) {
+  LocalStore store(64 * 1024);
+  EXPECT_EQ(store.capacity(), 64u * 1024u);
+  EXPECT_EQ(store.used(), 0u);
+  std::uint8_t* a = store.allocate(1000);
+  std::uint8_t* b = store.allocate(1000);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 16, 0u);
+  EXPECT_GE(b - a, 1000);
+  // 1000 rounds to 1008 per allocation.
+  EXPECT_EQ(store.used(), 2016u);
+}
+
+TEST(LocalStore, ResetFreesButKeepsPeak) {
+  LocalStore store(16 * 1024);
+  store.allocate(10000);
+  EXPECT_EQ(store.peak(), 10000u);  // already 16-aligned
+  store.reset();
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_EQ(store.peak(), 10000u);
+  store.allocate(2000);
+  EXPECT_EQ(store.peak(), 10000u);  // smaller second use does not move peak
+}
+
+TEST(LocalStore, ExhaustionThrowsResourceError) {
+  LocalStore store(8 * 1024);
+  store.allocate(6 * 1024);
+  EXPECT_THROW(store.allocate(4 * 1024), fisheye::ResourceError);
+  // The failed allocation must not corrupt state.
+  EXPECT_NO_THROW(store.allocate(1024));
+}
+
+TEST(LocalStore, ExactFit) {
+  LocalStore store(4096);
+  EXPECT_NO_THROW(store.allocate(4096));
+  EXPECT_EQ(store.free_bytes(), 0u);
+  EXPECT_THROW(store.allocate(1), fisheye::ResourceError);
+}
+
+TEST(LocalStore, TinyCapacityViolatesContract) {
+  EXPECT_THROW(LocalStore(100), fisheye::InvalidArgument);
+}
+
+TEST(LocalStore, BuffersAreWritable) {
+  LocalStore store(4096);
+  std::uint8_t* p = store.allocate(256);
+  for (int i = 0; i < 256; ++i) p[i] = static_cast<std::uint8_t>(i);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], i);
+}
+
+}  // namespace
+}  // namespace fisheye::accel

@@ -1,0 +1,130 @@
+// Warp-map serialization: round trips, corruption detection, fuzz.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/map_io.hpp"
+#include "core/remap.hpp"
+#include "image/image.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::core {
+namespace {
+
+using util::deg_to_rad;
+
+WarpMap test_map(int w = 96, int h = 64) {
+  const auto cam = FisheyeCamera::centered(LensKind::Equidistant,
+                                           deg_to_rad(180.0), w, h);
+  const PerspectiveView view(w, h, cam.lens().focal());
+  return build_map(cam, view);
+}
+
+TEST(MapIo, FloatRoundTripIsBitExact) {
+  const WarpMap map = test_map();
+  const WarpMap back = decode_map(encode_map(map));
+  ASSERT_EQ(back.width, map.width);
+  ASSERT_EQ(back.height, map.height);
+  for (std::size_t i = 0; i < map.pixel_count(); ++i) {
+    ASSERT_EQ(back.src_x[i], map.src_x[i]) << i;
+    ASSERT_EQ(back.src_y[i], map.src_y[i]) << i;
+  }
+}
+
+TEST(MapIo, PackedRoundTripIsBitExact) {
+  const WarpMap map = test_map();
+  const PackedMap packed = pack_map(map, 96, 64, 12);
+  const PackedMap back = decode_packed_map(encode_map(packed));
+  ASSERT_EQ(back.frac_bits, 12);
+  for (std::size_t i = 0; i < packed.fx.size(); ++i) {
+    ASSERT_EQ(back.fx[i], packed.fx[i]);
+    ASSERT_EQ(back.fy[i], packed.fy[i]);
+  }
+}
+
+TEST(MapIo, FileRoundTrip) {
+  const WarpMap map = test_map(40, 30);
+  const std::string path = ::testing::TempDir() + "/fe_map_io.femap";
+  save_map(path, map);
+  const WarpMap back = load_map(path);
+  EXPECT_EQ(back.width, 40);
+  EXPECT_EQ(back.src_x, map.src_x);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_map(path), fisheye::IoError);  // now missing
+}
+
+TEST(MapIo, KindMismatchRejected) {
+  const WarpMap map = test_map(16, 16);
+  const std::string float_bytes = encode_map(map);
+  EXPECT_THROW(decode_packed_map(float_bytes), fisheye::IoError);
+  const std::string packed_bytes = encode_map(pack_map(map, 16, 16, 14));
+  EXPECT_THROW(decode_map(packed_bytes), fisheye::IoError);
+}
+
+TEST(MapIo, CorruptionDetected) {
+  const WarpMap map = test_map(16, 16);
+  std::string bytes = encode_map(map);
+  // Flip one payload byte: checksum must catch it.
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW(decode_map(bytes), fisheye::IoError);
+}
+
+TEST(MapIo, TruncationDetected) {
+  const WarpMap map = test_map(16, 16);
+  const std::string bytes = encode_map(map);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{5}, bytes.size() / 2,
+                          bytes.size() - 1})
+    EXPECT_THROW(decode_map(bytes.substr(0, cut)), fisheye::IoError)
+        << "cut=" << cut;
+}
+
+TEST(MapIo, FuzzRandomBytes) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes(rng.next_below(200), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.next_below(256));
+    EXPECT_THROW(decode_map(bytes), fisheye::IoError);
+    EXPECT_THROW(decode_packed_map(bytes), fisheye::IoError);
+  }
+}
+
+TEST(MapIo, FuzzMutationsOfValidFile) {
+  const std::string valid = encode_map(test_map(12, 10));
+  util::Rng rng(78);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    try {
+      const WarpMap m = decode_map(mutated);
+      // A mutation that survives the checksum untouched must decode to the
+      // original geometry sizes.
+      EXPECT_EQ(m.width, 12);
+      EXPECT_EQ(m.height, 10);
+    } catch (const fisheye::IoError&) {
+      // expected for nearly all mutations
+    }
+  }
+}
+
+TEST(MapIo, LoadedMapDrivesRemapIdentically) {
+  const WarpMap map = test_map();
+  const std::string path = ::testing::TempDir() + "/fe_map_io2.femap";
+  save_map(path, map);
+  const WarpMap loaded = load_map(path);
+  std::remove(path.c_str());
+
+  fisheye::img::Image8 src(96, 64, 1);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 96; ++x)
+      src.at(x, y) = static_cast<std::uint8_t>((x * 7 + y * 13) & 0xFF);
+  fisheye::img::Image8 a(96, 64, 1), b(96, 64, 1);
+  const RemapOptions opts;
+  remap_rect(src.view(), a.view(), map, {0, 0, 96, 64}, opts);
+  remap_rect(src.view(), b.view(), loaded, {0, 0, 96, 64}, opts);
+  EXPECT_TRUE(fisheye::img::equal_pixels<std::uint8_t>(a.view(), b.view()));
+}
+
+}  // namespace
+}  // namespace fisheye::core

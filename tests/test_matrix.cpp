@@ -1,0 +1,157 @@
+// Unit tests for the small linear-algebra layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::util {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1.0, 2.0, 3.0}, b{-2.0, 0.5, 1.0};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormalizedHasUnitNorm) {
+  const Vec3 v = Vec3{3.0, -4.0, 12.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-14);
+}
+
+TEST(Vec3, NormalizeZeroViolatesContract) {
+  EXPECT_THROW(Vec3{}.normalized(), fisheye::InvalidArgument);
+}
+
+TEST(Mat3, IdentityActsTrivially) {
+  const Vec3 v{1.0, -2.0, 0.5};
+  EXPECT_EQ(Mat3::identity() * v, v);
+}
+
+class RotationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotationSweep, RotationsAreOrthonormalWithUnitDet) {
+  const double a = GetParam();
+  for (const Mat3& r : {Mat3::rot_x(a), Mat3::rot_y(a), Mat3::rot_z(a)}) {
+    EXPECT_NEAR(r.det(), 1.0, 1e-12);
+    const Mat3 rtr = r.transposed() * r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j)
+        EXPECT_NEAR(rtr(i, j), i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST_P(RotationSweep, RotationPreservesNorm) {
+  const Mat3 r = Mat3::rot_y(GetParam()) * Mat3::rot_x(0.3);
+  const Vec3 v{0.2, -1.4, 2.2};
+  EXPECT_NEAR((r * v).norm(), v.norm(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationSweep,
+                         ::testing::Values(-2.5, -0.7, 0.0, 0.3, 1.57, 3.0));
+
+TEST(Mat3, RotYMapsZTowardX) {
+  const Vec3 v = Mat3::rot_y(kHalfPi) * Vec3{0.0, 0.0, 1.0};
+  EXPECT_NEAR(v.x, 1.0, 1e-12);
+  EXPECT_NEAR(v.y, 0.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(Mat3, RotXMapsZTowardNegY) {
+  // +tilt rotates the optical axis; with +Y down, rot_x(pi/2)*Z = -Y... the
+  // convention check the PTZ factory relies on.
+  const Vec3 v = Mat3::rot_x(kHalfPi) * Vec3{0.0, 0.0, 1.0};
+  EXPECT_NEAR(v.y, -1.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(MatX, GramIsSymmetricPsd) {
+  Rng rng(11);
+  MatX a(10, 4);
+  for (std::size_t r = 0; r < 10; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  const MatX g = a.gram();
+  ASSERT_EQ(g.rows(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(g(i, i), 0.0);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(Solve, SpdExactSolution) {
+  // A = L L^T with known L; b = A x for known x.
+  MatX a(3, 3);
+  const double vals[9] = {4, 2, 1, 2, 5, 3, 1, 3, 6};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = vals[i * 3 + j];
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  std::vector<double> b(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) b[i] += vals[i * 3 + j] * x_true[j];
+  const std::vector<double> x = solve_spd(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(Solve, NonSpdThrows) {
+  MatX a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // indefinite
+  EXPECT_THROW(solve_spd(a, {1.0, 1.0}), fisheye::InvalidArgument);
+}
+
+TEST(Solve, LeastSquaresRecoversExactModel) {
+  // y = 2 x0 - 3 x1 + 0.5 x2 sampled without noise.
+  Rng rng(3);
+  MatX a(40, 3);
+  std::vector<double> b(40);
+  for (std::size_t r = 0; r < 40; ++r) {
+    const double x0 = rng.uniform(-2.0, 2.0);
+    const double x1 = rng.uniform(-2.0, 2.0);
+    const double x2 = rng.uniform(-2.0, 2.0);
+    a(r, 0) = x0;
+    a(r, 1) = x1;
+    a(r, 2) = x2;
+    b[r] = 2.0 * x0 - 3.0 * x1 + 0.5 * x2;
+  }
+  const std::vector<double> x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+  EXPECT_NEAR(x[1], -3.0, 1e-8);
+  EXPECT_NEAR(x[2], 0.5, 1e-8);
+}
+
+TEST(Solve, DampingShrinksSolution) {
+  MatX a(4, 2);
+  std::vector<double> b(4);
+  Rng rng(8);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = rng.uniform(0.1, 1.0);
+    a(r, 1) = rng.uniform(0.1, 1.0);
+    b[r] = rng.uniform(0.5, 1.5);
+  }
+  const auto x0 = solve_least_squares(a, b, 0.0);
+  const auto x1 = solve_least_squares(a, b, 100.0);
+  const double n0 = std::hypot(x0[0], x0[1]);
+  const double n1 = std::hypot(x1[0], x1[1]);
+  EXPECT_LT(n1, n0);
+}
+
+TEST(Solve, DimensionMismatchViolatesContract) {
+  MatX a(3, 3);
+  EXPECT_THROW(solve_spd(a, {1.0, 2.0}), fisheye::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye::util

@@ -1,0 +1,106 @@
+// Partitioner properties: exact cover, bounds, balance.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "parallel/partition.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::par {
+namespace {
+
+struct Case {
+  PartitionKind kind;
+  int width;
+  int height;
+  int chunks;
+  int tile_w;
+  int tile_h;
+};
+
+class PartitionSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PartitionSweep, CoversEveryPixelExactlyOnce) {
+  const Case c = GetParam();
+  const auto rects =
+      partition(c.width, c.height, c.kind, c.chunks, c.tile_w, c.tile_h);
+  std::vector<int> cover(static_cast<std::size_t>(c.width) * c.height, 0);
+  for (const Rect& r : rects) {
+    ASSERT_FALSE(r.empty());
+    ASSERT_GE(r.x0, 0);
+    ASSERT_GE(r.y0, 0);
+    ASSERT_LE(r.x1, c.width);
+    ASSERT_LE(r.y1, c.height);
+    for (int y = r.y0; y < r.y1; ++y)
+      for (int x = r.x0; x < r.x1; ++x)
+        ++cover[static_cast<std::size_t>(y) * c.width + x];
+  }
+  for (std::size_t i = 0; i < cover.size(); ++i)
+    ASSERT_EQ(cover[i], 1) << "pixel " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Values(
+        Case{PartitionKind::RowBlocks, 64, 48, 4, 0, 0},
+        Case{PartitionKind::RowBlocks, 64, 48, 100, 0, 0},  // chunks > rows
+        Case{PartitionKind::RowBlocks, 7, 3, 3, 0, 0},
+        Case{PartitionKind::ColumnBlocks, 64, 48, 5, 0, 0},
+        Case{PartitionKind::ColumnBlocks, 3, 9, 8, 0, 0},
+        Case{PartitionKind::RowCyclic, 32, 17, 1, 0, 0},
+        Case{PartitionKind::Tiles, 100, 70, 0, 32, 16},
+        Case{PartitionKind::Tiles, 64, 64, 0, 64, 64},  // single tile
+        Case{PartitionKind::Tiles, 65, 33, 0, 64, 32},  // ragged edges
+        Case{PartitionKind::Tiles, 5, 5, 0, 64, 64}));  // tile > image
+
+TEST(Partition, RowBlocksAreBalanced) {
+  const auto rects = partition(100, 103, PartitionKind::RowBlocks, 4);
+  ASSERT_EQ(rects.size(), 4u);
+  for (const Rect& r : rects) {
+    EXPECT_GE(r.height(), 25);
+    EXPECT_LE(r.height(), 26);
+    EXPECT_EQ(r.width(), 100);
+  }
+}
+
+TEST(Partition, RowCyclicYieldsSingleRows) {
+  const auto rects = partition(10, 7, PartitionKind::RowCyclic, 99);
+  ASSERT_EQ(rects.size(), 7u);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(rects[i].y0, static_cast<int>(i));
+    EXPECT_EQ(rects[i].height(), 1);
+  }
+}
+
+TEST(Partition, TileGridCountsMatch) {
+  const auto rects = partition(100, 70, PartitionKind::Tiles, 0, 32, 16);
+  // ceil(100/32) * ceil(70/16) = 4 * 5
+  EXPECT_EQ(rects.size(), 20u);
+}
+
+TEST(Partition, InvalidArgumentsViolateContracts) {
+  EXPECT_THROW(partition(0, 10, PartitionKind::RowBlocks, 2),
+               fisheye::InvalidArgument);
+  EXPECT_THROW(partition(10, 10, PartitionKind::RowBlocks, 0),
+               fisheye::InvalidArgument);
+  EXPECT_THROW(partition(10, 10, PartitionKind::Tiles, 0, 0, 8),
+               fisheye::InvalidArgument);
+}
+
+TEST(Rect, Helpers) {
+  constexpr Rect r{2, 3, 10, 7};
+  static_assert(r.width() == 8);
+  static_assert(r.height() == 4);
+  static_assert(r.area() == 32);
+  static_assert(!r.empty());
+  static_assert(Rect{}.empty());
+  SUCCEED();
+}
+
+TEST(Partition, Names) {
+  EXPECT_STREQ(partition_name(PartitionKind::RowBlocks), "row-blocks");
+  EXPECT_STREQ(partition_name(PartitionKind::Tiles), "tiles");
+}
+
+}  // namespace
+}  // namespace fisheye::par

@@ -1,0 +1,129 @@
+// Output-view projections: ray conventions, PTZ factory, panoramas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/projection.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::core {
+namespace {
+
+using util::deg_to_rad;
+using util::Vec2;
+using util::Vec3;
+
+TEST(Perspective, CentrePixelLooksForward) {
+  const PerspectiveView view(641, 481, 300.0);
+  const Vec3 ray = view.ray_for_pixel({320.0, 240.0});
+  EXPECT_NEAR(ray.x, 0.0, 1e-12);
+  EXPECT_NEAR(ray.y, 0.0, 1e-12);
+  EXPECT_NEAR(ray.z, 1.0, 1e-12);
+}
+
+TEST(Perspective, FocalControlsAngle) {
+  const PerspectiveView view(201, 201, 100.0);
+  // 100 px right of centre at focal 100 -> 45 degrees.
+  const Vec3 ray = view.ray_for_pixel({200.0, 100.0});
+  EXPECT_NEAR(std::atan2(ray.x, ray.z), deg_to_rad(45.0), 1e-12);
+}
+
+TEST(Perspective, YIsDown) {
+  const PerspectiveView view(201, 201, 100.0);
+  const Vec3 ray = view.ray_for_pixel({100.0, 200.0});  // bottom of image
+  EXPECT_GT(ray.y, 0.0);
+}
+
+TEST(Perspective, PtzPanRotatesOpticalAxis) {
+  const PerspectiveView view =
+      PerspectiveView::ptz(200, 200, deg_to_rad(90.0), 0.0, deg_to_rad(60.0));
+  const Vec3 ray = view.ray_for_pixel({99.5, 99.5});
+  // Panned 90 degrees right: centre ray points along +X.
+  EXPECT_NEAR(ray.x, 1.0, 1e-9);
+  EXPECT_NEAR(ray.z, 0.0, 1e-9);
+}
+
+TEST(Perspective, PtzTiltLooksDown) {
+  const PerspectiveView view =
+      PerspectiveView::ptz(200, 200, 0.0, deg_to_rad(30.0), deg_to_rad(60.0));
+  const Vec3 ray = view.ray_for_pixel({99.5, 99.5});
+  EXPECT_GT(ray.y, 0.0);  // +Y is down
+  EXPECT_NEAR(std::atan2(ray.y, ray.z), deg_to_rad(30.0), 1e-9);
+}
+
+TEST(Perspective, PtzFovSetsFocal) {
+  const PerspectiveView view =
+      PerspectiveView::ptz(400, 300, 0.0, 0.0, deg_to_rad(90.0));
+  EXPECT_NEAR(view.focal(), 200.0, 1e-9);  // w/2 / tan(45)
+}
+
+TEST(Perspective, InvalidParamsViolateContracts) {
+  EXPECT_THROW(PerspectiveView(0, 10, 100.0), fisheye::InvalidArgument);
+  EXPECT_THROW(PerspectiveView(10, 10, 0.0), fisheye::InvalidArgument);
+  EXPECT_THROW(
+      PerspectiveView::ptz(10, 10, 0.0, 0.0, deg_to_rad(180.0)),
+      fisheye::InvalidArgument);
+}
+
+TEST(Equirect, CornersMapToFovEdges) {
+  const EquirectangularView view(361, 181, deg_to_rad(360.0),
+                                 deg_to_rad(180.0));
+  // Left edge, middle row: lon = -180, lat = 0 -> ray (0, 0, -1) via
+  // sin(-pi)=~0, cos(-pi)=-1.
+  const Vec3 left = view.ray_for_pixel({0.0, 90.0});
+  EXPECT_NEAR(left.z, -1.0, 1e-9);
+  EXPECT_NEAR(left.y, 0.0, 1e-9);
+  // Centre: forward.
+  const Vec3 centre = view.ray_for_pixel({180.0, 90.0});
+  EXPECT_NEAR(centre.z, 1.0, 1e-12);
+  // Bottom centre: straight down (+Y).
+  const Vec3 down = view.ray_for_pixel({180.0, 180.0});
+  EXPECT_NEAR(down.y, 1.0, 1e-9);
+}
+
+TEST(Equirect, RaysAreUnit) {
+  const EquirectangularView view(100, 50, deg_to_rad(180.0),
+                                 deg_to_rad(90.0));
+  for (int y = 0; y < 50; y += 7)
+    for (int x = 0; x < 100; x += 13) {
+      const Vec3 r = view.ray_for_pixel(
+          {static_cast<double>(x), static_cast<double>(y)});
+      EXPECT_NEAR(r.norm(), 1.0, 1e-12);
+    }
+}
+
+TEST(Equirect, InvalidFovViolatesContract) {
+  EXPECT_THROW(
+      EquirectangularView(10, 10, deg_to_rad(400.0), deg_to_rad(90.0)),
+      fisheye::InvalidArgument);
+  EXPECT_THROW(
+      EquirectangularView(10, 10, deg_to_rad(90.0), deg_to_rad(200.0)),
+      fisheye::InvalidArgument);
+}
+
+TEST(Cylindrical, VerticalLinesShareLongitude) {
+  const CylindricalView view(360, 200, deg_to_rad(180.0), 120.0);
+  // All pixels of one column have the same x/z ratio (same longitude).
+  const Vec3 top = view.ray_for_pixel({250.0, 0.0});
+  const Vec3 bottom = view.ray_for_pixel({250.0, 199.0});
+  EXPECT_NEAR(std::atan2(top.x, top.z), std::atan2(bottom.x, bottom.z), 1e-12);
+}
+
+TEST(Cylindrical, CentreForwardAndFocalScalesHeight) {
+  const CylindricalView view(361, 201, deg_to_rad(180.0), 100.0);
+  const Vec3 centre = view.ray_for_pixel({180.0, 100.0});
+  EXPECT_NEAR(centre.x, 0.0, 1e-12);
+  EXPECT_NEAR(centre.y, 0.0, 1e-12);
+  const Vec3 below = view.ray_for_pixel({180.0, 200.0});
+  EXPECT_NEAR(below.y, 1.0, 1e-12);  // 100 px / focal 100
+}
+
+TEST(Names, AreStable) {
+  EXPECT_EQ(PerspectiveView(10, 10, 5.0).name(), "perspective");
+  EXPECT_EQ(EquirectangularView(10, 10, 1.0, 1.0).name(), "equirectangular");
+  EXPECT_EQ(CylindricalView(10, 10, 1.0, 5.0).name(), "cylindrical");
+}
+
+}  // namespace
+}  // namespace fisheye::core

@@ -1,0 +1,114 @@
+// Virtual PTZ controller: lazy rebuilds, path interpolation, render
+// equivalence with the direct map path.
+#include <gtest/gtest.h>
+
+#include "core/projection.hpp"
+#include "image/metrics.hpp"
+#include "video/pipeline.hpp"
+#include "video/ptz_controller.hpp"
+
+namespace fisheye::video {
+namespace {
+
+using util::deg_to_rad;
+
+core::FisheyeCamera camera() {
+  return core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                       deg_to_rad(180.0), 320, 240);
+}
+
+TEST(PtzPath, InterpolatesLinearlyAndClamps) {
+  PtzPath path;
+  path.keys = {{0.0, {0.0, 0.0, 1.0}}, {2.0, {0.4, -0.2, 0.8}}};
+  EXPECT_EQ(path.at(-1.0), path.keys.front().pose);
+  EXPECT_EQ(path.at(5.0), path.keys.back().pose);
+  const PtzPose mid = path.at(1.0);
+  EXPECT_DOUBLE_EQ(mid.pan, 0.2);
+  EXPECT_DOUBLE_EQ(mid.tilt, -0.1);
+  EXPECT_DOUBLE_EQ(mid.hfov, 0.9);
+}
+
+TEST(PtzPath, MultiSegment) {
+  PtzPath path;
+  path.keys = {{0.0, {0.0, 0.0, 1.0}},
+               {1.0, {1.0, 0.0, 1.0}},
+               {3.0, {1.0, 0.5, 1.0}}};
+  EXPECT_DOUBLE_EQ(path.at(0.5).pan, 0.5);
+  EXPECT_DOUBLE_EQ(path.at(2.0).tilt, 0.25);
+}
+
+TEST(PtzPath, RejectsUnorderedKeys) {
+  PtzPath path;
+  path.keys = {{1.0, {}}, {0.5, {}}};
+  EXPECT_THROW(path.at(0.7), fisheye::InvalidArgument);
+  PtzPath empty;
+  EXPECT_THROW(empty.at(0.0), fisheye::InvalidArgument);
+}
+
+TEST(VirtualPtz, RebuildsOnlyWhenPoseChanges) {
+  const auto cam = camera();
+  VirtualPtz ptz(cam, 160, 120);
+  (void)ptz.map();
+  EXPECT_EQ(ptz.rebuilds(), 1);
+  EXPECT_GT(ptz.last_rebuild_ms(), 0.0);
+  (void)ptz.map();  // cached
+  EXPECT_EQ(ptz.rebuilds(), 1);
+  EXPECT_EQ(ptz.last_rebuild_ms(), 0.0);
+  ptz.set_view(ptz.pose());  // no-op
+  (void)ptz.map();
+  EXPECT_EQ(ptz.rebuilds(), 1);
+  ptz.set_view({0.3, 0.1, deg_to_rad(50.0)});
+  (void)ptz.map();
+  EXPECT_EQ(ptz.rebuilds(), 2);
+}
+
+TEST(VirtualPtz, RenderMatchesDirectMapPath) {
+  const auto cam = camera();
+  const SyntheticVideoSource source(cam, 320, 240, 1);
+  const img::Image8 fish = source.frame(0);
+
+  VirtualPtz ptz(cam, 160, 120);
+  const PtzPose pose{deg_to_rad(30.0), deg_to_rad(10.0), deg_to_rad(70.0)};
+  ptz.set_view(pose);
+  img::Image8 via_ctrl(160, 120, 1);
+  ptz.render(fish.view(), via_ctrl.view());
+
+  const core::PerspectiveView view = core::PerspectiveView::ptz(
+      160, 120, pose.pan, pose.tilt, pose.hfov);
+  const core::WarpMap map = core::build_map(cam, view);
+  img::Image8 direct(160, 120, 1);
+  core::remap_rect(fish.view(), direct.view(), map, {0, 0, 160, 120}, {});
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(direct.view(), via_ctrl.view()));
+}
+
+TEST(VirtualPtz, TourOverPathRendersDistinctViews) {
+  const auto cam = camera();
+  const SyntheticVideoSource source(cam, 320, 240, 1);
+  const img::Image8 fish = source.frame(0);
+  PtzPath path;
+  path.keys = {{0.0, {deg_to_rad(-40.0), 0.0, deg_to_rad(60.0)}},
+               {1.0, {deg_to_rad(40.0), 0.0, deg_to_rad(60.0)}}};
+  VirtualPtz ptz(cam, 120, 90);
+  img::Image8 first(120, 90, 1), last(120, 90, 1);
+  ptz.set_view(path.at(0.0));
+  ptz.render(fish.view(), first.view());
+  ptz.set_view(path.at(1.0));
+  ptz.render(fish.view(), last.view());
+  EXPECT_FALSE(img::equal_pixels<std::uint8_t>(first.view(), last.view()));
+  EXPECT_EQ(ptz.rebuilds(), 2);
+}
+
+TEST(VirtualPtz, Contracts) {
+  const auto cam = camera();
+  EXPECT_THROW(VirtualPtz(cam, 0, 10), fisheye::InvalidArgument);
+  VirtualPtz ptz(cam, 64, 48);
+  EXPECT_THROW(ptz.set_view({0.0, 0.0, 0.0}), fisheye::InvalidArgument);
+  EXPECT_THROW(ptz.set_view({0.0, 0.0, util::kPi}),
+               fisheye::InvalidArgument);
+  img::Image8 src(320, 240, 1), wrong(32, 32, 1);
+  EXPECT_THROW(ptz.render(src.view(), wrong.view()),
+               fisheye::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye::video

@@ -1,0 +1,175 @@
+// Mip pyramid and anti-aliased remap tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aa_remap.hpp"
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+#include "image/pyramid.hpp"
+#include "image/synth.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye {
+namespace {
+
+TEST(Downsample, HalvesDimensionsRoundingUp) {
+  img::Image8 src(33, 17, 1);
+  const img::Image8 half = img::downsample_2x2(src.view());
+  EXPECT_EQ(half.width(), 17);
+  EXPECT_EQ(half.height(), 9);
+}
+
+TEST(Downsample, AveragesBlocks) {
+  img::Image8 src(2, 2, 1);
+  src.at(0, 0) = 10;
+  src.at(1, 0) = 20;
+  src.at(0, 1) = 30;
+  src.at(1, 1) = 40;
+  const img::Image8 half = img::downsample_2x2(src.view());
+  EXPECT_EQ(half.at(0, 0), 25);
+}
+
+TEST(Downsample, ConstantImageStaysConstant) {
+  img::Image8 src(31, 19, 3);
+  src.fill(123);
+  const img::Image8 half = img::downsample_2x2(src.view());
+  for (int y = 0; y < half.height(); ++y)
+    for (int x = 0; x < half.width(); ++x)
+      for (int c = 0; c < 3; ++c) EXPECT_EQ(half.at(x, y, c), 123);
+}
+
+TEST(Pyramid, LevelCountAndDims) {
+  const img::Image8 src = img::make_gradient(64, 48);
+  const img::Pyramid pyr(src.view());
+  // min(64,48)=48 -> floor(log2 48)=5 -> 6 levels: 64,32,16,8,4,2 wide.
+  EXPECT_EQ(pyr.levels(), 6);
+  EXPECT_EQ(pyr.level(0).width(), 64);
+  EXPECT_EQ(pyr.level(1).width(), 32);
+  EXPECT_EQ(pyr.level(5).width(), 2);
+  EXPECT_EQ(pyr.level(5).height(), 2);
+}
+
+TEST(Pyramid, ExplicitLevelCap) {
+  const img::Image8 src = img::make_gradient(64, 64);
+  const img::Pyramid pyr(src.view(), 3);
+  EXPECT_EQ(pyr.levels(), 3);
+}
+
+TEST(Pyramid, MeanIsPreservedApproximately) {
+  util::Rng rng(3);
+  const img::Image8 src = img::make_noise(64, 64, rng);
+  const img::Pyramid pyr(src.view());
+  auto mean = [](const img::Image8& im) {
+    double s = 0.0;
+    for (int y = 0; y < im.height(); ++y)
+      for (int x = 0; x < im.width(); ++x) s += im.at(x, y);
+    return s / (im.width() * im.height());
+  };
+  EXPECT_NEAR(mean(pyr.level(0)), mean(pyr.level(3)), 2.0);
+}
+
+core::WarpMap scale_map(int out_w, int out_h, float scale) {
+  core::WarpMap map;
+  map.width = out_w;
+  map.height = out_h;
+  map.src_x.resize(map.pixel_count());
+  map.src_y.resize(map.pixel_count());
+  for (int y = 0; y < out_h; ++y)
+    for (int x = 0; x < out_w; ++x) {
+      map.src_x[map.index(x, y)] = (static_cast<float>(x) + 0.5f) * scale - 0.5f;
+      map.src_y[map.index(x, y)] = (static_cast<float>(y) + 0.5f) * scale - 0.5f;
+    }
+  return map;
+}
+
+TEST(MapLod, IdentityIsZeroAndScaleIsLog2) {
+  const core::WarpMap identity = scale_map(32, 32, 1.0f);
+  EXPECT_FLOAT_EQ(core::map_lod(identity, 16, 16, 8.0f), 0.0f);
+  const core::WarpMap quarter = scale_map(32, 32, 4.0f);
+  EXPECT_NEAR(core::map_lod(quarter, 16, 16, 8.0f), 2.0f, 1e-4f);
+  const core::WarpMap magnify = scale_map(32, 32, 0.5f);
+  EXPECT_FLOAT_EQ(core::map_lod(magnify, 16, 16, 8.0f), 0.0f);
+  EXPECT_FLOAT_EQ(core::map_lod(quarter, 16, 16, 1.5f), 1.5f);  // clamped
+}
+
+TEST(AaRemap, MatchesBilinearOnIdentityMap) {
+  util::Rng rng(7);
+  const img::Image8 src = img::make_noise(48, 40, rng);
+  const core::WarpMap map = scale_map(48, 40, 1.0f);
+  const img::Pyramid pyr(src.view());
+  img::Image8 aa(48, 40, 1), bil(48, 40, 1);
+  core::remap_aa_rect(pyr, aa.view(), map, {0, 0, 48, 40}, 0);
+  core::remap_rect(src.view(), bil.view(), map, {0, 0, 48, 40},
+                   {core::Interp::Bilinear, img::BorderMode::Constant, 0});
+  EXPECT_LE(img::max_abs_diff(aa.view(), bil.view()), 1);
+}
+
+TEST(AaRemap, ReducesAliasingUnderMinification) {
+  // Downscale a fine checkerboard by a non-integer 3.7x (integer scales
+  // can coincidentally phase-align with the checker period and hide the
+  // aliasing). Ground truth is the area average (uniform gray at 50% duty).
+  // Bilinear point-sampling keeps near-full-contrast samples; AA must land
+  // near the average.
+  const img::Image8 src = img::make_checkerboard(256, 256, 2, 0, 200);
+  const core::WarpMap map = scale_map(64, 64, 3.7f);
+  const img::Pyramid pyr(src.view());
+  img::Image8 aa(64, 64, 1), bil(64, 64, 1);
+  core::remap_aa_rect(pyr, aa.view(), map, {0, 0, 64, 64}, 0);
+  core::remap_rect(src.view(), bil.view(), map, {0, 0, 64, 64},
+                   {core::Interp::Bilinear, img::BorderMode::Constant, 0});
+  auto rms_vs_mean = [](const img::Image8& im) {
+    double acc = 0.0;
+    int n = 0;
+    for (int y = 8; y < 56; ++y)
+      for (int x = 8; x < 56; ++x) {
+        const double d = im.at(x, y) - 100.0;
+        acc += d * d;
+        ++n;
+      }
+    return std::sqrt(acc / n);
+  };
+  const double err_aa = rms_vs_mean(aa);
+  const double err_bil = rms_vs_mean(bil);
+  EXPECT_LT(err_aa, 12.0);
+  EXPECT_GT(err_bil, 3.0 * err_aa);
+}
+
+TEST(AaRemap, HandlesMultiChannelAndFill) {
+  img::Image8 src(32, 32, 3);
+  src.fill(80);
+  core::WarpMap map = scale_map(16, 16, 2.0f);
+  // Push one output pixel outside.
+  map.src_x[map.index(0, 0)] = -100.0f;
+  map.src_y[map.index(0, 0)] = -100.0f;
+  const img::Pyramid pyr(src.view());
+  img::Image8 out(16, 16, 3);
+  core::remap_aa_rect(pyr, out.view(), map, {0, 0, 16, 16}, 7);
+  EXPECT_EQ(out.at(0, 0, 0), 7);
+  EXPECT_EQ(out.at(0, 0, 2), 7);
+  EXPECT_EQ(out.at(8, 8, 1), 80);
+}
+
+TEST(AaRemap, FisheyeSynthesisMapUsesCoarseLevelsAtRim) {
+  // The scene->fisheye synthesis map minifies hard near the image circle:
+  // LOD there must exceed LOD at the centre.
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, 3.14159265, 160, 120);
+  const core::WarpMap synth =
+      core::build_synthesis_map(cam, 640, 480, 160.0, 160, 120);
+  const float centre = core::map_lod(synth, 80, 60, 8.0f);
+  // A point near the rim but still valid: radius ~0.9 * 60.
+  const float rim = core::map_lod(synth, 80 + 52, 60, 8.0f);
+  EXPECT_GT(rim, centre + 0.5f);
+}
+
+TEST(AaRemap, ContractViolations) {
+  img::Image8 src(16, 16, 1), dst(8, 8, 3);
+  const core::WarpMap map = scale_map(8, 8, 2.0f);
+  const img::Pyramid pyr(src.view());
+  EXPECT_THROW(core::remap_aa_rect(pyr, dst.view(), map, {0, 0, 8, 8}, 0),
+               fisheye::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye

@@ -1,0 +1,208 @@
+// Remap executor semantics: identity/translation maps, packed vs float
+// agreement, LUT vs on-the-fly agreement, tile offsets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/corrector.hpp"
+#include "core/remap.hpp"
+#include "image/metrics.hpp"
+#include "image/synth.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::core {
+namespace {
+
+using util::deg_to_rad;
+
+WarpMap identity_map(int w, int h) {
+  WarpMap map;
+  map.width = w;
+  map.height = h;
+  map.src_x.resize(map.pixel_count());
+  map.src_y.resize(map.pixel_count());
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      map.src_x[map.index(x, y)] = static_cast<float>(x);
+      map.src_y[map.index(x, y)] = static_cast<float>(y);
+    }
+  return map;
+}
+
+img::Image8 random_image(int w, int h, int ch, std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::Image8 im(w, h, ch);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w * ch; ++x)
+      im.row(y)[x] = static_cast<std::uint8_t>(rng.next_below(256));
+  return im;
+}
+
+class IdentityAllInterps : public ::testing::TestWithParam<Interp> {};
+
+TEST_P(IdentityAllInterps, IdentityMapReproducesImage) {
+  const img::Image8 src = random_image(40, 30, 1, 3);
+  img::Image8 dst(40, 30, 1);
+  const WarpMap map = identity_map(40, 30);
+  remap_rect(src.view(), dst.view(), map, {0, 0, 40, 30},
+             {GetParam(), img::BorderMode::Replicate, 0});
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(src.view(), dst.view()))
+      << interp_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, IdentityAllInterps,
+                         ::testing::Values(Interp::Nearest, Interp::Bilinear,
+                                           Interp::Bicubic, Interp::Lanczos3),
+                         [](const auto& info) {
+                           return std::string(interp_name(info.param));
+                         });
+
+TEST(Remap, IntegerTranslationShifts) {
+  const img::Image8 src = random_image(20, 20, 1, 5);
+  img::Image8 dst(20, 20, 1);
+  WarpMap map = identity_map(20, 20);
+  for (auto& v : map.src_x) v += 3.0f;  // sample 3 px to the right
+  for (auto& v : map.src_y) v += 2.0f;
+  remap_rect(src.view(), dst.view(), map, {0, 0, 20, 20},
+             {Interp::Bilinear, img::BorderMode::Constant, 7});
+  for (int y = 0; y < 18; ++y)
+    for (int x = 0; x < 17; ++x)
+      EXPECT_EQ(dst.at(x, y), src.at(x + 3, y + 2)) << x << ',' << y;
+  // Beyond the right edge: fill.
+  EXPECT_EQ(dst.at(19, 0), 7);
+  EXPECT_EQ(dst.at(0, 19), 7);
+}
+
+TEST(Remap, RectRestrictsOutputRegion) {
+  const img::Image8 src = random_image(16, 16, 1, 9);
+  img::Image8 dst(16, 16, 1);
+  dst.fill(200);
+  const WarpMap map = identity_map(16, 16);
+  remap_rect(src.view(), dst.view(), map, {4, 4, 8, 8},
+             {Interp::Nearest, img::BorderMode::Constant, 0});
+  EXPECT_EQ(dst.at(5, 5), src.at(5, 5));
+  EXPECT_EQ(dst.at(0, 0), 200);   // untouched
+  EXPECT_EQ(dst.at(8, 8), 200);   // rect is half-open
+}
+
+TEST(Remap, OffsetVariantMatchesFullFrame) {
+  // Remapping through a copied source sub-window with the offset variant
+  // must equal the full-frame result when the window covers the bbox.
+  const FisheyeCamera cam =
+      FisheyeCamera::centered(LensKind::Equidistant, deg_to_rad(180.0), 64, 64);
+  const PerspectiveView view(64, 64, cam.lens().focal());
+  const WarpMap map = build_map(cam, view);
+  const img::Image8 src = random_image(64, 64, 1, 13);
+  const par::Rect rect{16, 16, 48, 48};
+  const par::Rect box = source_bbox(map, rect, 64, 64);
+  ASSERT_FALSE(box.empty());
+
+  img::Image8 full(64, 64, 1);
+  const RemapOptions opts{Interp::Bilinear, img::BorderMode::Constant, 0};
+  remap_rect(src.view(), full.view(), map, rect, opts);
+
+  // Copy the window, then remap with offsets.
+  img::Image8 window(box.width(), box.height(), 1);
+  for (int y = 0; y < box.height(); ++y)
+    for (int x = 0; x < box.width(); ++x)
+      window.at(x, y) = src.at(box.x0 + x, box.y0 + y);
+  img::Image8 tiled(64, 64, 1);
+  remap_rect_offset(window.view(), tiled.view(), map, rect, box.x0, box.y0,
+                    opts);
+  for (int y = rect.y0; y < rect.y1; ++y)
+    for (int x = rect.x0; x < rect.x1; ++x)
+      EXPECT_EQ(tiled.at(x, y), full.at(x, y)) << x << ',' << y;
+}
+
+TEST(RemapPacked, MatchesFloatBilinearWithinOneLevel) {
+  const FisheyeCamera cam = FisheyeCamera::centered(
+      LensKind::Equidistant, deg_to_rad(170.0), 128, 96);
+  const PerspectiveView view(128, 96, cam.lens().focal());
+  const WarpMap map = build_map(cam, view);
+  const PackedMap packed = pack_map(map, 128, 96, 14);
+  const img::Image8 src = img::make_gradient(128, 96);
+  img::Image8 a(128, 96, 1), b(128, 96, 1);
+  remap_rect(src.view(), a.view(), map, {0, 0, 128, 96},
+             {Interp::Bilinear, img::BorderMode::Constant, 0});
+  remap_packed_rect(src.view(), b.view(), packed, {0, 0, 128, 96}, 0);
+  // Fixed-point Q.14 coordinates and 8-bit blend weights: within 2 levels.
+  EXPECT_LE(img::max_abs_diff(a.view(), b.view()), 2);
+  EXPECT_LT(img::fraction_differing(a.view(), b.view(), 1), 0.02);
+}
+
+TEST(RemapPacked, InvalidPixelsGetFill) {
+  PackedMap packed;
+  packed.width = 2;
+  packed.height = 1;
+  packed.frac_bits = 14;
+  packed.fx = {PackedMap::kInvalid, 1 << 14};
+  packed.fy = {PackedMap::kInvalid, 0};
+  img::Image8 src(4, 4, 1);
+  src.fill(50);
+  img::Image8 dst(2, 1, 1);
+  remap_packed_rect(src.view(), dst.view(), packed, {0, 0, 2, 1}, 99);
+  EXPECT_EQ(dst.at(0, 0), 99);
+  EXPECT_EQ(dst.at(1, 0), 50);
+}
+
+TEST(RemapPacked, NarrowFracBitsStillWork) {
+  const WarpMap map = identity_map(16, 16);
+  const img::Image8 src = random_image(16, 16, 1, 21);
+  for (int bits : {4, 6, 8, 12, 18}) {
+    const PackedMap packed = pack_map(map, 16, 16, bits);
+    img::Image8 dst(16, 16, 1);
+    remap_packed_rect(src.view(), dst.view(), packed, {0, 0, 16, 16}, 0);
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(src.view(), dst.view()))
+        << "frac_bits=" << bits;
+  }
+}
+
+TEST(RemapOtf, MatchesFloatLut) {
+  const FisheyeCamera cam = FisheyeCamera::centered(
+      LensKind::Equidistant, deg_to_rad(180.0), 96, 96);
+  const PerspectiveView view(96, 96, cam.lens().focal());
+  const WarpMap map = build_map(cam, view);
+  const img::Image8 src = img::make_checkerboard(96, 96, 8);
+  img::Image8 lut(96, 96, 1), otf(96, 96, 1);
+  const RemapOptions opts{Interp::Bilinear, img::BorderMode::Constant, 0};
+  remap_rect(src.view(), lut.view(), map, {0, 0, 96, 96}, opts);
+  remap_otf_rect(src.view(), otf.view(), cam, view, {0, 0, 96, 96}, opts,
+                 /*fast_math=*/false);
+  // LUT stores float32; OTF computes double. Sub-level agreement expected.
+  EXPECT_LE(img::max_abs_diff(lut.view(), otf.view()), 1);
+}
+
+TEST(RemapOtf, FastMathStaysClose) {
+  const FisheyeCamera cam = FisheyeCamera::centered(
+      LensKind::Equidistant, deg_to_rad(180.0), 96, 96);
+  const PerspectiveView view(96, 96, cam.lens().focal());
+  const img::Image8 src = img::make_gradient(96, 96);
+  img::Image8 exact(96, 96, 1), fast(96, 96, 1);
+  const RemapOptions opts{Interp::Bilinear, img::BorderMode::Constant, 0};
+  remap_otf_rect(src.view(), exact.view(), cam, view, {0, 0, 96, 96}, opts,
+                 false);
+  remap_otf_rect(src.view(), fast.view(), cam, view, {0, 0, 96, 96}, opts,
+                 true);
+  // atan error 2e-5 rad * focal ~48 px => coordinate error ~1e-3 px.
+  EXPECT_GT(img::psnr(exact.view(), fast.view()), 45.0);
+}
+
+TEST(Remap, ChannelMismatchViolatesContract) {
+  img::Image8 src(8, 8, 1), dst(8, 8, 3);
+  const WarpMap map = identity_map(8, 8);
+  EXPECT_THROW(remap_rect(src.view(), dst.view(), map, {0, 0, 8, 8}, {}),
+               fisheye::InvalidArgument);
+}
+
+TEST(Remap, BadRectViolatesContract) {
+  img::Image8 src(8, 8, 1), dst(8, 8, 1);
+  const WarpMap map = identity_map(8, 8);
+  EXPECT_THROW(remap_rect(src.view(), dst.view(), map, {0, 0, 9, 8}, {}),
+               fisheye::InvalidArgument);
+  EXPECT_THROW(remap_rect(src.view(), dst.view(), map, {4, 4, 4, 8}, {}),
+               fisheye::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye::core

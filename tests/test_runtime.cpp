@@ -1,0 +1,101 @@
+// Runtime measurement utilities: statistics, timers, report helpers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/report.hpp"
+#include "util/error.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/timer.hpp"
+
+namespace fisheye::rt {
+namespace {
+
+TEST(Stats, SummarizeOddCount) {
+  const RunStats s = summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.samples, 3);
+}
+
+TEST(Stats, SummarizeEvenCountMedianIsMidpoint) {
+  const RunStats s = summarize({4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, MadSigmaOfConstantIsZero) {
+  const RunStats s = summarize({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mad_sigma, 0.0);
+}
+
+TEST(Stats, MadSigmaRobustToOutlier) {
+  // One wild outlier barely moves median/MAD but wrecks the mean.
+  const RunStats s = summarize({1.0, 1.1, 0.9, 1.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  EXPECT_LT(s.mad_sigma, 0.2);
+  EXPECT_GT(s.mean, 20.0);
+}
+
+TEST(Stats, SingleSample) {
+  const RunStats s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.mad_sigma, 0.0);
+  EXPECT_EQ(s.samples, 1);
+}
+
+TEST(Stats, EmptyViolatesContract) {
+  EXPECT_THROW(summarize({}), fisheye::InvalidArgument);
+}
+
+TEST(Stats, MeasureRunsWarmupPlusReps) {
+  int calls = 0;
+  const RunStats s = measure([&calls] { ++calls; }, 5, 2);
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(s.samples, 5);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(Timer, StopwatchMeasuresElapsed) {
+  const Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double e = sw.elapsed_seconds();
+  EXPECT_GE(e, 0.018);
+  EXPECT_LT(e, 2.0);  // generous upper bound for a loaded host
+  EXPECT_NEAR(sw.elapsed_ms(), e * 1e3, 1e3);
+}
+
+TEST(Timer, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 0.01);
+}
+
+TEST(Timer, TimeOnceReturnsDuration) {
+  const double s = time_once(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  EXPECT_GE(s, 0.004);
+}
+
+TEST(Report, FpsAndThroughputHelpers) {
+  EXPECT_DOUBLE_EQ(fps_from_seconds(0.02), 50.0);
+  EXPECT_DOUBLE_EQ(fps_from_seconds(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mpix_per_s(1000, 1000, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(mpix_per_s(1920, 1080, 0.0), 0.0);
+  EXPECT_EQ(resolution_label(1280, 720), "1280x720");
+}
+
+TEST(Report, StandardResolutionsAreOrdered) {
+  long long prev = 0;
+  for (const Resolution& r : kResolutions) {
+    const long long px = static_cast<long long>(r.width) * r.height;
+    EXPECT_GT(px, prev) << r.name;
+    prev = px;
+  }
+}
+
+}  // namespace
+}  // namespace fisheye::rt

@@ -1,0 +1,338 @@
+// Multi-camera stitching: environment round trips, coverage, blending
+// correctness and seam behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stitch/environment.hpp"
+#include "stitch/ground_view.hpp"
+#include "stitch/stitcher.hpp"
+#include "util/mathx.hpp"
+
+namespace fisheye::stitch {
+namespace {
+
+using util::deg_to_rad;
+using util::Mat3;
+using util::Vec3;
+
+TEST(Environment, CoordsRoundTrip) {
+  const int w = 512, h = 256;
+  for (double x : {0.0, 100.0, 256.0, 400.0, 511.0})
+    for (double y : {1.0, 64.0, 128.0, 254.0}) {
+      const Vec3 ray = environment_ray(x, y, w, h);
+      EXPECT_NEAR(ray.norm(), 1.0, 1e-12);
+      const util::Vec2 uv = environment_coords(ray, w, h);
+      EXPECT_NEAR(uv.x, x, 1e-6) << x << ',' << y;
+      EXPECT_NEAR(uv.y, y, 1e-6);
+    }
+}
+
+TEST(Environment, ForwardIsCentred) {
+  const util::Vec2 uv = environment_coords({0.0, 0.0, 1.0}, 512, 256);
+  EXPECT_NEAR(uv.x, 256.0, 1e-9);
+  EXPECT_NEAR(uv.y, 127.5, 1e-9);
+}
+
+TEST(Environment, StreetTextureIsDeterministicRgb) {
+  const img::Image8 a = make_street_environment(256, 128);
+  const img::Image8 b = make_street_environment(256, 128);
+  EXPECT_EQ(a.channels(), 3);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(a.view(), b.view()));
+}
+
+TEST(Environment, RenderCentreSeesForwardTexel) {
+  const img::Image8 env = make_street_environment(1024, 512);
+  const auto cam = core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                                 deg_to_rad(180.0), 128, 128);
+  const img::Image8 frame =
+      render_from_environment(env.view(), cam, Mat3::identity(), 128, 128);
+  // The optical axis (forward) hits env at (512, 255.5).
+  const util::Vec2 c = environment_coords({0, 0, 1}, 1024, 512);
+  for (int ch = 0; ch < 3; ++ch)
+    EXPECT_NEAR(frame.at(64, 64, ch),
+                env.at(static_cast<int>(c.x), static_cast<int>(c.y), ch), 2.0);
+}
+
+TEST(Environment, RotatedCameraSeesRotatedContent) {
+  const img::Image8 env = make_street_environment(1024, 512);
+  const auto cam = core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                                 deg_to_rad(180.0), 96, 96);
+  const img::Image8 fwd =
+      render_from_environment(env.view(), cam, Mat3::identity(), 96, 96);
+  const img::Image8 right = render_from_environment(
+      env.view(), cam, Mat3::rot_y(deg_to_rad(90.0)), 96, 96);
+  EXPECT_FALSE(img::equal_pixels<std::uint8_t>(fwd.view(), right.view()));
+  // Centre of the rotated camera sees the +X direction of the environment.
+  const util::Vec2 cx = environment_coords({1, 0, 0}, 1024, 512);
+  for (int ch = 0; ch < 3; ++ch)
+    EXPECT_NEAR(right.at(48, 48, ch),
+                env.at(static_cast<int>(cx.x), static_cast<int>(cx.y), ch),
+                2.0);
+}
+
+/// Standard 2-camera test rig: +-40 degrees pan, 180-degree lenses.
+std::vector<RigCamera> two_camera_rig(int fw, int fh) {
+  std::vector<RigCamera> rig;
+  for (const double pan : {-40.0, 40.0}) {
+    RigCamera rc{core::FisheyeCamera::centered(core::LensKind::Equidistant,
+                                               deg_to_rad(180.0), fw, fh),
+                 Mat3::rot_y(deg_to_rad(pan)), fw, fh};
+    rig.push_back(rc);
+  }
+  return rig;
+}
+
+std::vector<img::Image8> render_rig(const std::vector<RigCamera>& rig,
+                                    const img::Image8& env) {
+  std::vector<img::Image8> frames;
+  for (const RigCamera& rc : rig)
+    frames.push_back(render_from_environment(env.view(), rc.camera,
+                                             rc.world_from_cam,
+                                             rc.frame_width,
+                                             rc.frame_height));
+  return frames;
+}
+
+std::vector<img::ConstImageView<std::uint8_t>> views_of(
+    const std::vector<img::Image8>& frames) {
+  std::vector<img::ConstImageView<std::uint8_t>> views;
+  for (const img::Image8& f : frames) views.push_back(f.view());
+  return views;
+}
+
+TEST(Stitcher, FullCoverageInsideRigField) {
+  const auto rig = two_camera_rig(160, 160);
+  const PanoramaStitcher stitcher(rig, 360, 100, deg_to_rad(150.0),
+                                  deg_to_rad(50.0));
+  EXPECT_EQ(stitcher.uncovered_pixels(), 0u);
+  EXPECT_EQ(stitcher.cameras(), 2u);
+}
+
+TEST(Stitcher, ReproducesEnvironmentGroundTruth) {
+  const img::Image8 env = make_street_environment(1024, 512);
+  const auto rig = two_camera_rig(320, 320);
+  const auto frames = render_rig(rig, env);
+
+  const int pw = 400, ph = 120;
+  const double hfov = deg_to_rad(150.0), vfov = deg_to_rad(45.0);
+  const PanoramaStitcher stitcher(rig, pw, ph, hfov, vfov);
+  const img::Image8 pano = stitcher.stitch(views_of(frames));
+
+  // Ground truth: sample the environment along the same rays.
+  img::Image8 truth(pw, ph, 3);
+  for (int y = 0; y < ph; ++y)
+    for (int x = 0; x < pw; ++x) {
+      const double lon = (static_cast<double>(x) / (pw - 1) - 0.5) * hfov;
+      const double lat = (static_cast<double>(y) / (ph - 1) - 0.5) * vfov;
+      const Vec3 ray{std::sin(lon) * std::cos(lat), std::sin(lat),
+                     std::cos(lon) * std::cos(lat)};
+      const util::Vec2 uv = environment_coords(ray, 1024, 512);
+      core::sample_bilinear(env.view(), static_cast<float>(uv.x),
+                            static_cast<float>(uv.y),
+                            img::BorderMode::Replicate, 0,
+                            &truth.at(x, y, 0));
+    }
+  EXPECT_GT(img::psnr(truth.view(), pano.view()), 24.0);
+}
+
+TEST(Stitcher, FeatherSeamIsSmootherThanNearest) {
+  // Brightness-bias one camera: feather blending must spread the mismatch
+  // over the overlap, nearest-camera must show a hard step at the seam.
+  // A featureless environment isolates the seam signal (scene edges would
+  // otherwise dominate the step metric in both modes).
+  img::Image8 env(1024, 512, 3);
+  env.fill(100);
+  const auto rig = two_camera_rig(240, 240);
+  auto frames = render_rig(rig, env);
+  for (int y = 0; y < frames[1].height(); ++y)
+    for (int x = 0; x < frames[1].width() * 3; ++x)
+      frames[1].row(y)[x] = static_cast<std::uint8_t>(
+          std::min(255, frames[1].row(y)[x] + 40));
+
+  const int pw = 360, ph = 80;
+  auto max_horizontal_step = [&](BlendMode mode) {
+    const PanoramaStitcher stitcher(rig, pw, ph, deg_to_rad(140.0),
+                                    deg_to_rad(30.0), mode);
+    const img::Image8 pano = stitcher.stitch(views_of(frames));
+    // Largest row-median jump between adjacent columns (robust to scene
+    // texture; the seam is a full-column step).
+    double worst = 0.0;
+    for (int x = 1; x < pw; ++x) {
+      double acc = 0.0;
+      for (int y = 0; y < ph; ++y)
+        acc += static_cast<double>(pano.at(x, y, 1)) - pano.at(x - 1, y, 1);
+      worst = std::max(worst, std::abs(acc / ph));
+    }
+    return worst;
+  };
+  const double step_feather = max_horizontal_step(BlendMode::Feather);
+  const double step_nearest = max_horizontal_step(BlendMode::NearestCamera);
+  EXPECT_GT(step_nearest, 2.0 * step_feather);
+  EXPECT_GT(step_nearest, 10.0);
+}
+
+TEST(Stitcher, PoolMatchesSerial) {
+  const img::Image8 env = make_street_environment(512, 256);
+  const auto rig = two_camera_rig(160, 160);
+  const auto frames = render_rig(rig, env);
+  const PanoramaStitcher stitcher(rig, 300, 80, deg_to_rad(150.0),
+                                  deg_to_rad(40.0));
+  const img::Image8 serial = stitcher.stitch(views_of(frames));
+  par::ThreadPool pool(4);
+  const img::Image8 pooled = stitcher.stitch(views_of(frames), &pool);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(serial.view(), pooled.view()));
+}
+
+TEST(Stitcher, WeightsPeakOnAxis) {
+  const auto rig = two_camera_rig(160, 160);
+  const int pw = 360, ph = 90;
+  const PanoramaStitcher stitcher(rig, pw, ph, deg_to_rad(160.0),
+                                  deg_to_rad(40.0));
+  // Camera 0 points at -40 degrees: its weight at the -40-degree column
+  // must exceed its weight at the +40-degree column, and vice versa.
+  auto col_for = [&](double lon_deg) {
+    return static_cast<int>((lon_deg / 160.0 + 0.5) * (pw - 1));
+  };
+  const std::size_t left =
+      static_cast<std::size_t>(ph / 2) * pw + col_for(-40.0);
+  const std::size_t right =
+      static_cast<std::size_t>(ph / 2) * pw + col_for(40.0);
+  EXPECT_GT(stitcher.weights(0)[left], stitcher.weights(0)[right]);
+  EXPECT_GT(stitcher.weights(1)[right], stitcher.weights(1)[left]);
+}
+
+
+TEST(GroundView, CentreLooksStraightDown) {
+  const GroundPlaneView view(101, 101, 0.05, 2.0);
+  const Vec3 ray = view.ray_for_pixel({50.0, 50.0});
+  EXPECT_NEAR(ray.x, 0.0, 1e-12);
+  EXPECT_NEAR(ray.z, 0.0, 1e-12);
+  EXPECT_GT(ray.y, 0.0);  // +Y is down
+}
+
+TEST(GroundView, AxesOrientation) {
+  const GroundPlaneView view(101, 101, 0.1, 2.0);
+  const Vec3 right = view.ray_for_pixel({100.0, 50.0});
+  EXPECT_NEAR(right.x, 5.0, 1e-9);  // 50 px * 0.1 m/px
+  const Vec3 ahead = view.ray_for_pixel({50.0, 0.0});
+  EXPECT_NEAR(ahead.z, 5.0, 1e-9);  // image-up = forward
+  EXPECT_NEAR(ahead.x, 0.0, 1e-9);
+}
+
+TEST(GroundView, StitcherAcceptsGeneralProjection) {
+  // Build a 4-camera rig tilted 45 degrees down so the ground is well
+  // inside each field; stitch a top-down view and verify full coverage of
+  // the near field plus serial/pool equality through the general ctor.
+  std::vector<RigCamera> rig;
+  for (int c = 0; c < 4; ++c) {
+    rig.push_back({core::FisheyeCamera::centered(
+                       core::LensKind::Equidistant, deg_to_rad(185.0), 160,
+                       160),
+                   Mat3::rot_y(deg_to_rad(90.0 * c)) *
+                       Mat3::rot_x(-deg_to_rad(45.0)),  // look down
+                   160, 160});
+  }
+  const GroundPlaneView top(120, 120, 0.08, 2.0);
+  const PanoramaStitcher stitcher(rig, top, BlendMode::Feather);
+  EXPECT_EQ(stitcher.width(), 120);
+  // The rig covers the whole near field.
+  EXPECT_EQ(stitcher.uncovered_pixels(), 0u);
+
+  img::Image8 env(512, 256, 3);
+  env.fill(90);
+  const auto frames = render_rig(rig, env);
+  const img::Image8 serial = stitcher.stitch(views_of(frames));
+  par::ThreadPool pool(3);
+  const img::Image8 pooled = stitcher.stitch(views_of(frames), &pool);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(serial.view(), pooled.view()));
+}
+
+TEST(GroundView, EquirectCtorEquivalentToGeneralCtor) {
+  const auto rig = two_camera_rig(96, 96);
+  const PanoramaStitcher a(rig, 200, 60, deg_to_rad(120.0),
+                           deg_to_rad(40.0));
+  const core::EquirectangularView view(200, 60, deg_to_rad(120.0),
+                                       deg_to_rad(40.0));
+  const PanoramaStitcher b(rig, view);
+  for (std::size_t c = 0; c < rig.size(); ++c) {
+    ASSERT_EQ(a.weights(c).size(), b.weights(c).size());
+    for (std::size_t i = 0; i < a.weights(c).size(); ++i)
+      ASSERT_EQ(a.weights(c)[i], b.weights(c)[i]);
+  }
+}
+
+
+TEST(GainCompensation, RecoversInjectedExposureMismatch) {
+  // Scale camera 1's frame by 1.3x; the estimator must find ~sqrt ratios
+  // (anchored product = 1) and the compensated panorama must match the
+  // unbiased one closely.
+  const img::Image8 env = make_street_environment(1024, 512);
+  const auto rig = two_camera_rig(240, 240);
+  auto frames = render_rig(rig, env);
+  const PanoramaStitcher stitcher(rig, 360, 100, deg_to_rad(140.0),
+                                  deg_to_rad(40.0));
+  const img::Image8 unbiased = stitcher.stitch(views_of(frames));
+
+  std::vector<img::Image8> biased;
+  biased.push_back(frames[0].clone());
+  img::Image8 bright(240, 240, 3);
+  for (int y = 0; y < 240; ++y)
+    for (int x = 0; x < 240 * 3; ++x)
+      bright.row(y)[x] = static_cast<std::uint8_t>(
+          std::min(255.0, frames[1].row(y)[x] * 1.3));
+  biased.push_back(std::move(bright));
+
+  const std::vector<double> gains = stitcher.estimate_gains(views_of(biased));
+  ASSERT_EQ(gains.size(), 2u);
+  // Gains counteract the bias: g0/g1 ~ 1.3 (anchored so g0*g1 ~ 1).
+  EXPECT_NEAR(gains[0] / gains[1], 1.3, 0.1);
+  EXPECT_NEAR(gains[0] * gains[1], 1.0, 0.05);
+
+  const img::Image8 compensated =
+      stitcher.stitch_with_gains(views_of(biased), gains);
+  const img::Image8 uncompensated = stitcher.stitch(views_of(biased));
+  // Compensation recovers most of the bias-induced error vs the unbiased
+  // panorama (global scale remains, so compare improvements).
+  const double err_comp = img::mse(unbiased.view(), compensated.view());
+  const double err_raw = img::mse(unbiased.view(), uncompensated.view());
+  EXPECT_LT(err_comp, err_raw);
+}
+
+TEST(GainCompensation, UnbiasedFramesYieldUnitGains) {
+  const img::Image8 env = make_street_environment(512, 256);
+  const auto rig = two_camera_rig(160, 160);
+  const auto frames = render_rig(rig, env);
+  const PanoramaStitcher stitcher(rig, 240, 60, deg_to_rad(140.0),
+                                  deg_to_rad(30.0));
+  for (double g : stitcher.estimate_gains(views_of(frames)))
+    EXPECT_NEAR(g, 1.0, 0.02);
+}
+
+TEST(GainCompensation, Contracts) {
+  const auto rig = two_camera_rig(64, 64);
+  const PanoramaStitcher stitcher(rig, 100, 40, 1.5, 0.5);
+  img::Image8 f(64, 64, 1);
+  EXPECT_THROW(
+      stitcher.stitch_with_gains({f.view(), f.view()}, {1.0}),
+      fisheye::InvalidArgument);
+  EXPECT_THROW(
+      stitcher.stitch_with_gains({f.view(), f.view()}, {1.0, -1.0}),
+      fisheye::InvalidArgument);
+}
+
+TEST(Stitcher, ContractViolations) {
+  const auto rig = two_camera_rig(64, 64);
+  EXPECT_THROW(PanoramaStitcher({}, 100, 50, 1.0, 0.5),
+               fisheye::InvalidArgument);
+  const PanoramaStitcher stitcher(rig, 100, 50, 1.0, 0.5);
+  img::Image8 wrong(32, 32, 1);
+  EXPECT_THROW(stitcher.stitch({wrong.view(), wrong.view()}),
+               fisheye::InvalidArgument);
+  EXPECT_THROW(stitcher.stitch({wrong.view()}), fisheye::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fisheye::stitch

@@ -1,0 +1,153 @@
+// Synthetic generators and quality metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "image/metrics.hpp"
+#include "image/synth.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::img {
+namespace {
+
+TEST(Synth, CheckerboardPattern) {
+  const Image8 im = make_checkerboard(64, 64, 8, 10, 200);
+  EXPECT_EQ(im.at(0, 0), 200);    // (0,0): cell parity light
+  EXPECT_EQ(im.at(8, 0), 10);     // one cell right flips
+  EXPECT_EQ(im.at(0, 8), 10);     // one cell down flips
+  EXPECT_EQ(im.at(8, 8), 200);    // diagonal keeps parity
+  EXPECT_EQ(im.at(7, 7), 200);    // still inside first cell
+}
+
+TEST(Synth, CheckerboardDeterministic) {
+  const Image8 a = make_checkerboard(32, 32, 4);
+  const Image8 b = make_checkerboard(32, 32, 4);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(a.view(), b.view()));
+}
+
+TEST(Synth, CircleGridHasForegroundAtCentres) {
+  const Image8 im = make_circle_grid(60, 60, 20, 5);
+  EXPECT_EQ(im.at(10, 10), 20);   // first circle centre
+  EXPECT_EQ(im.at(30, 10), 20);   // next centre
+  EXPECT_EQ(im.at(20, 20), 230);  // between circles: background
+}
+
+TEST(Synth, SiemensStarAlternatesAroundCentre) {
+  const Image8 im = make_siemens_star(101, 101, 8);
+  int transitions = 0;
+  int prev = im.at(95, 50);
+  // Walk a ring and count sector transitions; 8 spokes -> 16 sectors.
+  for (int a = 1; a < 360; ++a) {
+    const double rad = a * 3.14159265358979 / 180.0;
+    const int x = 50 + static_cast<int>(45 * std::cos(rad));
+    const int y = 50 + static_cast<int>(45 * std::sin(rad));
+    const int cur = im.at(x, y);
+    if (cur != prev) ++transitions;
+    prev = cur;
+  }
+  EXPECT_GE(transitions, 14);
+  EXPECT_LE(transitions, 18);
+}
+
+TEST(Synth, GradientIsMonotoneAlongRowFromCentre) {
+  const Image8 im = make_gradient(101, 101);
+  for (int x = 51; x < 100; ++x)
+    EXPECT_GE(im.at(x, 50), im.at(x - 1, 50)) << "x=" << x;
+}
+
+TEST(Synth, RingsAlternate) {
+  const Image8 im = make_rings(101, 101, 10);
+  EXPECT_NE(im.at(50, 50), im.at(50 + 12, 50));
+  EXPECT_EQ(im.at(50 + 3, 50), im.at(50, 50 + 3));  // radially symmetric
+}
+
+TEST(Synth, NoiseUsesFullRangeAndIsSeeded) {
+  util::Rng rng(5);
+  const Image8 a = make_noise(64, 64, rng);
+  util::Rng rng2(5);
+  const Image8 b = make_noise(64, 64, rng2);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(a.view(), b.view()));
+  int lo = 255, hi = 0;
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      lo = std::min<int>(lo, a.at(x, y));
+      hi = std::max<int>(hi, a.at(x, y));
+    }
+  EXPECT_LT(lo, 10);
+  EXPECT_GT(hi, 245);
+}
+
+TEST(Synth, SceneIsRgbAndAnimated) {
+  const Image8 f0 = make_scene_rgb(320, 240, 0.0);
+  const Image8 f1 = make_scene_rgb(320, 240, 1.0);
+  ASSERT_EQ(f0.channels(), 3);
+  EXPECT_FALSE(equal_pixels<std::uint8_t>(f0.view(), f1.view()));
+  // Same time -> identical frame (pure function of parameters).
+  const Image8 f0b = make_scene_rgb(320, 240, 0.0);
+  EXPECT_TRUE(equal_pixels<std::uint8_t>(f0.view(), f0b.view()));
+}
+
+TEST(Metrics, MseZeroForIdentical) {
+  const Image8 a = make_gradient(32, 32);
+  EXPECT_DOUBLE_EQ(mse(a.view(), a.view()), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a.view(), a.view())));
+}
+
+TEST(Metrics, MseKnownValue) {
+  Image8 a(4, 4, 1), b(4, 4, 1);
+  a.fill(10);
+  b.fill(14);  // diff 4 everywhere -> mse 16
+  EXPECT_DOUBLE_EQ(mse(a.view(), b.view()), 16.0);
+  EXPECT_NEAR(psnr(a.view(), b.view()), 10.0 * std::log10(255.0 * 255.0 / 16.0),
+              1e-12);
+}
+
+TEST(Metrics, MaxAbsDiff) {
+  Image8 a(3, 3, 1), b(3, 3, 1);
+  b.at(2, 2) = 200;
+  b.at(0, 0) = 3;
+  EXPECT_EQ(max_abs_diff(a.view(), b.view()), 200);
+}
+
+TEST(Metrics, FractionDiffering) {
+  Image8 a(10, 10, 1), b(10, 10, 1);
+  for (int i = 0; i < 5; ++i) b.at(i, 0) = 10;  // 5 of 100 pixels differ by 10
+  EXPECT_DOUBLE_EQ(fraction_differing(a.view(), b.view(), 1), 0.05);
+  EXPECT_DOUBLE_EQ(fraction_differing(a.view(), b.view(), 10), 0.0);
+}
+
+TEST(Metrics, SsimIdentityIsOne) {
+  const Image8 a = make_checkerboard(64, 64, 8);
+  EXPECT_NEAR(ssim(a.view(), a.view()), 1.0, 1e-9);
+}
+
+TEST(Metrics, SsimOrdersDegradations) {
+  const Image8 ref = make_gradient(64, 64);
+  Image8 slightly = ref.clone();
+  Image8 heavily = ref.clone();
+  util::Rng rng(17);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      slightly.at(x, y) = static_cast<std::uint8_t>(
+          std::clamp<int>(slightly.at(x, y) + static_cast<int>(rng.normal(0, 2)), 0, 255));
+      heavily.at(x, y) = static_cast<std::uint8_t>(
+          std::clamp<int>(heavily.at(x, y) + static_cast<int>(rng.normal(0, 25)), 0, 255));
+    }
+  const double s_slight = ssim(ref.view(), slightly.view());
+  const double s_heavy = ssim(ref.view(), heavily.view());
+  EXPECT_GT(s_slight, s_heavy);
+  EXPECT_GT(s_slight, 0.8);
+  EXPECT_LT(s_heavy, s_slight);
+}
+
+TEST(Metrics, ShapeMismatchViolatesContract) {
+  Image8 a(4, 4, 1), b(4, 5, 1), c(4, 4, 3);
+  EXPECT_THROW(mse(a.view(), b.view()), InvalidArgument);
+  EXPECT_THROW(mse(a.view(), c.view()), InvalidArgument);
+  EXPECT_THROW(ssim(c.view(), c.view()), InvalidArgument);  // channels != 1
+}
+
+}  // namespace
+}  // namespace fisheye::img

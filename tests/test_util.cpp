@@ -1,0 +1,289 @@
+// Unit tests for src/util: contracts, aligned buffers, fixed point, fast
+// math approximations, RNG, table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "util/aligned.hpp"
+#include "util/args.hpp"
+#include "util/cpu.hpp"
+#include "util/error.hpp"
+#include "util/fixed_point.hpp"
+#include "util/log.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace fisheye {
+namespace {
+
+using util::Q18_14;
+
+TEST(Error, ContractMacroThrowsInvalidArgument) {
+  EXPECT_THROW([] { FE_EXPECTS(1 == 2); }(), InvalidArgument);
+  EXPECT_THROW([] { FE_ENSURES(false); }(), InvalidArgument);
+  EXPECT_NO_THROW([] { FE_EXPECTS(true); }());
+}
+
+TEST(Error, MessageNamesExpressionAndLocation) {
+  try {
+    FE_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(msg.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Aligned, AlignUpBasics) {
+  EXPECT_EQ(util::align_up(0, 64), 0u);
+  EXPECT_EQ(util::align_up(1, 64), 64u);
+  EXPECT_EQ(util::align_up(64, 64), 64u);
+  EXPECT_EQ(util::align_up(65, 64), 128u);
+}
+
+TEST(Aligned, IsPow2) {
+  EXPECT_TRUE(util::is_pow2(1));
+  EXPECT_TRUE(util::is_pow2(64));
+  EXPECT_FALSE(util::is_pow2(0));
+  EXPECT_FALSE(util::is_pow2(48));
+}
+
+TEST(Aligned, BufferIsCacheLineAlignedAndZeroed) {
+  util::AlignedBuffer<float> buf(1001);
+  ASSERT_EQ(buf.size(), 1001u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  for (float v : buf) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Aligned, BufferMoveTransfersOwnership) {
+  util::AlignedBuffer<int> a(16);
+  a[3] = 42;
+  util::AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(Aligned, EmptyBuffer) {
+  util::AlignedBuffer<int> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(FixedPoint, FromIntExact) {
+  const auto v = Q18_14::from_int(37);
+  EXPECT_EQ(v.floor(), 37);
+  EXPECT_EQ(v.frac_raw(), 0);
+  EXPECT_DOUBLE_EQ(v.to_double(), 37.0);
+}
+
+TEST(FixedPoint, RoundTripPrecision) {
+  // Q18.14 resolves 1/16384; round-trip error must be <= half an LSB.
+  for (double x : {0.0, 0.125, 3.999939, -2.5, 100.0625, -0.0001}) {
+    const auto f = Q18_14::from_double(x);
+    EXPECT_NEAR(f.to_double(), x, 0.5 / 16384.0) << "x=" << x;
+  }
+}
+
+TEST(FixedPoint, FloorIsArithmeticForNegatives) {
+  const auto v = Q18_14::from_double(-1.25);
+  EXPECT_EQ(v.floor(), -2);
+  EXPECT_NEAR(v.frac(), 0.75, 1e-9);
+}
+
+TEST(FixedPoint, ArithmeticMatchesDouble) {
+  const auto a = Q18_14::from_double(3.5);
+  const auto b = Q18_14::from_double(-1.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 2.25);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 4.75);
+  EXPECT_DOUBLE_EQ((-b).to_double(), 1.25);
+  EXPECT_NEAR((a * b).to_double(), -4.375, 1.0 / 16384.0);
+}
+
+TEST(FixedPoint, CompileTimeUsable) {
+  constexpr auto one = Q18_14::from_int(1);
+  static_assert(one.raw() == Q18_14::one);
+  static_assert(Q18_14::from_raw(3) + Q18_14::from_raw(4) ==
+                Q18_14::from_raw(7));
+  SUCCEED();
+}
+
+class QuantizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeSweep, ErrorBoundedByHalfLsb) {
+  const int bits = GetParam();
+  const double lsb = 1.0 / static_cast<double>(1LL << bits);
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1000.0, 1000.0);
+    EXPECT_NEAR(util::quantize(x, bits), x, 0.5 * lsb + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizeSweep,
+                         ::testing::Values(4, 6, 8, 10, 12, 14, 16, 18));
+
+TEST(Mathx, Constants) {
+  EXPECT_NEAR(util::deg_to_rad(180.0), util::kPi, 1e-15);
+  EXPECT_NEAR(util::rad_to_deg(util::kHalfPi), 90.0, 1e-12);
+}
+
+TEST(Mathx, FastAtanErrorBound) {
+  double worst = 0.0;
+  for (int i = -2000; i <= 2000; ++i) {
+    const double x = i * 0.01;  // [-20, 20] crosses the range reduction
+    worst = std::max(worst, std::abs(util::fast_atan(x) - std::atan(x)));
+  }
+  EXPECT_LT(worst, 2e-5);
+}
+
+TEST(Mathx, FastAtan2Quadrants) {
+  for (double a = -3.0; a <= 3.0; a += 0.173) {
+    const double y = std::sin(a), x = std::cos(a);
+    EXPECT_NEAR(util::fast_atan2(y, x), std::atan2(y, x), 2e-5)
+        << "angle " << a;
+  }
+  EXPECT_DOUBLE_EQ(util::fast_atan2(0.0, 0.0), 0.0);
+  EXPECT_NEAR(util::fast_atan2(1.0, 0.0), util::kHalfPi, 1e-12);
+  EXPECT_NEAR(util::fast_atan2(-1.0, 0.0), -util::kHalfPi, 1e-12);
+}
+
+TEST(Mathx, FastSinErrorBound) {
+  double worst = 0.0;
+  for (int i = -314; i <= 314; ++i) {
+    const double x = i * 0.01;
+    worst = std::max(worst, std::abs(util::fast_sin(x) - std::sin(x)));
+  }
+  EXPECT_LT(worst, 1e-4);
+}
+
+TEST(Mathx, LerpAndClamp) {
+  EXPECT_DOUBLE_EQ(util::lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(util::lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_EQ(util::clamp(5, 0, 3), 3);
+  EXPECT_EQ(util::clamp(-5, 0, 3), 0);
+  EXPECT_EQ(util::clamp(2, 0, 3), 2);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  util::Rng rng(4);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowBounds) {
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Table, MarkdownShape) {
+  util::Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("beta").add(12);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(md.find("| alpha | 1.5   |"), std::string::npos);
+  EXPECT_NE(md.find("| beta  | 12    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  util::Table t({"a", "b"});
+  t.row().add("x,y").add("quote\"inside");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, OverfilledRowViolatesContract) {
+  util::Table t({"only"});
+  t.row().add("ok");
+  EXPECT_THROW(t.add("too many"), InvalidArgument);
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(util::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(util::format_double(2.0, 0), "2");
+}
+
+TEST(Cpu, ReportsAtLeastOneThread) {
+  EXPECT_GE(util::cpu_info().hardware_threads, 1u);
+  EXPECT_FALSE(util::cpu_info().summary().empty());
+}
+
+TEST(Log, LevelsAreSettable) {
+  const auto prev = util::log_level();
+  util::set_log_level(util::LogLevel::Error);
+  EXPECT_EQ(util::log_level(), util::LogLevel::Error);
+  util::set_log_level(prev);
+}
+
+
+TEST(Args, ParsesNamedPositionalAndFlags) {
+  // Note the grammar: `--flag value` binds greedily, so positionals must
+  // precede boolean flags (documented in util/args.hpp).
+  const char* argv[] = {"prog", "input.ppm", "extra", "--fov", "170.5",
+                        "--interp=bicubic", "--stats"};
+  const util::Args args(7, argv);
+  EXPECT_EQ(args.program(), "prog");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.ppm");
+  EXPECT_EQ(args.positional()[1], "extra");
+  EXPECT_DOUBLE_EQ(args.get_double("fov", 0.0), 170.5);
+  EXPECT_EQ(args.get("interp", ""), "bicubic");
+  EXPECT_TRUE(args.get_bool("stats"));
+  EXPECT_FALSE(args.get_bool("absent"));
+  EXPECT_EQ(args.get("absent", "dflt"), "dflt");
+}
+
+TEST(Args, NumericValidation) {
+  const char* argv[] = {"prog", "--n", "abc", "--f", "2.5"};
+  const util::Args args(5, argv);
+  EXPECT_THROW(args.get_double("n", 0.0), InvalidArgument);
+  EXPECT_THROW(args.get_int("f", 0), InvalidArgument);  // non-integral
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Args, BooleanFollowedByFlagStaysBoolean) {
+  const char* argv[] = {"prog", "--verbose", "--out", "x.ppm"};
+  const util::Args args(4, argv);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.get("out", ""), "x.ppm");
+}
+
+}  // namespace
+}  // namespace fisheye
