@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_scheduling"
+  "../bench/fig02_scheduling.pdb"
+  "CMakeFiles/fig02_scheduling.dir/fig02_scheduling.cpp.o"
+  "CMakeFiles/fig02_scheduling.dir/fig02_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_lut_vs_otf"
+  "../bench/fig03_lut_vs_otf.pdb"
+  "CMakeFiles/fig03_lut_vs_otf.dir/fig03_lut_vs_otf.cpp.o"
+  "CMakeFiles/fig03_lut_vs_otf.dir/fig03_lut_vs_otf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lut_vs_otf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

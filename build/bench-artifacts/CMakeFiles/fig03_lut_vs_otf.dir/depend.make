@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_lut_vs_otf.
+# This may be replaced when dependencies are built.

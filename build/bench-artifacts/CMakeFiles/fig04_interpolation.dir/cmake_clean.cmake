@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_interpolation"
+  "../bench/fig04_interpolation.pdb"
+  "CMakeFiles/fig04_interpolation.dir/fig04_interpolation.cpp.o"
+  "CMakeFiles/fig04_interpolation.dir/fig04_interpolation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

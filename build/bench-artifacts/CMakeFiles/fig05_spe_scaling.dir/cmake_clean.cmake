@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_spe_scaling"
+  "../bench/fig05_spe_scaling.pdb"
+  "CMakeFiles/fig05_spe_scaling.dir/fig05_spe_scaling.cpp.o"
+  "CMakeFiles/fig05_spe_scaling.dir/fig05_spe_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_spe_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

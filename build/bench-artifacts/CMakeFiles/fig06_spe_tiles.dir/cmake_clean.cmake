@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_spe_tiles"
+  "../bench/fig06_spe_tiles.pdb"
+  "CMakeFiles/fig06_spe_tiles.dir/fig06_spe_tiles.cpp.o"
+  "CMakeFiles/fig06_spe_tiles.dir/fig06_spe_tiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_spe_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

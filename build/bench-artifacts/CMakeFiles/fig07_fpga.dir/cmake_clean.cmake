@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_fpga"
+  "../bench/fig07_fpga.pdb"
+  "CMakeFiles/fig07_fpga.dir/fig07_fpga.cpp.o"
+  "CMakeFiles/fig07_fpga.dir/fig07_fpga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

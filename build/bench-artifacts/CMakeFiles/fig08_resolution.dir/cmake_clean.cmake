@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_resolution"
+  "../bench/fig08_resolution.pdb"
+  "CMakeFiles/fig08_resolution.dir/fig08_resolution.cpp.o"
+  "CMakeFiles/fig08_resolution.dir/fig08_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_fixed_point"
+  "../bench/fig09_fixed_point.pdb"
+  "CMakeFiles/fig09_fixed_point.dir/fig09_fixed_point.cpp.o"
+  "CMakeFiles/fig09_fixed_point.dir/fig09_fixed_point.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_calibration"
+  "../bench/fig10_calibration.pdb"
+  "CMakeFiles/fig10_calibration.dir/fig10_calibration.cpp.o"
+  "CMakeFiles/fig10_calibration.dir/fig10_calibration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

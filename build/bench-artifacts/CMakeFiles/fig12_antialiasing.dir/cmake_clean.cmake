@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_antialiasing"
+  "../bench/fig12_antialiasing.pdb"
+  "CMakeFiles/fig12_antialiasing.dir/fig12_antialiasing.cpp.o"
+  "CMakeFiles/fig12_antialiasing.dir/fig12_antialiasing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_antialiasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

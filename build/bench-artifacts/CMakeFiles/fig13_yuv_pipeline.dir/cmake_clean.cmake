@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_yuv_pipeline"
+  "../bench/fig13_yuv_pipeline.pdb"
+  "CMakeFiles/fig13_yuv_pipeline.dir/fig13_yuv_pipeline.cpp.o"
+  "CMakeFiles/fig13_yuv_pipeline.dir/fig13_yuv_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_yuv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_optimization_ladder"
+  "../bench/fig14_optimization_ladder.pdb"
+  "CMakeFiles/fig14_optimization_ladder.dir/fig14_optimization_ladder.cpp.o"
+  "CMakeFiles/fig14_optimization_ladder.dir/fig14_optimization_ladder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_optimization_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_stitching"
+  "../bench/fig15_stitching.pdb"
+  "CMakeFiles/fig15_stitching.dir/fig15_stitching.cpp.o"
+  "CMakeFiles/fig15_stitching.dir/fig15_stitching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_stitching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

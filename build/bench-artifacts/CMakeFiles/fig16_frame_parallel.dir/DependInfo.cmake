@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_frame_parallel.cpp" "bench-artifacts/CMakeFiles/fig16_frame_parallel.dir/fig16_frame_parallel.cpp.o" "gcc" "bench-artifacts/CMakeFiles/fig16_frame_parallel.dir/fig16_frame_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fisheye_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/fisheye_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/fisheye_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/fisheye_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/stitch/CMakeFiles/fisheye_stitch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fisheye_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fisheye_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fisheye_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/fisheye_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/fisheye_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fisheye_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fisheye_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

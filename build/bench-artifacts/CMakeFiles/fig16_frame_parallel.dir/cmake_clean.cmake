@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_frame_parallel"
+  "../bench/fig16_frame_parallel.pdb"
+  "CMakeFiles/fig16_frame_parallel.dir/fig16_frame_parallel.cpp.o"
+  "CMakeFiles/fig16_frame_parallel.dir/fig16_frame_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_frame_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

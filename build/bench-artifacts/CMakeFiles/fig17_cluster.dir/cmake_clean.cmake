@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_cluster"
+  "../bench/fig17_cluster.pdb"
+  "CMakeFiles/fig17_cluster.dir/fig17_cluster.cpp.o"
+  "CMakeFiles/fig17_cluster.dir/fig17_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

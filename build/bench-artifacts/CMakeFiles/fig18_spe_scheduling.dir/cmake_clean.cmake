@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_spe_scheduling"
+  "../bench/fig18_spe_scheduling.pdb"
+  "CMakeFiles/fig18_spe_scheduling.dir/fig18_spe_scheduling.cpp.o"
+  "CMakeFiles/fig18_spe_scheduling.dir/fig18_spe_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_spe_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_ptz_tour"
+  "../bench/fig19_ptz_tour.pdb"
+  "CMakeFiles/fig19_ptz_tour.dir/fig19_ptz_tour.cpp.o"
+  "CMakeFiles/fig19_ptz_tour.dir/fig19_ptz_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_ptz_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

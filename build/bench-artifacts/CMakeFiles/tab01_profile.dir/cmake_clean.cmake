@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_profile"
+  "../bench/tab01_profile.pdb"
+  "CMakeFiles/tab01_profile.dir/tab01_profile.cpp.o"
+  "CMakeFiles/tab01_profile.dir/tab01_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

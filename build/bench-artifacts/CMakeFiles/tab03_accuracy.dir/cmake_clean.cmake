@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_accuracy"
+  "../bench/tab03_accuracy.pdb"
+  "CMakeFiles/tab03_accuracy.dir/tab03_accuracy.cpp.o"
+  "CMakeFiles/tab03_accuracy.dir/tab03_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_quality"
+  "../bench/tab04_quality.pdb"
+  "CMakeFiles/tab04_quality.dir/tab04_quality.cpp.o"
+  "CMakeFiles/tab04_quality.dir/tab04_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_demo.dir/calibrate_demo.cpp.o"
+  "CMakeFiles/calibrate_demo.dir/calibrate_demo.cpp.o.d"
+  "calibrate_demo"
+  "calibrate_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

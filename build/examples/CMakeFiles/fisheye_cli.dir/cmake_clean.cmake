@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_cli.dir/fisheye_cli.cpp.o"
+  "CMakeFiles/fisheye_cli.dir/fisheye_cli.cpp.o.d"
+  "fisheye_cli"
+  "fisheye_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

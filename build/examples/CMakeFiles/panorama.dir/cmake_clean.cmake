@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panorama.dir/panorama.cpp.o"
+  "CMakeFiles/panorama.dir/panorama.cpp.o.d"
+  "panorama"
+  "panorama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panorama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

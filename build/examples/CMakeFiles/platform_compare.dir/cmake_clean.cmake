@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_compare.dir/platform_compare.cpp.o"
+  "CMakeFiles/platform_compare.dir/platform_compare.cpp.o.d"
+  "platform_compare"
+  "platform_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

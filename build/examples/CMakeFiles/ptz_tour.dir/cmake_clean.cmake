@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptz_tour.dir/ptz_tour.cpp.o"
+  "CMakeFiles/ptz_tour.dir/ptz_tour.cpp.o.d"
+  "ptz_tour"
+  "ptz_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptz_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

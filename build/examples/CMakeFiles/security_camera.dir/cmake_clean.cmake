@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_camera.dir/security_camera.cpp.o"
+  "CMakeFiles/security_camera.dir/security_camera.cpp.o.d"
+  "security_camera"
+  "security_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surround_view.dir/surround_view.cpp.o"
+  "CMakeFiles/surround_view.dir/surround_view.cpp.o.d"
+  "surround_view"
+  "surround_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surround_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

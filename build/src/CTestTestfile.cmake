@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("image")
+subdirs("parallel")
+subdirs("simd")
+subdirs("runtime")
+subdirs("core")
+subdirs("accel")
+subdirs("calib")
+subdirs("video")
+subdirs("stitch")
+subdirs("cluster")
+subdirs("analysis")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accel_backend.cpp" "src/accel/CMakeFiles/fisheye_accel.dir/accel_backend.cpp.o" "gcc" "src/accel/CMakeFiles/fisheye_accel.dir/accel_backend.cpp.o.d"
+  "/root/repo/src/accel/cache_sim.cpp" "src/accel/CMakeFiles/fisheye_accel.dir/cache_sim.cpp.o" "gcc" "src/accel/CMakeFiles/fisheye_accel.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/accel/dma.cpp" "src/accel/CMakeFiles/fisheye_accel.dir/dma.cpp.o" "gcc" "src/accel/CMakeFiles/fisheye_accel.dir/dma.cpp.o.d"
+  "/root/repo/src/accel/fpga_platform.cpp" "src/accel/CMakeFiles/fisheye_accel.dir/fpga_platform.cpp.o" "gcc" "src/accel/CMakeFiles/fisheye_accel.dir/fpga_platform.cpp.o.d"
+  "/root/repo/src/accel/gpu_platform.cpp" "src/accel/CMakeFiles/fisheye_accel.dir/gpu_platform.cpp.o" "gcc" "src/accel/CMakeFiles/fisheye_accel.dir/gpu_platform.cpp.o.d"
+  "/root/repo/src/accel/spe_platform.cpp" "src/accel/CMakeFiles/fisheye_accel.dir/spe_platform.cpp.o" "gcc" "src/accel/CMakeFiles/fisheye_accel.dir/spe_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fisheye_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/fisheye_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/fisheye_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fisheye_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fisheye_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

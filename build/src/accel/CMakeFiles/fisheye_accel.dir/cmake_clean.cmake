@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_accel.dir/accel_backend.cpp.o"
+  "CMakeFiles/fisheye_accel.dir/accel_backend.cpp.o.d"
+  "CMakeFiles/fisheye_accel.dir/cache_sim.cpp.o"
+  "CMakeFiles/fisheye_accel.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/fisheye_accel.dir/dma.cpp.o"
+  "CMakeFiles/fisheye_accel.dir/dma.cpp.o.d"
+  "CMakeFiles/fisheye_accel.dir/fpga_platform.cpp.o"
+  "CMakeFiles/fisheye_accel.dir/fpga_platform.cpp.o.d"
+  "CMakeFiles/fisheye_accel.dir/gpu_platform.cpp.o"
+  "CMakeFiles/fisheye_accel.dir/gpu_platform.cpp.o.d"
+  "CMakeFiles/fisheye_accel.dir/spe_platform.cpp.o"
+  "CMakeFiles/fisheye_accel.dir/spe_platform.cpp.o.d"
+  "libfisheye_accel.a"
+  "libfisheye_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

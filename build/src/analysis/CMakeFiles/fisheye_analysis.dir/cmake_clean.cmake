@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_analysis.dir/quality.cpp.o"
+  "CMakeFiles/fisheye_analysis.dir/quality.cpp.o.d"
+  "libfisheye_analysis.a"
+  "libfisheye_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

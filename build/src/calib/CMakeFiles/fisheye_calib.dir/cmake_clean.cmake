@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_calib.dir/calibrate.cpp.o"
+  "CMakeFiles/fisheye_calib.dir/calibrate.cpp.o.d"
+  "libfisheye_calib.a"
+  "libfisheye_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_cluster.dir/cluster_sim.cpp.o"
+  "CMakeFiles/fisheye_cluster.dir/cluster_sim.cpp.o.d"
+  "libfisheye_cluster.a"
+  "libfisheye_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

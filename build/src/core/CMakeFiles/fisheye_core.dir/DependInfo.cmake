@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aa_remap.cpp" "src/core/CMakeFiles/fisheye_core.dir/aa_remap.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/aa_remap.cpp.o.d"
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/fisheye_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/brown_conrady.cpp" "src/core/CMakeFiles/fisheye_core.dir/brown_conrady.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/brown_conrady.cpp.o.d"
+  "/root/repo/src/core/camera.cpp" "src/core/CMakeFiles/fisheye_core.dir/camera.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/camera.cpp.o.d"
+  "/root/repo/src/core/corrector.cpp" "src/core/CMakeFiles/fisheye_core.dir/corrector.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/corrector.cpp.o.d"
+  "/root/repo/src/core/cv_compat.cpp" "src/core/CMakeFiles/fisheye_core.dir/cv_compat.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/cv_compat.cpp.o.d"
+  "/root/repo/src/core/lens_model.cpp" "src/core/CMakeFiles/fisheye_core.dir/lens_model.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/lens_model.cpp.o.d"
+  "/root/repo/src/core/map_io.cpp" "src/core/CMakeFiles/fisheye_core.dir/map_io.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/map_io.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/fisheye_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/fisheye_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/remap.cpp" "src/core/CMakeFiles/fisheye_core.dir/remap.cpp.o" "gcc" "src/core/CMakeFiles/fisheye_core.dir/remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fisheye_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/fisheye_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fisheye_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/fisheye_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_core.dir/aa_remap.cpp.o"
+  "CMakeFiles/fisheye_core.dir/aa_remap.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/backend.cpp.o"
+  "CMakeFiles/fisheye_core.dir/backend.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/brown_conrady.cpp.o"
+  "CMakeFiles/fisheye_core.dir/brown_conrady.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/camera.cpp.o"
+  "CMakeFiles/fisheye_core.dir/camera.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/corrector.cpp.o"
+  "CMakeFiles/fisheye_core.dir/corrector.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/cv_compat.cpp.o"
+  "CMakeFiles/fisheye_core.dir/cv_compat.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/lens_model.cpp.o"
+  "CMakeFiles/fisheye_core.dir/lens_model.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/map_io.cpp.o"
+  "CMakeFiles/fisheye_core.dir/map_io.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/mapping.cpp.o"
+  "CMakeFiles/fisheye_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/projection.cpp.o"
+  "CMakeFiles/fisheye_core.dir/projection.cpp.o.d"
+  "CMakeFiles/fisheye_core.dir/remap.cpp.o"
+  "CMakeFiles/fisheye_core.dir/remap.cpp.o.d"
+  "libfisheye_core.a"
+  "libfisheye_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

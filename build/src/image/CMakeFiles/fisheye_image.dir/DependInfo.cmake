@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/convert.cpp" "src/image/CMakeFiles/fisheye_image.dir/convert.cpp.o" "gcc" "src/image/CMakeFiles/fisheye_image.dir/convert.cpp.o.d"
+  "/root/repo/src/image/io_bmp.cpp" "src/image/CMakeFiles/fisheye_image.dir/io_bmp.cpp.o" "gcc" "src/image/CMakeFiles/fisheye_image.dir/io_bmp.cpp.o.d"
+  "/root/repo/src/image/io_pnm.cpp" "src/image/CMakeFiles/fisheye_image.dir/io_pnm.cpp.o" "gcc" "src/image/CMakeFiles/fisheye_image.dir/io_pnm.cpp.o.d"
+  "/root/repo/src/image/metrics.cpp" "src/image/CMakeFiles/fisheye_image.dir/metrics.cpp.o" "gcc" "src/image/CMakeFiles/fisheye_image.dir/metrics.cpp.o.d"
+  "/root/repo/src/image/pyramid.cpp" "src/image/CMakeFiles/fisheye_image.dir/pyramid.cpp.o" "gcc" "src/image/CMakeFiles/fisheye_image.dir/pyramid.cpp.o.d"
+  "/root/repo/src/image/synth.cpp" "src/image/CMakeFiles/fisheye_image.dir/synth.cpp.o" "gcc" "src/image/CMakeFiles/fisheye_image.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fisheye_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_image.dir/convert.cpp.o"
+  "CMakeFiles/fisheye_image.dir/convert.cpp.o.d"
+  "CMakeFiles/fisheye_image.dir/io_bmp.cpp.o"
+  "CMakeFiles/fisheye_image.dir/io_bmp.cpp.o.d"
+  "CMakeFiles/fisheye_image.dir/io_pnm.cpp.o"
+  "CMakeFiles/fisheye_image.dir/io_pnm.cpp.o.d"
+  "CMakeFiles/fisheye_image.dir/metrics.cpp.o"
+  "CMakeFiles/fisheye_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/fisheye_image.dir/pyramid.cpp.o"
+  "CMakeFiles/fisheye_image.dir/pyramid.cpp.o.d"
+  "CMakeFiles/fisheye_image.dir/synth.cpp.o"
+  "CMakeFiles/fisheye_image.dir/synth.cpp.o.d"
+  "libfisheye_image.a"
+  "libfisheye_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/fisheye_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/fisheye_parallel.dir/partition.cpp.o"
+  "CMakeFiles/fisheye_parallel.dir/partition.cpp.o.d"
+  "CMakeFiles/fisheye_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/fisheye_parallel.dir/thread_pool.cpp.o.d"
+  "libfisheye_parallel.a"
+  "libfisheye_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

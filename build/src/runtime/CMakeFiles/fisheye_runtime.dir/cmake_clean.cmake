@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_runtime.dir/report.cpp.o"
+  "CMakeFiles/fisheye_runtime.dir/report.cpp.o.d"
+  "CMakeFiles/fisheye_runtime.dir/stats.cpp.o"
+  "CMakeFiles/fisheye_runtime.dir/stats.cpp.o.d"
+  "libfisheye_runtime.a"
+  "libfisheye_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fisheye_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_simd.dir/remap_simd.cpp.o"
+  "CMakeFiles/fisheye_simd.dir/remap_simd.cpp.o.d"
+  "libfisheye_simd.a"
+  "libfisheye_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_stitch.dir/environment.cpp.o"
+  "CMakeFiles/fisheye_stitch.dir/environment.cpp.o.d"
+  "CMakeFiles/fisheye_stitch.dir/stitcher.cpp.o"
+  "CMakeFiles/fisheye_stitch.dir/stitcher.cpp.o.d"
+  "libfisheye_stitch.a"
+  "libfisheye_stitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_stitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfisheye_stitch.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_util.dir/cpu.cpp.o"
+  "CMakeFiles/fisheye_util.dir/cpu.cpp.o.d"
+  "CMakeFiles/fisheye_util.dir/error.cpp.o"
+  "CMakeFiles/fisheye_util.dir/error.cpp.o.d"
+  "CMakeFiles/fisheye_util.dir/log.cpp.o"
+  "CMakeFiles/fisheye_util.dir/log.cpp.o.d"
+  "CMakeFiles/fisheye_util.dir/matrix.cpp.o"
+  "CMakeFiles/fisheye_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/fisheye_util.dir/rng.cpp.o"
+  "CMakeFiles/fisheye_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fisheye_util.dir/table.cpp.o"
+  "CMakeFiles/fisheye_util.dir/table.cpp.o.d"
+  "libfisheye_util.a"
+  "libfisheye_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_video.dir/pipeline.cpp.o"
+  "CMakeFiles/fisheye_video.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fisheye_video.dir/ptz_controller.cpp.o"
+  "CMakeFiles/fisheye_video.dir/ptz_controller.cpp.o.d"
+  "CMakeFiles/fisheye_video.dir/yuv_corrector.cpp.o"
+  "CMakeFiles/fisheye_video.dir/yuv_corrector.cpp.o.d"
+  "libfisheye_video.a"
+  "libfisheye_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_dma.dir/test_accel_dma.cpp.o"
+  "CMakeFiles/test_accel_dma.dir/test_accel_dma.cpp.o.d"
+  "test_accel_dma"
+  "test_accel_dma.pdb"
+  "test_accel_dma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

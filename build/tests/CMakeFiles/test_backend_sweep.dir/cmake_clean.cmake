@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_sweep.dir/test_backend_sweep.cpp.o"
+  "CMakeFiles/test_backend_sweep.dir/test_backend_sweep.cpp.o.d"
+  "test_backend_sweep"
+  "test_backend_sweep.pdb"
+  "test_backend_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

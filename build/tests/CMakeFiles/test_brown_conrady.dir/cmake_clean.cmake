@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brown_conrady.dir/test_brown_conrady.cpp.o"
+  "CMakeFiles/test_brown_conrady.dir/test_brown_conrady.cpp.o.d"
+  "test_brown_conrady"
+  "test_brown_conrady.pdb"
+  "test_brown_conrady[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brown_conrady.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

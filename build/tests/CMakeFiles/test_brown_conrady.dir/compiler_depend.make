@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_brown_conrady.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_brown_conrady.
+# This may be replaced when dependencies are built.

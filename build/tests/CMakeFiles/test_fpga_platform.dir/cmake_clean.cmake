@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_platform.dir/test_fpga_platform.cpp.o"
+  "CMakeFiles/test_fpga_platform.dir/test_fpga_platform.cpp.o.d"
+  "test_fpga_platform"
+  "test_fpga_platform.pdb"
+  "test_fpga_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

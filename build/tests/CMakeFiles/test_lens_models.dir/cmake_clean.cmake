@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lens_models.dir/test_lens_models.cpp.o"
+  "CMakeFiles/test_lens_models.dir/test_lens_models.cpp.o.d"
+  "test_lens_models"
+  "test_lens_models.pdb"
+  "test_lens_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lens_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

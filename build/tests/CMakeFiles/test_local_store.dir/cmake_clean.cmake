@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_store.dir/test_local_store.cpp.o"
+  "CMakeFiles/test_local_store.dir/test_local_store.cpp.o.d"
+  "test_local_store"
+  "test_local_store.pdb"
+  "test_local_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptz_controller.dir/test_ptz_controller.cpp.o"
+  "CMakeFiles/test_ptz_controller.dir/test_ptz_controller.cpp.o.d"
+  "test_ptz_controller"
+  "test_ptz_controller.pdb"
+  "test_ptz_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptz_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pyramid_aa.dir/test_pyramid_aa.cpp.o"
+  "CMakeFiles/test_pyramid_aa.dir/test_pyramid_aa.cpp.o.d"
+  "test_pyramid_aa"
+  "test_pyramid_aa.pdb"
+  "test_pyramid_aa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pyramid_aa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

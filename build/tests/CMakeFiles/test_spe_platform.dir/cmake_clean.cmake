@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spe_platform.dir/test_spe_platform.cpp.o"
+  "CMakeFiles/test_spe_platform.dir/test_spe_platform.cpp.o.d"
+  "test_spe_platform"
+  "test_spe_platform.pdb"
+  "test_spe_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spe_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_metrics.dir/test_synth_metrics.cpp.o"
+  "CMakeFiles/test_synth_metrics.dir/test_synth_metrics.cpp.o.d"
+  "test_synth_metrics"
+  "test_synth_metrics.pdb"
+  "test_synth_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yuv_corrector.dir/test_yuv_corrector.cpp.o"
+  "CMakeFiles/test_yuv_corrector.dir/test_yuv_corrector.cpp.o.d"
+  "test_yuv_corrector"
+  "test_yuv_corrector.pdb"
+  "test_yuv_corrector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yuv_corrector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
