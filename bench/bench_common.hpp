@@ -4,8 +4,11 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "core/backend_registry.hpp"
 #include "core/corrector.hpp"
 #include "image/image.hpp"
 #include "runtime/report.hpp"
@@ -24,15 +27,55 @@ inline img::Image8 make_input(int w, int h, int ch = 1) {
   return source.frame(0);
 }
 
-/// Median seconds per frame for `backend` correcting `src` via `corr`.
+/// Benches construct every backend through the registry so each experiment
+/// is reproducible from its printed spec string alone.
+inline std::unique_ptr<core::Backend> make_backend(const std::string& spec) {
+  return core::BackendRegistry::create(spec);
+}
+
+/// Median steady-state seconds per frame for `backend` correcting `src`
+/// via `corr`: the plan is built once up front, frames pay execution only.
 inline rt::RunStats measure_backend(const core::Corrector& corr,
                                     img::ConstImageView<std::uint8_t> src,
                                     core::Backend& backend, int reps,
                                     int warmup = 1) {
   img::Image8 out(corr.config().out_width, corr.config().out_height,
                   src.channels);
+  const core::Corrector::Prepared prepared =
+      corr.prepare(backend, src.channels);
   return rt::measure(
-      [&] { corr.correct(src, out.view(), backend); }, reps, warmup);
+      [&] { corr.correct(prepared, src, out.view()); }, reps, warmup);
+}
+
+/// measure_backend for a registry spec string.
+inline rt::RunStats measure_spec(const core::Corrector& corr,
+                                 img::ConstImageView<std::uint8_t> src,
+                                 const std::string& spec, int reps,
+                                 int warmup = 1) {
+  const std::unique_ptr<core::Backend> backend = make_backend(spec);
+  return measure_backend(corr, src, *backend, reps, warmup);
+}
+
+/// Measurement plus the executed plan's uniform per-tile report (count,
+/// min/max/mean tile time, imbalance, bytes) — the same fields for every
+/// backend kind.
+struct BackendRun {
+  rt::RunStats run;
+  rt::TileStats tiles;
+  std::string name;  ///< canonical spec of the instance that ran
+};
+
+inline BackendRun run_spec(const core::Corrector& corr,
+                           img::ConstImageView<std::uint8_t> src,
+                           const std::string& spec, int reps, int warmup = 1) {
+  const std::unique_ptr<core::Backend> backend = make_backend(spec);
+  img::Image8 out(corr.config().out_width, corr.config().out_height,
+                  src.channels);
+  const core::Corrector::Prepared prepared =
+      corr.prepare(*backend, src.channels);
+  rt::RunStats run = rt::measure(
+      [&] { corr.correct(prepared, src, out.view()); }, reps, warmup);
+  return {std::move(run), prepared.plan.tile_stats(), backend->name()};
 }
 
 /// Repetition count scaled down for large frames so the whole suite stays

@@ -23,12 +23,9 @@ int main() {
 
     double t1 = 0.0;
     for (const int threads : {1, 2, 4, 8}) {
-      par::ThreadPool pool(static_cast<unsigned>(threads));
-      core::PoolBackend backend(
-          pool, {par::Schedule::Static, par::PartitionKind::RowBlocks, 0, 64,
-                 64});
-      const rt::RunStats stats =
-          bench::measure_backend(corr, src.view(), backend, reps);
+      const rt::RunStats stats = bench::measure_spec(
+          corr, src.view(), "pool:static,rows,threads=" + std::to_string(threads),
+          reps);
       if (threads == 1) t1 = stats.median;
       table.row()
           .add(res.name)

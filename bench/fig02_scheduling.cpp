@@ -15,25 +15,20 @@ int main() {
   const core::Corrector corr = core::Corrector::builder(w, h).build();
   const int reps = bench::reps_for(w, h, 12);
 
-  par::ThreadPool pool(4);
-  util::Table table({"schedule", "partition", "chunks", "ms/frame", "fps"});
-  for (const par::Schedule sched :
-       {par::Schedule::Static, par::Schedule::Dynamic, par::Schedule::Guided}) {
-    for (const par::PartitionKind part :
-         {par::PartitionKind::RowBlocks, par::PartitionKind::RowCyclic,
-          par::PartitionKind::Tiles, par::PartitionKind::ColumnBlocks}) {
-      core::PoolBackend backend(pool, {sched, part, 0, 128, 64});
-      const rt::RunStats stats =
-          bench::measure_backend(corr, src.view(), backend, reps);
-      const std::size_t chunks =
-          par::partition(w, h, part, static_cast<int>(pool.size()) * 4, 128, 64)
-              .size();
+  util::Table table(
+      {"schedule", "partition", "tiles", "ms/frame", "fps", "imbalance"});
+  for (const std::string sched : {"static", "dynamic", "guided"}) {
+    for (const std::string part : {"rows", "cyclic", "tiles", "cols"}) {
+      const bench::BackendRun r = bench::run_spec(
+          corr, src.view(),
+          "pool:" + sched + "," + part + ",tile=128x64,threads=4", reps);
       table.row()
-          .add(par::schedule_name(sched))
-          .add(par::partition_name(part))
-          .add(chunks)
-          .add(stats.median * 1e3, 2)
-          .add(rt::fps_from_seconds(stats.median), 1);
+          .add(sched)
+          .add(part)
+          .add(r.tiles.tiles)
+          .add(r.run.median * 1e3, 2)
+          .add(rt::fps_from_seconds(r.run.median), 1)
+          .add(r.tiles.imbalance, 2);
     }
   }
   table.print(std::cout, "F2: scheduling policies");

@@ -12,7 +12,7 @@ int main() {
 
   util::Table table({"resolution", "strategy", "lut MB", "build ms",
                      "ms/frame", "fps"});
-  core::SerialBackend serial;
+  const auto serial = bench::make_backend("serial");
   for (const auto& res : {rt::kResolutions[2], rt::kResolutions[3]}) {
     const img::Image8 src = bench::make_input(res.width, res.height);
     const int reps = bench::reps_for(res.width, res.height, 6);
@@ -43,7 +43,7 @@ int main() {
         lut_mb = static_cast<double>(corr.packed()->bytes()) / 1e6;
 
       const rt::RunStats stats =
-          bench::measure_backend(corr, src.view(), serial, reps);
+          bench::measure_backend(corr, src.view(), *serial, reps);
       table.row()
           .add(res.name)
           .add(s.name)

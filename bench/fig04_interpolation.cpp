@@ -24,7 +24,7 @@ int main() {
   // Ground truth for the corrected view: sample the *scene* directly with
   // the composed map (scene -> fisheye -> corrected collapses to a pure
   // scale about the centre, see video::SyntheticVideoSource).
-  core::SerialBackend serial;
+  const auto serial = bench::make_backend("serial");
   util::Table table(
       {"kernel", "taps", "ms/frame", "fps", "PSNR dB", "SSIM"});
 
@@ -53,9 +53,9 @@ int main() {
     const core::Corrector corr =
         core::Corrector::builder(w, h).interp(interp).build();
     const rt::RunStats stats =
-        bench::measure_backend(corr, fish.view(), serial, reps);
+        bench::measure_backend(corr, fish.view(), *serial, reps);
     img::Image8 out(w, h, 1);
-    corr.correct(fish.view(), out.view(), serial);
+    corr.correct(fish.view(), out.view(), *serial);
 
     // Quality over the central region the fisheye actually saw.
     const int bx = w / 5, by = h / 5;

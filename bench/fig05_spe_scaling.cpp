@@ -19,12 +19,11 @@ int main() {
   for (const bool dbuf : {false, true}) {
     double fps1 = 0.0;
     for (const int spes : {1, 2, 4, 6, 8}) {
-      accel::SpeConfig config;
-      config.num_spes = spes;
-      config.double_buffering = dbuf;
-      accel::CellBackend backend(config);
-      corr.correct(src.view(), out.view(), backend);
-      const accel::AccelFrameStats& stats = backend.last_stats();
+      const auto backend = bench::make_backend(
+          "cell:spes=" + std::to_string(spes) + (dbuf ? "" : ",sbuf"));
+      corr.correct(src.view(), out.view(), *backend);
+      const accel::AccelFrameStats& stats =
+          dynamic_cast<const accel::CellBackend&>(*backend).last_stats();
       if (spes == 1) fps1 = stats.fps;
       table.row()
           .add(spes)

@@ -26,13 +26,12 @@ int main() {
   for (const TileShape t : {TileShape{32, 8}, TileShape{64, 16},
                             TileShape{128, 32}, TileShape{128, 64},
                             TileShape{256, 64}, TileShape{256, 128}}) {
-    accel::SpeConfig config;
-    config.tile_w = t.w;
-    config.tile_h = t.h;
-    accel::CellBackend backend(config);
-    corr.correct(src.view(), out.view(), backend);
-    const accel::AccelFrameStats& stats = backend.last_stats();
-    const accel::CellLikePlatform* platform = backend.platform();
+    const auto backend = bench::make_backend(
+        "cell:tile=" + std::to_string(t.w) + "x" + std::to_string(t.h));
+    corr.correct(src.view(), out.view(), *backend);
+    const auto& cell = dynamic_cast<const accel::CellBackend&>(*backend);
+    const accel::AccelFrameStats& stats = cell.last_stats();
+    const accel::CellLikePlatform* platform = cell.platform();
     table.row()
         .add(std::to_string(t.w) + "x" + std::to_string(t.h))
         .add(stats.tiles)

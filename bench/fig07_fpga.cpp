@@ -29,18 +29,21 @@ int main() {
       {"16Kpx2w", {32, 8, 32, 2}},   {"64Kpx4w", {32, 8, 64, 4}},
       {"256Kpx4w", {32, 8, 256, 4}}, {"64Kpx-tall", {8, 32, 64, 4}},
   };
+  const accel::FpgaConfig def_config;
   for (const CacheCase& c : cases) {
-    accel::FpgaConfig config;
-    config.cache = c.cfg;
-    accel::FpgaBackend backend(config);
-    corr.correct(src.view(), out.view(), backend);
-    const accel::AccelFrameStats& stats = backend.last_stats();
+    std::ostringstream spec;
+    spec << "fpga:cache=" << c.cfg.block_w << 'x' << c.cfg.block_h << 'x'
+         << c.cfg.sets << 'x' << c.cfg.ways;
+    const auto backend = bench::make_backend(spec.str());
+    corr.correct(src.view(), out.view(), *backend);
+    const accel::AccelFrameStats& stats =
+        dynamic_cast<const accel::FpgaBackend&>(*backend).last_stats();
     const double px = static_cast<double>(w) * h;
     cache_table.row()
         .add(c.name)
         .add(static_cast<double>(c.cfg.capacity_pixels()) / 1024.0, 0)
         .add(stats.cache_hit_rate(), 4)
-        .add((stats.cycles - px - config.cost.pipeline_depth) / px, 3)
+        .add((stats.cycles - px - def_config.cost.pipeline_depth) / px, 3)
         .add(stats.fps, 1);
   }
   cache_table.print(std::cout, "F7a: cache geometry at 150 MHz");
@@ -56,11 +59,12 @@ int main() {
                                     .map_mode(core::MapMode::PackedLut)
                                     .build();
       img::Image8 o(res.width, res.height, 1);
-      accel::FpgaConfig config;
-      config.cost.clock_hz = mhz * 1e6;
-      accel::FpgaBackend backend(config);
-      c.correct(frame.view(), o.view(), backend);
-      fps[i++] = backend.last_stats().fps;
+      std::ostringstream spec;
+      spec << "fpga:clock=" << mhz;
+      const auto backend = bench::make_backend(spec.str());
+      c.correct(frame.view(), o.view(), *backend);
+      fps[i++] =
+          dynamic_cast<const accel::FpgaBackend&>(*backend).last_stats().fps;
     }
     clock_table.row().add(mhz, 0).add(fps[0], 1).add(fps[1], 1);
   }

@@ -8,7 +8,6 @@ int main() {
   using namespace fisheye;
   rt::print_banner("F8", "fps vs resolution per platform (gray, bilinear)");
 
-  par::ThreadPool pool(0);  // hardware-sized
   util::Table table({"resolution", "Mpix", "cpu-serial", "cpu-pool",
                      "cpu-simd", "cell-sim", "fpga-sim", "gpu-sim"});
   for (const auto& res : rt::kResolutions) {
@@ -21,24 +20,21 @@ int main() {
                                       .build();
     const int reps = bench::reps_for(res.width, res.height, 5);
 
-    core::SerialBackend serial;
-    core::PoolBackend pooled(pool, {par::Schedule::Dynamic,
-                                    par::PartitionKind::RowBlocks, 0, 64, 64});
-    core::SimdBackend simd(&pool);
     const double fps_serial = rt::fps_from_seconds(
-        bench::measure_backend(fcorr, src.view(), serial, reps).median);
+        bench::measure_spec(fcorr, src.view(), "serial", reps).median);
     const double fps_pool = rt::fps_from_seconds(
-        bench::measure_backend(fcorr, src.view(), pooled, reps).median);
+        bench::measure_spec(fcorr, src.view(), "pool:dynamic,rows", reps)
+            .median);
     const double fps_simd = rt::fps_from_seconds(
-        bench::measure_backend(fcorr, src.view(), simd, reps).median);
+        bench::measure_spec(fcorr, src.view(), "simd", reps).median);
 
     img::Image8 out(res.width, res.height, 1);
-    accel::CellBackend cell(accel::SpeConfig{});
-    fcorr.correct(src.view(), out.view(), cell);
-    accel::FpgaBackend fpga(accel::FpgaConfig{});
-    pcorr.correct(src.view(), out.view(), fpga);
-    accel::GpuBackend gpu(accel::GpuConfig{});
-    fcorr.correct(src.view(), out.view(), gpu);
+    const auto cell = bench::make_backend("cell");
+    fcorr.correct(src.view(), out.view(), *cell);
+    const auto fpga = bench::make_backend("fpga");
+    pcorr.correct(src.view(), out.view(), *fpga);
+    const auto gpu = bench::make_backend("gpu");
+    fcorr.correct(src.view(), out.view(), *gpu);
 
     table.row()
         .add(res.name)
@@ -46,9 +42,12 @@ int main() {
         .add(fps_serial, 1)
         .add(fps_pool, 1)
         .add(fps_simd, 1)
-        .add(cell.last_stats().fps, 1)
-        .add(fpga.last_stats().fps, 1)
-        .add(gpu.last_stats().fps, 1);
+        .add(dynamic_cast<const accel::CellBackend&>(*cell).last_stats().fps,
+             1)
+        .add(dynamic_cast<const accel::FpgaBackend&>(*fpga).last_stats().fps,
+             1)
+        .add(dynamic_cast<const accel::GpuBackend&>(*gpu).last_stats().fps,
+             1);
   }
   table.print(std::cout, "F8: resolution scaling");
   std::cout << "expected shape: all platforms scale ~1/pixels; accelerator "

@@ -11,15 +11,15 @@ int main() {
 
   const int w = 1280, h = 720;
   const img::Image8 src = bench::make_input(w, h);
-  core::SerialBackend serial;
+  const auto serial = bench::make_backend("serial");
 
   // Float-LUT reference output.
   const core::Corrector ref_corr = core::Corrector::builder(w, h).build();
   img::Image8 ref(w, h, 1);
-  ref_corr.correct(src.view(), ref.view(), serial);
+  ref_corr.correct(src.view(), ref.view(), *serial);
   const int reps = bench::reps_for(w, h, 6);
   const rt::RunStats float_stats =
-      bench::measure_backend(ref_corr, src.view(), serial, reps);
+      bench::measure_backend(ref_corr, src.view(), *serial, reps);
 
   util::Table table({"frac bits", "coord LSB px", "PSNR vs float dB",
                      "max diff", "ms/frame"});
@@ -35,9 +35,9 @@ int main() {
                                      .frac_bits(bits)
                                      .build();
     img::Image8 out(w, h, 1);
-    corr.correct(src.view(), out.view(), serial);
+    corr.correct(src.view(), out.view(), *serial);
     const rt::RunStats stats =
-        bench::measure_backend(corr, src.view(), serial, reps);
+        bench::measure_backend(corr, src.view(), *serial, reps);
     table.row()
         .add(bits)
         .add(1.0 / static_cast<double>(1 << bits), 5)

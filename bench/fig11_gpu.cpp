@@ -17,11 +17,11 @@ int main() {
                         "bound"});
   double fps1 = 0.0;
   for (const int sms : {1, 2, 4, 8, 15, 30, 60, 120}) {
-    accel::GpuConfig config;
-    config.cost.num_sms = sms;
-    accel::GpuBackend backend(config);
-    corr.correct(src.view(), out.view(), backend);
-    const accel::AccelFrameStats& stats = backend.last_stats();
+    const auto backend =
+        bench::make_backend("gpu:sms=" + std::to_string(sms));
+    corr.correct(src.view(), out.view(), *backend);
+    const accel::AccelFrameStats& stats =
+        dynamic_cast<const accel::GpuBackend&>(*backend).last_stats();
     if (sms == 1) fps1 = stats.fps;
     sm_table.row()
         .add(sms)
@@ -49,11 +49,13 @@ int main() {
       {"16x4 tiny", {16, 4, 4, 2}},
   };
   for (const Case& c : cases) {
-    accel::GpuConfig config;
-    config.tex_cache = c.cfg;
-    accel::GpuBackend backend(config);
-    corr.correct(src.view(), out.view(), backend);
-    const accel::AccelFrameStats& stats = backend.last_stats();
+    std::ostringstream spec;
+    spec << "gpu:tex=" << c.cfg.block_w << 'x' << c.cfg.block_h << 'x'
+         << c.cfg.sets << 'x' << c.cfg.ways;
+    const auto backend = bench::make_backend(spec.str());
+    corr.correct(src.view(), out.view(), *backend);
+    const accel::AccelFrameStats& stats =
+        dynamic_cast<const accel::GpuBackend&>(*backend).last_stats();
     tex_table.row()
         .add(c.name)
         .add(c.cfg.capacity_pixels())

@@ -16,7 +16,7 @@ int main() {
 
   util::Table table({"resolution", "path", "ms/frame", "fps",
                      "PSNR vs rgb path dB"});
-  core::SerialBackend backend;
+  const auto backend = bench::make_backend("serial");
   for (const auto& res : {rt::kResolutions[2], rt::kResolutions[3]}) {
     const int w = res.width, h = res.height;
     const img::Image8 rgb = bench::make_input(w, h, 3);
@@ -32,7 +32,7 @@ int main() {
     const rt::RunStats rgb_stats = rt::measure(
         [&] {
           const img::Image8 decoded = img::yuv420_to_rgb(yuv);
-          rgb_corr.correct(decoded.view(), rgb_out.view(), backend);
+          rgb_corr.correct(decoded.view(), rgb_out.view(), *backend);
           const img::Yuv420 encoded = img::rgb_to_yuv420(rgb_out.view());
           (void)encoded;
         },
@@ -41,12 +41,12 @@ int main() {
     // Native: three plane remaps.
     img::Yuv420 native_out;
     const rt::RunStats native_stats = rt::measure(
-        [&] { native_out = yuv_corr.correct_frame(yuv, backend); }, reps);
+        [&] { native_out = yuv_corr.correct_frame(yuv, *backend); }, reps);
 
     const img::Image8 reference = [&] {
       const img::Image8 decoded = img::yuv420_to_rgb(yuv);
       img::Image8 out(w, h, 3);
-      rgb_corr.correct(decoded.view(), out.view(), backend);
+      rgb_corr.correct(decoded.view(), out.view(), *backend);
       return out;
     }();
     const img::Image8 native_rgb = img::yuv420_to_rgb(native_out);

@@ -33,68 +33,58 @@ int main() {
     const core::Corrector corr = core::Corrector::builder(w, h)
                                      .map_mode(core::MapMode::OnTheFly)
                                      .build();
-    core::SerialBackend serial;
     add_row("naive (otf, libm)",
-            bench::measure_backend(corr, src.view(), serial, 3).median);
+            bench::measure_spec(corr, src.view(), "serial", 3).median);
   }
   {  // 1: fast-math approximation
     const core::Corrector corr = core::Corrector::builder(w, h)
                                      .map_mode(core::MapMode::OnTheFly)
                                      .fast_math(true)
                                      .build();
-    core::SerialBackend serial;
     add_row("+ fast atan",
-            bench::measure_backend(corr, src.view(), serial, 3).median);
+            bench::measure_spec(corr, src.view(), "serial", 3).median);
   }
   const core::Corrector lut_corr = core::Corrector::builder(w, h).build();
   {  // 2: precomputed float LUT
-    core::SerialBackend serial;
     add_row("+ float LUT",
-            bench::measure_backend(lut_corr, src.view(), serial, reps).median);
+            bench::measure_spec(lut_corr, src.view(), "serial", reps).median);
   }
   {  // 3: fixed-point LUT kernel
     const core::Corrector corr = core::Corrector::builder(w, h)
                                      .map_mode(core::MapMode::PackedLut)
                                      .build();
-    core::SerialBackend serial;
     add_row("+ fixed-point LUT",
-            bench::measure_backend(corr, src.view(), serial, reps).median);
+            bench::measure_spec(corr, src.view(), "serial", reps).median);
   }
   {  // 4: SoA SIMD restructuring
-    core::SimdBackend simd(nullptr);
     add_row("+ SIMD (SoA)",
-            bench::measure_backend(lut_corr, src.view(), simd, reps).median);
+            bench::measure_spec(lut_corr, src.view(), "simd:threads=1", reps)
+                .median);
   }
   {  // 5: threads on top
-    par::ThreadPool pool(0);
-    core::SimdBackend simd(&pool);
     add_row("+ threads",
-            bench::measure_backend(lut_corr, src.view(), simd, reps).median);
+            bench::measure_spec(lut_corr, src.view(), "simd", reps).median);
   }
   cpu.print(std::cout, "F14a: CPU ladder (measured)");
 
   // --- Cell ladder (cycle model) ---
   util::Table cell({"step", "modeled fps", "cumulative speedup"});
   double cell_base = 0.0;
-  auto cell_row = [&](const char* name, const accel::SpeConfig& config) {
-    accel::CellBackend backend(config);
+  auto cell_row = [&](const char* name, const std::string& spec) {
+    const auto backend = bench::make_backend(spec);
     img::Image8 out(w, h, 1);
-    lut_corr.correct(src.view(), out.view(), backend);
-    const double fps = backend.last_stats().fps;
+    lut_corr.correct(src.view(), out.view(), *backend);
+    const double fps =
+        dynamic_cast<const accel::CellBackend&>(*backend).last_stats().fps;
     if (cell_base == 0.0) cell_base = fps;
     cell.row().add(name).add(fps, 1).add(fps / cell_base, 2);
   };
-  accel::SpeConfig cfg;
-  cfg.num_spes = 1;
-  cfg.double_buffering = false;
-  cfg.cost.cycles_per_pixel = 130.0;  // scalar gathers, branchy border code
-  cell_row("1 SPE, scalar kernel", cfg);
-  cfg.cost.cycles_per_pixel = 48.0;  // shuffle-based SIMD extraction
-  cell_row("+ SIMDized kernel", cfg);
-  cfg.double_buffering = true;
-  cell_row("+ double buffering", cfg);
-  cfg.num_spes = 8;
-  cell_row("+ 8 SPEs", cfg);
+  // cpp: scalar gathers with branchy border code cost ~130 cycles/px; the
+  // shuffle-based SIMD extraction of the real port gets that down to 48.
+  cell_row("1 SPE, scalar kernel", "cell:spes=1,sbuf,cpp=130");
+  cell_row("+ SIMDized kernel", "cell:spes=1,sbuf,cpp=48");
+  cell_row("+ double buffering", "cell:spes=1,dbuf,cpp=48");
+  cell_row("+ 8 SPEs", "cell:spes=8,dbuf,cpp=48");
   cell.print(std::cout, "F14b: Cell ladder (cycle model)");
 
   std::cout << "expected shape: each rung buys a real factor; the LUT and "

@@ -25,9 +25,10 @@ int main() {
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     par::ThreadPool pool(threads);
     {
-      core::PoolBackend backend(pool);
+      const auto backend =
+          bench::make_backend("pool:threads=" + std::to_string(threads));
       const video::PipelineStats s =
-          video::run_pipeline(source, corr, backend, frames);
+          video::run_pipeline(source, corr, *backend, frames);
       table.row()
           .add(threads)
           .add("intra-frame (split frame)")

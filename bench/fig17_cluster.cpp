@@ -16,20 +16,17 @@ int main() {
 
   util::Table table({"ranks", "network", "distribution", "modeled fps",
                      "efficiency", "comm MB/frame"});
-  for (const auto& net :
-       {cluster::InterconnectModel::gigabit_ethernet(),
-        cluster::InterconnectModel::ten_gige(),
-        cluster::InterconnectModel::infiniband_qdr()}) {
+  for (const std::string net : {"gige", "10gige", "ib"}) {
     for (const int ranks : {1, 2, 4, 8, 16}) {
-      cluster::ClusterConfig config;
-      config.ranks = ranks;
-      config.network = net;
-      cluster::ClusterSimBackend backend(config);
-      corr.correct(src.view(), out.view(), backend);
-      const cluster::ClusterFrameStats& s = backend.last_stats();
+      const auto backend = bench::make_backend(
+          "cluster:ranks=" + std::to_string(ranks) + ",net=" + net);
+      corr.correct(src.view(), out.view(), *backend);
+      const cluster::ClusterFrameStats& s =
+          dynamic_cast<const cluster::ClusterSimBackend&>(*backend)
+              .last_stats();
       table.row()
           .add(ranks)
-          .add(net.name)
+          .add(net)
           .add("strip-scatter")
           .add(s.fps, 1)
           .add(s.efficiency, 2)
@@ -41,18 +38,17 @@ int main() {
   table.print(std::cout, "F17a: ranks x interconnect");
 
   util::Table dist({"distribution", "ranks", "scatter MB", "modeled fps"});
-  for (const cluster::Distribution d :
-       {cluster::Distribution::StripScatter,
-        cluster::Distribution::FullBroadcast}) {
+  for (const bool bcast : {false, true}) {
     for (const int ranks : {4, 16}) {
-      cluster::ClusterConfig config;
-      config.ranks = ranks;
-      config.distribution = d;
-      cluster::ClusterSimBackend backend(config);
-      corr.correct(src.view(), out.view(), backend);
-      const cluster::ClusterFrameStats& s = backend.last_stats();
+      const auto backend = bench::make_backend(
+          "cluster:ranks=" + std::to_string(ranks) +
+          (bcast ? ",bcast" : ",scatter"));
+      corr.correct(src.view(), out.view(), *backend);
+      const cluster::ClusterFrameStats& s =
+          dynamic_cast<const cluster::ClusterSimBackend&>(*backend)
+              .last_stats();
       dist.row()
-          .add(cluster::distribution_name(d))
+          .add(bcast ? "full-broadcast" : "strip-scatter")
           .add(ranks)
           .add(static_cast<double>(s.bytes_scattered) / 1e6, 2)
           .add(s.fps, 1);

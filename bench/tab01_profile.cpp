@@ -22,7 +22,7 @@ int main() {
   const double pack_ms = pack_sw.elapsed_ms();
 
   // Steady-state stages.
-  core::SerialBackend serial;
+  const auto serial = bench::make_backend("serial");
   img::Image8 out(w, h, 3);
   const rt::RunStats to_yuv = rt::measure(
       [&] { (void)img::rgb_to_yuv420(rgb.view()); }, reps);
@@ -30,10 +30,10 @@ int main() {
   const rt::RunStats from_yuv =
       rt::measure([&] { (void)img::yuv420_to_rgb(yuv); }, reps);
   const rt::RunStats remap_rgb =
-      bench::measure_backend(corr, rgb.view(), serial, reps);
+      bench::measure_backend(corr, rgb.view(), *serial, reps);
   const img::Image8 gray = img::rgb_to_gray(rgb.view());
   const rt::RunStats remap_gray =
-      bench::measure_backend(corr, gray.view(), serial, reps);
+      bench::measure_backend(corr, gray.view(), *serial, reps);
 
   const double frame_ms =
       (from_yuv.median + remap_rgb.median + to_yuv.median) * 1e3;

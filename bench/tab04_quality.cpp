@@ -37,9 +37,9 @@ int main() {
                                      .lens(kind)
                                      .fov_degrees(178.0)
                                      .build();
-    core::SerialBackend backend;
+    const auto backend = bench::make_backend("serial");
     img::Image8 corrected(w, h, 1);
-    corr.correct(fish.view(), corrected.view(), backend);
+    corr.correct(fish.view(), corrected.view(), *backend);
     const analysis::StraightnessReport before =
         analysis::stripe_straightness(fish.view(), h / 6, 5 * h / 6, 100);
     const analysis::StraightnessReport after = analysis::stripe_straightness(
@@ -95,9 +95,9 @@ int main() {
                                        .fov_degrees(178.0)
                                        .interp(interp)
                                        .build();
-      core::SerialBackend backend;
+      const auto backend = bench::make_backend("serial");
       img::Image8 corrected(w, h, 1);
-      corr.correct(fish.view(), corrected.view(), backend);
+      corr.correct(fish.view(), corrected.view(), *backend);
       const auto profile =
           analysis::radial_contrast(corrected.view(), 9, h / 2.0 - 2.0);
       mtf.row()

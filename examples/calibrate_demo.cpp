@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "calib/calibrate.hpp"
+#include "core/backend_registry.hpp"
 #include "core/corrector.hpp"
 #include "image/metrics.hpp"
 #include "video/pipeline.hpp"
@@ -49,10 +50,10 @@ int main(int argc, char** argv) {
           .fov_degrees(util::rad_to_deg(est_fov))
           .build();
   const core::Corrector corr_truth = core::Corrector::builder(w, h).build();
-  core::SerialBackend backend;
+  const auto backend = core::BackendRegistry::create("serial");
   img::Image8 a(w, h, 1), b(w, h, 1);
-  corr_est.correct(fish.view(), a.view(), backend);
-  corr_truth.correct(fish.view(), b.view(), backend);
+  corr_est.correct(fish.view(), a.view(), *backend);
+  corr_truth.correct(fish.view(), b.view(), *backend);
   std::cout << "corrected-image agreement (estimated vs true intrinsics): "
             << img::psnr(a.view(), b.view()) << " dB PSNR\n";
   return 0;

@@ -5,15 +5,21 @@
 //       [--fov 180] [--out-width W] [--out-height H] [--out-focal F]
 //       [--interp nearest|bilinear|bicubic|lanczos3]
 //       [--border constant|replicate|reflect] [--fill 0]
-//       [--backend serial|pool|simd] [--threads N]
+//       [--backend SPEC] [--threads N]
 //       [--map float|packed|otf] [--frac-bits 14] [--stats]
 //       [--save-map maps.femap]   (persist the precomputed warp LUT)
+//       [--list-backends]         (print every registered backend kind)
+//
+// SPEC is a BackendRegistry spec, e.g. serial, pool:dynamic,threads=4,
+// simd, cell:spes=8, fpga (needs --map packed), gpu, cluster:ranks=8.
+// --threads N is shorthand for appending threads=N to the spec.
 //
 // Without an input file a synthetic 720p fisheye test frame is corrected
 // (so the tool demonstrates itself with zero assets).
 #include <iostream>
 #include <string>
 
+#include "core/backend_registry.hpp"
 #include "core/corrector.hpp"
 #include "core/map_io.hpp"
 #include "image/io_bmp.hpp"
@@ -80,6 +86,11 @@ int main(int argc, char** argv) try {
                  "option list.\n";
     return 0;
   }
+  if (args.get_bool("list-backends")) {
+    for (const auto& [kind, summary] : core::BackendRegistry::instance().help())
+      std::cout << kind << "\n    " << summary << "\n";
+    return 0;
+  }
 
   const img::Image8 input = load_input(args);
   const std::string out_path = args.get("out", "corrected.ppm");
@@ -103,33 +114,28 @@ int main(int argc, char** argv) try {
     std::cout << "saved warp map to " << map_path << '\n';
   }
 
-  const std::string backend_name = args.get("backend", "serial");
-  const unsigned threads =
-      static_cast<unsigned>(args.get_int("threads", 0));
-  std::unique_ptr<par::ThreadPool> pool;
-  std::unique_ptr<core::Backend> backend;
-  if (backend_name == "serial") {
-    backend = std::make_unique<core::SerialBackend>();
-  } else if (backend_name == "pool") {
-    pool = std::make_unique<par::ThreadPool>(threads);
-    backend = std::make_unique<core::PoolBackend>(*pool);
-  } else if (backend_name == "simd") {
-    if (threads > 0) pool = std::make_unique<par::ThreadPool>(threads);
-    backend = std::make_unique<core::SimdBackend>(pool.get());
-  } else {
-    throw InvalidArgument("--backend: unknown '" + backend_name + "'");
-  }
+  std::string spec = args.get("backend", "serial");
+  const int threads = args.get_int("threads", -1);
+  if (threads >= 0)
+    spec += (spec.find(':') == std::string::npos ? ":" : ",") +
+            ("threads=" + std::to_string(threads));
+  const std::unique_ptr<core::Backend> backend =
+      core::BackendRegistry::create(spec);
 
   img::Image8 output(corrector.config().out_width,
                      corrector.config().out_height, input.channels());
+  // Plan once (prepare), then run the steady-state path — the structure a
+  // video loop would use; --stats times only the per-frame execute.
+  const core::Corrector::Prepared prepared =
+      corrector.prepare(*backend, input.channels());
   if (args.get_bool("stats")) {
     const rt::RunStats stats = rt::measure(
-        [&] { corrector.correct(input.view(), output.view(), *backend); },
+        [&] { corrector.correct(prepared, input.view(), output.view()); },
         7);
     std::cout << backend->name() << ": " << stats.median * 1e3
               << " ms/frame (" << 1.0 / stats.median << " fps)\n";
   } else {
-    corrector.correct(input.view(), output.view(), *backend);
+    corrector.correct(prepared, input.view(), output.view());
   }
 
   if (out_path.size() > 4 && out_path.substr(out_path.size() - 4) == ".bmp")

@@ -1,11 +1,18 @@
 // Platform comparison in one command: runs the same 720p correction on
-// every backend (serial, pooled, SIMD, Cell-sim, FPGA-sim), verifies the
-// outputs agree, and prints a summary table — a miniature of bench T2.
+// every backend (serial, pooled, SIMD, Cell-sim, FPGA-sim, GPU-sim),
+// verifies the outputs agree, and prints a summary table — a miniature of
+// bench T2.
+//
+// Every backend comes out of the BackendRegistry by spec string, and the
+// table's first column is each instance's canonical name() — paste it back
+// into BackendRegistry::create() to reproduce a row.
 //
 //   ./platform_compare
 #include <iostream>
+#include <memory>
 
 #include "accel/accel_backend.hpp"
+#include "core/backend_registry.hpp"
 #include "core/corrector.hpp"
 #include "image/metrics.hpp"
 #include "runtime/report.hpp"
@@ -30,45 +37,49 @@ int main() {
                                           .map_mode(core::MapMode::PackedLut)
                                           .build();
 
-  core::SerialBackend serial;
+  const auto serial = core::BackendRegistry::create("serial");
   img::Image8 reference(w, h, 1);
-  float_corr.correct(fish.view(), reference.view(), serial);
-
-  par::ThreadPool pool(0);
-  core::PoolBackend pooled(pool);
-  core::SimdBackend simd(&pool);
-  accel::CellBackend cell(accel::SpeConfig{});
-  accel::FpgaBackend fpga(accel::FpgaConfig{});
+  float_corr.correct(fish.view(), reference.view(), *serial);
 
   util::Table table({"backend", "fps", "source", "max diff vs serial"});
   img::Image8 out(w, h, 1);
 
-  auto run_cpu = [&](core::Backend& b, const core::Corrector& corr) {
+  // Measured CPU rows: plan once, time the steady-state execute path.
+  auto run_cpu = [&](const std::string& spec, const core::Corrector& corr) {
+    const auto backend = core::BackendRegistry::create(spec);
+    const core::Corrector::Prepared prepared = corr.prepare(*backend);
     const rt::RunStats stats = rt::measure(
-        [&] { corr.correct(fish.view(), out.view(), b); }, 5);
+        [&] { corr.correct(prepared, fish.view(), out.view()); }, 5);
     table.row()
-        .add(b.name())
+        .add(backend->name())
         .add(rt::fps_from_seconds(stats.median), 1)
         .add("measured")
         .add(img::max_abs_diff(reference.view(), out.view()));
   };
-  run_cpu(serial, float_corr);
-  run_cpu(pooled, float_corr);
-  run_cpu(simd, float_corr);
+  run_cpu("serial", float_corr);
+  run_cpu("pool", float_corr);
+  run_cpu("simd", float_corr);
 
-  float_corr.correct(fish.view(), out.view(), cell);
-  table.row()
-      .add(cell.name())
-      .add(cell.last_stats().fps, 1)
-      .add("cycle model")
-      .add(img::max_abs_diff(reference.view(), out.view()));
-
-  packed_corr.correct(fish.view(), out.view(), fpga);
-  table.row()
-      .add(fpga.name())
-      .add(fpga.last_stats().fps, 1)
-      .add("cycle model")
-      .add(img::max_abs_diff(reference.view(), out.view()));
+  // Modeled accelerator rows: one corrected frame drives the cycle model.
+  auto modeled_fps = [](const core::Backend& b) {
+    if (const auto* cell = dynamic_cast<const accel::CellBackend*>(&b))
+      return cell->last_stats().fps;
+    if (const auto* gpu = dynamic_cast<const accel::GpuBackend*>(&b))
+      return gpu->last_stats().fps;
+    return dynamic_cast<const accel::FpgaBackend&>(b).last_stats().fps;
+  };
+  auto run_accel = [&](const std::string& spec, const core::Corrector& corr) {
+    const auto backend = core::BackendRegistry::create(spec);
+    corr.correct(fish.view(), out.view(), *backend);
+    table.row()
+        .add(backend->name())
+        .add(modeled_fps(*backend), 1)
+        .add("cycle model")
+        .add(img::max_abs_diff(reference.view(), out.view()));
+  };
+  run_accel("cell", float_corr);
+  run_accel("fpga", packed_corr);
+  run_accel("gpu", float_corr);
 
   std::cout << table.to_markdown();
   std::cout << "\nall backends agree within fixed-point tolerance; the "

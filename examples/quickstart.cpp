@@ -9,6 +9,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/backend_registry.hpp"
 #include "core/corrector.hpp"
 #include "image/io_bmp.hpp"
 #include "image/io_pnm.hpp"
@@ -36,10 +37,14 @@ int main(int argc, char** argv) try {
                                         .interp(core::Interp::Bilinear)
                                         .build();
 
-  // 4. ...then correct frames cheaply. Any Backend works; serial here.
-  core::SerialBackend backend;
+  // 4. ...then correct frames cheaply. Any registered backend works —
+  // swap the spec for "pool:threads=4", "simd", "cell", ... For a frame
+  // loop, prepare() builds the execution plan once and correct() just runs
+  // it (the plan stays valid until the corrector's map or geometry change).
+  const auto backend = core::BackendRegistry::create("serial");
+  const core::Corrector::Prepared prepared = corrector.prepare(*backend, 3);
   img::Image8 corrected(width, height, 3);
-  corrector.correct(fisheye_frame.view(), corrected.view(), backend);
+  corrector.correct(prepared, fisheye_frame.view(), corrected.view());
 
   img::write_pnm(out_dir + "/quickstart_corrected.ppm", corrected.view());
   img::write_bmp(out_dir + "/quickstart_corrected.bmp", corrected.view());

@@ -1,14 +1,18 @@
 // core::Backend adapters for the simulated accelerator platforms, so the
 // bench harness drives CPUs and accelerators through one interface.
 //
-// Platform setup (tile decomposition, map reorganization) happens on the
-// first execute() for a given map and is cached — mirroring the one-time
-// initialization cost a real deployment pays; last_stats() exposes the
-// modeled per-frame timing for the harness.
+// Platform setup (tile decomposition, map reorganization, cache sizing) is
+// the plan: Backend::plan(ctx) instantiates the platform and stores it as
+// the ExecutionPlan's state, keyed on geometry and map identity (address +
+// generation + dims — so a map rebuilt at a recycled address replans
+// instead of silently reusing a stale reorganization). execute(plan, ctx)
+// is the steady-state per-frame path; last_stats() exposes the modeled
+// frame timing, and the plan's instrumentation carries per-tile modeled
+// seconds like every other backend.
+//
+// These kinds self-register with BackendRegistry ("cell", "gpu", "fpga")
+// from accel_registry.cpp.
 #pragma once
-
-#include <memory>
-#include <optional>
 
 #include "accel/fpga_platform.hpp"
 #include "accel/gpu_platform.hpp"
@@ -21,22 +25,26 @@ class CellBackend final : public core::Backend {
  public:
   explicit CellBackend(SpeConfig config) : config_(config) {}
 
+  using Backend::execute;
   /// Requires ctx.mode == FloatLut with bilinear + constant border.
-  void execute(const core::ExecContext& ctx) override;
+  [[nodiscard]] core::ExecutionPlan plan(const core::ExecContext& ctx) override;
+  void execute(const core::ExecutionPlan& plan,
+               const core::ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const AccelFrameStats& last_stats() const noexcept {
     return last_stats_;
   }
+  [[nodiscard]] const SpeConfig& config() const noexcept { return config_; }
+  /// Platform prepared by the one-shot path's cached plan (null before the
+  /// first execute(ctx)); F6 reads peak_working_set() from it.
   [[nodiscard]] const CellLikePlatform* platform() const noexcept {
-    return platform_.get();
+    return last_plan().valid() ? last_plan().state<CellLikePlatform>()
+                               : nullptr;
   }
 
  private:
   SpeConfig config_;
-  std::unique_ptr<CellLikePlatform> platform_;
-  const core::WarpMap* cached_map_ = nullptr;
-  int cached_channels_ = 0;
   AccelFrameStats last_stats_;
 };
 
@@ -44,18 +52,20 @@ class GpuBackend final : public core::Backend {
  public:
   explicit GpuBackend(GpuConfig config) : config_(config) {}
 
+  using Backend::execute;
   /// Requires ctx.mode == FloatLut with bilinear + constant border.
-  void execute(const core::ExecContext& ctx) override;
+  [[nodiscard]] core::ExecutionPlan plan(const core::ExecContext& ctx) override;
+  void execute(const core::ExecutionPlan& plan,
+               const core::ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const AccelFrameStats& last_stats() const noexcept {
     return last_stats_;
   }
+  [[nodiscard]] const GpuConfig& config() const noexcept { return config_; }
 
  private:
   GpuConfig config_;
-  std::unique_ptr<GpuPlatform> platform_;
-  const core::WarpMap* cached_map_ = nullptr;
   AccelFrameStats last_stats_;
 };
 
@@ -63,18 +73,20 @@ class FpgaBackend final : public core::Backend {
  public:
   explicit FpgaBackend(FpgaConfig config) : config_(config) {}
 
+  using Backend::execute;
   /// Requires ctx.mode == PackedLut.
-  void execute(const core::ExecContext& ctx) override;
+  [[nodiscard]] core::ExecutionPlan plan(const core::ExecContext& ctx) override;
+  void execute(const core::ExecutionPlan& plan,
+               const core::ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const AccelFrameStats& last_stats() const noexcept {
     return last_stats_;
   }
+  [[nodiscard]] const FpgaConfig& config() const noexcept { return config_; }
 
  private:
   FpgaConfig config_;
-  std::unique_ptr<FpgaPlatform> platform_;
-  const core::PackedMap* cached_map_ = nullptr;
   AccelFrameStats last_stats_;
 };
 

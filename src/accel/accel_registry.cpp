@@ -1,0 +1,87 @@
+// BackendRegistry registrations for the accelerator simulators.
+//
+// This TU self-registers at static-initialization time; consumers force it
+// out of the static archive with the linker anchor below (see the
+// target_link_options in CMakeLists.txt), so linking fisheye_accel is all
+// it takes for "cell" / "gpu" / "fpga" specs to resolve.
+#include <memory>
+
+#include "accel/accel_backend.hpp"
+#include "core/backend_registry.hpp"
+#include "util/error.hpp"
+
+// Anchor referenced by `-Wl,--undefined=` so the archive member (and its
+// static registrars) is always linked.
+extern "C" void fisheye_accel_register_backends() {}
+
+namespace fisheye::accel {
+
+namespace {
+
+std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
+  SpeConfig c;
+  c.num_spes = spec.value_int("spes", c.num_spes);
+  if (spec.flag("sbuf")) c.double_buffering = false;
+  if (spec.flag("dbuf")) c.double_buffering = true;
+  std::tie(c.tile_w, c.tile_h) =
+      spec.value_dims("tile", c.tile_w, c.tile_h);
+  c.local_store_bytes = static_cast<std::size_t>(
+      spec.value_int("ls", static_cast<int>(c.local_store_bytes)));
+  if (const auto sched = spec.value("schedule")) {
+    if (*sched == "rr") {
+      c.schedule = TileSchedule::RoundRobin;
+    } else if (*sched == "eft") {
+      c.schedule = TileSchedule::GreedyEft;
+    } else if (*sched == "lpt") {
+      c.schedule = TileSchedule::Lpt;
+    } else {
+      throw InvalidArgument("backend spec '" + spec.text() +
+                            "': schedule must be rr, eft, or lpt");
+    }
+  }
+  c.cost.cycles_per_pixel =
+      spec.value_double("cpp", c.cost.cycles_per_pixel);
+  spec.finish(
+      "spes=N, dbuf, sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt, "
+      "cpp=CYCLES");
+  return std::make_unique<CellBackend>(c);
+}
+
+std::unique_ptr<core::Backend> make_gpu(core::BackendSpec& spec) {
+  GpuConfig c;
+  c.cost.num_sms = spec.value_int("sms", c.cost.num_sms);
+  const double ghz = spec.value_double("clock", 0.0);
+  if (ghz > 0.0) c.cost.clock_hz = ghz * 1e9;
+  const std::vector<int> tex = spec.value_int_list(
+      "tex", {c.tex_cache.block_w, c.tex_cache.block_h, c.tex_cache.sets,
+              c.tex_cache.ways});
+  c.tex_cache = {tex[0], tex[1], tex[2], tex[3]};
+  c.block_dim = spec.value_int("block", c.block_dim);
+  spec.finish("sms=N, clock=GHZ, tex=BWxBHxSETSxWAYS, block=N");
+  return std::make_unique<GpuBackend>(c);
+}
+
+std::unique_ptr<core::Backend> make_fpga(core::BackendSpec& spec) {
+  FpgaConfig c;
+  const double mhz = spec.value_double("clock", 0.0);
+  if (mhz > 0.0) c.cost.clock_hz = mhz * 1e6;
+  const std::vector<int> cache = spec.value_int_list(
+      "cache",
+      {c.cache.block_w, c.cache.block_h, c.cache.sets, c.cache.ways});
+  c.cache = {cache[0], cache[1], cache[2], cache[3]};
+  spec.finish("clock=MHZ, cache=BWxBHxSETSxWAYS");
+  return std::make_unique<FpgaBackend>(c);
+}
+
+const core::BackendRegistrar register_cell{
+    "cell", "spes=N, dbuf|sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt, "
+            "cpp=CYCLES",
+    make_cell};
+const core::BackendRegistrar register_gpu{
+    "gpu", "sms=N, clock=GHZ, tex=BWxBHxSETSxWAYS, block=N", make_gpu};
+const core::BackendRegistrar register_fpga{
+    "fpga", "clock=MHZ, cache=BWxBHxSETSxWAYS", make_fpga};
+
+}  // namespace
+
+}  // namespace fisheye::accel

@@ -156,6 +156,17 @@ std::size_t CellLikePlatform::peak_working_set() const noexcept {
   return peak;
 }
 
+std::vector<double> CellLikePlatform::tile_seconds() const {
+  std::vector<double> out;
+  out.reserve(tiles_.size());
+  for (const SpeTile& t : tiles_) {
+    const TileCost c = tile_cost(t);
+    out.push_back((c.dma_in + c.compute + c.dma_out) /
+                  config_.cost.clock_hz);
+  }
+  return out;
+}
+
 AccelFrameStats CellLikePlatform::run_frame(
     img::ConstImageView<std::uint8_t> src, img::ImageView<std::uint8_t> dst,
     std::uint8_t fill) {

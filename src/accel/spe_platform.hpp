@@ -89,6 +89,10 @@ class CellLikePlatform {
   /// double-buffer factor. Always <= local_store_bytes by construction.
   [[nodiscard]] std::size_t peak_working_set() const noexcept;
 
+  /// Modeled seconds per tile (DMA-in + compute + DMA-out at clock_hz),
+  /// indexed like tiles(); fills the ExecutionPlan instrumentation slots.
+  [[nodiscard]] std::vector<double> tile_seconds() const;
+
  private:
   struct TileCost {
     double dma_in = 0.0;

@@ -1,0 +1,43 @@
+// BackendRegistry registration for the cluster simulator ("cluster" kind).
+// Forced out of the static archive by the linker anchor below.
+#include <memory>
+
+#include "cluster/cluster_sim.hpp"
+#include "core/backend_registry.hpp"
+#include "util/error.hpp"
+
+extern "C" void fisheye_cluster_register_backends() {}
+
+namespace fisheye::cluster {
+
+namespace {
+
+std::unique_ptr<core::Backend> make_cluster(core::BackendSpec& spec) {
+  ClusterConfig c;
+  c.ranks = spec.value_int("ranks", c.ranks);
+  if (const auto net = spec.value("net")) {
+    if (*net == "gige") {
+      c.network = InterconnectModel::gigabit_ethernet();
+    } else if (*net == "10gige") {
+      c.network = InterconnectModel::ten_gige();
+    } else if (*net == "ib" || *net == "ib-qdr") {
+      c.network = InterconnectModel::infiniband_qdr();
+    } else {
+      throw InvalidArgument("backend spec '" + spec.text() +
+                            "': net must be gige, 10gige, or ib");
+    }
+  }
+  if (spec.flag("bcast")) c.distribution = Distribution::FullBroadcast;
+  if (spec.flag("scatter")) c.distribution = Distribution::StripScatter;
+  c.node_speed = spec.value_double("speed", c.node_speed);
+  spec.finish("ranks=N, net=gige|10gige|ib, scatter|bcast, speed=X");
+  return std::make_unique<ClusterSimBackend>(c);
+}
+
+const core::BackendRegistrar register_cluster{
+    "cluster", "ranks=N, net=gige|10gige|ib, scatter|bcast, speed=X",
+    make_cluster};
+
+}  // namespace
+
+}  // namespace fisheye::cluster

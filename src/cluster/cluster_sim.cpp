@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <sstream>
+#include <memory>
+#include <string>
 
+#include "core/backend_registry.hpp"
 #include "core/remap.hpp"
 #include "parallel/partition.hpp"
 #include "runtime/timer.hpp"
@@ -11,20 +13,56 @@
 
 namespace fisheye::cluster {
 
-void ClusterSimBackend::execute(const core::ExecContext& ctx) {
+namespace {
+
+/// Plan state: what each rank is sent — its source window (bounding box
+/// for StripScatter, the whole frame for FullBroadcast; empty when the
+/// strip sees no source at all).
+struct ClusterPlanState {
+  std::vector<par::Rect> windows;
+};
+
+}  // namespace
+
+core::ExecutionPlan ClusterSimBackend::plan(const core::ExecContext& ctx) {
   FE_EXPECTS(ctx.mode == core::MapMode::FloatLut && ctx.map != nullptr);
   FE_EXPECTS(ctx.opts.interp == core::Interp::Bilinear);
   FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
   FE_EXPECTS(config_.ranks >= 1 && config_.ranks <= 1024);
   FE_EXPECTS(config_.node_speed > 0.0);
 
-  const core::WarpMap& map = *ctx.map;
   const int ranks = std::min(config_.ranks, ctx.dst.height);
-  const std::vector<par::Rect> strips = par::partition(
+  std::vector<par::Rect> strips = par::partition(
       ctx.dst.width, ctx.dst.height, par::PartitionKind::RowBlocks, ranks);
 
+  // The distribution analysis (which source window each rank needs) is the
+  // expensive part of scattering; doing it here means steady-state frames
+  // only pay for copies and the modeled message times.
+  auto state = std::make_shared<ClusterPlanState>();
+  state->windows.reserve(strips.size());
+  for (const par::Rect& strip : strips) {
+    if (config_.distribution == Distribution::FullBroadcast)
+      state->windows.push_back({0, 0, ctx.src.width, ctx.src.height});
+    else
+      state->windows.push_back(core::source_bbox(*ctx.map, strip,
+                                                 ctx.src.width,
+                                                 ctx.src.height));
+  }
+  return make_plan(ctx, std::move(strips), std::move(state));
+}
+
+void ClusterSimBackend::execute(const core::ExecutionPlan& plan,
+                                const core::ExecContext& ctx) {
+  check_plan(plan, ctx);
+  const core::WarpMap& map = *ctx.map;
+  const std::vector<par::Rect>& strips = plan.tiles();
+  const ClusterPlanState& state = *plan.state<ClusterPlanState>();
+
+  core::PlanInstrumentation& inst = plan.instrumentation();
+  inst.begin_frame(strips.size());
+
   ClusterFrameStats stats;
-  stats.ranks = ranks;
+  stats.ranks = static_cast<int>(strips.size());
   const InterconnectModel& net = config_.network;
 
   double scatter_clock = 0.0;  // root serializes its sends
@@ -34,20 +72,13 @@ void ClusterSimBackend::execute(const core::ExecContext& ctx) {
   const std::size_t ch = static_cast<std::size_t>(ctx.src.channels);
   for (std::size_t r = 0; r < strips.size(); ++r) {
     const par::Rect& strip = strips[r];
+    const par::Rect& window = state.windows[r];
     const std::size_t strip_px = static_cast<std::size_t>(strip.area());
     const std::size_t map_bytes = strip_px * 2 * sizeof(float);
 
     // --- scatter: map slice + source data ---
-    const par::Rect box =
-        core::source_bbox(map, strip, ctx.src.width, ctx.src.height);
-    std::size_t src_bytes = 0;
-    par::Rect window = box;
-    if (config_.distribution == Distribution::FullBroadcast) {
-      window = {0, 0, ctx.src.width, ctx.src.height};
-      src_bytes = static_cast<std::size_t>(window.area()) * ch;
-    } else if (!box.empty()) {
-      src_bytes = static_cast<std::size_t>(box.area()) * ch;
-    }
+    const std::size_t src_bytes =
+        window.empty() ? 0 : static_cast<std::size_t>(window.area()) * ch;
     stats.bytes_scattered += map_bytes + src_bytes;
     scatter_clock += net.message_time(map_bytes + src_bytes);
     const double work_start = scatter_clock;
@@ -72,7 +103,6 @@ void ClusterSimBackend::execute(const core::ExecContext& ctx) {
       // then copy into local_out to model the rank-private buffer.
       img::ImageView<std::uint8_t> dst_strip = ctx.dst.rows(strip.y0,
                                                             strip.height());
-      // Build a strip map referencing global dst coordinates.
       core::remap_rect_offset(local_src.view(), ctx.dst, map, strip,
                               window.x0, window.y0, ctx.opts);
       for (int y = 0; y < strip.height(); ++y)
@@ -82,6 +112,7 @@ void ClusterSimBackend::execute(const core::ExecContext& ctx) {
     }
     compute_s[r] = sw.elapsed_seconds() / config_.node_speed;
     stats.compute_seconds += compute_s[r];
+    inst.tile_seconds[r] = compute_s[r];
 
     // --- gather: strip result back to root ---
     const std::size_t out_bytes = strip_px * ch;
@@ -122,15 +153,25 @@ void ClusterSimBackend::execute(const core::ExecContext& ctx) {
   stats.fps = stats.seconds > 0.0 ? 1.0 / stats.seconds : 0.0;
   stats.speedup =
       stats.seconds > 0.0 ? stats.compute_seconds / stats.seconds : 0.0;
-  stats.efficiency = stats.speedup / static_cast<double>(ranks);
+  stats.efficiency = stats.speedup / static_cast<double>(stats.ranks);
   last_stats_ = stats;
+
+  inst.bytes_in = stats.bytes_scattered;
+  inst.bytes_out = stats.bytes_gathered;
+  inst.modeled = true;
 }
 
 std::string ClusterSimBackend::name() const {
-  std::ostringstream os;
-  os << "cluster-sim(" << config_.ranks << "r," << config_.network.name
-     << ',' << distribution_name(config_.distribution) << ')';
-  return os.str();
+  const ClusterConfig def;
+  core::SpecBuilder spec("cluster");
+  if (config_.ranks != def.ranks) spec.opt("ranks", config_.ranks);
+  const std::string net = config_.network.name;
+  if (net != def.network.name)
+    spec.opt("net", net == "ib-qdr" ? std::string("ib") : net);
+  if (config_.distribution == Distribution::FullBroadcast) spec.opt("bcast");
+  if (config_.node_speed != def.node_speed)
+    spec.opt("speed", config_.node_speed);
+  return spec.str();
 }
 
 }  // namespace fisheye::cluster

@@ -83,15 +83,27 @@ struct ClusterFrameStats {
 
 /// core::Backend adapter: FloatLut + bilinear + constant border (the
 /// production configuration; matches the accelerator backends).
+///
+/// The plan is the distribution decision: the strip decomposition plus the
+/// per-strip source bounding-box analysis (what each rank must be sent),
+/// computed once per (geometry, map) instead of per frame. Registered with
+/// BackendRegistry as "cluster" (see cluster_registry.cpp).
 class ClusterSimBackend final : public core::Backend {
  public:
   explicit ClusterSimBackend(ClusterConfig config) : config_(config) {}
 
-  void execute(const core::ExecContext& ctx) override;
+  using Backend::execute;
+  [[nodiscard]] core::ExecutionPlan plan(
+      const core::ExecContext& ctx) override;
+  void execute(const core::ExecutionPlan& plan,
+               const core::ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const ClusterFrameStats& last_stats() const noexcept {
     return last_stats_;
+  }
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
   }
 
  private:

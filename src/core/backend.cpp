@@ -1,7 +1,9 @@
 #include "core/backend.hpp"
 
 #include <sstream>
+#include <utility>
 
+#include "runtime/timer.hpp"
 #include "simd/remap_simd.hpp"
 #include "util/error.hpp"
 
@@ -10,6 +12,40 @@
 #endif
 
 namespace fisheye::core {
+
+namespace {
+
+/// Stamp the analytic traffic estimate into a plan's frame slots (CPU
+/// backends; the simulators overwrite with modeled DMA/DDR counts).
+void record_bytes(const ExecutionPlan& plan, const ExecContext& ctx) {
+  PlanInstrumentation& inst = plan.instrumentation();
+  inst.bytes_in = estimate_bytes_in(ctx);
+  inst.bytes_out = estimate_bytes_out(ctx);
+  inst.modeled = false;
+}
+
+}  // namespace
+
+ExecutionPlan Backend::plan(const ExecContext& ctx) {
+  return make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}});
+}
+
+void Backend::execute(const ExecContext& ctx) {
+  if (!cached_plan_.matches(ctx, name())) cached_plan_ = plan(ctx);
+  execute(cached_plan_, ctx);
+}
+
+ExecutionPlan Backend::make_plan(const ExecContext& ctx,
+                                 std::vector<par::Rect> tiles,
+                                 std::shared_ptr<void> state) const {
+  return ExecutionPlan(plan_key(ctx, name()), std::move(tiles),
+                       std::move(state));
+}
+
+void Backend::check_plan(const ExecutionPlan& plan,
+                         const ExecContext& ctx) const {
+  FE_EXPECTS(plan.matches(ctx, name()));
+}
 
 void execute_rect(const ExecContext& ctx, par::Rect rect) {
   switch (ctx.mode) {
@@ -31,8 +67,17 @@ void execute_rect(const ExecContext& ctx, par::Rect rect) {
   throw InvalidArgument("execute_rect: unknown map mode");
 }
 
-void SerialBackend::execute(const ExecContext& ctx) {
-  execute_rect(ctx, {0, 0, ctx.dst.width, ctx.dst.height});
+void SerialBackend::execute(const ExecutionPlan& plan,
+                            const ExecContext& ctx) {
+  check_plan(plan, ctx);
+  PlanInstrumentation& inst = plan.instrumentation();
+  inst.begin_frame(plan.tiles().size());
+  for (std::size_t i = 0; i < plan.tiles().size(); ++i) {
+    const rt::Stopwatch sw;
+    execute_rect(ctx, plan.tiles()[i]);
+    inst.tile_seconds[i] = sw.elapsed_seconds();
+  }
+  record_bytes(plan, ctx);
 }
 
 PoolBackend::PoolBackend(par::ThreadPool& pool) : PoolBackend(pool, Options{}) {}
@@ -40,62 +85,127 @@ PoolBackend::PoolBackend(par::ThreadPool& pool) : PoolBackend(pool, Options{}) {
 PoolBackend::PoolBackend(par::ThreadPool& pool, Options options)
     : pool_(pool), options_(options) {}
 
+PoolBackend::PoolBackend(Options options, unsigned threads)
+    : owned_pool_(std::make_unique<par::ThreadPool>(threads)),
+      pool_(*owned_pool_),
+      options_(options) {}
+
 std::string PoolBackend::name() const {
   std::ostringstream os;
-  os << "pool(" << pool_.size() << "t," << schedule_name(options_.schedule)
-     << ',' << par::partition_name(options_.partition) << ')';
+  os << "pool:" << par::schedule_name(options_.schedule);
+  switch (options_.partition) {
+    case par::PartitionKind::RowBlocks: os << ",rows"; break;
+    case par::PartitionKind::RowCyclic: os << ",cyclic"; break;
+    case par::PartitionKind::Tiles: os << ",tiles"; break;
+    case par::PartitionKind::ColumnBlocks: os << ",cols"; break;
+  }
+  if ((options_.partition == par::PartitionKind::RowBlocks ||
+       options_.partition == par::PartitionKind::ColumnBlocks) &&
+      options_.chunks != 0)
+    os << '=' << options_.chunks;
+  if (options_.partition == par::PartitionKind::Tiles)
+    os << ",tile=" << options_.tile_w << 'x' << options_.tile_h;
+  os << ",threads=" << pool_.size();
   return os.str();
 }
 
-void PoolBackend::execute(const ExecContext& ctx) {
+ExecutionPlan PoolBackend::plan(const ExecContext& ctx) {
   int chunks = options_.chunks;
   if (chunks == 0) chunks = static_cast<int>(pool_.size()) * 4;
-  const std::vector<par::Rect> rects =
-      par::partition(ctx.dst.width, ctx.dst.height, options_.partition,
-                     chunks, options_.tile_w, options_.tile_h);
+  return make_plan(ctx, par::partition(ctx.dst.width, ctx.dst.height,
+                                       options_.partition, chunks,
+                                       options_.tile_w, options_.tile_h));
+}
+
+void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
+  check_plan(plan, ctx);
+  PlanInstrumentation& inst = plan.instrumentation();
+  inst.begin_frame(plan.tiles().size());
   par::parallel_for_each(
-      pool_, rects.size(),
-      [&](std::size_t i) { execute_rect(ctx, rects[i]); },
+      pool_, plan.tiles().size(),
+      [&](std::size_t i) {
+        const rt::Stopwatch sw;
+        execute_rect(ctx, plan.tiles()[i]);
+        inst.tile_seconds[i] = sw.elapsed_seconds();
+      },
       {options_.schedule, 1});
+  record_bytes(plan, ctx);
+}
+
+SimdBackend::SimdBackend(unsigned threads) {
+  if (threads != 1) {
+    owned_pool_ = std::make_unique<par::ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
 }
 
 std::string SimdBackend::name() const {
   std::ostringstream os;
-  os << "simd";
-  if (pool_ != nullptr) os << '(' << pool_->size() << "t)";
+  os << "simd:threads=" << (pool_ != nullptr ? pool_->size() : 1);
   return os.str();
 }
 
-void SimdBackend::execute(const ExecContext& ctx) {
+ExecutionPlan SimdBackend::plan(const ExecContext& ctx) {
   FE_EXPECTS(ctx.mode == MapMode::FloatLut && ctx.map != nullptr);
   FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
   // The SoA kernel supports constant fill only (see remap_simd.hpp).
   FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
-  const par::Rect whole{0, 0, ctx.dst.width, ctx.dst.height};
-  if (pool_ == nullptr) {
-    simd::remap_bilinear_soa(ctx.src, ctx.dst, *ctx.map, whole, ctx.opts.fill);
-    return;
-  }
-  const std::vector<par::Rect> rects =
-      par::partition(ctx.dst.width, ctx.dst.height,
-                     par::PartitionKind::RowBlocks,
-                     static_cast<int>(pool_->size()) * 4);
-  par::parallel_for_each(
-      *pool_, rects.size(),
-      [&](std::size_t i) {
-        simd::remap_bilinear_soa(ctx.src, ctx.dst, *ctx.map, rects[i],
-                                 ctx.opts.fill);
-      },
-      {par::Schedule::Dynamic, 1});
+  if (pool_ == nullptr)
+    return make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}});
+  return make_plan(ctx, par::partition(ctx.dst.width, ctx.dst.height,
+                                       par::PartitionKind::RowBlocks,
+                                       static_cast<int>(pool_->size()) * 4));
+}
+
+void SimdBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
+  check_plan(plan, ctx);
+  PlanInstrumentation& inst = plan.instrumentation();
+  inst.begin_frame(plan.tiles().size());
+  const auto run_tile = [&](std::size_t i) {
+    const rt::Stopwatch sw;
+    simd::remap_bilinear_soa(ctx.src, ctx.dst, *ctx.map, plan.tiles()[i],
+                             ctx.opts.fill);
+    inst.tile_seconds[i] = sw.elapsed_seconds();
+  };
+  if (pool_ == nullptr)
+    run_tile(0);
+  else
+    par::parallel_for_each(*pool_, plan.tiles().size(), run_tile,
+                           {par::Schedule::Dynamic, 1});
+  record_bytes(plan, ctx);
 }
 
 #ifdef _OPENMP
-void OpenMpBackend::execute(const ExecContext& ctx) {
-  const int rows = ctx.dst.height;
+std::string OpenMpBackend::name() const {
+  if (threads_ <= 0) return "openmp";
+  std::ostringstream os;
+  os << "openmp:threads=" << threads_;
+  return os.str();
+}
+
+ExecutionPlan OpenMpBackend::plan(const ExecContext& ctx) {
+  // One contiguous row block per thread, mirroring schedule(static) over
+  // rows; planned once instead of re-derived by the OpenMP runtime.
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
+  return make_plan(ctx, par::partition(ctx.dst.width, ctx.dst.height,
+                                       par::PartitionKind::RowBlocks,
+                                       threads));
+}
+
+void OpenMpBackend::execute(const ExecutionPlan& plan,
+                            const ExecContext& ctx) {
+  check_plan(plan, ctx);
+  PlanInstrumentation& inst = plan.instrumentation();
+  inst.begin_frame(plan.tiles().size());
+  const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
+  const int n = static_cast<int>(plan.tiles().size());
 #pragma omp parallel for schedule(static) num_threads(threads)
-  for (int y = 0; y < rows; ++y)
-    execute_rect(ctx, {0, y, ctx.dst.width, y + 1});
+  for (int i = 0; i < n; ++i) {
+    const rt::Stopwatch sw;
+    execute_rect(ctx, plan.tiles()[static_cast<std::size_t>(i)]);
+    inst.tile_seconds[static_cast<std::size_t>(i)] = sw.elapsed_seconds();
+  }
+  record_bytes(plan, ctx);
 }
 #endif
 

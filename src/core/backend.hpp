@@ -3,13 +3,21 @@
 // The study's axis of comparison is exactly this interface: the same warp,
 // executed serially, across a thread pool with different schedules and
 // decompositions, through the SIMD kernel, or on a simulated accelerator
-// (src/accel provides those backends).
+// (src/accel provides those backends, src/cluster the message-passing one).
+//
+// The interface is a plan/execute split (see execution_plan.hpp):
+//   plan(ctx)            one-time setup for frames of ctx's shape
+//   execute(plan, ctx)   steady-state: one frame under an existing plan
+//   execute(ctx)         one-shot convenience with an internal plan cache
+// Backends are created either directly or — preferably — by spec string
+// through BackendRegistry (backend_registry.hpp).
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "core/camera.hpp"
+#include "core/execution_plan.hpp"
 #include "core/mapping.hpp"
 #include "core/projection.hpp"
 #include "core/remap.hpp"
@@ -19,58 +27,69 @@
 
 namespace fisheye::core {
 
-/// How source coordinates are obtained per output pixel.
-enum class MapMode {
-  FloatLut,   ///< precomputed float WarpMap
-  PackedLut,  ///< precomputed fixed-point PackedMap (bilinear only)
-  OnTheFly,   ///< recomputed per pixel from camera + view
-};
-
-[[nodiscard]] constexpr const char* map_mode_name(MapMode m) noexcept {
-  switch (m) {
-    case MapMode::FloatLut: return "float-lut";
-    case MapMode::PackedLut: return "packed-lut";
-    case MapMode::OnTheFly: return "on-the-fly";
-  }
-  return "?";
-}
-
-/// Everything a backend needs to produce one output frame. Pointers are
-/// non-owning and valid for the duration of execute(); which of map/packed/
-/// camera+view are non-null depends on `mode`.
-struct ExecContext {
-  img::ConstImageView<std::uint8_t> src;
-  img::ImageView<std::uint8_t> dst;
-  const WarpMap* map = nullptr;
-  const PackedMap* packed = nullptr;
-  const FisheyeCamera* camera = nullptr;
-  const ViewProjection* view = nullptr;
-  RemapOptions opts;
-  MapMode mode = MapMode::FloatLut;
-  bool fast_math = false;
-};
-
-/// Strategy interface. Implementations must be safe to call concurrently
-/// from one thread at a time (no internal frame-to-frame state).
+/// Strategy interface with a plan/execute split.
+///
+/// Thread-safety: plan() is const-like and reentrant; a given ExecutionPlan
+/// may be executed by one thread at a time (frames write its
+/// instrumentation slots); the one-shot execute(ctx) additionally caches a
+/// plan inside the backend, so a backend instance used through that path
+/// must not be shared across threads.
 class Backend {
  public:
   virtual ~Backend() = default;
-  virtual void execute(const ExecContext& ctx) = 0;
+
+  /// One-time planning for frames shaped like `ctx`. Only geometry, map,
+  /// and options are read — the views' pixel pointers may be null.
+  /// Throws InvalidArgument when the backend cannot execute this
+  /// configuration at all (wrong map mode, unsupported interpolation).
+  [[nodiscard]] virtual ExecutionPlan plan(const ExecContext& ctx);
+
+  /// Steady-state execution of one frame. `plan` must have been produced
+  /// by this backend for a matching context (checked).
+  virtual void execute(const ExecutionPlan& plan, const ExecContext& ctx) = 0;
+
+  /// One-shot convenience: plans on first use, replans whenever the
+  /// context stops matching (geometry, sampling options, or map identity
+  /// — address, generation, dimensions — change).
+  void execute(const ExecContext& ctx);
+
+  /// Canonical registry spec for this backend:
+  /// BackendRegistry::create(name()) reconstructs an equivalent instance.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The one-shot path's cached plan (invalid before the first execute).
+  /// Exposes uniform per-tile stats: last_plan().tile_stats().
+  [[nodiscard]] const ExecutionPlan& last_plan() const noexcept {
+    return cached_plan_;
+  }
+
+ protected:
+  /// Stamp a plan with this backend's key for `ctx`.
+  [[nodiscard]] ExecutionPlan make_plan(
+      const ExecContext& ctx, std::vector<par::Rect> tiles,
+      std::shared_ptr<void> state = nullptr) const;
+
+  /// Validate plan/context agreement at the top of execute() overrides.
+  void check_plan(const ExecutionPlan& plan, const ExecContext& ctx) const;
+
+ private:
+  ExecutionPlan cached_plan_;
 };
 
 /// Executes a rectangle of ctx.dst with the serial kernels; shared by every
 /// CPU backend below and by the accelerator simulators.
 void execute_rect(const ExecContext& ctx, par::Rect rect);
 
-/// Single-thread whole-frame execution.
+/// Single-thread whole-frame execution (one plan tile).
 class SerialBackend final : public Backend {
  public:
-  void execute(const ExecContext& ctx) override;
+  using Backend::execute;
+  void execute(const ExecutionPlan& plan, const ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "serial"; }
 };
 
 /// Thread-pool execution with a choice of decomposition and schedule.
+/// The partition is computed once at plan time and reused every frame.
 class PoolBackend final : public Backend {
  public:
   struct Options {
@@ -85,26 +104,38 @@ class PoolBackend final : public Backend {
   /// `pool` must outlive the backend.
   explicit PoolBackend(par::ThreadPool& pool);
   PoolBackend(par::ThreadPool& pool, Options options);
+  /// Owns a private pool of `threads` workers (0 = hardware concurrency).
+  explicit PoolBackend(Options options, unsigned threads = 0);
 
-  void execute(const ExecContext& ctx) override;
+  using Backend::execute;
+  [[nodiscard]] ExecutionPlan plan(const ExecContext& ctx) override;
+  void execute(const ExecutionPlan& plan, const ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
  private:
+  std::unique_ptr<par::ThreadPool> owned_pool_;
   par::ThreadPool& pool_;
   Options options_;
 };
 
-/// SoA SIMD kernel (bilinear + FloatLut only) run across a thread pool.
+/// SoA SIMD kernel (bilinear + FloatLut + constant border only), optionally
+/// run across a thread pool over row blocks planned once.
 class SimdBackend final : public Backend {
  public:
   /// `pool` may be null for single-threaded SIMD.
   explicit SimdBackend(par::ThreadPool* pool = nullptr) : pool_(pool) {}
+  /// Owns a private pool; `threads` == 1 means no pool (pure serial SIMD),
+  /// 0 means hardware concurrency.
+  explicit SimdBackend(unsigned threads);
 
-  void execute(const ExecContext& ctx) override;
+  using Backend::execute;
+  [[nodiscard]] ExecutionPlan plan(const ExecContext& ctx) override;
+  void execute(const ExecutionPlan& plan, const ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
  private:
-  par::ThreadPool* pool_;
+  std::unique_ptr<par::ThreadPool> owned_pool_;
+  par::ThreadPool* pool_ = nullptr;
 };
 
 #ifdef _OPENMP
@@ -113,8 +144,11 @@ class SimdBackend final : public Backend {
 class OpenMpBackend final : public Backend {
  public:
   explicit OpenMpBackend(int threads = 0) : threads_(threads) {}
-  void execute(const ExecContext& ctx) override;
-  [[nodiscard]] std::string name() const override { return "openmp"; }
+
+  using Backend::execute;
+  [[nodiscard]] ExecutionPlan plan(const ExecContext& ctx) override;
+  void execute(const ExecutionPlan& plan, const ExecContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
 
  private:
   int threads_;

@@ -1,0 +1,277 @@
+#include "core/backend_registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fisheye::core {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+int parse_int(const std::string& spec, const std::string& key,
+              const std::string& val) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(val, &used);
+    if (used != val.size()) throw std::invalid_argument(val);
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("backend spec '" + spec + "': option '" + key +
+                          "' expects an integer, got '" + val + "'");
+  }
+}
+
+double parse_double(const std::string& spec, const std::string& key,
+                    const std::string& val) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(val, &used);
+    if (used != val.size()) throw std::invalid_argument(val);
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("backend spec '" + spec + "': option '" + key +
+                          "' expects a number, got '" + val + "'");
+  }
+}
+
+std::vector<int> parse_x_list(const std::string& spec, const std::string& key,
+                              const std::string& val) {
+  std::vector<int> out;
+  for (const std::string& part : split(val, 'x'))
+    out.push_back(parse_int(spec, key, part));
+  return out;
+}
+
+}  // namespace
+
+BackendSpec BackendSpec::parse(const std::string& spec) {
+  BackendSpec s;
+  s.text_ = spec;
+  const std::size_t colon = spec.find(':');
+  s.kind_ = spec.substr(0, colon);
+  if (s.kind_.empty())
+    throw InvalidArgument("backend spec '" + spec + "': empty kind");
+  if (colon == std::string::npos) return s;
+  for (const std::string& part : split(spec.substr(colon + 1), ',')) {
+    if (part.empty())
+      throw InvalidArgument("backend spec '" + spec + "': empty option");
+    Option opt;
+    const std::size_t eq = part.find('=');
+    opt.key = part.substr(0, eq);
+    if (opt.key.empty())
+      throw InvalidArgument("backend spec '" + spec + "': option '" + part +
+                            "' has no name");
+    if (eq != std::string::npos) {
+      opt.has_value = true;
+      opt.val = part.substr(eq + 1);
+    }
+    s.options_.push_back(std::move(opt));
+  }
+  return s;
+}
+
+bool BackendSpec::flag(const std::string& name) {
+  for (Option& o : options_)
+    if (!o.has_value && o.key == name) {
+      o.used = true;
+      return true;
+    }
+  return false;
+}
+
+std::optional<std::string> BackendSpec::value(const std::string& key) {
+  for (Option& o : options_)
+    if (o.has_value && o.key == key) {
+      o.used = true;
+      return o.val;
+    }
+  return std::nullopt;
+}
+
+int BackendSpec::value_int(const std::string& key, int def) {
+  const auto v = value(key);
+  return v ? parse_int(text_, key, *v) : def;
+}
+
+double BackendSpec::value_double(const std::string& key, double def) {
+  const auto v = value(key);
+  return v ? parse_double(text_, key, *v) : def;
+}
+
+std::pair<int, int> BackendSpec::value_dims(const std::string& key, int def_w,
+                                            int def_h) {
+  const auto v = value(key);
+  if (!v) return {def_w, def_h};
+  const std::vector<int> dims = parse_x_list(text_, key, *v);
+  if (dims.size() != 2)
+    throw InvalidArgument("backend spec '" + text_ + "': option '" + key +
+                          "' expects WxH, got '" + *v + "'");
+  return {dims[0], dims[1]};
+}
+
+std::vector<int> BackendSpec::value_int_list(const std::string& key,
+                                             std::vector<int> def) {
+  const auto v = value(key);
+  if (!v) return def;
+  std::vector<int> list = parse_x_list(text_, key, *v);
+  if (list.size() != def.size())
+    throw InvalidArgument("backend spec '" + text_ + "': option '" + key +
+                          "' expects " + std::to_string(def.size()) +
+                          " x-separated integers, got '" + *v + "'");
+  return list;
+}
+
+void BackendSpec::finish(const std::string& valid) const {
+  for (const Option& o : options_) {
+    if (o.used) continue;
+    throw InvalidArgument("backend spec '" + text_ + "': unknown option '" +
+                          o.key + "' for kind '" + kind_ + "' (valid: " +
+                          valid + ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kPoolOptions =
+    "static|dynamic|guided, rows[=N]|cyclic|tiles|cols[=N], chunks=N, "
+    "tile=WxH, threads=N";
+
+std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
+  PoolBackend::Options o;
+  if (spec.flag("dynamic")) o.schedule = par::Schedule::Dynamic;
+  if (spec.flag("guided")) o.schedule = par::Schedule::Guided;
+  spec.flag("static");  // the default; accepted for symmetry
+
+  if (const auto rows = spec.value("rows")) {
+    o.partition = par::PartitionKind::RowBlocks;
+    o.chunks = parse_int(spec.text(), "rows", *rows);
+  } else if (spec.flag("rows")) {
+    o.partition = par::PartitionKind::RowBlocks;
+  } else if (const auto cols = spec.value("cols")) {
+    o.partition = par::PartitionKind::ColumnBlocks;
+    o.chunks = parse_int(spec.text(), "cols", *cols);
+  } else if (spec.flag("cols")) {
+    o.partition = par::PartitionKind::ColumnBlocks;
+  } else if (spec.flag("cyclic")) {
+    o.partition = par::PartitionKind::RowCyclic;
+  } else if (spec.flag("tiles")) {
+    o.partition = par::PartitionKind::Tiles;
+  }
+  o.chunks = spec.value_int("chunks", o.chunks);
+  std::tie(o.tile_w, o.tile_h) = spec.value_dims("tile", o.tile_w, o.tile_h);
+  const int threads = spec.value_int("threads", 0);
+  spec.finish(kPoolOptions);
+  return std::make_unique<PoolBackend>(o, static_cast<unsigned>(threads));
+}
+
+std::unique_ptr<Backend> make_simd(BackendSpec& spec) {
+  const int threads = spec.value_int("threads", -1);
+  spec.finish("threads=N (1 = no pool)");
+  if (threads < 0) return std::make_unique<SimdBackend>(&par::default_pool());
+  return std::make_unique<SimdBackend>(static_cast<unsigned>(threads));
+}
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  // Core CPU kinds are registered here rather than via static objects so
+  // they exist the moment anyone reaches the registry.
+  add("serial", "single-thread whole-frame",
+      [](BackendSpec& spec) -> std::unique_ptr<Backend> {
+        spec.finish("no options");
+        return std::make_unique<SerialBackend>();
+      });
+  add("pool", kPoolOptions, make_pool);
+  add("simd", "threads=N (1 = no pool)", make_simd);
+#ifdef _OPENMP
+  add("openmp", "threads=N",
+      [](BackendSpec& spec) -> std::unique_ptr<Backend> {
+        const int threads = spec.value_int("threads", 0);
+        spec.finish("threads=N");
+        return std::make_unique<OpenMpBackend>(threads);
+      });
+#endif
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(std::string kind, std::string summary,
+                          Factory factory) {
+  const std::scoped_lock lock(mu_);
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), kind,
+      [](const auto& e, const std::string& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == kind) {
+    it->second = Entry{std::move(summary), std::move(factory)};
+    return;
+  }
+  entries_.insert(it, {std::move(kind),
+                       Entry{std::move(summary), std::move(factory)}});
+}
+
+bool BackendRegistry::has(const std::string& kind) const {
+  const std::scoped_lock lock(mu_);
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == kind; });
+}
+
+std::vector<std::string> BackendRegistry::kinds() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.first);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> BackendRegistry::help()
+    const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.emplace_back(e.first, e.second.summary);
+  return out;
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(const std::string& spec) {
+  BackendSpec parsed = BackendSpec::parse(spec);
+  BackendRegistry& reg = instance();
+  Factory factory;
+  {
+    const std::scoped_lock lock(reg.mu_);
+    const auto it = std::find_if(
+        reg.entries_.begin(), reg.entries_.end(),
+        [&](const auto& e) { return e.first == parsed.kind(); });
+    if (it == reg.entries_.end()) {
+      std::ostringstream os;
+      os << "unknown backend kind '" << parsed.kind() << "' in spec '"
+         << spec << "'; registered kinds:";
+      for (const auto& e : reg.entries_) os << ' ' << e.first;
+      throw InvalidArgument(os.str());
+    }
+    factory = it->second.factory;
+  }
+  return factory(parsed);
+}
+
+}  // namespace fisheye::core

@@ -63,4 +63,23 @@ void Corrector::correct(img::ConstImageView<std::uint8_t> src,
   backend.execute(make_context(src, dst));
 }
 
+Corrector::Prepared Corrector::prepare(Backend& backend, int channels) const {
+  FE_EXPECTS(channels >= 1);
+  // Planning reads only geometry, never pixels: shape-only views suffice.
+  const img::ConstImageView<std::uint8_t> src(
+      nullptr, config_.src_width, config_.src_height, channels,
+      static_cast<std::size_t>(config_.src_width) * channels);
+  const img::ImageView<std::uint8_t> dst{
+      nullptr, config_.out_width, config_.out_height, channels,
+      static_cast<std::size_t>(config_.out_width) * channels};
+  return Prepared{&backend, backend.plan(make_context(src, dst))};
+}
+
+void Corrector::correct(const Prepared& prepared,
+                        img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst) const {
+  FE_EXPECTS(prepared.valid());
+  prepared.backend->execute(prepared.plan, make_context(src, dst));
+}
+
 }  // namespace fisheye::core

@@ -47,8 +47,33 @@ class Corrector {
 
   /// Correct one frame. `src` must be src_width x src_height, `dst` must be
   /// out_width x out_height, equal channel counts.
+  ///
+  /// Convenience path: plans through the backend's internal one-plan cache.
+  /// Steady-state pipelines should prepare() once and use the two-argument
+  /// correct() below, which never replans.
   void correct(img::ConstImageView<std::uint8_t> src,
                img::ImageView<std::uint8_t> dst, Backend& backend) const;
+
+  /// A backend's plan for this corrector's geometry, built once and reused
+  /// across frames. Valid until the backend or the corrector is destroyed;
+  /// a prepared plan is pinned to the channel count it was built for.
+  struct Prepared {
+    Backend* backend = nullptr;
+    ExecutionPlan plan;
+    [[nodiscard]] bool valid() const noexcept {
+      return backend != nullptr && plan.valid();
+    }
+  };
+
+  /// Plan the backend's execution for frames of `channels` interleaved
+  /// samples. Planning needs only the geometry, so no frame is required.
+  [[nodiscard]] Prepared prepare(Backend& backend, int channels = 1) const;
+
+  /// Steady-state frame correction: executes the prepared plan directly,
+  /// skipping the plan-cache check entirely. Frame dimensions and channel
+  /// count must match what prepare() was given.
+  void correct(const Prepared& prepared, img::ConstImageView<std::uint8_t> src,
+               img::ImageView<std::uint8_t> dst) const;
 
   /// The context correct() hands to the backend; exposed so benches and the
   /// accelerator simulators can drive backends directly.

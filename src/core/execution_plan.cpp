@@ -1,0 +1,112 @@
+#include "core/execution_plan.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fisheye::core {
+
+PlanKey plan_key(const ExecContext& ctx, std::string backend_name) {
+  PlanKey k;
+  k.backend = std::move(backend_name);
+  k.src_width = ctx.src.width;
+  k.src_height = ctx.src.height;
+  k.channels = ctx.src.channels;
+  k.dst_width = ctx.dst.width;
+  k.dst_height = ctx.dst.height;
+  k.mode = ctx.mode;
+  k.interp = ctx.opts.interp;
+  k.border = ctx.opts.border;
+  k.fill = ctx.opts.fill;
+  k.fast_math = ctx.fast_math;
+  switch (ctx.mode) {
+    case MapMode::FloatLut:
+      FE_EXPECTS(ctx.map != nullptr);
+      k.map = ctx.map;
+      k.map_generation = ctx.map->generation;
+      k.map_width = ctx.map->width;
+      k.map_height = ctx.map->height;
+      break;
+    case MapMode::PackedLut:
+      FE_EXPECTS(ctx.packed != nullptr);
+      k.map = ctx.packed;
+      k.map_generation = ctx.packed->generation;
+      k.map_width = ctx.packed->width;
+      k.map_height = ctx.packed->height;
+      break;
+    case MapMode::OnTheFly:
+      k.camera = ctx.camera;
+      k.view = ctx.view;
+      break;
+  }
+  return k;
+}
+
+std::size_t estimate_bytes_in(const ExecContext& ctx) noexcept {
+  const std::size_t px = static_cast<std::size_t>(ctx.dst.width) *
+                         static_cast<std::size_t>(ctx.dst.height);
+  const std::size_t ch = static_cast<std::size_t>(ctx.src.channels);
+  std::size_t lut = 0;
+  switch (ctx.mode) {
+    case MapMode::FloatLut: lut = px * 2 * sizeof(float); break;
+    case MapMode::PackedLut: lut = px * 2 * sizeof(std::int32_t); break;
+    case MapMode::OnTheFly: lut = 0; break;
+  }
+  // Bilinear reads up to four taps per pixel per channel; nearest one.
+  const std::size_t taps = ctx.opts.interp == Interp::Bilinear ? 4 : 1;
+  return lut + px * ch * taps;
+}
+
+std::size_t estimate_bytes_out(const ExecContext& ctx) noexcept {
+  return static_cast<std::size_t>(ctx.dst.width) *
+         static_cast<std::size_t>(ctx.dst.height) *
+         static_cast<std::size_t>(ctx.src.channels);
+}
+
+ExecutionPlan::ExecutionPlan(PlanKey key, std::vector<par::Rect> tiles,
+                             std::shared_ptr<void> state)
+    : key_(std::move(key)),
+      tiles_(std::move(tiles)),
+      state_(std::move(state)),
+      inst_(std::make_shared<PlanInstrumentation>()) {
+  FE_EXPECTS(!tiles_.empty());
+  inst_->tile_seconds.reserve(tiles_.size());
+}
+
+bool ExecutionPlan::matches(const ExecContext& ctx,
+                            std::string_view backend_name) const noexcept {
+  if (!valid() || key_.backend != backend_name) return false;
+  if (key_.src_width != ctx.src.width ||
+      key_.src_height != ctx.src.height ||
+      key_.channels != ctx.src.channels ||
+      key_.dst_width != ctx.dst.width ||
+      key_.dst_height != ctx.dst.height)
+    return false;
+  if (key_.mode != ctx.mode || key_.interp != ctx.opts.interp ||
+      key_.border != ctx.opts.border || key_.fill != ctx.opts.fill ||
+      key_.fast_math != ctx.fast_math)
+    return false;
+  switch (ctx.mode) {
+    case MapMode::FloatLut:
+      return ctx.map != nullptr && key_.map == ctx.map &&
+             key_.map_generation == ctx.map->generation &&
+             key_.map_width == ctx.map->width &&
+             key_.map_height == ctx.map->height;
+    case MapMode::PackedLut:
+      return ctx.packed != nullptr && key_.map == ctx.packed &&
+             key_.map_generation == ctx.packed->generation &&
+             key_.map_width == ctx.packed->width &&
+             key_.map_height == ctx.packed->height;
+    case MapMode::OnTheFly:
+      return key_.camera == ctx.camera && key_.view == ctx.view;
+  }
+  return false;
+}
+
+rt::TileStats ExecutionPlan::tile_stats() const {
+  FE_EXPECTS(valid());
+  return rt::summarize_tiles(inst_->tile_seconds, inst_->bytes_in,
+                             inst_->bytes_out);
+}
+
+}  // namespace fisheye::core

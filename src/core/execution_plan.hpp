@@ -1,0 +1,162 @@
+// Plan/execute split for the execution layer.
+//
+// The study's axis of comparison is "same warp, different execution
+// substrate", and every substrate pays a one-time setup cost — partitioning
+// on the pool, map reorganization on the Cell, platform instantiation on
+// the GPU/FPGA — that must not be paid per frame. An ExecutionPlan captures
+// that setup once per (backend, geometry, map) and is then consumed by
+// Backend::execute(plan, frame) in steady state.
+//
+// Plan identity is a PlanKey: output/source geometry, map identity
+// (pointer AND generation AND dimensions — a pointer compare alone
+// mis-hits when a rebuilt map lands at a freed map's address), sampling
+// options, and the owning backend's canonical name. Anything in the key
+// changing invalidates the plan.
+//
+// Plans also carry per-tile instrumentation slots: every backend —
+// serial, pooled, SIMD, and the accelerator simulators — fills one
+// seconds slot per tile each frame (wall-clock on CPU, cycle-model on the
+// simulators) plus byte counters, summarized uniformly through
+// rt::summarize_tiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/remap.hpp"
+#include "image/image.hpp"
+#include "parallel/partition.hpp"
+#include "runtime/stats.hpp"
+
+namespace fisheye::core {
+
+class FisheyeCamera;
+class ViewProjection;
+
+/// How source coordinates are obtained per output pixel.
+enum class MapMode {
+  FloatLut,   ///< precomputed float WarpMap
+  PackedLut,  ///< precomputed fixed-point PackedMap (bilinear only)
+  OnTheFly,   ///< recomputed per pixel from camera + view
+};
+
+[[nodiscard]] constexpr const char* map_mode_name(MapMode m) noexcept {
+  switch (m) {
+    case MapMode::FloatLut: return "float-lut";
+    case MapMode::PackedLut: return "packed-lut";
+    case MapMode::OnTheFly: return "on-the-fly";
+  }
+  return "?";
+}
+
+/// Everything a backend needs to produce one output frame. Pointers are
+/// non-owning and valid for the duration of execute(); which of map/packed/
+/// camera+view are non-null depends on `mode`. For planning, the image
+/// views may carry null data pointers — only their geometry is read.
+struct ExecContext {
+  img::ConstImageView<std::uint8_t> src;
+  img::ImageView<std::uint8_t> dst;
+  const WarpMap* map = nullptr;
+  const PackedMap* packed = nullptr;
+  const FisheyeCamera* camera = nullptr;
+  const ViewProjection* view = nullptr;
+  RemapOptions opts;
+  MapMode mode = MapMode::FloatLut;
+  bool fast_math = false;
+};
+
+/// Everything that, when changed, invalidates a plan.
+struct PlanKey {
+  std::string backend;  ///< canonical name() of the backend that planned
+  int src_width = 0, src_height = 0, channels = 0;
+  int dst_width = 0, dst_height = 0;
+  MapMode mode = MapMode::FloatLut;
+  Interp interp = Interp::Bilinear;
+  img::BorderMode border = img::BorderMode::Constant;
+  std::uint8_t fill = 0;
+  bool fast_math = false;
+  /// Map identity: address + generation + dims (WarpMap or PackedMap,
+  /// per mode); generation defeats address recycling.
+  const void* map = nullptr;
+  std::uint64_t map_generation = 0;
+  int map_width = 0, map_height = 0;
+  /// OnTheFly identity (camera/view live for the corrector's lifetime).
+  const void* camera = nullptr;
+  const void* view = nullptr;
+};
+
+/// Build the key for `ctx` as planned by a backend named `backend_name`.
+[[nodiscard]] PlanKey plan_key(const ExecContext& ctx,
+                               std::string backend_name);
+
+/// Analytic traffic estimate for one frame of `ctx`: LUT reads plus the
+/// bilinear tap upper bound (in), destination writes (out). CPU backends
+/// report these; the simulators report their modeled DMA/DDR counts.
+[[nodiscard]] std::size_t estimate_bytes_in(const ExecContext& ctx) noexcept;
+[[nodiscard]] std::size_t estimate_bytes_out(const ExecContext& ctx) noexcept;
+
+/// Mutable per-frame slots owned by a plan; written by execute(), read by
+/// the harness. One seconds slot per plan tile.
+struct PlanInstrumentation {
+  std::vector<double> tile_seconds;
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  /// True when tile_seconds come from a cycle model rather than this
+  /// host's wall clock (the accelerator simulators).
+  bool modeled = false;
+
+  /// Reset the slots for a frame of `tiles` tiles (reuses capacity).
+  void begin_frame(std::size_t tiles) { tile_seconds.assign(tiles, 0.0); }
+};
+
+/// One-time execution recipe: the tile decomposition, optional
+/// backend-private prepared state (reorganized maps, platform instances),
+/// and the instrumentation slots. Cheap to copy (shared state); a given
+/// plan may be *executed* by at most one thread at a time because frames
+/// write its instrumentation slots.
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;  ///< invalid; matches() nothing
+
+  ExecutionPlan(PlanKey key, std::vector<par::Rect> tiles,
+                std::shared_ptr<void> state = nullptr);
+
+  [[nodiscard]] bool valid() const noexcept { return inst_ != nullptr; }
+
+  /// True when this plan can execute `ctx` on a backend named
+  /// `backend_name` without replanning. Field-wise compare; no allocation.
+  [[nodiscard]] bool matches(const ExecContext& ctx,
+                             std::string_view backend_name) const noexcept;
+
+  [[nodiscard]] const PlanKey& key() const noexcept { return key_; }
+  [[nodiscard]] const std::vector<par::Rect>& tiles() const noexcept {
+    return tiles_;
+  }
+
+  /// Backend-private prepared state (type known to the owning backend).
+  template <class T>
+  [[nodiscard]] T* state() const noexcept {
+    return static_cast<T*>(state_.get());
+  }
+
+  /// Frame slots; mutable through a const plan (execution does not change
+  /// what the plan *is*, only what it last measured).
+  [[nodiscard]] PlanInstrumentation& instrumentation() const {
+    return *inst_;
+  }
+
+  /// Uniform per-tile summary of the most recently executed frame.
+  [[nodiscard]] rt::TileStats tile_stats() const;
+
+ private:
+  PlanKey key_;
+  std::vector<par::Rect> tiles_;
+  std::shared_ptr<void> state_;
+  std::shared_ptr<PlanInstrumentation> inst_;
+};
+
+}  // namespace fisheye::core

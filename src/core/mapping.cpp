@@ -1,6 +1,7 @@
 #include "core/mapping.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "core/brown_conrady.hpp"
@@ -8,6 +9,15 @@
 #include "util/mathx.hpp"
 
 namespace fisheye::core {
+
+namespace detail {
+
+std::uint64_t next_map_generation() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace detail
 
 namespace {
 

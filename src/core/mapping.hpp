@@ -24,6 +24,13 @@ namespace fisheye::core {
 
 class BrownConrady;
 
+namespace detail {
+/// Monotonic process-wide counter stamped into every new map. Plan caches
+/// key on (pointer, generation, dims): a pointer compare alone mis-hits
+/// when a rebuilt map lands at a freed map's address.
+std::uint64_t next_map_generation() noexcept;
+}  // namespace detail
+
 /// Float warp map (SoA). Entry (x, y) gives the *source* pixel sampled by
 /// output pixel (x, y); entries may lie outside the source image — border
 /// policy is applied at remap time.
@@ -32,6 +39,9 @@ struct WarpMap {
   int height = 0;
   std::vector<float> src_x;  ///< width*height, row-major
   std::vector<float> src_y;
+  /// Identity stamp for plan caches; fresh per constructed map, carried
+  /// along by copies/moves (a copy is the same logical map).
+  std::uint64_t generation = detail::next_map_generation();
 
   [[nodiscard]] std::size_t index(int x, int y) const noexcept {
     return static_cast<std::size_t>(y) * width + x;
@@ -54,6 +64,7 @@ struct PackedMap {
   int frac_bits = 14;
   std::vector<std::int32_t> fx;  ///< fixed-point source x, or kInvalid
   std::vector<std::int32_t> fy;
+  std::uint64_t generation = detail::next_map_generation();
 
   [[nodiscard]] std::size_t index(int x, int y) const noexcept {
     return static_cast<std::size_t>(y) * width + x;

@@ -9,11 +9,15 @@
 // Exceptions thrown by the body are captured, the loop completes, and the
 // first exception is rethrown on the calling thread (E.25-friendly: no
 // exception crosses a thread boundary unobserved).
+//
+// Header templates end to end: the body is never erased into a
+// std::function, so per-frame dispatch (the pooled backends' hot path)
+// performs no heap allocation — see ThreadPool::run_indexed.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
-#include <functional>
 #include <mutex>
 
 #include "parallel/thread_pool.hpp"
@@ -38,16 +42,102 @@ struct ForOptions {
   std::size_t chunk = 1;
 };
 
+namespace detail {
+
+/// Captures the first exception thrown by any lane.
+class ErrorSlot {
+ public:
+  void capture() noexcept {
+    const std::scoped_lock lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  void rethrow_if_set() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace detail
+
 /// Run `body(begin, end)` over [0, n) split across `pool` per `opts`.
 /// `body` receives contiguous half-open subranges and must be data-race
 /// free across disjoint ranges.
-void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& body,
-                  ForOptions opts = {});
+template <class Body>
+void parallel_for(ThreadPool& pool, std::size_t n, const Body& body,
+                  ForOptions opts = {}) {
+  if (n == 0) return;
+  FE_EXPECTS(opts.chunk >= 1);
+  const std::size_t lanes = std::min<std::size_t>(pool.size(), n);
+
+  detail::ErrorSlot errors;
+  auto guarded = [&](std::size_t b, std::size_t e) {
+    try {
+      body(b, e);
+    } catch (...) {
+      errors.capture();
+    }
+  };
+
+  switch (opts.schedule) {
+    case Schedule::Static: {
+      // One contiguous chunk per lane; run_indexed assigns lane i chunk i.
+      pool.run_indexed(lanes, [&](std::size_t lane) {
+        const std::size_t b = n * lane / lanes;
+        const std::size_t e = n * (lane + 1) / lanes;
+        if (b < e) guarded(b, e);
+      });
+      break;
+    }
+    case Schedule::Dynamic: {
+      std::atomic<std::size_t> cursor{0};
+      const std::size_t chunk = opts.chunk;
+      pool.run_indexed(lanes, [&](std::size_t) {
+        for (;;) {
+          const std::size_t b =
+              cursor.fetch_add(chunk, std::memory_order_relaxed);
+          if (b >= n) return;
+          guarded(b, std::min(b + chunk, n));
+        }
+      });
+      break;
+    }
+    case Schedule::Guided: {
+      std::atomic<std::size_t> cursor{0};
+      const std::size_t min_chunk = opts.chunk;
+      pool.run_indexed(lanes, [&](std::size_t) {
+        for (;;) {
+          // Optimistic size estimate from the current cursor; claim with a
+          // single fetch_add of that size (classic guided self-scheduling).
+          const std::size_t done = cursor.load(std::memory_order_relaxed);
+          if (done >= n) return;
+          const std::size_t remaining = n - done;
+          const std::size_t want =
+              std::max(min_chunk, remaining / (2 * lanes));
+          const std::size_t b =
+              cursor.fetch_add(want, std::memory_order_relaxed);
+          if (b >= n) return;
+          guarded(b, std::min(b + want, n));
+        }
+      });
+      break;
+    }
+  }
+  errors.rethrow_if_set();
+}
 
 /// Convenience: per-index body.
-void parallel_for_each(ThreadPool& pool, std::size_t n,
-                       const std::function<void(std::size_t)>& body,
-                       ForOptions opts = {});
+template <class Body>
+void parallel_for_each(ThreadPool& pool, std::size_t n, const Body& body,
+                       ForOptions opts = {}) {
+  parallel_for(
+      pool, n,
+      [&body](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      },
+      opts);
+}
 
 }  // namespace fisheye::par

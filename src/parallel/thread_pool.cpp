@@ -39,26 +39,6 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::run_indexed(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  // One shared atomic cursor instead of n queue entries: cheaper for the
-  // fine-grained dynamic schedules, and every worker stays busy until the
-  // index space is drained.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t lanes = std::min<std::size_t>(n, workers_.size());
-  for (std::size_t l = 0; l < lanes; ++l) {
-    submit([cursor, n, &fn] {
-      for (;;) {
-        const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
-  }
-  wait_idle();
-}
-
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -7,12 +7,16 @@
 // detached).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace fisheye::par {
@@ -43,7 +47,41 @@ class ThreadPool {
   /// Run `n` invocations of `fn(index)` across the pool and wait. Work runs
   /// exclusively on the workers so that "pool of N" means exactly N lanes —
   /// the property the thread-scaling benches (F1) depend on.
-  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// Templated on the callable: the per-lane tasks capture one pointer to a
+  /// stack-resident control block (cursor + n + callable), so dispatching a
+  /// frame performs no per-lane heap allocation — this is the hot path of
+  /// every pooled backend. `fn` must not throw (see submit()).
+  template <class Fn>
+  void run_indexed(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    // One shared atomic cursor instead of n queue entries: cheaper for the
+    // fine-grained dynamic schedules, and every worker stays busy until the
+    // index space is drained. The block lives on this stack frame; tasks
+    // are guaranteed drained (wait_idle) before it unwinds.
+    struct Control {
+      std::atomic<std::size_t> cursor{0};
+      std::size_t n;
+      std::remove_reference_t<Fn>* fn;
+    } control{{}, n, std::addressof(fn)};
+    const std::size_t lanes = std::min<std::size_t>(n, workers_.size());
+    try {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        submit([ctl = &control] {
+          for (;;) {
+            const std::size_t i =
+                ctl->cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= ctl->n) return;
+            (*ctl->fn)(i);
+          }
+        });
+      }
+    } catch (...) {
+      wait_idle();  // already-submitted lanes reference `control`
+      throw;
+    }
+    wait_idle();
+  }
 
  private:
   void worker_loop();

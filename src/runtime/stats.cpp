@@ -37,4 +37,23 @@ RunStats summarize(std::vector<double> samples) {
   return s;
 }
 
+TileStats summarize_tiles(const std::vector<double>& tile_seconds,
+                          std::size_t bytes_in, std::size_t bytes_out) {
+  TileStats t;
+  t.bytes_in = bytes_in;
+  t.bytes_out = bytes_out;
+  if (tile_seconds.empty()) return t;
+  t.tiles = static_cast<int>(tile_seconds.size());
+  t.min_seconds = tile_seconds.front();
+  t.max_seconds = tile_seconds.front();
+  for (const double s : tile_seconds) {
+    t.min_seconds = std::min(t.min_seconds, s);
+    t.max_seconds = std::max(t.max_seconds, s);
+    t.total_seconds += s;
+  }
+  t.mean_seconds = t.total_seconds / static_cast<double>(t.tiles);
+  t.imbalance = t.mean_seconds > 0.0 ? t.max_seconds / t.mean_seconds : 0.0;
+  return t;
+}
+
 }  // namespace fisheye::rt

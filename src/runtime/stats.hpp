@@ -22,6 +22,27 @@ struct RunStats {
 /// Compute statistics of `samples` (not modified).
 RunStats summarize(std::vector<double> samples);
 
+/// Per-tile execution summary for one frame of a planned backend run.
+/// Uniform across serial, pooled, SIMD and accelerator backends: `tiles`
+/// is the plan's decomposition granularity, times are per-tile seconds
+/// (wall-clock on CPU backends, modeled on the simulators), and
+/// `imbalance` is max/mean — 1.0 for a perfectly balanced decomposition.
+struct TileStats {
+  int tiles = 0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double total_seconds = 0.0;
+  double imbalance = 0.0;
+  std::size_t bytes_in = 0;   ///< estimated bytes read (map + source taps)
+  std::size_t bytes_out = 0;  ///< bytes written to the destination frame
+};
+
+/// Summarize per-tile seconds into a TileStats; byte counters are copied
+/// through. Returns a zeroed struct for an empty vector.
+TileStats summarize_tiles(const std::vector<double>& tile_seconds,
+                          std::size_t bytes_in, std::size_t bytes_out);
+
 /// Run `fn` `warmup + reps` times, timing the last `reps`; returns stats of
 /// the per-run seconds.
 template <class Fn>

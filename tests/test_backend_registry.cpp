@@ -1,0 +1,257 @@
+// BackendRegistry contract tests: spec strings round-trip through name(),
+// unknown specs fail with precise error.hpp diagnostics, every registered
+// kind reproduces the serial reference output, per-tile plan stats are
+// reported uniformly, and a map rebuilt at a recycled address invalidates
+// the cached plan (the aliasing bug the plan key's generation field fixes).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accel_backend.hpp"
+#include "core/backend_registry.hpp"
+#include "core/corrector.hpp"
+#include "image/metrics.hpp"
+#include "util/error.hpp"
+#include "video/pipeline.hpp"
+
+namespace fisheye {
+namespace {
+
+using core::BackendRegistry;
+using core::Corrector;
+
+img::Image8 fisheye_input(int w, int h, int ch = 1) {
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(180.0), w, h);
+  return video::SyntheticVideoSource(cam, w, h, ch).frame(0);
+}
+
+// --- registry surface -------------------------------------------------------
+
+TEST(BackendRegistry, CoreAndAcceleratorKindsAreRegistered) {
+  BackendRegistry& reg = BackendRegistry::instance();
+  for (const char* kind :
+       {"serial", "pool", "simd", "cell", "gpu", "fpga", "cluster"})
+    EXPECT_TRUE(reg.has(kind)) << kind;
+  const auto kinds = reg.kinds();
+  EXPECT_TRUE(std::is_sorted(kinds.begin(), kinds.end()));
+  for (const auto& [kind, summary] : reg.help())
+    EXPECT_FALSE(summary.empty()) << kind;
+}
+
+TEST(BackendRegistry, SpecStringsRoundTripThroughName) {
+  // name() must be a fixed point: create(create(spec)->name())->name()
+  // reproduces the canonical spec exactly.
+  const char* specs[] = {
+      "serial",
+      "pool:static,rows,threads=2",
+      "pool:dynamic,rows=8,threads=2",
+      "pool:guided,tiles,tile=96x32,threads=3",
+      "pool:dynamic,cyclic,threads=2",
+      "simd:threads=1",
+      "simd:threads=2",
+      "cell",
+      "cell:spes=4,sbuf,tile=64x32,schedule=lpt",
+      "gpu",
+      "gpu:sms=16,tex=8x8x16x2,block=32",
+      "fpga",
+      "fpga:clock=100,cache=16x8x32x2",
+      "cluster",
+      "cluster:ranks=8,net=ib,bcast",
+  };
+  for (const char* spec : specs) {
+    const auto backend = BackendRegistry::create(spec);
+    const std::string canonical = backend->name();
+    EXPECT_EQ(BackendRegistry::create(canonical)->name(), canonical) << spec;
+  }
+}
+
+TEST(BackendRegistry, UnknownKindListsRegisteredKinds) {
+  try {
+    BackendRegistry::create("warp9");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend kind 'warp9'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("serial"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cell"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, UnknownOptionNamesTheOptionAndValidOnes) {
+  try {
+    BackendRegistry::create("pool:bogus=3");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown option 'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("threads=N"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, MalformedSpecsAreRejected) {
+  EXPECT_THROW(BackendRegistry::create(""), InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create(":threads=2"), InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("pool:,"), InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("pool:threads=abc"), InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("pool:tile=64"), InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("cell:schedule=fastest"),
+               InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("cluster:net=token-ring"),
+               InvalidArgument);
+}
+
+// --- output equivalence -----------------------------------------------------
+
+TEST(BackendRegistry, AllKindsReproduceTheSerialReference) {
+  const int w = 160, h = 120;
+  const img::Image8 src = fisheye_input(w, h);
+  const Corrector fcorr = Corrector::builder(w, h).build();
+  const Corrector pcorr =
+      Corrector::builder(w, h).map_mode(core::MapMode::PackedLut).build();
+
+  img::Image8 ref(w, h, 1);
+  const auto serial = BackendRegistry::create("serial");
+  fcorr.correct(src.view(), ref.view(), *serial);
+
+  // Scalar float-LUT kinds: bit-exact against serial.
+  for (const char* spec : {"pool:dynamic,tiles,tile=48x24,threads=3", "cell",
+                           "cluster:ranks=3"}) {
+    const auto backend = BackendRegistry::create(spec);
+    img::Image8 out(w, h, 1);
+    fcorr.correct(src.view(), out.view(), *backend);
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out.view()))
+        << spec;
+  }
+  // SIMD and GPU kernels round differently: within one gray level.
+  for (const char* spec : {"simd:threads=2", "gpu"}) {
+    const auto backend = BackendRegistry::create(spec);
+    img::Image8 out(w, h, 1);
+    fcorr.correct(src.view(), out.view(), *backend);
+    EXPECT_LE(img::max_abs_diff(ref.view(), out.view()), 1) << spec;
+  }
+  // FPGA consumes the packed LUT: bit-exact against serial on the same
+  // packed corrector.
+  img::Image8 pref(w, h, 1), pout(w, h, 1);
+  pcorr.correct(src.view(), pref.view(), *serial);
+  const auto fpga = BackendRegistry::create("fpga");
+  pcorr.correct(src.view(), pout.view(), *fpga);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(pref.view(), pout.view()));
+}
+
+// --- uniform per-tile instrumentation ---------------------------------------
+
+TEST(BackendRegistry, AllKindsReportPerTilePlanStats) {
+  const int w = 160, h = 120;
+  const img::Image8 src = fisheye_input(w, h);
+  const Corrector fcorr = Corrector::builder(w, h).build();
+  const Corrector pcorr =
+      Corrector::builder(w, h).map_mode(core::MapMode::PackedLut).build();
+
+  const std::vector<std::pair<std::string, const Corrector*>> cases = {
+      {"serial", &fcorr},       {"pool:dynamic,rows,threads=2", &fcorr},
+      {"simd:threads=2", &fcorr}, {"cell", &fcorr},
+      {"gpu", &fcorr},          {"fpga", &pcorr},
+      {"cluster:ranks=2", &fcorr},
+  };
+  for (const auto& [spec, corr] : cases) {
+    const auto backend = BackendRegistry::create(spec);
+    const Corrector::Prepared prepared = corr->prepare(*backend);
+    img::Image8 out(w, h, 1);
+    corr->correct(prepared, src.view(), out.view());
+    const rt::TileStats stats = prepared.plan.tile_stats();
+    EXPECT_GE(stats.tiles, 1) << spec;
+    EXPECT_EQ(stats.tiles,
+              static_cast<int>(prepared.plan.tiles().size())) << spec;
+    EXPECT_GT(stats.mean_seconds, 0.0) << spec;
+    // Relative slack of a few ulps: backends that split the frame time
+    // evenly over tiles give min == mean == max up to rounding.
+    EXPECT_LE(stats.min_seconds, stats.mean_seconds * (1.0 + 1e-9)) << spec;
+    EXPECT_LE(stats.mean_seconds, stats.max_seconds * (1.0 + 1e-9)) << spec;
+    EXPECT_GE(stats.imbalance, 1.0 - 1e-9) << spec;
+    EXPECT_GT(stats.bytes_in, 0u) << spec;
+    EXPECT_GT(stats.bytes_out, 0u) << spec;
+  }
+}
+
+// --- plan reuse and invalidation --------------------------------------------
+
+TEST(BackendRegistry, PreparedPlanIsReusedAcrossFrames) {
+  const int w = 160, h = 120;
+  const img::Image8 src = fisheye_input(w, h);
+  const Corrector corr = Corrector::builder(w, h).build();
+  const auto backend = BackendRegistry::create("pool:threads=2");
+  const Corrector::Prepared prepared = corr.prepare(*backend);
+  const std::vector<par::Rect>* tiles_before = &prepared.plan.tiles();
+  img::Image8 out(w, h, 1);
+  for (int i = 0; i < 3; ++i)
+    corr.correct(prepared, src.view(), out.view());
+  // Same plan object, same tiles: no per-frame re-partitioning happened.
+  EXPECT_EQ(tiles_before, &prepared.plan.tiles());
+  img::Image8 ref(w, h, 1);
+  const auto serial = BackendRegistry::create("serial");
+  corr.correct(src.view(), ref.view(), *serial);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out.view()));
+}
+
+TEST(BackendRegistry, MapRebuiltAtRecycledAddressReplans) {
+  // The aliasing regression the plan key's generation field guards against:
+  // a map rebuilt at the SAME address (here: assigned into the same WarpMap
+  // object) with the same dimensions must invalidate the cached plan. With
+  // address-only identity the accelerator would keep serving the stale
+  // platform reorganization built from the old map.
+  const int w = 160, h = 120;
+  const img::Image8 src = fisheye_input(w, h);
+
+  const auto cam_a = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(180.0), w, h);
+  const auto cam_b = core::FisheyeCamera::centered(
+      core::LensKind::Equisolid, util::deg_to_rad(150.0), w, h);
+  const core::PerspectiveView view(w, h, cam_a.lens().focal());
+
+  core::WarpMap map = core::build_map(cam_a, view);  // address stays fixed
+  const std::uint64_t gen_a = map.generation;
+
+  core::ExecContext ctx;
+  ctx.src = src.view();
+  ctx.map = &map;
+  ctx.mode = core::MapMode::FloatLut;
+
+  const auto backend = BackendRegistry::create("cell");
+  img::Image8 out_a(w, h, 1);
+  ctx.dst = out_a.view();
+  backend->execute(ctx);  // caches a plan keyed on (&map, generation)
+
+  map = core::build_map(cam_b, view);  // same object => same address
+  EXPECT_NE(map.generation, gen_a);
+
+  img::Image8 out_b(w, h, 1);
+  ctx.dst = out_b.view();
+  backend->execute(ctx);  // must replan, not reuse the stale platform
+
+  // Ground truth: a fresh backend that can only have seen the new map.
+  img::Image8 fresh(w, h, 1);
+  ctx.dst = fresh.view();
+  BackendRegistry::create("cell")->execute(ctx);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(fresh.view(), out_b.view()));
+  // And the two maps genuinely disagree, so a stale plan would be visible.
+  EXPECT_GT(img::max_abs_diff(out_a.view(), out_b.view()), 0);
+}
+
+TEST(BackendRegistry, CopiedMapKeepsItsGeneration) {
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(180.0), 64, 48);
+  const core::PerspectiveView view(64, 48, cam.lens().focal());
+  const core::WarpMap map = core::build_map(cam, view);
+  const core::WarpMap copy = map;  // same logical map: plans stay valid
+  EXPECT_EQ(copy.generation, map.generation);
+  core::WarpMap rebuilt = map;
+  rebuilt = core::build_map(cam, view);  // rebuilt content: new identity
+  EXPECT_NE(rebuilt.generation, map.generation);
+}
+
+}  // namespace
+}  // namespace fisheye

@@ -165,12 +165,12 @@ TEST(Backends, NamesDescribeConfiguration) {
   EXPECT_EQ(core::SerialBackend{}.name(), "serial");
   core::PoolBackend pb(pool, {par::Schedule::Guided,
                               par::PartitionKind::Tiles, 0, 64, 64});
-  EXPECT_EQ(pb.name(), "pool(2t,guided,tiles)");
-  EXPECT_EQ(core::SimdBackend{}.name(), "simd");
+  EXPECT_EQ(pb.name(), "pool:guided,tiles,tile=64x64,threads=2");
+  EXPECT_EQ(core::SimdBackend{}.name(), "simd:threads=1");
   accel::SpeConfig sc;
   sc.num_spes = 6;
   sc.double_buffering = false;
-  EXPECT_EQ(accel::CellBackend(sc).name(), "cell-sim(6spe,sbuf)");
+  EXPECT_EQ(accel::CellBackend(sc).name(), "cell:spes=6,sbuf");
 }
 
 TEST(Backends, SimdRejectsUnsupportedModes) {

@@ -126,7 +126,7 @@ TEST(Cluster, StatsAreConsistent) {
   EXPECT_EQ(s.bytes_gathered, 160u * 120u);
   EXPECT_GT(s.speedup, 0.0);
   EXPECT_LE(s.efficiency, 1.05);  // tiny timing noise tolerance
-  EXPECT_EQ(backend.name(), "cluster-sim(4r,gige,strip-scatter)");
+  EXPECT_EQ(backend.name(), "cluster");
 }
 
 TEST(Cluster, MoreRanksThanRowsClamped) {
