@@ -1,12 +1,18 @@
 // Shared setup for the experiment binaries: synthetic fisheye inputs and
 // measurement helpers. Every bench prints through util::Table so outputs
-// are uniform and diffable across runs.
+// are uniform and diffable across runs; bench::init() additionally mirrors
+// every printed table to a JSON file when --json is passed.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/backend_registry.hpp"
 #include "core/corrector.hpp"
@@ -17,6 +23,110 @@
 #include "video/pipeline.hpp"
 
 namespace fisheye::bench {
+
+namespace detail {
+
+struct CliState {
+  std::string program;
+  std::string json_path;
+  bool quick = false;
+  std::vector<std::string> records;  ///< serialized table objects, in order
+};
+
+inline CliState& cli_state() {
+  static CliState s;
+  return s;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Table::print listener: serialize the table as {program, title,
+/// rows: [{header: cell}, ...]} and rewrite the JSON file (an array of all
+/// tables printed so far), so partial output survives a crashed bench.
+inline void on_table_print(const util::Table& table, const std::string& title) {
+  CliState& st = cli_state();
+  if (st.json_path.empty()) return;
+  std::ostringstream os;
+  os << "  {\"program\": \"" << json_escape(st.program) << "\",\n"
+     << "   \"title\": \"" << json_escape(title) << "\",\n"
+     << "   \"rows\": [";
+  bool first_row = true;
+  for (const auto& row : table.rows()) {
+    os << (first_row ? "\n" : ",\n") << "    {";
+    first_row = false;
+    for (std::size_t c = 0; c < row.size() && c < table.header().size(); ++c) {
+      if (c > 0) os << ", ";
+      os << '"' << json_escape(table.header()[c]) << "\": \""
+         << json_escape(row[c]) << '"';
+    }
+    os << '}';
+  }
+  os << (first_row ? "]}" : "\n  ]}");
+  st.records.push_back(os.str());
+  std::ofstream out(st.json_path);
+  if (!out) {
+    std::cerr << st.program << ": cannot write " << st.json_path << '\n';
+    return;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < st.records.size(); ++i)
+    out << st.records[i] << (i + 1 < st.records.size() ? ",\n" : "\n");
+  out << "]\n";
+}
+
+}  // namespace detail
+
+/// Parse the flags shared by every fig/tab binary:
+///   --json <path>   mirror every printed table to <path> as a JSON array
+///                   of {program, title, rows: [{header: cell}]} objects
+///   --quick         minimal repetitions (CI smoke runs)
+/// Unknown arguments print usage and exit with status 2.
+inline void init(int argc, char** argv) {
+  detail::CliState& st = detail::cli_state();
+  if (argc > 0 && argv[0] != nullptr) {
+    st.program = argv[0];
+    const std::size_t slash = st.program.find_last_of('/');
+    if (slash != std::string::npos) st.program.erase(0, slash + 1);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      st.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      st.json_path = arg.substr(7);
+    } else if (arg == "--quick") {
+      st.quick = true;
+    } else {
+      std::cerr << "usage: " << st.program << " [--json <path>] [--quick]\n";
+      std::exit(2);
+    }
+  }
+  util::set_table_print_listener(&detail::on_table_print);
+}
+
+/// True when --quick was passed: repetition helpers drop to one rep so CI
+/// smoke jobs finish in seconds.
+inline bool quick() { return detail::cli_state().quick; }
 
 /// Deterministic fisheye input frame (equidistant, 180 degrees) rendered
 /// from the synthetic street scene.
@@ -81,6 +191,7 @@ inline BackendRun run_spec(const core::Corrector& corr,
 /// Repetition count scaled down for large frames so the whole suite stays
 /// fast: ~`base` reps at VGA, fewer as pixel count grows.
 inline int reps_for(int w, int h, int base = 9) {
+  if (quick()) return 1;
   const double mp = static_cast<double>(w) * h / (640.0 * 480.0);
   const int reps = static_cast<int>(base / mp);
   return reps < 3 ? 3 : reps;

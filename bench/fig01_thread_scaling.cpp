@@ -8,8 +8,9 @@
 // single-core container the curve is flat and the table says so honestly.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F1", "speedup vs thread count (static row blocks, "
                          "bilinear, float LUT)");
 

@@ -5,8 +5,9 @@
 // schedule x partition combination at 1080p on 4 threads.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F2",
                    "schedule x decomposition at 1080p, 4 threads, bilinear");
 

@@ -3,11 +3,14 @@
 // The precompute-vs-recompute trade: a float LUT costs 8 bytes/pixel of
 // memory traffic but no trig; on-the-fly costs an atan per pixel. Also
 // reports the fast-math (polynomial atan) middle ground, the packed
-// fixed-point LUT, and each LUT's memory footprint + one-time build cost.
+// fixed-point LUT, the block-subsampled compact LUT (~stride^2 smaller,
+// coordinates reconstructed on the fly), and each LUT's memory footprint
+// + one-time build cost.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F3", "LUT vs on-the-fly mapping (serial, bilinear)");
 
   util::Table table({"resolution", "strategy", "lut MB", "build ms",
@@ -25,6 +28,7 @@ int main() {
     const Strategy strategies[] = {
         {"float-lut", core::MapMode::FloatLut, false},
         {"packed-lut", core::MapMode::PackedLut, false},
+        {"compact-lut", core::MapMode::CompactLut, false},
         {"otf-libm", core::MapMode::OnTheFly, false},
         {"otf-fast", core::MapMode::OnTheFly, true},
     };
@@ -41,6 +45,8 @@ int main() {
         lut_mb = static_cast<double>(corr.map()->bytes()) / 1e6;
       if (s.mode == core::MapMode::PackedLut && corr.packed() != nullptr)
         lut_mb = static_cast<double>(corr.packed()->bytes()) / 1e6;
+      if (s.mode == core::MapMode::CompactLut && corr.compact() != nullptr)
+        lut_mb = static_cast<double>(corr.compact()->bytes()) / 1e6;
 
       const rt::RunStats stats =
           bench::measure_backend(corr, src.view(), *serial, reps);

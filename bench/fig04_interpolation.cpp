@@ -9,8 +9,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F4", "interpolation kernels at 720p (serial, float LUT)");
 
   const int w = 1280, h = 720;

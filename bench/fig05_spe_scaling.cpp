@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F5", "Cell-sim: fps vs #SPEs, 720p gray, bilinear");
 
   const int w = 1280, h = 720;

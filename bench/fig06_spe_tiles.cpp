@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F6",
                    "Cell-sim tile-size sweep, 720p gray, 8 SPEs, dbuf");
 

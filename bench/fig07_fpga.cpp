@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F7", "FPGA-sim: cache geometry and clock sweeps");
 
   const int w = 1280, h = 720;

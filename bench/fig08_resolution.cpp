@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F8", "fps vs resolution per platform (gray, bilinear)");
 
   util::Table table({"resolution", "Mpix", "cpu-serial", "cpu-pool",

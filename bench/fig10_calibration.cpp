@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F10", "calibration convergence and noise sensitivity");
 
   const auto truth = core::FisheyeCamera::centered(

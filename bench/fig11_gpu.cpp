@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F11", "GPU-sim: SM scaling and texture-cache sweep");
 
   const int w = 1280, h = 720;

@@ -14,8 +14,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F12", "anti-aliased vs point-sampled synthesis, 640x480");
 
   const int fw = 640, fh = 480;

@@ -10,8 +10,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F13", "YUV-native vs RGB-round-trip pipeline (serial)");
 
   util::Table table({"resolution", "path", "ms/frame", "fps",

@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F15", "multi-camera stitching (1440x360 panorama)");
 
   const img::Image8 env = stitch::make_street_environment(2048, 1024);

@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F17", "cluster scale-out at 1080p (gray, bilinear LUT)");
 
   const int w = 1920, h = 1080;

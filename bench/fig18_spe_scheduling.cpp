@@ -47,7 +47,8 @@ void run_case(util::Table& table, const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   rt::print_banner("F18", "Cell-sim tile scheduling policies, 720p source");
 
   const int w = 1280, h = 720;

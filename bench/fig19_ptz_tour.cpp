@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("F19", "virtual PTZ tour, 1280x720 in, 640x360 out");
 
   const int w = 1280, h = 720;

@@ -31,7 +31,8 @@ double modeled_fps(const core::Backend& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   rt::print_banner("T2", "platform comparison (fps)");
   std::cout << "cpu columns measured on this host; cell/fpga/gpu columns are "
                "cycle-model estimates for the simulated hardware.\n";

@@ -10,8 +10,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("T3",
                    "exact inversion vs Brown-Conrady baseline, 640x480");
 

@@ -11,8 +11,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fisheye;
+  bench::init(argc, argv);
   rt::print_banner("T4", "quality instruments, 320x240");
 
   const int w = 320, h = 240;

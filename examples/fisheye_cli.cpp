@@ -6,16 +6,20 @@
 //       [--interp nearest|bilinear|bicubic|lanczos3]
 //       [--border constant|replicate|reflect] [--fill 0]
 //       [--backend SPEC] [--threads N]
-//       [--map float|packed|otf] [--frac-bits 14] [--stats]
+//       [--map float|packed|compact[:stride]|otf] [--frac-bits 14] [--stats]
 //       [--save-map maps.femap]   (persist the precomputed warp LUT)
-//       [--list-backends]         (print every registered backend kind)
+//       [--list-backends]         (print every registered backend kind with
+//                                  its options, including valid map= formats)
 //
 // SPEC is a BackendRegistry spec, e.g. serial, pool:dynamic,threads=4,
-// simd, cell:spes=8, fpga (needs --map packed), gpu, cluster:ranks=8.
+// simd, cell:spes=8, fpga (needs --map packed or compact), gpu,
+// cluster:ranks=8. Backends that convert the map themselves take a spec
+// option instead, e.g. pool:map=compact:8 against the default float map.
 // --threads N is shorthand for appending threads=N to the spec.
 //
 // Without an input file a synthetic 720p fisheye test frame is corrected
 // (so the tool demonstrates itself with zero assets).
+#include <exception>
 #include <iostream>
 #include <string>
 
@@ -55,10 +59,31 @@ img::BorderMode parse_border(const std::string& name) {
   throw InvalidArgument("--border: unknown mode '" + name + "'");
 }
 
-core::MapMode parse_map(const std::string& name) {
-  if (name == "float") return core::MapMode::FloatLut;
-  if (name == "packed") return core::MapMode::PackedLut;
-  if (name == "otf") return core::MapMode::OnTheFly;
+struct MapRequest {
+  core::MapMode mode = core::MapMode::FloatLut;
+  int compact_stride = 8;
+};
+
+MapRequest parse_map(const std::string& name) {
+  if (name == "float") return {core::MapMode::FloatLut, 8};
+  if (name == "packed") return {core::MapMode::PackedLut, 8};
+  if (name == "otf") return {core::MapMode::OnTheFly, 8};
+  if (name == "compact") return {core::MapMode::CompactLut, 8};
+  if (name.rfind("compact:", 0) == 0) {
+    const std::string tail = name.substr(8);
+    int stride = 0;
+    try {
+      std::size_t used = 0;
+      stride = std::stoi(tail, &used);
+      if (used != tail.size()) stride = 0;
+    } catch (const std::exception&) {
+      stride = 0;
+    }
+    if (stride < 1 || stride > 64 || (stride & (stride - 1)) != 0)
+      throw InvalidArgument("--map: bad compact stride '" + tail +
+                            "' (want a power of two in [1, 64])");
+    return {core::MapMode::CompactLut, stride};
+  }
   throw InvalidArgument("--map: unknown mode '" + name + "'");
 }
 
@@ -95,6 +120,7 @@ int main(int argc, char** argv) try {
   const img::Image8 input = load_input(args);
   const std::string out_path = args.get("out", "corrected.ppm");
 
+  const MapRequest map_request = parse_map(args.get("map", "float"));
   core::Corrector::Builder builder(input.width(), input.height());
   builder.lens(parse_lens(args.get("lens", "equidistant")))
       .fov_degrees(args.get_double("fov", 180.0))
@@ -104,14 +130,25 @@ int main(int argc, char** argv) try {
       .interp(parse_interp(args.get("interp", "bilinear")))
       .border(parse_border(args.get("border", "constant")),
               static_cast<std::uint8_t>(args.get_int("fill", 0)))
-      .map_mode(parse_map(args.get("map", "float")))
+      .map_mode(map_request.mode)
+      .compact_stride(map_request.compact_stride)
       .frac_bits(args.get_int("frac-bits", 14));
   const core::Corrector corrector = builder.build();
+  if (corrector.compact() != nullptr)
+    std::cout << "compact map: stride " << corrector.compact()->stride
+              << ", " << corrector.compact()->bytes() / 1024 << " KiB, max "
+              << corrector.compact()->max_error << " px reconstruction "
+              << "error\n";
 
-  if (args.has("save-map") && corrector.map() != nullptr) {
+  if (args.has("save-map")) {
     const std::string map_path = args.get("save-map", "map.femap");
-    core::save_map(map_path, *corrector.map());
-    std::cout << "saved warp map to " << map_path << '\n';
+    if (corrector.compact() != nullptr) {
+      core::save_map(map_path, *corrector.compact());
+      std::cout << "saved compact warp map to " << map_path << '\n';
+    } else if (corrector.map() != nullptr) {
+      core::save_map(map_path, *corrector.map());
+      std::cout << "saved warp map to " << map_path << '\n';
+    }
   }
 
   std::string spec = args.get("backend", "serial");

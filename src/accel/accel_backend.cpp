@@ -42,17 +42,27 @@ void emit_cache_if(core::SpecBuilder& spec, const char* key,
 // --- Cell ------------------------------------------------------------------
 
 core::ExecutionPlan CellBackend::plan(const core::ExecContext& ctx) {
-  FE_EXPECTS(ctx.mode == core::MapMode::FloatLut && ctx.map != nullptr);
-  FE_EXPECTS(ctx.opts.interp == core::Interp::Bilinear);
-  FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
-  auto platform = std::make_shared<CellLikePlatform>(
-      *ctx.map, ctx.src.width, ctx.src.height, ctx.src.channels, config_);
+  std::shared_ptr<const core::ConvertedMap> converted;
+  const core::ExecContext ectx = resolve_map(ctx, converted);
+  FE_EXPECTS((ectx.mode == core::MapMode::FloatLut && ectx.map != nullptr) ||
+             (ectx.mode == core::MapMode::CompactLut &&
+              ectx.compact != nullptr));
+  FE_EXPECTS(ectx.opts.interp == core::Interp::Bilinear);
+  FE_EXPECTS(ectx.opts.border == img::BorderMode::Constant);
+  auto platform =
+      ectx.mode == core::MapMode::CompactLut
+          ? std::make_shared<CellLikePlatform>(*ectx.compact,
+                                               ectx.src.channels, config_)
+          : std::make_shared<CellLikePlatform>(*ectx.map, ectx.src.width,
+                                               ectx.src.height,
+                                               ectx.src.channels, config_);
   std::vector<par::Rect> tiles;
   tiles.reserve(platform->tiles().size());
   for (const SpeTile& t : platform->tiles()) tiles.push_back(t.out);
   std::vector<double> seconds = platform->tile_seconds();
   core::ExecutionPlan plan =
       make_plan(ctx, std::move(tiles), std::move(platform));
+  plan.set_converted(std::move(converted));
   // The cost model is static: per-tile times are a property of the plan,
   // not of any particular frame. Fill the slots once.
   plan.instrumentation().tile_seconds = std::move(seconds);
@@ -87,7 +97,7 @@ std::string CellBackend::name() const {
   }
   emit_if(spec, "cpp", config_.cost.cycles_per_pixel,
           def.cost.cycles_per_pixel);
-  return spec.str();
+  return decorate_spec(spec.str());
 }
 
 // --- GPU -------------------------------------------------------------------
@@ -136,12 +146,21 @@ std::string GpuBackend::name() const {
 // --- FPGA ------------------------------------------------------------------
 
 core::ExecutionPlan FpgaBackend::plan(const core::ExecContext& ctx) {
-  FE_EXPECTS(ctx.mode == core::MapMode::PackedLut && ctx.packed != nullptr);
-  auto platform = std::make_shared<FpgaPlatform>(*ctx.packed, config_);
+  std::shared_ptr<const core::ConvertedMap> converted;
+  const core::ExecContext ectx = resolve_map(ctx, converted);
+  FE_EXPECTS(
+      (ectx.mode == core::MapMode::PackedLut && ectx.packed != nullptr) ||
+      (ectx.mode == core::MapMode::CompactLut && ectx.compact != nullptr));
+  auto platform =
+      ectx.mode == core::MapMode::CompactLut
+          ? std::make_shared<FpgaPlatform>(*ectx.compact, config_)
+          : std::make_shared<FpgaPlatform>(*ectx.packed, config_);
   // One streaming pass over the frame: a single plan tile.
-  return make_plan(ctx,
-                   {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}},
-                   std::move(platform));
+  core::ExecutionPlan plan =
+      make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}},
+                std::move(platform));
+  plan.set_converted(std::move(converted));
+  return plan;
 }
 
 void FpgaBackend::execute(const core::ExecutionPlan& plan,
@@ -160,7 +179,10 @@ std::string FpgaBackend::name() const {
   emit_if(spec, "clock", config_.cost.clock_hz / 1e6,
           def.cost.clock_hz / 1e6);
   emit_cache_if(spec, "cache", config_.cache, def.cache);
-  return spec.str();
+  emit_if(spec, "bram", config_.lut_bram_bytes, def.lut_bram_bytes);
+  emit_if(spec, "ddr", config_.cost.ddr_bytes_per_cycle,
+          def.cost.ddr_bytes_per_cycle);
+  return decorate_spec(spec.str());
 }
 
 }  // namespace fisheye::accel

@@ -26,7 +26,8 @@ class CellBackend final : public core::Backend {
   explicit CellBackend(SpeConfig config) : config_(config) {}
 
   using Backend::execute;
-  /// Requires ctx.mode == FloatLut with bilinear + constant border.
+  /// Requires an effective mode of FloatLut or CompactLut (map=compact:N
+  /// converts at plan time) with bilinear + constant border.
   [[nodiscard]] core::ExecutionPlan plan(const core::ExecContext& ctx) override;
   void execute(const core::ExecutionPlan& plan,
                const core::ExecContext& ctx) override;
@@ -74,7 +75,8 @@ class FpgaBackend final : public core::Backend {
   explicit FpgaBackend(FpgaConfig config) : config_(config) {}
 
   using Backend::execute;
-  /// Requires ctx.mode == PackedLut.
+  /// Requires an effective mode of PackedLut or CompactLut (map=compact:N
+  /// converts at plan time).
   [[nodiscard]] core::ExecutionPlan plan(const core::ExecContext& ctx) override;
   void execute(const core::ExecutionPlan& plan,
                const core::ExecContext& ctx) override;

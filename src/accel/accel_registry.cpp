@@ -41,10 +41,12 @@ std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
   }
   c.cost.cycles_per_pixel =
       spec.value_double("cpp", c.cost.cycles_per_pixel);
+  auto backend = std::make_unique<CellBackend>(c);
+  core::apply_map_option(spec, *backend);
   spec.finish(
       "spes=N, dbuf, sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt, "
-      "cpp=CYCLES");
-  return std::make_unique<CellBackend>(c);
+      "cpp=CYCLES, map=float|compact:<stride>");
+  return backend;
 }
 
 std::unique_ptr<core::Backend> make_gpu(core::BackendSpec& spec) {
@@ -69,18 +71,28 @@ std::unique_ptr<core::Backend> make_fpga(core::BackendSpec& spec) {
       "cache",
       {c.cache.block_w, c.cache.block_h, c.cache.sets, c.cache.ways});
   c.cache = {cache[0], cache[1], cache[2], cache[3]};
-  spec.finish("clock=MHZ, cache=BWxBHxSETSxWAYS");
-  return std::make_unique<FpgaBackend>(c);
+  c.lut_bram_bytes = static_cast<std::size_t>(
+      spec.value_int("bram", static_cast<int>(c.lut_bram_bytes)));
+  c.cost.ddr_bytes_per_cycle =
+      spec.value_double("ddr", c.cost.ddr_bytes_per_cycle);
+  auto backend = std::make_unique<FpgaBackend>(c);
+  core::apply_map_option(spec, *backend);
+  spec.finish(
+      "clock=MHZ, cache=BWxBHxSETSxWAYS, bram=BYTES, ddr=BYTES_PER_CYCLE, "
+      "map=packed|compact:<stride>");
+  return backend;
 }
 
 const core::BackendRegistrar register_cell{
     "cell", "spes=N, dbuf|sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt, "
-            "cpp=CYCLES",
+            "cpp=CYCLES, map=float|compact:<stride>",
     make_cell};
 const core::BackendRegistrar register_gpu{
     "gpu", "sms=N, clock=GHZ, tex=BWxBHxSETSxWAYS, block=N", make_gpu};
 const core::BackendRegistrar register_fpga{
-    "fpga", "clock=MHZ, cache=BWxBHxSETSxWAYS", make_fpga};
+    "fpga", "clock=MHZ, cache=BWxBHxSETSxWAYS, bram=BYTES, "
+            "ddr=BYTES_PER_CYCLE, map=packed|compact:<stride>",
+    make_fpga};
 
 }  // namespace
 

@@ -26,6 +26,12 @@ struct SpeCostModel {
   /// the blend: ~48 cycles/pixel is representative of a tuned kernel.
   double cycles_per_pixel = 48.0;
 
+  /// Extra SPE cost per output pixel (not per channel) to reconstruct the
+  /// sampling coordinate from a compact block-subsampled map: two fixed
+  /// point lerps per axis plus the rounding shift, all in the integer
+  /// pipelines, which dual-issue against the gather-heavy odd pipeline.
+  double compact_cycles_per_pixel = 6.0;
+
   /// Fixed MFC command issue + completion latency per DMA transfer.
   double dma_latency_cycles = 300.0;
 
@@ -53,6 +59,16 @@ struct FpgaCostModel {
 
   /// Stall cycles per block-cache miss (DDR burst fetch of one block).
   double miss_penalty_cycles = 24.0;
+
+  /// Shared DDR port bandwidth in bytes per pipeline cycle; the frame can
+  /// go no faster than (bytes_in + bytes_out) / this. 0 (the default)
+  /// disables the bound — the idealized prefetch model the cache-centric
+  /// experiments (F7) use. A mid-range-era board sits around 6 B/cycle
+  /// (a 16/32-bit DDR2 channel at ~900 MB/s effective against a 150 MHz
+  /// pipeline), at which point streaming an 8 B/px LUT from DDR is the
+  /// binding constraint — the map-bandwidth wall F20 measures, and the
+  /// reason a BRAM-resident compact grid wins.
+  double ddr_bytes_per_cycle = 0.0;
 };
 
 /// Outcome of one simulated frame on an accelerator.

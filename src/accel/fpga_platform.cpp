@@ -9,50 +9,91 @@ FpgaPlatform::FpgaPlatform(const core::PackedMap& map,
                            const FpgaConfig& config)
     : map_(&map), config_(config) {}
 
+FpgaPlatform::FpgaPlatform(const core::CompactMap& map,
+                           const FpgaConfig& config)
+    : map_(nullptr), cmap_(&map), config_(config) {}
+
 AccelFrameStats FpgaPlatform::run_frame(img::ConstImageView<std::uint8_t> src,
                                         img::ImageView<std::uint8_t> dst,
                                         std::uint8_t fill) {
-  FE_EXPECTS(dst.width == map_->width && dst.height == map_->height);
+  const int out_w = cmap_ ? cmap_->width : map_->width;
+  const int out_h = cmap_ ? cmap_->height : map_->height;
+  FE_EXPECTS(dst.width == out_w && dst.height == out_h);
   FE_EXPECTS(src.channels == dst.channels);
 
-  // Functional output: identical datapath to the CPU packed-LUT kernel.
-  core::remap_packed_rect(src, dst, *map_,
-                          {0, 0, dst.width, dst.height}, fill);
+  // Functional output: identical datapath to the CPU fixed-point kernels.
+  if (cmap_)
+    core::remap_compact_rect(src, dst, *cmap_,
+                             {0, 0, dst.width, dst.height}, fill);
+  else
+    core::remap_packed_rect(src, dst, *map_,
+                            {0, 0, dst.width, dst.height}, fill);
 
   // Timing: raster scan of the output; every valid pixel touches its
   // bilinear footprint through the block cache.
   BlockCache cache(config_.cache);
-  const int frac = map_->frac_bits;
   std::size_t total_misses = 0;
-  for (int y = 0; y < map_->height; ++y) {
-    const std::size_t row = static_cast<std::size_t>(y) * map_->width;
-    for (int x = 0; x < map_->width; ++x) {
-      const std::int32_t fx = map_->fx[row + x];
-      if (fx == core::PackedMap::kInvalid) continue;
-      const std::int32_t fy = map_->fy[row + x];
-      total_misses += cache.access_footprint(fx >> frac, fy >> frac);
+  if (cmap_) {
+    const int frac = cmap_->frac_bits;
+    const std::int32_t one = std::int32_t{1} << frac;
+    const std::int32_t lim_x = static_cast<std::int32_t>(cmap_->src_width)
+                               << frac;
+    const std::int32_t lim_y = static_cast<std::int32_t>(cmap_->src_height)
+                               << frac;
+    for (int y = 0; y < out_h; ++y) {
+      for (int x = 0; x < out_w; ++x) {
+        const core::CompactEntry e = core::reconstruct_entry(*cmap_, x, y);
+        if (e.fx <= -one || e.fy <= -one || e.fx >= lim_x || e.fy >= lim_y)
+          continue;
+        const std::int32_t fx =
+            e.fx < 0 ? 0 : (e.fx > lim_x - one ? lim_x - one : e.fx);
+        const std::int32_t fy =
+            e.fy < 0 ? 0 : (e.fy > lim_y - one ? lim_y - one : e.fy);
+        total_misses += cache.access_footprint(fx >> frac, fy >> frac);
+      }
+    }
+  } else {
+    const int frac = map_->frac_bits;
+    for (int y = 0; y < out_h; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * out_w;
+      for (int x = 0; x < out_w; ++x) {
+        const std::int32_t fx = map_->fx[row + x];
+        if (fx == core::PackedMap::kInvalid) continue;
+        const std::int32_t fy = map_->fy[row + x];
+        total_misses += cache.access_footprint(fx >> frac, fy >> frac);
+      }
     }
   }
 
   AccelFrameStats stats;
-  const auto pixels =
-      static_cast<double>(map_->width) * static_cast<double>(map_->height);
+  const auto pixels = static_cast<double>(out_w) * static_cast<double>(out_h);
   const FpgaCostModel& c = config_.cost;
+  // DDR traffic: LUT stream + output stream + one block per miss. A
+  // compact grid resident in BRAM costs nothing per frame.
+  const std::size_t block_bytes =
+      static_cast<std::size_t>(config_.cache.block_w) *
+      static_cast<std::size_t>(config_.cache.block_h) *
+      static_cast<std::size_t>(src.channels);
+  const std::size_t lut_bytes =
+      cmap_ ? (lut_on_chip() ? 0 : cmap_->bytes()) : map_->bytes();
+  stats.bytes_in = lut_bytes + cache.misses() * block_bytes;
+  stats.bytes_out = static_cast<std::size_t>(dst.width) * dst.height *
+                    static_cast<std::size_t>(dst.channels);
   stats.cycles = c.pipeline_depth + pixels * c.initiation_interval +
                  static_cast<double>(total_misses) * c.miss_penalty_cycles;
+  // Shared-DDR-port bound (when modeled): the pipeline cannot outrun the
+  // memory controller feeding the LUT/miss/output streams.
+  if (c.ddr_bytes_per_cycle > 0.0) {
+    const double ddr_cycles =
+        static_cast<double>(stats.bytes_in + stats.bytes_out) /
+        c.ddr_bytes_per_cycle;
+    if (ddr_cycles > stats.cycles) stats.cycles = ddr_cycles;
+  }
   stats.seconds = stats.cycles / c.clock_hz;
   stats.fps = stats.seconds > 0.0 ? 1.0 / stats.seconds : 0.0;
   stats.cache_accesses = cache.accesses();
   stats.cache_misses = cache.misses();
   stats.tiles = 1;
-  // DDR traffic: LUT stream + output stream + one block per miss.
-  const std::size_t block_bytes =
-      static_cast<std::size_t>(config_.cache.block_w) *
-      static_cast<std::size_t>(config_.cache.block_h) *
-      static_cast<std::size_t>(src.channels);
-  stats.bytes_in = map_->bytes() + cache.misses() * block_bytes;
-  stats.bytes_out = static_cast<std::size_t>(dst.width) * dst.height *
-                    static_cast<std::size_t>(dst.channels);
   stats.compute_cycles = pixels * c.initiation_interval;
   stats.utilization = stats.cycles > 0.0 ? stats.compute_cycles / stats.cycles
                                          : 0.0;

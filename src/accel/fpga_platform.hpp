@@ -11,8 +11,16 @@
 // and output streams are sequential and prefetched, so they do not stall;
 // their bandwidth is accounted but rarely binds.
 //
-// Functional execution uses the same packed fixed-point kernel as the CPU
-// PackedLut path, so output equality is testable bit-for-bit.
+// With a compact map the address generator is fed by an on-the-fly fixed-
+// point reconstruction stage instead of a DDR coordinate stream. When the
+// whole grid fits the LUT BRAM budget it is loaded once at configuration
+// time and the per-frame LUT DDR traffic drops to zero — the paper-era win
+// this platform exists to demonstrate. Oversized grids fall back to
+// streaming the grid from DDR each frame (still ~stride^2 less traffic
+// than the packed LUT).
+//
+// Functional execution uses the same packed/compact fixed-point kernels as
+// the CPU paths, so output equality is testable bit-for-bit.
 #pragma once
 
 #include "accel/cache_sim.hpp"
@@ -25,12 +33,21 @@ namespace fisheye::accel {
 struct FpgaConfig {
   BlockCacheConfig cache;
   FpgaCostModel cost;
+  /// BRAM budget for holding a compact coordinate grid on-chip. A grid
+  /// that fits is loaded at configuration time and costs no per-frame DDR
+  /// traffic; a larger grid streams from DDR each frame. (The full packed
+  /// LUT never fits: 8 B/pixel vs a few hundred KB of BRAM.)
+  std::size_t lut_bram_bytes = 256 * 1024;
 };
 
 class FpgaPlatform {
  public:
   /// `map` must outlive the platform.
   FpgaPlatform(const core::PackedMap& map, const FpgaConfig& config);
+
+  /// Compact-map variant: the address generator reconstructs coordinates
+  /// from the stride x stride grid (bit-exact with remap_compact_rect).
+  FpgaPlatform(const core::CompactMap& map, const FpgaConfig& config);
 
   /// Simulate one frame: fills `dst` (bilinear, constant fill) and returns
   /// modeled timing including cache statistics.
@@ -40,8 +57,15 @@ class FpgaPlatform {
 
   [[nodiscard]] const FpgaConfig& config() const noexcept { return config_; }
 
+  /// True when the coordinate data is resident in BRAM (compact grid within
+  /// lut_bram_bytes): no per-frame LUT DDR traffic.
+  [[nodiscard]] bool lut_on_chip() const noexcept {
+    return cmap_ != nullptr && cmap_->bytes() <= config_.lut_bram_bytes;
+  }
+
  private:
-  const core::PackedMap* map_;
+  const core::PackedMap* map_;          ///< packed mode; null otherwise
+  const core::CompactMap* cmap_ = nullptr;  ///< compact mode
   FpgaConfig config_;
 };
 

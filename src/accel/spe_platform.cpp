@@ -24,42 +24,93 @@ CellLikePlatform::CellLikePlatform(const core::WarpMap& map, int src_width,
                                    int src_height, int channels,
                                    const SpeConfig& config)
     : map_(&map),
+      cmap_(nullptr),
+      out_width_(map.width),
+      out_height_(map.height),
       src_width_(src_width),
       src_height_(src_height),
       channels_(channels),
       config_(config) {
-  FE_EXPECTS(config.num_spes >= 1 && config.num_spes <= 64);
-  FE_EXPECTS(config.tile_w >= 8 && config.tile_h >= 1);
-  FE_EXPECTS(channels >= 1 && channels <= 4);
+  init();
+}
+
+CellLikePlatform::CellLikePlatform(const core::CompactMap& map, int channels,
+                                   const SpeConfig& config)
+    : map_(nullptr),
+      cmap_(&map),
+      out_width_(map.width),
+      out_height_(map.height),
+      src_width_(map.src_width),
+      src_height_(map.src_height),
+      channels_(channels),
+      config_(config) {
+  init();
+}
+
+void CellLikePlatform::init() {
+  FE_EXPECTS(config_.num_spes >= 1 && config_.num_spes <= 64);
+  FE_EXPECTS(config_.tile_w >= 8 && config_.tile_h >= 1);
+  FE_EXPECTS(channels_ >= 1 && channels_ <= 4);
 
   const std::vector<par::Rect> grid =
-      par::partition(map.width, map.height, par::PartitionKind::Tiles,
-                     /*chunks=*/0, config.tile_w, config.tile_h);
+      par::partition(out_width_, out_height_, par::PartitionKind::Tiles,
+                     /*chunks=*/0, config_.tile_w, config_.tile_h);
   for (const par::Rect& r : grid) decompose(r, 0);
 
   // Reorganize the map tile-contiguously (setup-time work, done once).
+  if (cmap_) {
+    tile_grids_.reserve(tiles_.size());
+    for (const SpeTile& t : tiles_) {
+      const par::Rect g = grid_rect(t.out);
+      std::vector<std::int32_t> tg;
+      tg.reserve(static_cast<std::size_t>(g.area()) * 2);
+      for (int gy = g.y0; gy < g.y1; ++gy)
+        for (int gx = g.x0; gx < g.x1; ++gx)
+          tg.push_back(cmap_->gx[cmap_->index(gx, gy)]);
+      for (int gy = g.y0; gy < g.y1; ++gy)
+        for (int gx = g.x0; gx < g.x1; ++gx)
+          tg.push_back(cmap_->gy[cmap_->index(gx, gy)]);
+      tile_grids_.push_back(std::move(tg));
+    }
+    return;
+  }
   tile_maps_.reserve(tiles_.size());
   for (const SpeTile& t : tiles_) {
     std::vector<float> tm;
     tm.reserve(static_cast<std::size_t>(t.out.area()) * 2);
     for (int y = t.out.y0; y < t.out.y1; ++y) {
-      const std::size_t row = static_cast<std::size_t>(y) * map.width;
+      const std::size_t row = static_cast<std::size_t>(y) * map_->width;
       for (int x = t.out.x0; x < t.out.x1; ++x)
-        tm.push_back(map.src_x[row + x]);
+        tm.push_back(map_->src_x[row + x]);
     }
     for (int y = t.out.y0; y < t.out.y1; ++y) {
-      const std::size_t row = static_cast<std::size_t>(y) * map.width;
+      const std::size_t row = static_cast<std::size_t>(y) * map_->width;
       for (int x = t.out.x0; x < t.out.x1; ++x)
-        tm.push_back(map.src_y[row + x]);
+        tm.push_back(map_->src_y[row + x]);
     }
     tile_maps_.push_back(std::move(tm));
   }
 }
 
+par::Rect CellLikePlatform::grid_rect(par::Rect out) const noexcept {
+  // Entries at cells [x>>shift, (x-1 of end)>>shift + 1] inclusive feed the
+  // bilinear reconstruction of every pixel in `out`.
+  const int shift = cmap_->shift();
+  return {out.x0 >> shift, out.y0 >> shift, ((out.x1 - 1) >> shift) + 2,
+          ((out.y1 - 1) >> shift) + 2};
+}
+
+std::size_t CellLikePlatform::map_slice_bytes(par::Rect out) const noexcept {
+  if (cmap_)
+    return static_cast<std::size_t>(grid_rect(out).area()) * 2 *
+           sizeof(std::int32_t);
+  return static_cast<std::size_t>(out.area()) * 2 * sizeof(float);
+}
+
 std::size_t CellLikePlatform::working_set(par::Rect out,
                                           par::Rect src_box) const noexcept {
   const std::size_t out_px = static_cast<std::size_t>(out.area());
-  const std::size_t map_bytes = out_px * 2 * sizeof(float);
+  const std::size_t map_bytes = map_slice_bytes(out);
   const std::size_t out_bytes = out_px * static_cast<std::size_t>(channels_);
   const std::size_t src_bytes =
       src_box.empty() ? 0
@@ -71,7 +122,9 @@ std::size_t CellLikePlatform::working_set(par::Rect out,
 }
 
 void CellLikePlatform::decompose(par::Rect rect, int depth) {
-  const par::Rect box = core::source_bbox(*map_, rect, src_width_, src_height_);
+  const par::Rect box =
+      cmap_ ? core::source_bbox(*cmap_, rect)
+            : core::source_bbox(*map_, rect, src_width_, src_height_);
   const std::size_t ws = working_set(rect, box);
   // Keep ~2 KB headroom for code/stack the way a real SPE budget would.
   const std::size_t budget = config_.local_store_bytes - 2048;
@@ -84,16 +137,25 @@ void CellLikePlatform::decompose(par::Rect rect, int depth) {
     // kernel runs the full gather for those and a cheap fill store for the
     // rest, so the cost model needs the split.
     std::size_t valid = 0;
-    for (int y = rect.y0; y < rect.y1; ++y) {
-      const std::size_t row = static_cast<std::size_t>(y) * map_->width;
-      for (int x = rect.x0; x < rect.x1; ++x) {
-        const float sx = map_->src_x[row + x];
-        const float sy = map_->src_y[row + x];
-        valid += (sx > -1.0f && sy > -1.0f &&
-                  sx < static_cast<float>(src_width_) &&
-                  sy < static_cast<float>(src_height_))
-                     ? 1
-                     : 0;
+    if (cmap_) {
+      for (int y = rect.y0; y < rect.y1; ++y)
+        for (int x = rect.x0; x < rect.x1; ++x)
+          valid += core::compact_entry_valid(
+                       *cmap_, core::reconstruct_entry(*cmap_, x, y))
+                       ? 1
+                       : 0;
+    } else {
+      for (int y = rect.y0; y < rect.y1; ++y) {
+        const std::size_t row = static_cast<std::size_t>(y) * map_->width;
+        for (int x = rect.x0; x < rect.x1; ++x) {
+          const float sx = map_->src_x[row + x];
+          const float sy = map_->src_y[row + x];
+          valid += (sx > -1.0f && sy > -1.0f &&
+                    sx < static_cast<float>(src_width_) &&
+                    sy < static_cast<float>(src_height_))
+                       ? 1
+                       : 0;
+        }
       }
     }
     tiles_.push_back({rect, box, ws, valid, depth > 0});
@@ -123,8 +185,7 @@ CellLikePlatform::TileCost CellLikePlatform::tile_cost(
   const auto out_px = static_cast<double>(tile.out.area());
   const auto ch = static_cast<double>(channels_);
 
-  const std::size_t map_bytes =
-      static_cast<std::size_t>(tile.out.area()) * 2 * sizeof(float);
+  const std::size_t map_bytes = map_slice_bytes(tile.out);
   const std::size_t src_bytes =
       tile.src_box.empty() ? 0
                            : static_cast<std::size_t>(tile.src_box.area()) *
@@ -141,9 +202,11 @@ CellLikePlatform::TileCost CellLikePlatform::tile_cost(
                  static_cast<double>(src_bytes) / c.dma_bytes_per_cycle;
 
   // Valid pixels run the full gather kernel; fill pixels stream a constant
-  // (~1 cycle / pixel / channel).
+  // (~1 cycle / pixel / channel). Compact maps add a per-pixel coordinate
+  // reconstruction before the validity test can cull anything.
   const auto valid = static_cast<double>(tile.valid_px);
   tc.compute = valid * ch * c.cycles_per_pixel + (out_px - valid) * ch;
+  if (cmap_) tc.compute += out_px * c.compact_cycles_per_pixel;
 
   tc.dma_out = c.dma_latency_cycles +
                static_cast<double>(out_bytes) / c.dma_bytes_per_cycle;
@@ -171,7 +234,7 @@ AccelFrameStats CellLikePlatform::run_frame(
     img::ConstImageView<std::uint8_t> src, img::ImageView<std::uint8_t> dst,
     std::uint8_t fill) {
   FE_EXPECTS(src.width == src_width_ && src.height == src_height_);
-  FE_EXPECTS(dst.width == map_->width && dst.height == map_->height);
+  FE_EXPECTS(dst.width == out_width_ && dst.height == out_height_);
   FE_EXPECTS(src.channels == channels_ && dst.channels == channels_);
 
   AccelFrameStats stats;
@@ -247,11 +310,12 @@ AccelFrameStats CellLikePlatform::run_frame(
     // --- functional execution through the local store ---
     store.reset();
     const std::size_t out_px = static_cast<std::size_t>(tile.out.area());
-    const std::size_t map_bytes = out_px * 2 * sizeof(float);
+    const std::size_t map_bytes = map_slice_bytes(tile.out);
     DmaEngine dma(c);
-    auto* map_local = reinterpret_cast<float*>(store.allocate(map_bytes));
-    dma.get_linear(tile_maps_[t].data(), map_bytes,
-                   reinterpret_cast<std::uint8_t*>(map_local), map_bytes);
+    std::uint8_t* map_local = store.allocate(map_bytes);
+    dma.get_linear(cmap_ ? static_cast<const void*>(tile_grids_[t].data())
+                         : static_cast<const void*>(tile_maps_[t].data()),
+                   map_bytes, map_local, map_bytes);
 
     std::uint8_t* out_local = store.allocate(out_px * channels_);
     const int tw = tile.out.width();
@@ -271,53 +335,142 @@ AccelFrameStats CellLikePlatform::run_frame(
       const int win_h = tile.src_box.height();
       const std::size_t win_pitch =
           static_cast<std::size_t>(win_w) * channels_;
-      const float off_x = static_cast<float>(tile.src_box.x0);
-      const float off_y = static_cast<float>(tile.src_box.y0);
-      const float* mx = map_local;
-      const float* my = map_local + out_px;
 
-      for (int yy = 0; yy < th; ++yy) {
-        for (int xx = 0; xx < tw; ++xx) {
-          const std::size_t i =
-              static_cast<std::size_t>(yy) * tw + xx;
-          const float sx = mx[i] - off_x;
-          const float sy = my[i] - off_y;
-          std::uint8_t* out_px_ptr = out_local + i * channels_;
-          const float fx = std::floor(sx);
-          const float fy = std::floor(sy);
-          const int x0 = static_cast<int>(fx);
-          const int y0 = static_cast<int>(fy);
-          const float ax = sx - fx;
-          const float ay = sy - fy;
-          const float w00 = (1.0f - ax) * (1.0f - ay);
-          const float w10 = ax * (1.0f - ay);
-          const float w01 = (1.0f - ax) * ay;
-          const float w11 = ax * ay;
-          if (x0 >= 0 && y0 >= 0 && x0 + 1 < win_w && y0 + 1 < win_h) {
-            const std::uint8_t* r0 =
-                src_local + static_cast<std::size_t>(y0) * win_pitch +
-                static_cast<std::size_t>(x0) * channels_;
-            const std::uint8_t* r1 = r0 + win_pitch;
-            for (int ch2 = 0; ch2 < channels_; ++ch2) {
-              const float v = w00 * r0[ch2] + w10 * r0[channels_ + ch2] +
-                              w01 * r1[ch2] + w11 * r1[channels_ + ch2];
-              out_px_ptr[ch2] = blend_u8(v);
+      if (cmap_) {
+        // Integer reconstruction kernel, bit-exact with remap_compact_rect:
+        // absolute fixed-point coordinates are reconstructed from the local
+        // grid slice, validity-tested, clamped against the full frame, and
+        // only then shifted into the window (the source bbox covers every
+        // clamped footprint, so window taps never go out of bounds).
+        const par::Rect g = grid_rect(tile.out);
+        const int sgw = g.width();
+        const std::size_t slice_px = static_cast<std::size_t>(g.area());
+        const auto* lgx = reinterpret_cast<const std::int32_t*>(map_local);
+        const std::int32_t* lgy = lgx + slice_px;
+        const int frac = cmap_->frac_bits;
+        const int wshift = frac >= 8 ? frac - 8 : 0;
+        const int wscale_up = frac >= 8 ? 0 : 8 - frac;
+        const std::int32_t frac_mask = (std::int32_t{1} << frac) - 1;
+        const int shift = cmap_->shift();
+        const int smask = cmap_->stride - 1;
+        const std::int64_t gs = cmap_->stride;
+        const int rshift = 2 * shift;
+        const std::int64_t half =
+            rshift > 0 ? (std::int64_t{1} << (rshift - 1)) : 0;
+        const std::int32_t one = std::int32_t{1} << frac;
+        const std::int32_t lim_x = static_cast<std::int32_t>(src_width_)
+                                   << frac;
+        const std::int32_t lim_y = static_cast<std::int32_t>(src_height_)
+                                   << frac;
+        const std::int32_t max_fx = lim_x - one;
+        const std::int32_t max_fy = lim_y - one;
+
+        for (int yy = 0; yy < th; ++yy) {
+          const int y = tile.out.y0 + yy;
+          const std::int64_t ty = y & smask;
+          const std::size_t row0 =
+              static_cast<std::size_t>((y >> shift) - g.y0) * sgw;
+          const std::size_t row1 = row0 + sgw;
+          for (int xx = 0; xx < tw; ++xx) {
+            const int x = tile.out.x0 + xx;
+            const std::size_t cx =
+                static_cast<std::size_t>((x >> shift) - g.x0);
+            const std::int64_t tx = x & smask;
+            const std::int64_t lx =
+                lgx[row0 + cx] * (gs - ty) + lgx[row1 + cx] * ty;
+            const std::int64_t rx =
+                lgx[row0 + cx + 1] * (gs - ty) + lgx[row1 + cx + 1] * ty;
+            const std::int64_t ly =
+                lgy[row0 + cx] * (gs - ty) + lgy[row1 + cx] * ty;
+            const std::int64_t ry =
+                lgy[row0 + cx + 1] * (gs - ty) + lgy[row1 + cx + 1] * ty;
+            std::int32_t fx = static_cast<std::int32_t>(
+                (lx * gs + tx * (rx - lx) + half) >> rshift);
+            std::int32_t fy = static_cast<std::int32_t>(
+                (ly * gs + tx * (ry - ly) + half) >> rshift);
+            std::uint8_t* out_px_ptr =
+                out_local + (static_cast<std::size_t>(yy) * tw + xx) *
+                                channels_;
+            if (fx <= -one || fy <= -one || fx >= lim_x || fy >= lim_y) {
+              for (int ch2 = 0; ch2 < channels_; ++ch2) out_px_ptr[ch2] = fill;
+              continue;
             }
-          } else {
-            // Border taps: constant fill outside the window.
-            auto fetch = [&](int xi, int yi, int ch2) -> float {
-              if (xi < 0 || yi < 0 || xi >= win_w || yi >= win_h)
-                return static_cast<float>(fill);
-              return static_cast<float>(
-                  src_local[static_cast<std::size_t>(yi) * win_pitch +
-                            static_cast<std::size_t>(xi) * channels_ + ch2]);
-            };
+            fx = fx < 0 ? 0 : (fx > max_fx ? max_fx : fx);
+            fy = fy < 0 ? 0 : (fy > max_fy ? max_fy : fy);
+            const std::int32_t ix = fx >> frac;
+            const std::int32_t iy = fy >> frac;
+            const std::int32_t ix1 = ix + 1 < src_width_ ? ix + 1 : ix;
+            const std::int32_t iy1 = iy + 1 < src_height_ ? iy + 1 : iy;
+            const std::int32_t ax = ((fx & frac_mask) >> wshift) << wscale_up;
+            const std::int32_t ay = ((fy & frac_mask) >> wshift) << wscale_up;
+            const std::uint8_t* r0 =
+                src_local +
+                static_cast<std::size_t>(iy - tile.src_box.y0) * win_pitch;
+            const std::uint8_t* r1 =
+                src_local +
+                static_cast<std::size_t>(iy1 - tile.src_box.y0) * win_pitch;
+            const int lx0 = (ix - tile.src_box.x0) * channels_;
+            const int lx1 = (ix1 - tile.src_box.x0) * channels_;
+            const int w00 = (256 - ax) * (256 - ay);
+            const int w10 = ax * (256 - ay);
+            const int w01 = (256 - ax) * ay;
+            const int w11 = ax * ay;
             for (int ch2 = 0; ch2 < channels_; ++ch2) {
-              const float v = w00 * fetch(x0, y0, ch2) +
-                              w10 * fetch(x0 + 1, y0, ch2) +
-                              w01 * fetch(x0, y0 + 1, ch2) +
-                              w11 * fetch(x0 + 1, y0 + 1, ch2);
-              out_px_ptr[ch2] = blend_u8(v);
+              const int v = w00 * r0[lx0 + ch2] + w10 * r0[lx1 + ch2] +
+                            w01 * r1[lx0 + ch2] + w11 * r1[lx1 + ch2];
+              out_px_ptr[ch2] = static_cast<std::uint8_t>((v + (1 << 15)) >> 16);
+            }
+          }
+        }
+      } else {
+        const float off_x = static_cast<float>(tile.src_box.x0);
+        const float off_y = static_cast<float>(tile.src_box.y0);
+        const float* mx = reinterpret_cast<const float*>(map_local);
+        const float* my = mx + out_px;
+
+        for (int yy = 0; yy < th; ++yy) {
+          for (int xx = 0; xx < tw; ++xx) {
+            const std::size_t i =
+                static_cast<std::size_t>(yy) * tw + xx;
+            const float sx = mx[i] - off_x;
+            const float sy = my[i] - off_y;
+            std::uint8_t* out_px_ptr = out_local + i * channels_;
+            const float fx = std::floor(sx);
+            const float fy = std::floor(sy);
+            const int x0 = static_cast<int>(fx);
+            const int y0 = static_cast<int>(fy);
+            const float ax = sx - fx;
+            const float ay = sy - fy;
+            const float w00 = (1.0f - ax) * (1.0f - ay);
+            const float w10 = ax * (1.0f - ay);
+            const float w01 = (1.0f - ax) * ay;
+            const float w11 = ax * ay;
+            if (x0 >= 0 && y0 >= 0 && x0 + 1 < win_w && y0 + 1 < win_h) {
+              const std::uint8_t* r0 =
+                  src_local + static_cast<std::size_t>(y0) * win_pitch +
+                  static_cast<std::size_t>(x0) * channels_;
+              const std::uint8_t* r1 = r0 + win_pitch;
+              for (int ch2 = 0; ch2 < channels_; ++ch2) {
+                const float v = w00 * r0[ch2] + w10 * r0[channels_ + ch2] +
+                                w01 * r1[ch2] + w11 * r1[channels_ + ch2];
+                out_px_ptr[ch2] = blend_u8(v);
+              }
+            } else {
+              // Border taps: constant fill outside the window.
+              auto fetch = [&](int xi, int yi, int ch2) -> float {
+                if (xi < 0 || yi < 0 || xi >= win_w || yi >= win_h)
+                  return static_cast<float>(fill);
+                return static_cast<float>(
+                    src_local[static_cast<std::size_t>(yi) * win_pitch +
+                              static_cast<std::size_t>(xi) * channels_ + ch2]);
+              };
+              for (int ch2 = 0; ch2 < channels_; ++ch2) {
+                const float v = w00 * fetch(x0, y0, ch2) +
+                                w10 * fetch(x0 + 1, y0, ch2) +
+                                w01 * fetch(x0, y0 + 1, ch2) +
+                                w11 * fetch(x0 + 1, y0 + 1, ch2);
+                out_px_ptr[ch2] = blend_u8(v);
+              }
             }
           }
         }

@@ -8,6 +8,10 @@
 //    arcs of the source) are recursively split;
 //  * per tile: DMA-get map + source window, compute (bilinear remap with
 //    constant fill), DMA-put the output tile;
+//  * with a compact map only the tile's slice of the stride x stride
+//    coordinate grid is DMA'd; the SPE reconstructs per-pixel coordinates
+//    in fixed point, shrinking per-tile map traffic by ~stride^2 and
+//    letting much larger output tiles fit the local store;
 //  * tiles are dispatched across N SPEs; with double buffering the DMA of
 //    tile k+1 overlaps the compute of tile k (three-stage pipeline with two
 //    input/output buffer sets).
@@ -74,6 +78,13 @@ class CellLikePlatform {
   CellLikePlatform(const core::WarpMap& map, int src_width, int src_height,
                    int channels, const SpeConfig& config);
 
+  /// Compact-map variant: tiles carry stride x stride grid slices instead
+  /// of per-pixel entries and the SPE kernel reconstructs coordinates on
+  /// the fly (bit-exact with core::remap_compact_rect). `map` must outlive
+  /// the platform; source dimensions come from the map.
+  CellLikePlatform(const core::CompactMap& map, int channels,
+                   const SpeConfig& config);
+
   /// Simulate one frame: produces `dst` functionally and returns the
   /// modeled timing. Bilinear + constant border (the hardware kernel).
   AccelFrameStats run_frame(img::ConstImageView<std::uint8_t> src,
@@ -100,20 +111,32 @@ class CellLikePlatform {
     double dma_out = 0.0;
   };
 
+  void init();
   void decompose(par::Rect rect, int depth);
   [[nodiscard]] std::size_t working_set(par::Rect out,
                                         par::Rect src_box) const noexcept;
   [[nodiscard]] TileCost tile_cost(const SpeTile& tile) const noexcept;
+  /// Grid cells (exclusive bounds) whose entries the compact kernel reads
+  /// for output rect `out`. Compact mode only.
+  [[nodiscard]] par::Rect grid_rect(par::Rect out) const noexcept;
+  /// Bytes of map data DMA'd per tile: per-pixel floats (float mode) or
+  /// the grid slice (compact mode).
+  [[nodiscard]] std::size_t map_slice_bytes(par::Rect out) const noexcept;
 
-  const core::WarpMap* map_;
+  const core::WarpMap* map_;            ///< float mode; null in compact mode
+  const core::CompactMap* cmap_;        ///< compact mode; null in float mode
+  int out_width_;
+  int out_height_;
   int src_width_;
   int src_height_;
   int channels_;
   SpeConfig config_;
   std::vector<SpeTile> tiles_;
   /// Tile-contiguous map copy: for tile t, tile_maps_[t] holds src_x for
-  /// all its pixels row-major, then src_y.
+  /// all its pixels row-major, then src_y. Float mode only.
   std::vector<std::vector<float>> tile_maps_;
+  /// Compact mode: per tile, the grid_rect() slice of gx row-major, then gy.
+  std::vector<std::vector<std::int32_t>> tile_grids_;
 };
 
 }  // namespace fisheye::accel

@@ -26,8 +26,59 @@ void record_bytes(const ExecutionPlan& plan, const ExecContext& ctx) {
 
 }  // namespace
 
+std::string MapChoice::spec_text() const {
+  if (!set()) return {};
+  switch (*mode) {
+    case MapMode::FloatLut: return "map=float";
+    case MapMode::PackedLut: return "map=packed";
+    case MapMode::CompactLut:
+      return "map=compact:" + std::to_string(stride);
+    case MapMode::OnTheFly: break;  // never produced by parse()
+  }
+  return {};
+}
+
+MapChoice MapChoice::parse(const std::string& value) {
+  MapChoice c;
+  if (value == "float") {
+    c.mode = MapMode::FloatLut;
+    return c;
+  }
+  if (value == "packed") {
+    c.mode = MapMode::PackedLut;
+    return c;
+  }
+  const std::string compact = "compact";
+  if (value == compact || value.rfind(compact + ":", 0) == 0) {
+    c.mode = MapMode::CompactLut;
+    if (value.size() > compact.size()) {
+      const std::string tail = value.substr(compact.size() + 1);
+      int stride = 0;
+      try {
+        std::size_t pos = 0;
+        stride = std::stoi(tail, &pos);
+        if (pos != tail.size()) stride = 0;
+      } catch (const std::exception&) {
+        stride = 0;
+      }
+      if (stride < 1 || stride > 64 || (stride & (stride - 1)) != 0)
+        throw InvalidArgument("map=compact: stride must be a power of two "
+                              "in [1, 64], got '" + tail + "'");
+      c.stride = stride;
+    }
+    return c;
+  }
+  throw InvalidArgument("map=: unknown map format '" + value +
+                        "' (valid: float, packed, compact:<stride>)");
+}
+
 ExecutionPlan Backend::plan(const ExecContext& ctx) {
-  return make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}});
+  std::shared_ptr<const ConvertedMap> converted;
+  (void)resolve_map(ctx, converted);  // validates the choice against ctx
+  ExecutionPlan p =
+      make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}});
+  p.set_converted(std::move(converted));
+  return p;
 }
 
 void Backend::execute(const ExecContext& ctx) {
@@ -47,6 +98,59 @@ void Backend::check_plan(const ExecutionPlan& plan,
   FE_EXPECTS(plan.matches(ctx, name()));
 }
 
+ExecContext Backend::resolve_map(
+    const ExecContext& ctx,
+    std::shared_ptr<const ConvertedMap>& converted) const {
+  converted = nullptr;
+  if (!map_choice_.set()) return ctx;
+  const MapMode want = *map_choice_.mode;
+  const bool already =
+      want == ctx.mode &&
+      (want != MapMode::CompactLut ||
+       (ctx.compact != nullptr && ctx.compact->stride == map_choice_.stride));
+  if (already) return ctx;
+  if (ctx.map == nullptr)
+    throw InvalidArgument(name() + ": " + map_choice_.spec_text() +
+                          " needs the context's float WarpMap to convert "
+                          "from, but the context (mode " +
+                          map_mode_name(ctx.mode) + ") carries none");
+  if ((want == MapMode::PackedLut || want == MapMode::CompactLut) &&
+      ctx.opts.interp != Interp::Bilinear)
+    throw InvalidArgument(name() + ": " + map_choice_.spec_text() +
+                          " supports bilinear interpolation only");
+  auto conv = std::make_shared<ConvertedMap>();
+  conv->mode = want;
+  switch (want) {
+    case MapMode::FloatLut:
+      break;  // pointer rewrite only; ctx.map is already present
+    case MapMode::PackedLut:
+      conv->packed = pack_map(*ctx.map, ctx.src.width, ctx.src.height,
+                              map_choice_.frac_bits);
+      break;
+    case MapMode::CompactLut:
+      conv->compact = compact_map(*ctx.map, ctx.src.width, ctx.src.height,
+                                  map_choice_.stride, map_choice_.frac_bits);
+      break;
+    case MapMode::OnTheFly:
+      throw InvalidArgument(name() + ": map= cannot select on-the-fly");
+  }
+  converted = std::move(conv);
+  return converted->apply(ctx);
+}
+
+ExecContext Backend::effective(const ExecutionPlan& plan,
+                               const ExecContext& ctx) noexcept {
+  const ConvertedMap* conv = plan.converted();
+  return conv != nullptr ? conv->apply(ctx) : ctx;
+}
+
+std::string Backend::decorate_spec(std::string spec) const {
+  if (!map_choice_.set()) return spec;
+  spec += spec.find(':') == std::string::npos ? ':' : ',';
+  spec += map_choice_.spec_text();
+  return spec;
+}
+
 void execute_rect(const ExecContext& ctx, par::Rect rect) {
   switch (ctx.mode) {
     case MapMode::FloatLut:
@@ -57,6 +161,11 @@ void execute_rect(const ExecContext& ctx, par::Rect rect) {
       FE_EXPECTS(ctx.packed != nullptr);
       FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
       remap_packed_rect(ctx.src, ctx.dst, *ctx.packed, rect, ctx.opts.fill);
+      return;
+    case MapMode::CompactLut:
+      FE_EXPECTS(ctx.compact != nullptr);
+      FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
+      remap_compact_rect(ctx.src, ctx.dst, *ctx.compact, rect, ctx.opts.fill);
       return;
     case MapMode::OnTheFly:
       FE_EXPECTS(ctx.camera != nullptr && ctx.view != nullptr);
@@ -70,14 +179,15 @@ void execute_rect(const ExecContext& ctx, par::Rect rect) {
 void SerialBackend::execute(const ExecutionPlan& plan,
                             const ExecContext& ctx) {
   check_plan(plan, ctx);
+  const ExecContext ectx = effective(plan, ctx);
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   for (std::size_t i = 0; i < plan.tiles().size(); ++i) {
     const rt::Stopwatch sw;
-    execute_rect(ctx, plan.tiles()[i]);
+    execute_rect(ectx, plan.tiles()[i]);
     inst.tile_seconds[i] = sw.elapsed_seconds();
   }
-  record_bytes(plan, ctx);
+  record_bytes(plan, ectx);
 }
 
 PoolBackend::PoolBackend(par::ThreadPool& pool) : PoolBackend(pool, Options{}) {}
@@ -106,30 +216,37 @@ std::string PoolBackend::name() const {
   if (options_.partition == par::PartitionKind::Tiles)
     os << ",tile=" << options_.tile_w << 'x' << options_.tile_h;
   os << ",threads=" << pool_.size();
-  return os.str();
+  return decorate_spec(os.str());
 }
 
 ExecutionPlan PoolBackend::plan(const ExecContext& ctx) {
+  std::shared_ptr<const ConvertedMap> converted;
+  (void)resolve_map(ctx, converted);
   int chunks = options_.chunks;
   if (chunks == 0) chunks = static_cast<int>(pool_.size()) * 4;
-  return make_plan(ctx, par::partition(ctx.dst.width, ctx.dst.height,
-                                       options_.partition, chunks,
-                                       options_.tile_w, options_.tile_h));
+  ExecutionPlan p = make_plan(ctx, par::partition(ctx.dst.width,
+                                                  ctx.dst.height,
+                                                  options_.partition, chunks,
+                                                  options_.tile_w,
+                                                  options_.tile_h));
+  p.set_converted(std::move(converted));
+  return p;
 }
 
 void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
   check_plan(plan, ctx);
+  const ExecContext ectx = effective(plan, ctx);
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   par::parallel_for_each(
       pool_, plan.tiles().size(),
       [&](std::size_t i) {
         const rt::Stopwatch sw;
-        execute_rect(ctx, plan.tiles()[i]);
+        execute_rect(ectx, plan.tiles()[i]);
         inst.tile_seconds[i] = sw.elapsed_seconds();
       },
       {options_.schedule, 1});
-  record_bytes(plan, ctx);
+  record_bytes(plan, ectx);
 }
 
 SimdBackend::SimdBackend(unsigned threads) {
@@ -142,29 +259,42 @@ SimdBackend::SimdBackend(unsigned threads) {
 std::string SimdBackend::name() const {
   std::ostringstream os;
   os << "simd:threads=" << (pool_ != nullptr ? pool_->size() : 1);
-  return os.str();
+  return decorate_spec(os.str());
 }
 
 ExecutionPlan SimdBackend::plan(const ExecContext& ctx) {
-  FE_EXPECTS(ctx.mode == MapMode::FloatLut && ctx.map != nullptr);
-  FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
-  // The SoA kernel supports constant fill only (see remap_simd.hpp).
-  FE_EXPECTS(ctx.opts.border == img::BorderMode::Constant);
-  if (pool_ == nullptr)
-    return make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}});
-  return make_plan(ctx, par::partition(ctx.dst.width, ctx.dst.height,
-                                       par::PartitionKind::RowBlocks,
-                                       static_cast<int>(pool_->size()) * 4));
+  std::shared_ptr<const ConvertedMap> converted;
+  const ExecContext ectx = resolve_map(ctx, converted);
+  // Two SoA kernels: float LUT and compact LUT (see remap_simd.hpp).
+  FE_EXPECTS((ectx.mode == MapMode::FloatLut && ectx.map != nullptr) ||
+             (ectx.mode == MapMode::CompactLut && ectx.compact != nullptr));
+  FE_EXPECTS(ectx.opts.interp == Interp::Bilinear);
+  // The SoA kernels support constant fill only.
+  FE_EXPECTS(ectx.opts.border == img::BorderMode::Constant);
+  ExecutionPlan p =
+      pool_ == nullptr
+          ? make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}})
+          : make_plan(ctx,
+                      par::partition(ctx.dst.width, ctx.dst.height,
+                                     par::PartitionKind::RowBlocks,
+                                     static_cast<int>(pool_->size()) * 4));
+  p.set_converted(std::move(converted));
+  return p;
 }
 
 void SimdBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
   check_plan(plan, ctx);
+  const ExecContext ectx = effective(plan, ctx);
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   const auto run_tile = [&](std::size_t i) {
     const rt::Stopwatch sw;
-    simd::remap_bilinear_soa(ctx.src, ctx.dst, *ctx.map, plan.tiles()[i],
-                             ctx.opts.fill);
+    if (ectx.mode == MapMode::CompactLut)
+      simd::remap_compact_soa(ectx.src, ectx.dst, *ectx.compact,
+                              plan.tiles()[i], ectx.opts.fill);
+    else
+      simd::remap_bilinear_soa(ectx.src, ectx.dst, *ectx.map, plan.tiles()[i],
+                               ectx.opts.fill);
     inst.tile_seconds[i] = sw.elapsed_seconds();
   };
   if (pool_ == nullptr)
@@ -172,29 +302,35 @@ void SimdBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
   else
     par::parallel_for_each(*pool_, plan.tiles().size(), run_tile,
                            {par::Schedule::Dynamic, 1});
-  record_bytes(plan, ctx);
+  record_bytes(plan, ectx);
 }
 
 #ifdef _OPENMP
 std::string OpenMpBackend::name() const {
-  if (threads_ <= 0) return "openmp";
+  if (threads_ <= 0) return decorate_spec("openmp");
   std::ostringstream os;
   os << "openmp:threads=" << threads_;
-  return os.str();
+  return decorate_spec(os.str());
 }
 
 ExecutionPlan OpenMpBackend::plan(const ExecContext& ctx) {
+  std::shared_ptr<const ConvertedMap> converted;
+  (void)resolve_map(ctx, converted);
   // One contiguous row block per thread, mirroring schedule(static) over
   // rows; planned once instead of re-derived by the OpenMP runtime.
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
-  return make_plan(ctx, par::partition(ctx.dst.width, ctx.dst.height,
-                                       par::PartitionKind::RowBlocks,
-                                       threads));
+  ExecutionPlan p = make_plan(ctx, par::partition(ctx.dst.width,
+                                                  ctx.dst.height,
+                                                  par::PartitionKind::RowBlocks,
+                                                  threads));
+  p.set_converted(std::move(converted));
+  return p;
 }
 
 void OpenMpBackend::execute(const ExecutionPlan& plan,
                             const ExecContext& ctx) {
   check_plan(plan, ctx);
+  const ExecContext ectx = effective(plan, ctx);
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
@@ -202,10 +338,10 @@ void OpenMpBackend::execute(const ExecutionPlan& plan,
 #pragma omp parallel for schedule(static) num_threads(threads)
   for (int i = 0; i < n; ++i) {
     const rt::Stopwatch sw;
-    execute_rect(ctx, plan.tiles()[static_cast<std::size_t>(i)]);
+    execute_rect(ectx, plan.tiles()[static_cast<std::size_t>(i)]);
     inst.tile_seconds[static_cast<std::size_t>(i)] = sw.elapsed_seconds();
   }
-  record_bytes(plan, ctx);
+  record_bytes(plan, ectx);
 }
 #endif
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/camera.hpp"
@@ -26,6 +27,27 @@
 #include "parallel/thread_pool.hpp"
 
 namespace fisheye::core {
+
+/// Map representation requested by a spec's `map=` option
+/// (map=float | map=packed | map=compact:<stride>). When set and different
+/// from the context's own representation, the backend converts the
+/// context's full-resolution WarpMap at plan time and carries the result
+/// in the plan (ConvertedMap), so steady-state frames stream the selected
+/// format. An unset choice executes the context as-is.
+struct MapChoice {
+  std::optional<MapMode> mode;
+  int stride = 8;      ///< CompactLut grid pitch
+  int frac_bits = 14;  ///< fixed-point precision of converted maps
+
+  [[nodiscard]] bool set() const noexcept { return mode.has_value(); }
+  /// Canonical option text, e.g. "map=compact:8"; empty when unset.
+  [[nodiscard]] std::string spec_text() const;
+  /// Parse an option value ("float", "packed", "compact", "compact:8").
+  /// Throws InvalidArgument naming the offending token.
+  static MapChoice parse(const std::string& value);
+  /// The option values a backend supporting `modes` accepts, for help text.
+  static constexpr const char* kHelp = "map=float|packed|compact:<stride>";
+};
 
 /// Strategy interface with a plan/execute split.
 ///
@@ -63,6 +85,13 @@ class Backend {
     return cached_plan_;
   }
 
+  /// Spec-selected map representation (the map= option). Participates in
+  /// name(), so plans made under different choices never alias.
+  void set_map_choice(const MapChoice& choice) { map_choice_ = choice; }
+  [[nodiscard]] const MapChoice& map_choice() const noexcept {
+    return map_choice_;
+  }
+
  protected:
   /// Stamp a plan with this backend's key for `ctx`.
   [[nodiscard]] ExecutionPlan make_plan(
@@ -72,8 +101,25 @@ class Backend {
   /// Validate plan/context agreement at the top of execute() overrides.
   void check_plan(const ExecutionPlan& plan, const ExecContext& ctx) const;
 
+  /// Resolve map_choice() against `ctx`: the context the backend will
+  /// actually execute. Fills `converted` (to be attached to the plan via
+  /// set_converted) when a representation change is needed; throws
+  /// InvalidArgument when the choice cannot be satisfied.
+  [[nodiscard]] ExecContext resolve_map(
+      const ExecContext& ctx,
+      std::shared_ptr<const ConvertedMap>& converted) const;
+
+  /// Per-frame effective context under `plan`: applies the plan's
+  /// ConvertedMap (if any) to the caller's context.
+  [[nodiscard]] static ExecContext effective(const ExecutionPlan& plan,
+                                             const ExecContext& ctx) noexcept;
+
+  /// Append the canonical map= option to a spec string (no-op when unset).
+  [[nodiscard]] std::string decorate_spec(std::string spec) const;
+
  private:
   ExecutionPlan cached_plan_;
+  MapChoice map_choice_;
 };
 
 /// Executes a rectangle of ctx.dst with the serial kernels; shared by every
@@ -85,7 +131,9 @@ class SerialBackend final : public Backend {
  public:
   using Backend::execute;
   void execute(const ExecutionPlan& plan, const ExecContext& ctx) override;
-  [[nodiscard]] std::string name() const override { return "serial"; }
+  [[nodiscard]] std::string name() const override {
+    return decorate_spec("serial");
+  }
 };
 
 /// Thread-pool execution with a choice of decomposition and schedule.

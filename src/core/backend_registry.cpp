@@ -148,11 +148,22 @@ void BackendSpec::finish(const std::string& valid) const {
 
 // ---------------------------------------------------------------------------
 
+void apply_map_option(BackendSpec& spec, Backend& backend) {
+  const auto v = spec.value("map");
+  if (!v) return;
+  try {
+    backend.set_map_choice(MapChoice::parse(*v));
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument("backend spec '" + spec.text() + "': " +
+                          e.what());
+  }
+}
+
 namespace {
 
 constexpr const char* kPoolOptions =
     "static|dynamic|guided, rows[=N]|cyclic|tiles|cols[=N], chunks=N, "
-    "tile=WxH, threads=N";
+    "tile=WxH, threads=N, map=float|packed|compact:<stride>";
 
 std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
   PoolBackend::Options o;
@@ -178,15 +189,25 @@ std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
   o.chunks = spec.value_int("chunks", o.chunks);
   std::tie(o.tile_w, o.tile_h) = spec.value_dims("tile", o.tile_w, o.tile_h);
   const int threads = spec.value_int("threads", 0);
+  auto backend = std::make_unique<PoolBackend>(o,
+                                               static_cast<unsigned>(threads));
+  apply_map_option(spec, *backend);
   spec.finish(kPoolOptions);
-  return std::make_unique<PoolBackend>(o, static_cast<unsigned>(threads));
+  return backend;
 }
+
+constexpr const char* kSimdOptions =
+    "threads=N (1 = no pool), map=float|compact:<stride>";
 
 std::unique_ptr<Backend> make_simd(BackendSpec& spec) {
   const int threads = spec.value_int("threads", -1);
-  spec.finish("threads=N (1 = no pool)");
-  if (threads < 0) return std::make_unique<SimdBackend>(&par::default_pool());
-  return std::make_unique<SimdBackend>(static_cast<unsigned>(threads));
+  auto backend =
+      threads < 0 ? std::make_unique<SimdBackend>(&par::default_pool())
+                  : std::make_unique<SimdBackend>(
+                        static_cast<unsigned>(threads));
+  apply_map_option(spec, *backend);
+  spec.finish(kSimdOptions);
+  return backend;
 }
 
 }  // namespace
@@ -194,19 +215,23 @@ std::unique_ptr<Backend> make_simd(BackendSpec& spec) {
 BackendRegistry::BackendRegistry() {
   // Core CPU kinds are registered here rather than via static objects so
   // they exist the moment anyone reaches the registry.
-  add("serial", "single-thread whole-frame",
+  add("serial", "single-thread whole-frame; map=float|packed|compact:<stride>",
       [](BackendSpec& spec) -> std::unique_ptr<Backend> {
-        spec.finish("no options");
-        return std::make_unique<SerialBackend>();
+        auto backend = std::make_unique<SerialBackend>();
+        apply_map_option(spec, *backend);
+        spec.finish("map=float|packed|compact:<stride>");
+        return backend;
       });
   add("pool", kPoolOptions, make_pool);
-  add("simd", "threads=N (1 = no pool)", make_simd);
+  add("simd", kSimdOptions, make_simd);
 #ifdef _OPENMP
-  add("openmp", "threads=N",
+  add("openmp", "threads=N, map=float|packed|compact:<stride>",
       [](BackendSpec& spec) -> std::unique_ptr<Backend> {
         const int threads = spec.value_int("threads", 0);
-        spec.finish("threads=N");
-        return std::make_unique<OpenMpBackend>(threads);
+        auto backend = std::make_unique<OpenMpBackend>(threads);
+        apply_map_option(spec, *backend);
+        spec.finish("threads=N, map=float|packed|compact:<stride>");
+        return backend;
       });
 #endif
 }

@@ -139,6 +139,12 @@ class BackendRegistry {
   std::vector<std::pair<std::string, Entry>> entries_;  ///< sorted by kind
 };
 
+/// Consume the spec's `map=` option (if present) into `backend`'s map
+/// choice. Shared by every factory whose kind supports representation
+/// conversion; throws InvalidArgument naming the offending token for
+/// unknown map formats or bad strides.
+void apply_map_option(BackendSpec& spec, Backend& backend);
+
 /// Static-object helper for self-registering translation units.
 struct BackendRegistrar {
   BackendRegistrar(std::string kind, std::string summary,

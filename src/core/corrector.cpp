@@ -33,6 +33,11 @@ Corrector::Corrector(const CorrectorConfig& config) : config_(config) {
       packed_ = pack_map(*map_, config_.src_width, config_.src_height,
                          config_.frac_bits);
     }
+    if (config_.map_mode == MapMode::CompactLut) {
+      FE_EXPECTS(config_.remap.interp == Interp::Bilinear);
+      compact_ = compact_map(*map_, config_.src_width, config_.src_height,
+                             config_.compact_stride, config_.frac_bits);
+    }
   }
 }
 
@@ -49,6 +54,7 @@ ExecContext Corrector::make_context(img::ConstImageView<std::uint8_t> src,
   ctx.dst = dst;
   ctx.map = map_ ? &*map_ : nullptr;
   ctx.packed = packed_ ? &*packed_ : nullptr;
+  ctx.compact = compact_ ? &*compact_ : nullptr;
   ctx.camera = camera_.get();
   ctx.view = view_.get();
   ctx.opts = config_.remap;

@@ -37,8 +37,9 @@ struct CorrectorConfig {
   // --- kernel options ---
   RemapOptions remap;
   MapMode map_mode = MapMode::FloatLut;
-  int frac_bits = 14;      ///< PackedLut coordinate precision
-  bool fast_math = false;  ///< OnTheFly: polynomial atan instead of libm
+  int frac_bits = 14;       ///< PackedLut/CompactLut coordinate precision
+  int compact_stride = 8;   ///< CompactLut grid pitch (power of two, <= 64)
+  bool fast_math = false;   ///< OnTheFly: polynomial atan instead of libm
 };
 
 class Corrector {
@@ -96,6 +97,9 @@ class Corrector {
   [[nodiscard]] const PackedMap* packed() const noexcept {
     return packed_ ? &*packed_ : nullptr;
   }
+  [[nodiscard]] const CompactMap* compact() const noexcept {
+    return compact_ ? &*compact_ : nullptr;
+  }
 
   /// Builder with the defaults spelled out.
   class Builder;
@@ -107,6 +111,7 @@ class Corrector {
   std::unique_ptr<PerspectiveView> view_;
   std::optional<WarpMap> map_;
   std::optional<PackedMap> packed_;
+  std::optional<CompactMap> compact_;
 };
 
 class Corrector::Builder {
@@ -148,6 +153,10 @@ class Corrector::Builder {
   }
   Builder& frac_bits(int bits) {
     config_.frac_bits = bits;
+    return *this;
+  }
+  Builder& compact_stride(int stride) {
+    config_.compact_stride = stride;
     return *this;
   }
   Builder& fast_math(bool on) {

@@ -34,12 +34,27 @@ PlanKey plan_key(const ExecContext& ctx, std::string backend_name) {
       k.map_width = ctx.packed->width;
       k.map_height = ctx.packed->height;
       break;
+    case MapMode::CompactLut:
+      FE_EXPECTS(ctx.compact != nullptr);
+      k.map = ctx.compact;
+      k.map_generation = ctx.compact->generation;
+      k.map_width = ctx.compact->width;
+      k.map_height = ctx.compact->height;
+      k.map_stride = ctx.compact->stride;
+      break;
     case MapMode::OnTheFly:
       k.camera = ctx.camera;
       k.view = ctx.view;
       break;
   }
   return k;
+}
+
+ExecContext ConvertedMap::apply(ExecContext ctx) const noexcept {
+  ctx.mode = mode;
+  if (packed) ctx.packed = &*packed;
+  if (compact) ctx.compact = &*compact;
+  return ctx;
 }
 
 std::size_t estimate_bytes_in(const ExecContext& ctx) noexcept {
@@ -50,6 +65,11 @@ std::size_t estimate_bytes_in(const ExecContext& ctx) noexcept {
   switch (ctx.mode) {
     case MapMode::FloatLut: lut = px * 2 * sizeof(float); break;
     case MapMode::PackedLut: lut = px * 2 * sizeof(std::int32_t); break;
+    case MapMode::CompactLut:
+      // The whole grid is streamed once per frame, not 8 bytes per pixel —
+      // the bandwidth win the compact representation exists for.
+      lut = ctx.compact != nullptr ? ctx.compact->bytes() : 0;
+      break;
     case MapMode::OnTheFly: lut = 0; break;
   }
   // Bilinear reads up to four taps per pixel per channel; nearest one.
@@ -97,6 +117,12 @@ bool ExecutionPlan::matches(const ExecContext& ctx,
              key_.map_generation == ctx.packed->generation &&
              key_.map_width == ctx.packed->width &&
              key_.map_height == ctx.packed->height;
+    case MapMode::CompactLut:
+      return ctx.compact != nullptr && key_.map == ctx.compact &&
+             key_.map_generation == ctx.compact->generation &&
+             key_.map_width == ctx.compact->width &&
+             key_.map_height == ctx.compact->height &&
+             key_.map_stride == ctx.compact->stride;
     case MapMode::OnTheFly:
       return key_.camera == ctx.camera && key_.view == ctx.view;
   }

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,15 +40,18 @@ class ViewProjection;
 
 /// How source coordinates are obtained per output pixel.
 enum class MapMode {
-  FloatLut,   ///< precomputed float WarpMap
-  PackedLut,  ///< precomputed fixed-point PackedMap (bilinear only)
-  OnTheFly,   ///< recomputed per pixel from camera + view
+  FloatLut,    ///< precomputed float WarpMap
+  PackedLut,   ///< precomputed fixed-point PackedMap (bilinear only)
+  CompactLut,  ///< block-subsampled CompactMap, reconstructed per pixel
+               ///< (bilinear only)
+  OnTheFly,    ///< recomputed per pixel from camera + view
 };
 
 [[nodiscard]] constexpr const char* map_mode_name(MapMode m) noexcept {
   switch (m) {
     case MapMode::FloatLut: return "float-lut";
     case MapMode::PackedLut: return "packed-lut";
+    case MapMode::CompactLut: return "compact-lut";
     case MapMode::OnTheFly: return "on-the-fly";
   }
   return "?";
@@ -55,18 +59,33 @@ enum class MapMode {
 
 /// Everything a backend needs to produce one output frame. Pointers are
 /// non-owning and valid for the duration of execute(); which of map/packed/
-/// camera+view are non-null depends on `mode`. For planning, the image
-/// views may carry null data pointers — only their geometry is read.
+/// compact/camera+view are non-null depends on `mode`. For planning, the
+/// image views may carry null data pointers — only their geometry is read.
 struct ExecContext {
   img::ConstImageView<std::uint8_t> src;
   img::ImageView<std::uint8_t> dst;
   const WarpMap* map = nullptr;
   const PackedMap* packed = nullptr;
+  const CompactMap* compact = nullptr;
   const FisheyeCamera* camera = nullptr;
   const ViewProjection* view = nullptr;
   RemapOptions opts;
   MapMode mode = MapMode::FloatLut;
   bool fast_math = false;
+};
+
+/// Map representation selected by a backend spec's `map=` option, built
+/// from the context's full-resolution WarpMap at plan time and carried by
+/// the plan so steady-state frames execute against it. A ConvertedMap with
+/// no storage (mode only) rewrites the context to an already-present
+/// representation (e.g. map=float on a packed-mode corrector).
+struct ConvertedMap {
+  MapMode mode = MapMode::FloatLut;
+  std::optional<PackedMap> packed;
+  std::optional<CompactMap> compact;
+
+  /// `ctx` with mode and map pointers rewritten to this representation.
+  [[nodiscard]] ExecContext apply(ExecContext ctx) const noexcept;
 };
 
 /// Everything that, when changed, invalidates a plan.
@@ -79,11 +98,14 @@ struct PlanKey {
   img::BorderMode border = img::BorderMode::Constant;
   std::uint8_t fill = 0;
   bool fast_math = false;
-  /// Map identity: address + generation + dims (WarpMap or PackedMap,
-  /// per mode); generation defeats address recycling.
+  /// Map identity: address + generation + dims (WarpMap, PackedMap or
+  /// CompactMap, per mode); generation defeats address recycling.
   const void* map = nullptr;
   std::uint64_t map_generation = 0;
   int map_width = 0, map_height = 0;
+  /// Grid pitch for CompactLut (0 otherwise): plans built for different
+  /// subsampling strides are never interchangeable.
+  int map_stride = 0;
   /// OnTheFly identity (camera/view live for the corrector's lifetime).
   const void* camera = nullptr;
   const void* view = nullptr;
@@ -152,10 +174,20 @@ class ExecutionPlan {
   /// Uniform per-tile summary of the most recently executed frame.
   [[nodiscard]] rt::TileStats tile_stats() const;
 
+  /// Spec-selected map representation (map= option), or null when the plan
+  /// executes the context's own representation.
+  [[nodiscard]] const ConvertedMap* converted() const noexcept {
+    return converted_.get();
+  }
+  void set_converted(std::shared_ptr<const ConvertedMap> c) noexcept {
+    converted_ = std::move(c);
+  }
+
  private:
   PlanKey key_;
   std::vector<par::Rect> tiles_;
   std::shared_ptr<void> state_;
+  std::shared_ptr<const ConvertedMap> converted_;
   std::shared_ptr<PlanInstrumentation> inst_;
 };
 

@@ -117,6 +117,65 @@ std::string encode_map(const PackedMap& map) {
   return finish(std::move(out), payload_off);
 }
 
+std::string encode_map(const CompactMap& map) {
+  FE_EXPECTS(map.width > 0 && map.height > 0);
+  FE_EXPECTS(map.grid_w > 0 && map.grid_h > 0);
+  std::string out(kMagic, kMagicLen);
+  put<std::uint8_t>(out, 2);
+  const std::size_t payload_off = out.size();
+  put<std::int32_t>(out, map.width);
+  put<std::int32_t>(out, map.height);
+  put<std::int32_t>(out, map.stride);
+  put<std::int32_t>(out, map.frac_bits);
+  put<std::int32_t>(out, map.src_width);
+  put<std::int32_t>(out, map.src_height);
+  put<float>(out, map.max_error);
+  put<float>(out, map.mean_error);
+  out.append(reinterpret_cast<const char*>(map.gx.data()),
+             map.gx.size() * sizeof(std::int32_t));
+  out.append(reinterpret_cast<const char*>(map.gy.data()),
+             map.gy.size() * sizeof(std::int32_t));
+  return finish(std::move(out), payload_off);
+}
+
+CompactMap decode_compact_map(const std::string& bytes) {
+  std::size_t off = open_envelope(bytes, 2);
+  const auto w = get<std::int32_t>(bytes, off);
+  const auto h = get<std::int32_t>(bytes, off);
+  const auto stride = get<std::int32_t>(bytes, off);
+  const auto frac = get<std::int32_t>(bytes, off);
+  const auto src_w = get<std::int32_t>(bytes, off);
+  const auto src_h = get<std::int32_t>(bytes, off);
+  const auto max_error = get<float>(bytes, off);
+  const auto mean_error = get<float>(bytes, off);
+  check_dims(w, h);
+  check_dims(src_w, src_h);
+  if (stride < 1 || stride > 64 || (stride & (stride - 1)) != 0)
+    throw IoError("map: bad compact stride");
+  if (frac < 1 || frac > 16) throw IoError("map: bad frac_bits");
+  CompactMap map;
+  map.width = w;
+  map.height = h;
+  map.stride = stride;
+  map.frac_bits = frac;
+  map.src_width = src_w;
+  map.src_height = src_h;
+  map.max_error = max_error;
+  map.mean_error = mean_error;
+  map.grid_w = (w - 1) / stride + 2;
+  map.grid_h = (h - 1) / stride + 2;
+  const std::size_t n =
+      static_cast<std::size_t>(map.grid_w) * static_cast<std::size_t>(map.grid_h);
+  if (off + 2 * n * sizeof(std::int32_t) + 8 != bytes.size())
+    throw IoError("map: size mismatch");
+  map.gx.resize(n);
+  map.gy.resize(n);
+  std::memcpy(map.gx.data(), bytes.data() + off, n * sizeof(std::int32_t));
+  off += n * sizeof(std::int32_t);
+  std::memcpy(map.gy.data(), bytes.data() + off, n * sizeof(std::int32_t));
+  return map;
+}
+
 WarpMap decode_map(const std::string& bytes) {
   std::size_t off = open_envelope(bytes, 0);
   const auto w = get<std::int32_t>(bytes, off);
@@ -164,6 +223,14 @@ void save_map(const std::string& path, const WarpMap& map) {
 
 void save_map(const std::string& path, const PackedMap& map) {
   write_file(path, encode_map(map));
+}
+
+void save_map(const std::string& path, const CompactMap& map) {
+  write_file(path, encode_map(map));
+}
+
+CompactMap load_compact_map(const std::string& path) {
+  return decode_compact_map(read_file(path));
 }
 
 WarpMap load_map(const std::string& path) {

@@ -4,10 +4,13 @@
 // load it at startup — embedded targets often cannot afford the double-
 // precision trigonometry at all. Simple self-describing little-endian
 // binary format:
-//   magic "FEMAP1\n" | kind u8 (0 float, 1 packed) | w i32 | h i32 |
-//   frac_bits i32 (packed only) | payload
-// Payload: float maps store src_x then src_y as f32; packed maps store fx
-// then fy as i32. A trailing FNV-1a checksum of the payload guards against
+//   magic "FEMAP1\n" | kind u8 (0 float, 1 packed, 2 compact) | w i32 |
+//   h i32 | kind-specific fields | payload
+// Payload: float maps store src_x then src_y as f32; packed maps add
+// frac_bits i32 and store fx then fy as i32; compact maps add stride i32,
+// frac_bits i32, src_w i32, src_h i32, max_error f32, mean_error f32 and
+// store the grid gx then gy as i32 (grid dimensions derive from w/h and
+// stride). A trailing FNV-1a checksum of the payload guards against
 // truncation and bit rot.
 #pragma once
 
@@ -19,15 +22,19 @@ namespace fisheye::core {
 
 void save_map(const std::string& path, const WarpMap& map);
 void save_map(const std::string& path, const PackedMap& map);
+void save_map(const std::string& path, const CompactMap& map);
 
 /// Throws IoError on missing/corrupt/wrong-kind files.
 WarpMap load_map(const std::string& path);
 PackedMap load_packed_map(const std::string& path);
+CompactMap load_compact_map(const std::string& path);
 
 /// In-memory forms (used by tests and any transport other than files).
 std::string encode_map(const WarpMap& map);
 std::string encode_map(const PackedMap& map);
+std::string encode_map(const CompactMap& map);
 WarpMap decode_map(const std::string& bytes);
 PackedMap decode_packed_map(const std::string& bytes);
+CompactMap decode_compact_map(const std::string& bytes);
 
 }  // namespace fisheye::core

@@ -137,6 +137,89 @@ PackedMap pack_map(const WarpMap& map, int src_width, int src_height,
   return packed;
 }
 
+namespace {
+
+// Map value at (px, py) for grid building, clamped to the coordinate
+// saturation range. Positions up to one stride past the image edge are
+// linearly extrapolated from the last in-range sample and its neighbour,
+// so the trailing grid line continues the warp instead of flattening it.
+double sample_extrapolated(const WarpMap& map, const std::vector<float>& v,
+                           int px, int py) {
+  const auto clamped = [](double x) {
+    return util::clamp(x, -CompactMap::kCoordLimitPx,
+                       CompactMap::kCoordLimitPx);
+  };
+  const int cx = std::min(px, map.width - 1);
+  const int cy = std::min(py, map.height - 1);
+  double val = clamped(v[map.index(cx, cy)]);
+  if (px > cx && map.width > 1)
+    val += (px - cx) *
+           (clamped(v[map.index(cx, cy)]) - clamped(v[map.index(cx - 1, cy)]));
+  if (py > cy && map.height > 1)
+    val += (py - cy) *
+           (clamped(v[map.index(cx, cy)]) - clamped(v[map.index(cx, cy - 1)]));
+  return clamped(val);
+}
+
+}  // namespace
+
+CompactMap compact_map(const WarpMap& map, int src_width, int src_height,
+                       int stride, int frac_bits) {
+  FE_EXPECTS(src_width > 0 && src_height > 0);
+  FE_EXPECTS(stride >= 1 && stride <= 64 && (stride & (stride - 1)) == 0);
+  // frac_bits is capped at 16 (not pack_map's 22) so saturated coordinates
+  // still fit int32: kCoordLimitPx << 16 < 2^31.
+  FE_EXPECTS(frac_bits >= 1 && frac_bits <= 16);
+  CompactMap cm;
+  cm.width = map.width;
+  cm.height = map.height;
+  cm.stride = stride;
+  cm.frac_bits = frac_bits;
+  cm.grid_w = (map.width - 1) / stride + 2;
+  cm.grid_h = (map.height - 1) / stride + 2;
+  cm.src_width = src_width;
+  cm.src_height = src_height;
+  cm.gx.resize(static_cast<std::size_t>(cm.grid_w) * cm.grid_h);
+  cm.gy.resize(cm.gx.size());
+
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  for (int cy = 0; cy < cm.grid_h; ++cy) {
+    for (int cx = 0; cx < cm.grid_w; ++cx) {
+      const int px = cx * stride;
+      const int py = cy * stride;
+      cm.gx[cm.index(cx, cy)] = static_cast<std::int32_t>(
+          std::lround(sample_extrapolated(map, map.src_x, px, py) * scale));
+      cm.gy[cm.index(cx, cy)] = static_cast<std::int32_t>(
+          std::lround(sample_extrapolated(map, map.src_y, px, py) * scale));
+    }
+  }
+
+  // Measure reconstruction error over source-valid pixels (pack_map's
+  // validity rule); per-pixel error is the worse of the two axes.
+  double max_err = 0.0, sum_err = 0.0;
+  std::size_t valid = 0;
+  for (int y = 0; y < map.height; ++y) {
+    for (int x = 0; x < map.width; ++x) {
+      const double sx = map.src_x[map.index(x, y)];
+      const double sy = map.src_y[map.index(x, y)];
+      if (sx <= -1.0 || sy <= -1.0 || sx >= static_cast<double>(src_width) ||
+          sy >= static_cast<double>(src_height))
+        continue;
+      const CompactEntry e = reconstruct_entry(cm, x, y);
+      const double err = std::max(std::abs(e.fx / scale - sx),
+                                  std::abs(e.fy / scale - sy));
+      max_err = std::max(max_err, err);
+      sum_err += err;
+      ++valid;
+    }
+  }
+  cm.max_error = static_cast<float>(max_err);
+  cm.mean_error =
+      valid > 0 ? static_cast<float>(sum_err / static_cast<double>(valid))
+                : 0.0f;
+  return cm;
+}
+
 par::Rect source_bbox(const WarpMap& map, par::Rect r, int src_width,
                       int src_height) {
   FE_EXPECTS(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= map.width &&
@@ -180,6 +263,58 @@ double valid_fraction(const WarpMap& map, int src_width, int src_height) {
         sy < static_cast<float>(src_height))
       ++valid;
   }
+  return static_cast<double>(valid) / static_cast<double>(map.pixel_count());
+}
+
+par::Rect source_bbox(const CompactMap& map, par::Rect r) {
+  FE_EXPECTS(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= map.width &&
+             r.y1 <= map.height);
+  if (r.empty()) return {};
+  // Reconstruction is a convex combination (plus <=1 fixed-point quantum of
+  // rounding) of the grid entries adjacent to the rect, so the entry range
+  // bounds every reconstructed coordinate — no per-pixel pass needed.
+  const int shift = map.shift();
+  const int cx0 = r.x0 >> shift, cx1 = ((r.x1 - 1) >> shift) + 1;
+  const int cy0 = r.y0 >> shift, cy1 = ((r.y1 - 1) >> shift) + 1;
+  std::int32_t min_gx = std::numeric_limits<std::int32_t>::max();
+  std::int32_t min_gy = min_gx;
+  std::int32_t max_gx = std::numeric_limits<std::int32_t>::min();
+  std::int32_t max_gy = max_gx;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const std::size_t i = map.index(cx, cy);
+      min_gx = std::min(min_gx, map.gx[i]);
+      max_gx = std::max(max_gx, map.gx[i]);
+      min_gy = std::min(min_gy, map.gy[i]);
+      max_gy = std::max(max_gy, map.gy[i]);
+    }
+  }
+  const double scale = static_cast<double>(std::int64_t{1} << map.frac_bits);
+  const double min_x = (min_gx - 1) / scale, max_x = (max_gx + 1) / scale;
+  const double min_y = (min_gy - 1) / scale, max_y = (max_gy + 1) / scale;
+  // Entirely outside on either axis => no pixel can reconstruct as valid.
+  if (max_x <= -1.0 || min_x >= static_cast<double>(map.src_width) ||
+      max_y <= -1.0 || min_y >= static_cast<double>(map.src_height))
+    return {};
+  // The kernel clamps valid coordinates into [0, dim-1] before sampling, so
+  // the window of touched source pixels is the clamped range's footprint.
+  par::Rect box;
+  box.x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+  box.y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  box.x1 = std::min(map.src_width,
+                    static_cast<int>(std::floor(
+                        std::min(max_x, map.src_width - 1.0))) + 2);
+  box.y1 = std::min(map.src_height,
+                    static_cast<int>(std::floor(
+                        std::min(max_y, map.src_height - 1.0))) + 2);
+  return box;
+}
+
+double valid_fraction(const CompactMap& map) {
+  std::size_t valid = 0;
+  for (int y = 0; y < map.height; ++y)
+    for (int x = 0; x < map.width; ++x)
+      if (compact_entry_valid(map, reconstruct_entry(map, x, y))) ++valid;
   return static_cast<double>(valid) / static_cast<double>(map.pixel_count());
 }
 

@@ -116,6 +116,97 @@ void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
   }
 }
 
+void remap_compact_rect_offset(img::ConstImageView<std::uint8_t> src,
+                               img::ImageView<std::uint8_t> dst,
+                               const CompactMap& map, par::Rect rect,
+                               int src_off_x, int src_off_y,
+                               std::uint8_t fill) {
+  FE_EXPECTS(src.channels == dst.channels);
+  FE_EXPECTS(map.width == dst.width && map.height == dst.height);
+  expect_rect_in(rect, dst.width, dst.height);
+
+  const int frac = map.frac_bits;
+  const int wshift = frac >= 8 ? frac - 8 : 0;
+  const int wscale_up = frac >= 8 ? 0 : 8 - frac;
+  const std::int32_t frac_mask = (std::int32_t{1} << frac) - 1;
+  const int ch = src.channels;
+
+  const int shift = map.shift();
+  const int smask = map.stride - 1;
+  const std::int64_t s = map.stride;
+  const int rshift = 2 * shift;
+  const std::int64_t half =
+      rshift > 0 ? (std::int64_t{1} << (rshift - 1)) : 0;
+  const std::int32_t one = std::int32_t{1} << frac;
+  const std::int32_t lim_x = static_cast<std::int32_t>(map.src_width) << frac;
+  const std::int32_t lim_y = static_cast<std::int32_t>(map.src_height) << frac;
+  const std::int32_t max_fx = lim_x - one;  // (src_width - 1) << frac
+  const std::int32_t max_fy = lim_y - one;
+
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    const std::int64_t ty = y & smask;
+    const std::size_t g0 = static_cast<std::size_t>(y >> shift) * map.grid_w;
+    const std::size_t g1 = g0 + map.grid_w;
+    std::uint8_t* out_row = dst.row(y);
+    int x = rect.x0;
+    while (x < rect.x1) {
+      const int cx = x >> shift;
+      const int cell_end = std::min(rect.x1, (cx + 1) << shift);
+      // Vertically interpolate the cell's two grid columns (scaled by
+      // stride), then walk the row incrementally: each pixel is one add.
+      const std::int64_t lx = map.gx[g0 + cx] * (s - ty) + map.gx[g1 + cx] * ty;
+      const std::int64_t rx =
+          map.gx[g0 + cx + 1] * (s - ty) + map.gx[g1 + cx + 1] * ty;
+      const std::int64_t ly = map.gy[g0 + cx] * (s - ty) + map.gy[g1 + cx] * ty;
+      const std::int64_t ry =
+          map.gy[g0 + cx + 1] * (s - ty) + map.gy[g1 + cx + 1] * ty;
+      const std::int64_t step_x = rx - lx;
+      const std::int64_t step_y = ry - ly;
+      std::int64_t acc_x = lx * s + (x & smask) * step_x;
+      std::int64_t acc_y = ly * s + (x & smask) * step_y;
+      for (; x < cell_end; ++x, acc_x += step_x, acc_y += step_y) {
+        std::int32_t fx = static_cast<std::int32_t>((acc_x + half) >> rshift);
+        std::int32_t fy = static_cast<std::int32_t>((acc_y + half) >> rshift);
+        std::uint8_t* out = out_row + static_cast<std::size_t>(x) * ch;
+        if (fx <= -one || fy <= -one || fx >= lim_x || fy >= lim_y) {
+          for (int c = 0; c < ch; ++c) out[c] = fill;
+          continue;
+        }
+        // Clamp into the sampling footprint, as pack_map does at build.
+        fx = fx < 0 ? 0 : (fx > max_fx ? max_fx : fx);
+        fy = fy < 0 ? 0 : (fy > max_fy ? max_fy : fy);
+        const int x0 = fx >> frac;
+        const int y0 = fy >> frac;
+        const int ax = ((fx & frac_mask) >> wshift) << wscale_up;  // 0..256
+        const int ay = ((fy & frac_mask) >> wshift) << wscale_up;
+        const int x1 = x0 + 1 < map.src_width ? x0 + 1 : x0;
+        const int y1 = y0 + 1 < map.src_height ? y0 + 1 : y0;
+        const std::uint8_t* r0 = src.row(y0 - src_off_y);
+        const std::uint8_t* r1 = src.row(y1 - src_off_y);
+        const int lx0 = (x0 - src_off_x) * ch;
+        const int lx1 = (x1 - src_off_x) * ch;
+        const int w00 = (256 - ax) * (256 - ay);
+        const int w10 = ax * (256 - ay);
+        const int w01 = (256 - ax) * ay;
+        const int w11 = ax * ay;
+        for (int c = 0; c < ch; ++c) {
+          const int v = w00 * r0[lx0 + c] + w10 * r0[lx1 + c] +
+                        w01 * r1[lx0 + c] + w11 * r1[lx1 + c];
+          out[c] = static_cast<std::uint8_t>((v + (1 << 15)) >> 16);
+        }
+      }
+    }
+  }
+}
+
+void remap_compact_rect(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const CompactMap& map, par::Rect rect,
+                        std::uint8_t fill) {
+  FE_EXPECTS(src.width == map.src_width && src.height == map.src_height);
+  remap_compact_rect_offset(src, dst, map, rect, 0, 0, fill);
+}
+
 namespace {
 
 /// Exact per-pixel inverse mapping (double precision, libm).

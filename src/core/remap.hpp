@@ -2,10 +2,14 @@
 // plus a warp description. These are the serial building blocks every
 // backend (CPU pool, SIMD, simulated accelerators) composes.
 //
-// Three strategies, matching the F3/F9 comparisons:
+// Four strategies, matching the F3/F9/F20 comparisons:
 //  * remap_rect         — float LUT (WarpMap) + any interpolation kernel.
 //  * remap_packed_rect  — fixed-point LUT (PackedMap), integer bilinear;
 //                         the hardware-datapath kernel.
+//  * remap_compact_rect — block-subsampled LUT (CompactMap): per-pixel
+//                         coordinates reconstructed by integer bilinear
+//                         interpolation of grid entries, then the same
+//                         integer sampling datapath as the packed kernel.
 //  * remap_otf_rect     — no LUT: source coordinates recomputed per pixel
 //                         from camera + view (trades FLOPs for bandwidth).
 #pragma once
@@ -51,6 +55,28 @@ void remap_rect_offset(img::ConstImageView<std::uint8_t> src,
 void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst, const PackedMap& map,
                        par::Rect rect, std::uint8_t fill);
+
+/// Compact-map remap: reconstructs each pixel's fixed-point source
+/// coordinate from the stride×stride grid (integer bilinear interpolation,
+/// incremental per row), re-tests it against the source bounds, then runs
+/// the packed kernel's 8-bit blending datapath. At stride == 1 the
+/// reconstruction is exact and the output matches remap_packed_rect.
+/// `src` must have the full source dimensions recorded in the map.
+void remap_compact_rect(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const CompactMap& map, par::Rect rect,
+                        std::uint8_t fill);
+
+/// Windowed variant for accelerator local stores: `src` is a copied
+/// sub-window of the real source whose top-left corner sits at
+/// (src_off_x, src_off_y) in full-frame coordinates. Validity and clamping
+/// still use the full-frame bounds; the window must cover the rect's
+/// source_bbox (it does when sized via source_bbox(CompactMap, rect)).
+void remap_compact_rect_offset(img::ConstImageView<std::uint8_t> src,
+                               img::ImageView<std::uint8_t> dst,
+                               const CompactMap& map, par::Rect rect,
+                               int src_off_x, int src_off_y,
+                               std::uint8_t fill);
 
 /// On-the-fly remap: recomputes the inverse mapping per pixel.
 /// `fast_math` swaps libm atan/sin for the polynomial approximations in

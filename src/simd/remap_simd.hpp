@@ -31,4 +31,18 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
                         const core::WarpMap& map, par::Rect rect,
                         std::uint8_t fill);
 
+/// Compact-map strip kernel, same two-pass scratch structure:
+///   pass 1 (vectorizable): reconstruct each pixel's fixed-point source
+///           coordinate from the stride grid, derive tap coordinates,
+///           validity and the 0..256 integer weights into SoA scratch;
+///   pass 2 (gather-bound): fetch taps and blend on the 8-bit integer
+///           datapath.
+/// Unlike the float kernel this one is bit-exact against its scalar
+/// counterpart (core::remap_compact_rect): both run identical integer
+/// arithmetic (tested property).
+void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const core::CompactMap& map, par::Rect rect,
+                       std::uint8_t fill);
+
 }  // namespace fisheye::simd

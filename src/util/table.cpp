@@ -92,8 +92,17 @@ std::string Table::to_csv() const {
   return os.str();
 }
 
+namespace {
+TablePrintListener g_print_listener = nullptr;
+}  // namespace
+
+void set_table_print_listener(TablePrintListener listener) noexcept {
+  g_print_listener = listener;
+}
+
 void Table::print(std::ostream& os, const std::string& title) const {
   os << "\n### " << title << "\n\n" << to_markdown() << '\n';
+  if (g_print_listener != nullptr) g_print_listener(*this, title);
 }
 
 }  // namespace fisheye::util

@@ -55,4 +55,12 @@ class Table {
 /// Format a double with `precision` digits after the point.
 std::string format_double(double v, int precision);
 
+/// Observer invoked by Table::print() after rendering, with the table and
+/// its title. Lets a harness mirror every printed table to a second sink
+/// (the bench --json writer) without touching call sites. One listener
+/// process-wide; null (the default) disables.
+using TablePrintListener = void (*)(const Table& table,
+                                    const std::string& title);
+void set_table_print_listener(TablePrintListener listener) noexcept;
+
 }  // namespace fisheye::util

@@ -60,6 +60,13 @@ TEST(BackendRegistry, SpecStringsRoundTripThroughName) {
       "fpga:clock=100,cache=16x8x32x2",
       "cluster",
       "cluster:ranks=8,net=ib,bcast",
+      // Map-format requests ride in the spec and so survive the round trip.
+      "serial:map=packed",
+      "pool:threads=2,map=compact:8",
+      "simd:map=compact:4",
+      "cell:spes=4,map=compact:16",
+      "fpga:map=compact:16",
+      "fpga:ddr=6,map=compact:8",
   };
   for (const char* spec : specs) {
     const auto backend = BackendRegistry::create(spec);
@@ -102,6 +109,68 @@ TEST(BackendRegistry, MalformedSpecsAreRejected) {
                InvalidArgument);
   EXPECT_THROW(BackendRegistry::create("cluster:net=token-ring"),
                InvalidArgument);
+}
+
+TEST(BackendRegistry, MapSpecErrorsNameTheOffendingToken) {
+  // Unknown map formats must say which token was wrong, not just "bad spec".
+  try {
+    BackendRegistry::create("pool:map=banana");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos)
+        << e.what();
+  }
+  // Bad strides: zero, non-power-of-two, out of range, not a number.
+  EXPECT_THROW(BackendRegistry::create("pool:map=compact:0"),
+               InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("pool:map=compact:3"),
+               InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("pool:map=compact:128"),
+               InvalidArgument);
+  EXPECT_THROW(BackendRegistry::create("pool:map=compact:x"),
+               InvalidArgument);
+  // The GPU backend models a texture-fetch datapath with no reconstruction
+  // stage: map= is not among its options and must be rejected as unknown.
+  EXPECT_THROW(BackendRegistry::create("gpu:map=compact:8"),
+               InvalidArgument);
+}
+
+TEST(BackendRegistry, CompactMapSpecsReproduceTheReference) {
+  const int w = 160, h = 120;
+  const img::Image8 src = fisheye_input(w, h);
+  const Corrector fcorr = Corrector::builder(w, h).build();
+
+  // stride 1 reconstructs exactly: every backend consuming map=compact:1
+  // must match the packed datapath bit for bit.
+  img::Image8 ref(w, h, 1);
+  const auto pref = BackendRegistry::create("serial:map=packed");
+  fcorr.correct(src.view(), ref.view(), *pref);
+  for (const char* spec :
+       {"serial:map=compact:1", "pool:threads=2,map=compact:1",
+        "simd:threads=1,map=compact:1", "cell:map=compact:1",
+        "fpga:map=compact:1"}) {
+    const auto backend = BackendRegistry::create(spec);
+    img::Image8 out(w, h, 1);
+    fcorr.correct(src.view(), out.view(), *backend);
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out.view()))
+        << spec;
+  }
+  // At stride 8 all consumers run the same integer reconstruction, so they
+  // agree with each other exactly even though they differ from the packed
+  // reference by the (bounded) reconstruction error.
+  img::Image8 c8(w, h, 1);
+  const auto s8 = BackendRegistry::create("serial:map=compact:8");
+  fcorr.correct(src.view(), c8.view(), *s8);
+  EXPECT_GT(img::psnr(ref.view(), c8.view()), 30.0);
+  for (const char* spec : {"pool:threads=2,map=compact:8",
+                           "simd:threads=2,map=compact:8",
+                           "cell:map=compact:8", "fpga:map=compact:8"}) {
+    const auto backend = BackendRegistry::create(spec);
+    img::Image8 out(w, h, 1);
+    fcorr.correct(src.view(), out.view(), *backend);
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(c8.view(), out.view()))
+        << spec;
+  }
 }
 
 // --- output equivalence -----------------------------------------------------

@@ -102,6 +102,30 @@ TEST(FpgaPlatform, MissPenaltyRaisesCycles) {
   EXPECT_GT(c1, c0);
 }
 
+TEST(FpgaPlatform, DdrBoundCapsThroughputAndCompactMapRecoversIt) {
+  const Env s(320, 240);
+  FpgaConfig bounded;
+  bounded.cost.ddr_bytes_per_cycle = 6.0;
+  img::Image8 out(320, 240, 1);
+  // The bound only ever slows a config down relative to idealized prefetch.
+  const AccelFrameStats ideal =
+      FpgaPlatform(s.packed, FpgaConfig{}).run_frame(s.src.view(),
+                                                     out.view(), 0);
+  const AccelFrameStats capped =
+      FpgaPlatform(s.packed, bounded).run_frame(s.src.view(), out.view(), 0);
+  EXPECT_GE(capped.cycles, ideal.cycles);
+  EXPECT_GE(capped.cycles,
+            static_cast<double>(capped.bytes_in + capped.bytes_out) / 6.0);
+  // Streaming the 8 B/px packed LUT dominates the port, so the BRAM-resident
+  // compact grid is faster behind the same bound.
+  const core::CompactMap cm = core::compact_map(s.map, 320, 240, 8);
+  FpgaPlatform compact_platform(cm, bounded);
+  ASSERT_TRUE(compact_platform.lut_on_chip());
+  const AccelFrameStats compact =
+      compact_platform.run_frame(s.src.view(), out.view(), 0);
+  EXPECT_GT(compact.fps, capped.fps);
+}
+
 TEST(FpgaPlatform, InvalidPixelsSkipCacheAccesses) {
   // The synthesis map of a 180-degree lens has invalid corners; those emit
   // fill without touching the cache.

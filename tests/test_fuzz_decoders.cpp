@@ -6,9 +6,13 @@
 
 #include <string>
 
+#include "core/map_io.hpp"
+#include "core/mapping.hpp"
+#include "core/projection.hpp"
 #include "image/io_bmp.hpp"
 #include "image/io_pnm.hpp"
 #include "image/synth.hpp"
+#include "util/mathx.hpp"
 #include "util/rng.hpp"
 
 namespace fisheye::img {
@@ -118,6 +122,84 @@ TEST(FuzzBmp, SingleByteMutationsOfValidFile) {
     expect_no_crash([](const std::string& b) { return decode_bmp(b); },
                     mutated);
   }
+}
+
+// Map decoders get the same treatment: every outcome on malformed input is
+// a decoded map or an IoError -- never a crash, hang, or giant allocation.
+void expect_map_no_crash(const std::string& bytes) {
+  try {
+    const core::CompactMap m = core::decode_compact_map(bytes);
+    EXPECT_GT(m.width, 0);
+    EXPECT_GT(m.height, 0);
+    EXPECT_EQ(m.gx.size(),
+              static_cast<std::size_t>(m.grid_w) * m.grid_h);
+  } catch (const IoError&) {
+    // expected for garbage
+  }
+}
+
+std::string valid_compact_bytes() {
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(180.0), 24, 18);
+  const core::PerspectiveView view(24, 18, cam.lens().focal());
+  return core::encode_map(
+      core::compact_map(core::build_map(cam, view), 24, 18, 4));
+}
+
+TEST(FuzzCompactMap, RandomByteSoup) {
+  util::Rng rng(301);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes(rng.next_below(512), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.next_below(256));
+    expect_map_no_crash(bytes);
+  }
+}
+
+TEST(FuzzCompactMap, SoupWithValidMagicAndKind) {
+  util::Rng rng(302);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = "FEMAP1\n";
+    bytes += '\x02';  // compact kind tag
+    const std::size_t len = rng.next_below(256);
+    for (std::size_t i = 0; i < len; ++i)
+      bytes += static_cast<char>(rng.next_below(256));
+    expect_map_no_crash(bytes);
+  }
+}
+
+TEST(FuzzCompactMap, TruncationsOfValidFile) {
+  const std::string valid = valid_compact_bytes();
+  for (std::size_t cut = 0; cut < valid.size(); cut += 3)
+    expect_map_no_crash(valid.substr(0, cut));
+}
+
+TEST(FuzzCompactMap, SingleByteMutationsOfValidFile) {
+  const std::string valid = valid_compact_bytes();
+  util::Rng rng(303);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    expect_map_no_crash(mutated);
+  }
+}
+
+TEST(FuzzCompactMap, HeaderDimensionBombsRejected) {
+  // A header claiming absurd dimensions must be rejected by the size checks
+  // before any allocation sized from it.
+  std::string bytes = "FEMAP1\n";
+  bytes += '\x02';
+  auto put_i32 = [&bytes](std::int32_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put_i32(1999999999);  // width
+  put_i32(1999999999);  // height
+  put_i32(8);           // stride
+  put_i32(14);          // frac_bits
+  put_i32(1999999999);  // src_width
+  put_i32(1999999999);  // src_height
+  bytes.append(8, '\0');  // error fields
+  expect_map_no_crash(bytes);
 }
 
 TEST(FuzzPnm, HeaderDimensionBombsRejected) {

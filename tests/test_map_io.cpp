@@ -43,6 +43,42 @@ TEST(MapIo, PackedRoundTripIsBitExact) {
   }
 }
 
+TEST(MapIo, CompactRoundTripIsBitExact) {
+  const WarpMap map = test_map();
+  const CompactMap cm = compact_map(map, 96, 64, 8, 12);
+  const CompactMap back = decode_compact_map(encode_map(cm));
+  ASSERT_EQ(back.width, cm.width);
+  ASSERT_EQ(back.height, cm.height);
+  ASSERT_EQ(back.stride, 8);
+  ASSERT_EQ(back.frac_bits, 12);
+  ASSERT_EQ(back.src_width, 96);
+  ASSERT_EQ(back.src_height, 64);
+  ASSERT_EQ(back.grid_w, cm.grid_w);
+  ASSERT_EQ(back.grid_h, cm.grid_h);
+  EXPECT_EQ(back.gx, cm.gx);
+  EXPECT_EQ(back.gy, cm.gy);
+  EXPECT_FLOAT_EQ(back.max_error, cm.max_error);
+  EXPECT_FLOAT_EQ(back.mean_error, cm.mean_error);
+}
+
+TEST(MapIo, CompactFileRoundTripDrivesRemapIdentically) {
+  const WarpMap map = test_map();
+  const CompactMap cm = compact_map(map, 96, 64, 8);
+  const std::string path = ::testing::TempDir() + "/fe_map_io_compact.femap";
+  save_map(path, cm);
+  const CompactMap loaded = load_compact_map(path);
+  std::remove(path.c_str());
+
+  fisheye::img::Image8 src(96, 64, 1);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 96; ++x)
+      src.at(x, y) = static_cast<std::uint8_t>((x * 7 + y * 13) & 0xFF);
+  fisheye::img::Image8 a(96, 64, 1), b(96, 64, 1);
+  remap_compact_rect(src.view(), a.view(), cm, {0, 0, 96, 64}, 0);
+  remap_compact_rect(src.view(), b.view(), loaded, {0, 0, 96, 64}, 0);
+  EXPECT_TRUE(fisheye::img::equal_pixels<std::uint8_t>(a.view(), b.view()));
+}
+
 TEST(MapIo, FileRoundTrip) {
   const WarpMap map = test_map(40, 30);
   const std::string path = ::testing::TempDir() + "/fe_map_io.femap";
@@ -58,8 +94,25 @@ TEST(MapIo, KindMismatchRejected) {
   const WarpMap map = test_map(16, 16);
   const std::string float_bytes = encode_map(map);
   EXPECT_THROW(decode_packed_map(float_bytes), fisheye::IoError);
+  EXPECT_THROW(decode_compact_map(float_bytes), fisheye::IoError);
   const std::string packed_bytes = encode_map(pack_map(map, 16, 16, 14));
   EXPECT_THROW(decode_map(packed_bytes), fisheye::IoError);
+  const std::string compact_bytes =
+      encode_map(compact_map(map, 16, 16, 4));
+  EXPECT_THROW(decode_map(compact_bytes), fisheye::IoError);
+  EXPECT_THROW(decode_packed_map(compact_bytes), fisheye::IoError);
+}
+
+TEST(MapIo, CompactCorruptionAndTruncationDetected) {
+  const CompactMap cm = compact_map(test_map(16, 16), 16, 16, 4);
+  std::string bytes = encode_map(cm);
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  EXPECT_THROW(decode_compact_map(flipped), fisheye::IoError);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{5}, bytes.size() / 2,
+                          bytes.size() - 1})
+    EXPECT_THROW(decode_compact_map(bytes.substr(0, cut)), fisheye::IoError)
+        << "cut=" << cut;
 }
 
 TEST(MapIo, CorruptionDetected) {
@@ -86,6 +139,25 @@ TEST(MapIo, FuzzRandomBytes) {
     for (char& c : bytes) c = static_cast<char>(rng.next_below(256));
     EXPECT_THROW(decode_map(bytes), fisheye::IoError);
     EXPECT_THROW(decode_packed_map(bytes), fisheye::IoError);
+    EXPECT_THROW(decode_compact_map(bytes), fisheye::IoError);
+  }
+}
+
+TEST(MapIo, FuzzMutationsOfValidCompactFile) {
+  const std::string valid = encode_map(compact_map(test_map(12, 10), 12, 10,
+                                                   4));
+  util::Rng rng(79);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    try {
+      const CompactMap m = decode_compact_map(mutated);
+      EXPECT_EQ(m.width, 12);
+      EXPECT_EQ(m.height, 10);
+    } catch (const fisheye::IoError&) {
+      // expected for nearly all mutations
+    }
   }
 }
 
