@@ -16,6 +16,7 @@ void record_modeled(const core::ExecutionPlan& plan,
   core::PlanInstrumentation& inst = plan.instrumentation();
   inst.bytes_in = stats.bytes_in;
   inst.bytes_out = stats.bytes_out;
+  inst.steals = stats.steals;  // Cell schedule=steal; zero elsewhere
   inst.modeled = true;
 }
 
@@ -93,6 +94,7 @@ std::string CellBackend::name() const {
       case TileSchedule::RoundRobin: spec.opt("schedule", "rr"); break;
       case TileSchedule::GreedyEft: spec.opt("schedule", "eft"); break;
       case TileSchedule::Lpt: spec.opt("schedule", "lpt"); break;
+      case TileSchedule::Steal: spec.opt("schedule", "steal"); break;
     }
   }
   emit_if(spec, "cpp", config_.cost.cycles_per_pixel,

@@ -34,9 +34,12 @@ std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
       c.schedule = TileSchedule::GreedyEft;
     } else if (*sched == "lpt") {
       c.schedule = TileSchedule::Lpt;
+    } else if (*sched == "steal") {
+      c.schedule = TileSchedule::Steal;
     } else {
       throw InvalidArgument("backend spec '" + spec.text() +
-                            "': schedule must be rr, eft, or lpt");
+                            "': unknown schedule '" + *sched +
+                            "' (valid: rr, eft, lpt, steal)");
     }
   }
   c.cost.cycles_per_pixel =
@@ -44,7 +47,7 @@ std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
   auto backend = std::make_unique<CellBackend>(c);
   core::apply_map_option(spec, *backend);
   spec.finish(
-      "spes=N, dbuf, sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt, "
+      "spes=N, dbuf, sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt|steal, "
       "cpp=CYCLES, map=float|compact:<stride>");
   return backend;
 }
@@ -84,8 +87,9 @@ std::unique_ptr<core::Backend> make_fpga(core::BackendSpec& spec) {
 }
 
 const core::BackendRegistrar register_cell{
-    "cell", "spes=N, dbuf|sbuf, tile=WxH, ls=BYTES, schedule=rr|eft|lpt, "
-            "cpp=CYCLES, map=float|compact:<stride>",
+    "cell", "spes=N, dbuf|sbuf, tile=WxH, ls=BYTES, "
+            "schedule=rr|eft|lpt|steal, cpp=CYCLES, "
+            "map=float|compact:<stride>",
     make_cell};
 const core::BackendRegistrar register_gpu{
     "gpu", "sms=N, clock=GHZ, tex=BWxBHxSETSxWAYS, block=N", make_gpu};

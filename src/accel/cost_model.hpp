@@ -80,6 +80,7 @@ struct AccelFrameStats {
   std::size_t bytes_out = 0;      ///< DMA/DDR bytes written
   std::size_t tiles = 0;          ///< tiles (Cell) or 1 (FPGA stream)
   std::size_t tile_splits = 0;    ///< tiles split to fit the local store
+  std::size_t steals = 0;         ///< Cell steal policy: steal operations
   double compute_cycles = 0.0;    ///< aggregate busy compute cycles
   double dma_cycles = 0.0;        ///< aggregate DMA occupancy cycles
   double utilization = 0.0;       ///< busiest-lane compute / total

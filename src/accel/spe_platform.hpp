@@ -38,6 +38,8 @@ enum class TileSchedule {
   RoundRobin,  ///< static cyclic assignment (no cost knowledge)
   GreedyEft,   ///< earliest-finish-time, tiles in raster order (work queue)
   Lpt,         ///< longest-processing-time-first: sort by cost, then EFT
+  Steal,       ///< per-SPE runs of Morton-ordered tiles; idle SPEs steal
+               ///< the tail half of the most loaded SPE's remaining run
 };
 
 [[nodiscard]] constexpr const char* tile_schedule_name(TileSchedule s) noexcept {
@@ -45,6 +47,7 @@ enum class TileSchedule {
     case TileSchedule::RoundRobin: return "round-robin";
     case TileSchedule::GreedyEft: return "greedy-eft";
     case TileSchedule::Lpt: return "lpt";
+    case TileSchedule::Steal: return "steal";
   }
   return "?";
 }

@@ -1,8 +1,12 @@
 #include "core/backend.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "core/tile_order.hpp"
+#include "parallel/work_stealing.hpp"
 #include "runtime/timer.hpp"
 #include "simd/remap_simd.hpp"
 #include "util/error.hpp"
@@ -22,6 +26,28 @@ void record_bytes(const ExecutionPlan& plan, const ExecContext& ctx) {
   inst.bytes_in = estimate_bytes_in(ctx);
   inst.bytes_out = estimate_bytes_out(ctx);
   inst.modeled = false;
+}
+
+/// Plan state for schedule=steal. The plan's tile vector is already stored
+/// in Morton order of the tiles' source-bbox centroids, so `order` is the
+/// identity permutation over it; `runs` are the per-worker initial deque
+/// runs, balanced by tile area (see par::balanced_runs).
+struct StealPlanState {
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> runs;
+};
+
+/// Build steal-schedule plan state over `tiles` for a team of `workers`.
+std::shared_ptr<StealPlanState> make_steal_state(
+    const std::vector<par::Rect>& tiles, unsigned workers) {
+  auto st = std::make_shared<StealPlanState>();
+  st->order.resize(tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    st->order[i] = static_cast<std::uint32_t>(i);
+  st->runs = par::balanced_runs(tiles.size(), workers, [&](std::size_t i) {
+    return static_cast<double>(tiles[i].area());
+  });
+  return st;
 }
 
 }  // namespace
@@ -70,6 +96,15 @@ MapChoice MapChoice::parse(const std::string& value) {
   }
   throw InvalidArgument("map=: unknown map format '" + value +
                         "' (valid: float, packed, compact:<stride>)");
+}
+
+par::Schedule ScheduleChoice::parse(const std::string& value) {
+  if (value == "static") return par::Schedule::Static;
+  if (value == "dynamic") return par::Schedule::Dynamic;
+  if (value == "guided") return par::Schedule::Guided;
+  if (value == "steal") return par::Schedule::Steal;
+  throw InvalidArgument("schedule=: unknown schedule '" + value +
+                        "' (valid: static, dynamic, guided, steal)");
 }
 
 ExecutionPlan Backend::plan(const ExecContext& ctx) {
@@ -221,14 +256,22 @@ std::string PoolBackend::name() const {
 
 ExecutionPlan PoolBackend::plan(const ExecContext& ctx) {
   std::shared_ptr<const ConvertedMap> converted;
-  (void)resolve_map(ctx, converted);
+  const ExecContext ectx = resolve_map(ctx, converted);
   int chunks = options_.chunks;
   if (chunks == 0) chunks = static_cast<int>(pool_.size()) * 4;
-  ExecutionPlan p = make_plan(ctx, par::partition(ctx.dst.width,
-                                                  ctx.dst.height,
-                                                  options_.partition, chunks,
-                                                  options_.tile_w,
-                                                  options_.tile_h));
+  std::vector<par::Rect> tiles =
+      par::partition(ctx.dst.width, ctx.dst.height, options_.partition,
+                     chunks, options_.tile_w, options_.tile_h);
+  std::shared_ptr<void> state;
+  if (options_.schedule == par::Schedule::Steal) {
+    // Reorder the partition by source locality once, at plan time, and
+    // pre-split it into the workers' initial deque runs. The effective
+    // (post map=) context supplies the source boxes — it is what execute()
+    // will actually gather from.
+    tiles = order_tiles_by_source_locality(ectx, std::move(tiles));
+    state = make_steal_state(tiles, pool_.size());
+  }
+  ExecutionPlan p = make_plan(ctx, std::move(tiles), std::move(state));
   p.set_converted(std::move(converted));
   return p;
 }
@@ -238,6 +281,28 @@ void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
   const ExecContext ectx = effective(plan, ctx);
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
+  if (options_.schedule == par::Schedule::Steal) {
+    const StealPlanState* st = plan.state<StealPlanState>();
+    FE_EXPECTS(st != nullptr);
+    if (!steal_) steal_ = std::make_unique<par::WorkStealingPool>(pool_);
+    par::detail::ErrorSlot errors;
+    const par::StealStats ss = steal_->run_ordered(
+        st->order.data(), st->order.size(), st->runs, [&](std::size_t i) {
+          try {
+            const rt::Stopwatch sw;
+            execute_rect(ectx, plan.tiles()[i]);
+            inst.tile_seconds[i] = sw.elapsed_seconds();
+          } catch (...) {
+            errors.capture();
+          }
+        });
+    inst.local_tiles = ss.local;
+    inst.stolen_tiles = ss.stolen;
+    inst.steals = ss.steals;
+    record_bytes(plan, ectx);
+    errors.rethrow_if_set();
+    return;
+  }
   par::parallel_for_each(
       pool_, plan.tiles().size(),
       [&](std::size_t i) {
@@ -307,22 +372,48 @@ void SimdBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
 
 #ifdef _OPENMP
 std::string OpenMpBackend::name() const {
-  if (threads_ <= 0) return decorate_spec("openmp");
   std::ostringstream os;
-  os << "openmp:threads=" << threads_;
+  os << "openmp";
+  char sep = ':';
+  if (threads_ > 0) {
+    os << sep << "threads=" << threads_;
+    sep = ',';
+  }
+  if (schedule_ != par::Schedule::Static)
+    os << sep << "schedule=" << par::schedule_name(schedule_);
   return decorate_spec(os.str());
 }
 
 ExecutionPlan OpenMpBackend::plan(const ExecContext& ctx) {
   std::shared_ptr<const ConvertedMap> converted;
-  (void)resolve_map(ctx, converted);
-  // One contiguous row block per thread, mirroring schedule(static) over
-  // rows; planned once instead of re-derived by the OpenMP runtime.
+  const ExecContext ectx = resolve_map(ctx, converted);
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
-  ExecutionPlan p = make_plan(ctx, par::partition(ctx.dst.width,
-                                                  ctx.dst.height,
-                                                  par::PartitionKind::RowBlocks,
-                                                  threads));
+  std::vector<par::Rect> tiles;
+  std::shared_ptr<void> state;
+  switch (schedule_) {
+    case par::Schedule::Static:
+      // One contiguous row block per thread, mirroring schedule(static)
+      // over rows; planned once instead of re-derived by the OpenMP
+      // runtime.
+      tiles = par::partition(ctx.dst.width, ctx.dst.height,
+                             par::PartitionKind::RowBlocks, threads);
+      break;
+    case par::Schedule::Dynamic:
+    case par::Schedule::Guided:
+      // Finer row blocks so the OpenMP runtime has slack to balance with.
+      tiles = par::partition(ctx.dst.width, ctx.dst.height,
+                             par::PartitionKind::RowBlocks, threads * 4);
+      break;
+    case par::Schedule::Steal:
+      // Square tiles in source-locality order, split into the team's
+      // initial deque runs — same planning as PoolBackend's steal path.
+      tiles = order_tiles_by_source_locality(
+          ectx, par::partition(ctx.dst.width, ctx.dst.height,
+                               par::PartitionKind::Tiles, 0, 64, 64));
+      state = make_steal_state(tiles, static_cast<unsigned>(threads));
+      break;
+  }
+  ExecutionPlan p = make_plan(ctx, std::move(tiles), std::move(state));
   p.set_converted(std::move(converted));
   return p;
 }
@@ -335,11 +426,68 @@ void OpenMpBackend::execute(const ExecutionPlan& plan,
   inst.begin_frame(plan.tiles().size());
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
   const int n = static_cast<int>(plan.tiles().size());
-#pragma omp parallel for schedule(static) num_threads(threads)
-  for (int i = 0; i < n; ++i) {
+  if (schedule_ == par::Schedule::Steal) {
+    const StealPlanState* st = plan.state<StealPlanState>();
+    FE_EXPECTS(st != nullptr);
+    const unsigned team = static_cast<unsigned>(threads);
+    if (!steal_ || steal_->workers() != team)
+      steal_ = std::make_unique<par::StealScheduler>(team);
+    // Runs were planned for `team` workers; if the OpenMP max-thread count
+    // moved under a threads-unspecified spec since planning, resplit.
+    const std::vector<std::size_t>* runs = &st->runs;
+    std::vector<std::size_t> resplit;
+    if (st->runs.size() != static_cast<std::size_t>(team) + 1) {
+      resplit = par::balanced_runs(plan.tiles().size(), team,
+                                   [&](std::size_t i) {
+                                     return static_cast<double>(
+                                         plan.tiles()[i].area());
+                                   });
+      runs = &resplit;
+    }
+    steal_->begin_frame(st->order.data(), st->order.size(), *runs);
+    par::detail::ErrorSlot errors;
+#pragma omp parallel num_threads(threads)
+    {
+      steal_->work(static_cast<unsigned>(omp_get_thread_num()),
+                   [&](std::size_t i) {
+                     try {
+                       const rt::Stopwatch sw;
+                       execute_rect(ectx, plan.tiles()[i]);
+                       inst.tile_seconds[i] = sw.elapsed_seconds();
+                     } catch (...) {
+                       errors.capture();
+                     }
+                   });
+    }
+    const par::StealStats ss = steal_->stats();
+    inst.local_tiles = ss.local;
+    inst.stolen_tiles = ss.stolen;
+    inst.steals = ss.steals;
+    record_bytes(plan, ectx);
+    errors.rethrow_if_set();
+    return;
+  }
+  const auto run_tile = [&](int i) {
     const rt::Stopwatch sw;
     execute_rect(ectx, plan.tiles()[static_cast<std::size_t>(i)]);
     inst.tile_seconds[static_cast<std::size_t>(i)] = sw.elapsed_seconds();
+  };
+  switch (schedule_) {
+    case par::Schedule::Dynamic: {
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+      for (int i = 0; i < n; ++i) run_tile(i);
+      break;
+    }
+    case par::Schedule::Guided: {
+#pragma omp parallel for schedule(guided) num_threads(threads)
+      for (int i = 0; i < n; ++i) run_tile(i);
+      break;
+    }
+    default: {
+#pragma omp parallel for schedule(static) num_threads(threads)
+      for (int i = 0; i < n; ++i) run_tile(i);
+      break;
+    }
   }
   record_bytes(plan, ectx);
 }

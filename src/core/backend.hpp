@@ -25,6 +25,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
 
 namespace fisheye::core {
 
@@ -47,6 +48,18 @@ struct MapChoice {
   static MapChoice parse(const std::string& value);
   /// The option values a backend supporting `modes` accepts, for help text.
   static constexpr const char* kHelp = "map=float|packed|compact:<stride>";
+};
+
+/// Scheduling policy requested by a spec's `schedule=` option (or the
+/// equivalent bare flag on `pool`). Thin parse/help wrapper around
+/// par::Schedule, mirroring MapChoice so every factory rejects unknown
+/// tokens with the same diagnostic shape.
+struct ScheduleChoice {
+  /// Parse an option value ("static", "dynamic", "guided", "steal").
+  /// Throws InvalidArgument naming the offending token.
+  static par::Schedule parse(const std::string& value);
+  /// The option values schedule-aware CPU backends accept, for help text.
+  static constexpr const char* kHelp = "schedule=static|dynamic|guided|steal";
 };
 
 /// Strategy interface with a plan/execute split.
@@ -138,6 +151,12 @@ class SerialBackend final : public Backend {
 
 /// Thread-pool execution with a choice of decomposition and schedule.
 /// The partition is computed once at plan time and reused every frame.
+///
+/// schedule=steal additionally reorders the partition at plan time by
+/// Morton code of each tile's *source* bounding-box centroid and
+/// pre-assigns contiguous runs of that order to the workers as initial
+/// deque contents (core/tile_order.hpp, parallel/work_stealing.hpp):
+/// workers walk source-adjacent tiles and steal only to repair imbalance.
 class PoolBackend final : public Backend {
  public:
   struct Options {
@@ -163,6 +182,9 @@ class PoolBackend final : public Backend {
  private:
   std::unique_ptr<par::ThreadPool> owned_pool_;
   par::ThreadPool& pool_;
+  /// Steal-schedule executor over pool_; created on first steal plan and
+  /// reused every frame (persistent per-worker deques).
+  std::unique_ptr<par::WorkStealingPool> steal_;
   Options options_;
 };
 
@@ -189,9 +211,17 @@ class SimdBackend final : public Backend {
 #ifdef _OPENMP
 /// OpenMP parallel-for over row blocks; the study's original multicore
 /// implementation style. Only built when the toolchain provides OpenMP.
+///
+/// schedule= selects the OpenMP loop schedule over the planned row blocks
+/// (static, dynamic, guided); schedule=steal instead plans a Morton-ordered
+/// tile partition (core/tile_order.hpp) and drives par::StealScheduler from
+/// an `omp parallel` team — same deques and counters as PoolBackend, OpenMP
+/// threads as the lanes.
 class OpenMpBackend final : public Backend {
  public:
-  explicit OpenMpBackend(int threads = 0) : threads_(threads) {}
+  explicit OpenMpBackend(int threads = 0,
+                         par::Schedule schedule = par::Schedule::Static)
+      : threads_(threads), schedule_(schedule) {}
 
   using Backend::execute;
   [[nodiscard]] ExecutionPlan plan(const ExecContext& ctx) override;
@@ -200,6 +230,9 @@ class OpenMpBackend final : public Backend {
 
  private:
   int threads_;
+  par::Schedule schedule_;
+  /// Deques for schedule=steal; sized to the team on first steal frame.
+  std::unique_ptr<par::StealScheduler> steal_;
 };
 #endif
 

@@ -161,15 +161,30 @@ void apply_map_option(BackendSpec& spec, Backend& backend) {
 
 namespace {
 
+/// Parse a spec's `schedule=` option through ScheduleChoice, prefixing
+/// errors with the offending spec text. Returns `def` when absent.
+par::Schedule schedule_option(BackendSpec& spec, par::Schedule def) {
+  const auto v = spec.value("schedule");
+  if (!v) return def;
+  try {
+    return ScheduleChoice::parse(*v);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument("backend spec '" + spec.text() + "': " + e.what());
+  }
+}
+
 constexpr const char* kPoolOptions =
-    "static|dynamic|guided, rows[=N]|cyclic|tiles|cols[=N], chunks=N, "
+    "static|dynamic|guided|steal (or schedule=static|dynamic|guided|steal), "
+    "rows[=N]|cyclic|tiles|cols[=N], chunks=N, "
     "tile=WxH, threads=N, map=float|packed|compact:<stride>";
 
 std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
   PoolBackend::Options o;
   if (spec.flag("dynamic")) o.schedule = par::Schedule::Dynamic;
   if (spec.flag("guided")) o.schedule = par::Schedule::Guided;
+  if (spec.flag("steal")) o.schedule = par::Schedule::Steal;
   spec.flag("static");  // the default; accepted for symmetry
+  o.schedule = schedule_option(spec, o.schedule);
 
   if (const auto rows = spec.value("rows")) {
     o.partition = par::PartitionKind::RowBlocks;
@@ -225,12 +240,17 @@ BackendRegistry::BackendRegistry() {
   add("pool", kPoolOptions, make_pool);
   add("simd", kSimdOptions, make_simd);
 #ifdef _OPENMP
-  add("openmp", "threads=N, map=float|packed|compact:<stride>",
+  add("openmp",
+      "threads=N, schedule=static|dynamic|guided|steal, "
+      "map=float|packed|compact:<stride>",
       [](BackendSpec& spec) -> std::unique_ptr<Backend> {
         const int threads = spec.value_int("threads", 0);
-        auto backend = std::make_unique<OpenMpBackend>(threads);
+        const par::Schedule schedule =
+            schedule_option(spec, par::Schedule::Static);
+        auto backend = std::make_unique<OpenMpBackend>(threads, schedule);
         apply_map_option(spec, *backend);
-        spec.finish("threads=N, map=float|packed|compact:<stride>");
+        spec.finish("threads=N, schedule=static|dynamic|guided|steal, "
+                    "map=float|packed|compact:<stride>");
         return backend;
       });
 #endif

@@ -131,8 +131,12 @@ bool ExecutionPlan::matches(const ExecContext& ctx,
 
 rt::TileStats ExecutionPlan::tile_stats() const {
   FE_EXPECTS(valid());
-  return rt::summarize_tiles(inst_->tile_seconds, inst_->bytes_in,
-                             inst_->bytes_out);
+  rt::TileStats t = rt::summarize_tiles(inst_->tile_seconds, inst_->bytes_in,
+                                        inst_->bytes_out);
+  t.local_tiles = inst_->local_tiles;
+  t.stolen_tiles = inst_->stolen_tiles;
+  t.steals = inst_->steals;
+  return t;
 }
 
 }  // namespace fisheye::core

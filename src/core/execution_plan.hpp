@@ -130,9 +130,20 @@ struct PlanInstrumentation {
   /// True when tile_seconds come from a cycle model rather than this
   /// host's wall clock (the accelerator simulators).
   bool modeled = false;
+  /// Work-stealing counters (schedule=steal backends; zero elsewhere):
+  /// how many tiles ran from the worker's initial run vs after a steal,
+  /// and how many steal operations the frame needed.
+  std::size_t local_tiles = 0;
+  std::size_t stolen_tiles = 0;
+  std::size_t steals = 0;
 
   /// Reset the slots for a frame of `tiles` tiles (reuses capacity).
-  void begin_frame(std::size_t tiles) { tile_seconds.assign(tiles, 0.0); }
+  void begin_frame(std::size_t tiles) {
+    tile_seconds.assign(tiles, 0.0);
+    local_tiles = 0;
+    stolen_tiles = 0;
+    steals = 0;
+  }
 };
 
 /// One-time execution recipe: the tile decomposition, optional

@@ -17,21 +17,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <mutex>
+#include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::par {
 
-enum class Schedule { Static, Dynamic, Guided };
+enum class Schedule { Static, Dynamic, Guided, Steal };
 
 [[nodiscard]] constexpr const char* schedule_name(Schedule s) noexcept {
   switch (s) {
     case Schedule::Static: return "static";
     case Schedule::Dynamic: return "dynamic";
     case Schedule::Guided: return "guided";
+    case Schedule::Steal: return "steal";
   }
   return "?";
 }
@@ -59,6 +63,26 @@ class ErrorSlot {
   std::mutex mu_;
   std::exception_ptr error_;
 };
+
+/// Schedule::Steal for ad-hoc parallel_for calls: fixed-size chunks in
+/// index order, even initial runs across the pool, work stealing for the
+/// tail. Allocates its scheduler per call — steady-state frame loops use a
+/// persistent WorkStealingPool instead.
+template <class Guarded>
+void run_steal(ThreadPool& pool, std::size_t n, std::size_t chunk,
+               const Guarded& guarded) {
+  const std::size_t items = (n + chunk - 1) / chunk;
+  std::vector<std::uint32_t> order(items);
+  for (std::size_t i = 0; i < items; ++i)
+    order[i] = static_cast<std::uint32_t>(i);
+  WorkStealingPool ws(pool);
+  const std::vector<std::size_t> runs =
+      balanced_runs(items, ws.size(), [](std::size_t) { return 1.0; });
+  ws.run_ordered(order.data(), items, runs, [&](std::size_t i) {
+    const std::size_t b = i * chunk;
+    guarded(b, std::min(b + chunk, n));
+  });
+}
 
 }  // namespace detail
 
@@ -122,6 +146,15 @@ void parallel_for(ThreadPool& pool, std::size_t n, const Body& body,
           guarded(b, std::min(b + want, n));
         }
       });
+      break;
+    }
+    case Schedule::Steal: {
+      // Generic entry point: chunks in index order, even initial runs, and
+      // work stealing to repair imbalance. The pooled backend's steal
+      // schedule does NOT come through here — it pre-orders plan tiles by
+      // source locality and reuses a persistent WorkStealingPool (see
+      // work_stealing.hpp); this path serves ad-hoc parallel_for callers.
+      detail::run_steal(pool, n, opts.chunk, guarded);
       break;
     }
   }

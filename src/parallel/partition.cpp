@@ -65,4 +65,42 @@ std::vector<Rect> partition(int width, int height, PartitionKind kind,
   return out;
 }
 
+std::uint32_t morton2d(std::uint32_t x, std::uint32_t y) noexcept {
+  // Spread the low 16 bits of each coordinate into the even bit positions
+  // (classic bit-twiddling dilation), then interleave.
+  auto spread = [](std::uint32_t v) noexcept {
+    v &= 0xFFFFu;
+    v = (v | (v << 8)) & 0x00FF00FFu;
+    v = (v | (v << 4)) & 0x0F0F0F0Fu;
+    v = (v | (v << 2)) & 0x33333333u;
+    v = (v | (v << 1)) & 0x55555555u;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::vector<std::uint32_t> morton_order(const std::vector<Rect>& keys) {
+  std::vector<std::uint32_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    order[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> code(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const Rect& r = keys[i];
+    code[i] = r.empty()
+                  ? 0  // ranked by the `empty` flag below, not the code
+                  : morton2d(static_cast<std::uint32_t>((r.x0 + r.x1) / 2),
+                             static_cast<std::uint32_t>((r.y0 + r.y1) / 2));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const bool ea = keys[a].empty();
+                     const bool eb = keys[b].empty();
+                     if (ea != eb) return !ea;  // fill tiles last
+                     if (ea) return a < b;      // stable index order
+                     if (code[a] != code[b]) return code[a] < code[b];
+                     return a < b;
+                   });
+  return order;
+}
+
 }  // namespace fisheye::par

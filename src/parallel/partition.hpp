@@ -7,6 +7,7 @@
 // arc of the source). F2 compares these policies head to head.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/error.hpp"
@@ -47,5 +48,18 @@ enum class PartitionKind {
 /// Every pixel is covered exactly once (tested property).
 std::vector<Rect> partition(int width, int height, PartitionKind kind,
                             int chunks, int tile_w = 64, int tile_h = 64);
+
+/// Interleave the low 16 bits of x and y into a Morton (Z-order) code.
+/// Rect centroids mapped through this code give a space-filling traversal:
+/// consecutive codes are spatially adjacent, which is what makes a
+/// Morton-sorted tile schedule walk the source image cache-coherently.
+[[nodiscard]] std::uint32_t morton2d(std::uint32_t x, std::uint32_t y) noexcept;
+
+/// Permutation of [0, keys.size()) ordered by morton2d of each rect's
+/// centroid. Empty rects (tiles that touch no source pixel) sort after all
+/// non-empty ones in index order — they are near-free fill work, so they
+/// belong in the schedule tail. The permutation is deterministic: ties
+/// break by index.
+std::vector<std::uint32_t> morton_order(const std::vector<Rect>& keys);
 
 }  // namespace fisheye::par

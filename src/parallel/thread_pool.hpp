@@ -19,6 +19,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/aligned.hpp"
+
 namespace fisheye::par {
 
 class ThreadPool {
@@ -59,20 +61,33 @@ class ThreadPool {
     // fine-grained dynamic schedules, and every worker stays busy until the
     // index space is drained. The block lives on this stack frame; tasks
     // are guaranteed drained (wait_idle) before it unwinds.
+    //
+    // The cursor sits alone on its cache line: it is written by every lane
+    // on every grab, while n/batch/fn are read-only — sharing a line would
+    // have each fetch_add invalidate the constants in every other lane's
+    // cache. For fine-grained index spaces (n >> lanes) lanes also grab
+    // small batches instead of single indices, cutting cursor traffic by
+    // the batch factor while keeping the tail balanced (the last batches
+    // are at most ~1/8 of a lane's fair share each).
     struct Control {
-      std::atomic<std::size_t> cursor{0};
-      std::size_t n;
+      alignas(util::kCacheLine) std::atomic<std::size_t> cursor{0};
+      alignas(util::kCacheLine) std::size_t n;
+      std::size_t batch;
       std::remove_reference_t<Fn>* fn;
-    } control{{}, n, std::addressof(fn)};
+    } control;
     const std::size_t lanes = std::min<std::size_t>(n, workers_.size());
+    control.n = n;
+    control.batch = std::clamp<std::size_t>(n / (lanes * 8), 1, 16);
+    control.fn = std::addressof(fn);
     try {
       for (std::size_t l = 0; l < lanes; ++l) {
         submit([ctl = &control] {
           for (;;) {
-            const std::size_t i =
-                ctl->cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= ctl->n) return;
-            (*ctl->fn)(i);
+            const std::size_t b =
+                ctl->cursor.fetch_add(ctl->batch, std::memory_order_relaxed);
+            if (b >= ctl->n) return;
+            const std::size_t e = std::min(b + ctl->batch, ctl->n);
+            for (std::size_t i = b; i < e; ++i) (*ctl->fn)(i);
           }
         });
       }

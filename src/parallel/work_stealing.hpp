@@ -1,0 +1,281 @@
+// Locality-aware work-stealing tile executor.
+//
+// The paper's multicore axis (F2/F18) compares static, cyclic, and dynamic
+// decompositions because per-pixel remap cost varies radially across the
+// frame. A shared-cursor dynamic schedule balances load but interleaves
+// tiles from distant frame regions on one worker, destroying source-cache
+// locality; a static schedule preserves locality but eats the imbalance.
+// Work stealing gets both: each worker starts with a contiguous run of a
+// locality-ordered tile sequence (see core/tile_order.hpp for the Morton
+// ordering), consumes it in order, and only when it runs dry does it steal
+// half of another worker's remaining run — so steals repair imbalance
+// while the common case walks source-adjacent tiles.
+//
+// Structure:
+//  * StealQueue      — one worker's tile queue. The owner pops LIFO from
+//                      the tail (the items array is filled in reverse, so
+//                      owner pops traverse the assigned run in schedule
+//                      order); thieves lock and take HALF of the remaining
+//                      items from the head — the far end of the owner's
+//                      traversal, keeping the contested halves disjoint.
+//  * StealScheduler  — a set of cache-line-padded worker blocks plus the
+//                      stealing run loop; thread-agnostic, so it can be
+//                      driven by ThreadPool lanes or by an OpenMP team.
+//  * WorkStealingPool— StealScheduler bound to a ThreadPool: per-frame
+//                      dispatch with zero per-frame allocation after the
+//                      first frame (blocks and queues are reused).
+//
+// Queues are mutex-protected: a steal is O(half the queue) under the lock
+// and owner pops are uncontended in the common case. At tile granularity
+// (thousands of pixels each) the lock cost is noise, and the scheme is
+// clean under ThreadSanitizer — the CI TSan job builds exactly this.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace fisheye::par {
+
+/// Aggregate scheduling counters for one frame, surfaced per plan through
+/// rt::TileStats so benches can report how much stealing actually happened.
+/// Every executed tile counts in exactly one of local/stolen, so the two
+/// sum to the frame's tile count.
+struct StealStats {
+  std::size_t local = 0;   ///< tiles a worker ran from its own initial run
+  std::size_t stolen = 0;  ///< tiles run after being stolen from a victim
+  std::size_t steals = 0;  ///< successful steal operations (≤ stolen)
+};
+
+/// One worker's queue of tile indices. Owner takes from the tail; thieves
+/// take half from the head. All operations lock; see the header comment
+/// for why that is the right trade at tile granularity.
+class StealQueue {
+ public:
+  /// Replace the contents with `run` = [begin, end) of `order`, stored in
+  /// reverse so that pop() yields order[begin], order[begin+1], ...
+  void assign(const std::uint32_t* order, std::size_t begin, std::size_t end) {
+    const std::scoped_lock lock(mu_);
+    items_.clear();
+    items_.reserve(end - begin);
+    for (std::size_t i = end; i > begin; --i)
+      items_.push_back(order[i - 1]);
+  }
+
+  /// Owner pop (LIFO tail). Returns false when empty.
+  bool pop(std::uint32_t& out) {
+    const std::scoped_lock lock(mu_);
+    if (items_.empty()) return false;
+    out = items_.back();
+    items_.pop_back();
+    return true;
+  }
+
+  /// Steal ceil(half) of the remaining items from the head into `loot`
+  /// (cleared first). Returns the number of items taken.
+  std::size_t steal_half(std::vector<std::uint32_t>& loot) {
+    loot.clear();
+    const std::scoped_lock lock(mu_);
+    if (items_.empty()) return 0;
+    const std::size_t take = (items_.size() + 1) / 2;
+    // Head = front of the vector = the far end of the owner's traversal.
+    loot.assign(items_.begin(),
+                items_.begin() + static_cast<std::ptrdiff_t>(take));
+    items_.erase(items_.begin(),
+                 items_.begin() + static_cast<std::ptrdiff_t>(take));
+    return take;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::uint32_t> items_;
+};
+
+/// The deques plus the stealing loop, independent of who provides the
+/// threads. One StealScheduler instance is reused frame after frame (the
+/// worker blocks persist), and a given instance runs one frame at a time.
+class StealScheduler {
+ public:
+  explicit StealScheduler(unsigned workers)
+      : blocks_(workers == 0 ? 1 : workers) {
+    FE_EXPECTS(workers >= 1);
+  }
+
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(blocks_.size());
+  }
+
+  /// Load a frame: `order` is a permutation of [0, n) (the locality-ordered
+  /// tile sequence) and `runs` the initial split — worker w starts with
+  /// order[runs[w]..runs[w+1]). `runs` must have workers()+1 entries with
+  /// runs[0] == 0 and runs.back() == n.
+  void begin_frame(const std::uint32_t* order, std::size_t n,
+                   const std::vector<std::size_t>& runs) {
+    FE_EXPECTS(runs.size() == blocks_.size() + 1);
+    FE_EXPECTS(runs.front() == 0 && runs.back() == n);
+    remaining_.store(n, std::memory_order_relaxed);
+    for (std::size_t w = 0; w < blocks_.size(); ++w) {
+      FE_EXPECTS(runs[w] <= runs[w + 1]);
+      blocks_[w].queue.assign(order, runs[w], runs[w + 1]);
+      blocks_[w].foreign = false;
+      blocks_[w].local = 0;
+      blocks_[w].stolen = 0;
+      blocks_[w].steals = 0;
+    }
+  }
+
+  /// Worker `w`'s frame loop: drain the own queue, then steal until every
+  /// tile of the frame has been claimed. `fn(index)` must not throw (wrap
+  /// with an error slot at the call site, as parallel_for does).
+  template <class Fn>
+  void work(unsigned w, Fn&& fn) {
+    Block& self = blocks_[w];
+    std::uint32_t item = 0;
+    for (;;) {
+      // Own queue first: traverses the locality-ordered run in order. The
+      // queue holds either the initial run or parked loot (never both;
+      // loot is only parked once the run is drained), so `foreign` tells
+      // which counter an execution belongs to — local + stolen across all
+      // workers sums to exactly the frame's tile count.
+      while (self.queue.pop(item)) {
+        ++(self.foreign ? self.stolen : self.local);
+        fn(static_cast<std::size_t>(item));
+        remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (remaining_.load(std::memory_order_acquire) == 0) return;
+      // Steal half of the largest visible queue: the victim with the most
+      // work left is both the best balance repair and keeps the stolen
+      // half contiguous in schedule order.
+      std::size_t victim = blocks_.size();
+      std::size_t victim_size = 0;
+      for (std::size_t v = 0; v < blocks_.size(); ++v) {
+        if (v == w) continue;
+        const std::size_t sz = blocks_[v].queue.size();
+        if (sz > victim_size) {
+          victim = v;
+          victim_size = sz;
+        }
+      }
+      if (victim == blocks_.size()) {
+        // Nothing visible to steal; another worker may still be executing
+        // its last tiles (remaining_ > 0). Yield instead of spinning hard:
+        // the wait is bounded by one tile's execution time.
+        if (remaining_.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      const std::size_t got = blocks_[victim].queue.steal_half(self.loot);
+      if (got == 0) continue;  // raced with the victim draining; rescan
+      ++self.steals;
+      ++self.stolen;  // the first looted tile, run below
+      // Run the first looted tile now; park the rest in the own queue
+      // (preserving their schedule order) where they stay stealable. The
+      // own queue is empty here — only the owner ever refills it — and is
+      // foreign from now on: pops of parked loot count as stolen.
+      if (got > 1) self.queue.assign(self.loot.data(), 1, got);
+      self.foreign = true;
+      const std::uint32_t first = self.loot.front();
+      fn(static_cast<std::size_t>(first));
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Aggregate counters of the last frame (call after the frame barrier).
+  [[nodiscard]] StealStats stats() const {
+    StealStats s;
+    for (const Block& b : blocks_) {
+      s.local += b.local;
+      s.stolen += b.stolen;
+      s.steals += b.steals;
+    }
+    return s;
+  }
+
+ private:
+  /// Per-worker state, padded so that one worker's queue mutations never
+  /// false-share with a neighbour's counters.
+  struct alignas(util::kCacheLine) Block {
+    StealQueue queue;
+    std::vector<std::uint32_t> loot;  ///< steal scratch, reused per worker
+    bool foreign = false;  ///< queue currently holds parked loot
+    std::size_t local = 0;
+    std::size_t stolen = 0;
+    std::size_t steals = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::atomic<std::size_t> remaining_{0};
+};
+
+/// StealScheduler driven by ThreadPool lanes: the pooled backends' steal
+/// schedule. Construction is cheap (no threads of its own); per-frame
+/// dispatch reuses the persistent worker blocks.
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(ThreadPool& pool)
+      : pool_(pool), scheduler_(pool.size()) {}
+
+  [[nodiscard]] unsigned size() const noexcept { return pool_.size(); }
+
+  /// Run fn(i) exactly once for every i in [0, n), visiting indices in the
+  /// order of the permutation `order` with initial runs `runs` (see
+  /// StealScheduler::begin_frame). Blocks until the frame is done; returns
+  /// the frame's steal counters.
+  template <class Fn>
+  StealStats run_ordered(const std::uint32_t* order, std::size_t n,
+                         const std::vector<std::size_t>& runs, Fn&& fn) {
+    if (n == 0) return {};
+    scheduler_.begin_frame(order, n, runs);
+    pool_.run_indexed(scheduler_.workers(),
+                      [&](std::size_t lane) {
+                        scheduler_.work(static_cast<unsigned>(lane), fn);
+                      });
+    return scheduler_.stats();
+  }
+
+ private:
+  ThreadPool& pool_;
+  StealScheduler scheduler_;
+};
+
+/// Split the (already ordered) tile sequence into workers() contiguous
+/// initial runs of near-equal total weight; returns the runs offsets
+/// (workers + 1 entries). `weight(i)` is the balance proxy for item i —
+/// tile area for the pooled backends.
+template <class WeightFn>
+std::vector<std::size_t> balanced_runs(std::size_t n, unsigned workers,
+                                       WeightFn&& weight) {
+  FE_EXPECTS(workers >= 1);
+  std::vector<std::size_t> runs(workers + 1, n);
+  runs[0] = 0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += weight(i);
+  double acc = 0.0;
+  std::size_t w = 1;
+  for (std::size_t i = 0; i < n && w < workers; ++i) {
+    acc += weight(i);
+    // Cut after item i once this run carries its fair share.
+    if (acc * static_cast<double>(workers) >=
+        total * static_cast<double>(w)) {
+      runs[w] = i + 1;
+      ++w;
+    }
+  }
+  for (; w < workers; ++w) runs[w] = std::max(runs[w - 1], runs[w]);
+  return runs;
+}
+
+}  // namespace fisheye::par

@@ -36,6 +36,12 @@ struct TileStats {
   double imbalance = 0.0;
   std::size_t bytes_in = 0;   ///< estimated bytes read (map + source taps)
   std::size_t bytes_out = 0;  ///< bytes written to the destination frame
+  /// Work-stealing counters for schedule=steal backends (zero elsewhere):
+  /// tiles run from the worker's initial run vs after being stolen, and
+  /// the number of successful steal operations.
+  std::size_t local_tiles = 0;
+  std::size_t stolen_tiles = 0;
+  std::size_t steals = 0;
 };
 
 /// Summarize per-tile seconds into a TileStats; byte counters are copied

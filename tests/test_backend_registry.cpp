@@ -50,10 +50,12 @@ TEST(BackendRegistry, SpecStringsRoundTripThroughName) {
       "pool:dynamic,rows=8,threads=2",
       "pool:guided,tiles,tile=96x32,threads=3",
       "pool:dynamic,cyclic,threads=2",
+      "pool:steal,tiles,tile=96x32,threads=3",
       "simd:threads=1",
       "simd:threads=2",
       "cell",
       "cell:spes=4,sbuf,tile=64x32,schedule=lpt",
+      "cell:schedule=steal",
       "gpu",
       "gpu:sms=16,tex=8x8x16x2,block=32",
       "fpga",
@@ -109,6 +111,20 @@ TEST(BackendRegistry, MalformedSpecsAreRejected) {
                InvalidArgument);
   EXPECT_THROW(BackendRegistry::create("cluster:net=token-ring"),
                InvalidArgument);
+}
+
+TEST(BackendRegistry, UnknownScheduleTokenIsNamedInTheError) {
+  for (const char* spec : {"pool:schedule=fair", "cell:schedule=fair"}) {
+    try {
+      BackendRegistry::create(spec);
+      FAIL() << "expected InvalidArgument for " << spec;
+    } catch (const InvalidArgument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("fair"), std::string::npos) << spec << ": " << msg;
+      EXPECT_NE(msg.find("steal"), std::string::npos)
+          << spec << " must list the valid tokens: " << msg;
+    }
+  }
 }
 
 TEST(BackendRegistry, MapSpecErrorsNameTheOffendingToken) {
@@ -187,8 +203,9 @@ TEST(BackendRegistry, AllKindsReproduceTheSerialReference) {
   fcorr.correct(src.view(), ref.view(), *serial);
 
   // Scalar float-LUT kinds: bit-exact against serial.
-  for (const char* spec : {"pool:dynamic,tiles,tile=48x24,threads=3", "cell",
-                           "cluster:ranks=3"}) {
+  for (const char* spec : {"pool:dynamic,tiles,tile=48x24,threads=3",
+                           "pool:steal,tiles,tile=48x24,threads=3", "cell",
+                           "cell:schedule=steal", "cluster:ranks=3"}) {
     const auto backend = BackendRegistry::create(spec);
     img::Image8 out(w, h, 1);
     fcorr.correct(src.view(), out.view(), *backend);
@@ -264,6 +281,44 @@ TEST(BackendRegistry, PreparedPlanIsReusedAcrossFrames) {
   const auto serial = BackendRegistry::create("serial");
   corr.correct(src.view(), ref.view(), *serial);
   EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out.view()));
+}
+
+TEST(BackendRegistry, StealPlanIsRecycledAcrossFramesAndStaysCorrect) {
+  // schedule=steal regression: the plan carries the Morton order and the
+  // initial deque runs as plan state, and execute() mutates the persistent
+  // per-worker deques — so a recycled plan must refill them every frame
+  // and keep producing the reference output with consistent counters.
+  const int w = 160, h = 120;
+  const img::Image8 src = fisheye_input(w, h);
+  const Corrector corr = Corrector::builder(w, h).build();
+  const auto backend =
+      BackendRegistry::create("pool:steal,tiles,tile=32x32,threads=3");
+  const Corrector::Prepared prepared = corr.prepare(*backend);
+  const std::vector<par::Rect>* tiles_before = &prepared.plan.tiles();
+
+  img::Image8 ref(w, h, 1);
+  const auto serial = BackendRegistry::create("serial");
+  corr.correct(src.view(), ref.view(), *serial);
+
+  img::Image8 out(w, h, 1);
+  for (int frame = 0; frame < 4; ++frame) {
+    corr.correct(prepared, src.view(), out.view());
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out.view()))
+        << "frame " << frame;
+    const rt::TileStats stats = prepared.plan.tile_stats();
+    // Every tile ran exactly once, from a run or after a steal.
+    EXPECT_EQ(stats.local_tiles + stats.stolen_tiles,
+              static_cast<std::size_t>(stats.tiles)) << "frame " << frame;
+    EXPECT_LE(stats.steals, stats.stolen_tiles) << "frame " << frame;
+  }
+  // Same plan object, same (Morton-ordered) tiles: no re-planning.
+  EXPECT_EQ(tiles_before, &prepared.plan.tiles());
+
+  // Plan identity: the schedule is part of the canonical name, so a steal
+  // plan never aliases a static one for the same geometry.
+  EXPECT_NE(backend->name().find("steal"), std::string::npos);
+  EXPECT_EQ(BackendRegistry::create(backend->name())->name(),
+            backend->name());
 }
 
 TEST(BackendRegistry, MapRebuiltAtRecycledAddressReplans) {

@@ -76,8 +76,11 @@ std::vector<SweepCase> make_cases() {
       cases.push_back({interp, border, core::MapMode::FloatLut,
                        par::Schedule::Dynamic, 1});
   // Map modes (bilinear only for packed) across schedules and channels.
+  // Steal exercises the source-locality plan path for every map mode here:
+  // PackedLut falls back to output-space keys, OnTheFly likewise.
   for (const par::Schedule sched :
-       {par::Schedule::Static, par::Schedule::Dynamic, par::Schedule::Guided})
+       {par::Schedule::Static, par::Schedule::Dynamic, par::Schedule::Guided,
+        par::Schedule::Steal})
     for (const int channels : {1, 3}) {
       cases.push_back({core::Interp::Bilinear, img::BorderMode::Constant,
                        core::MapMode::PackedLut, sched, channels});

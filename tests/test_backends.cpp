@@ -45,7 +45,8 @@ TEST_P(BackendEquivalence, PoolSchedulesMatchSerialBitExact) {
 
   par::ThreadPool pool(4);
   for (const par::Schedule sched :
-       {par::Schedule::Static, par::Schedule::Dynamic, par::Schedule::Guided})
+       {par::Schedule::Static, par::Schedule::Dynamic, par::Schedule::Guided,
+        par::Schedule::Steal})
     for (const par::PartitionKind part :
          {par::PartitionKind::RowBlocks, par::PartitionKind::RowCyclic,
           par::PartitionKind::Tiles, par::PartitionKind::ColumnBlocks}) {

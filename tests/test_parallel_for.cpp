@@ -48,7 +48,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{Schedule::Guided, 1, 1},
                       Case{Schedule::Guided, 100, 4},
                       Case{Schedule::Guided, 1001, 8},
-                      Case{Schedule::Guided, 4096, 1}));
+                      Case{Schedule::Guided, 4096, 1},
+                      Case{Schedule::Steal, 1, 1},
+                      Case{Schedule::Steal, 100, 7},
+                      Case{Schedule::Steal, 1001, 64},
+                      Case{Schedule::Steal, 4096, 1}));
 
 TEST(ParallelFor, EmptyRangeIsNoop) {
   ThreadPool pool(2);

@@ -1,0 +1,252 @@
+// Work-stealing executor invariants: StealQueue ordering and steal-half
+// under concurrent thieves, StealScheduler exactly-once execution with
+// counters that account for every tile, balanced_runs splits, Morton
+// ordering as a permutation, and the end-to-end property the plan layer
+// depends on — a Morton-ordered tile schedule covers every output pixel
+// exactly once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/corrector.hpp"
+#include "core/tile_order.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
+
+namespace fisheye {
+namespace {
+
+// --- StealQueue -------------------------------------------------------------
+
+TEST(StealQueue, OwnerPopsTraverseTheRunInScheduleOrder) {
+  par::StealQueue q;
+  const std::uint32_t order[] = {7, 3, 9, 1, 4};
+  q.assign(order, 1, 4);  // run = {3, 9, 1}
+  std::uint32_t item = 0;
+  ASSERT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 3u);
+  ASSERT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 9u);
+  ASSERT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 1u);
+  EXPECT_FALSE(q.pop(item));
+}
+
+TEST(StealQueue, StealHalfTakesTheFarEndOfTheRun) {
+  par::StealQueue q;
+  const std::uint32_t order[] = {0, 1, 2, 3, 4};
+  q.assign(order, 0, 5);
+  std::vector<std::uint32_t> loot;
+  // ceil(5/2) = 3 items from the head = the END of the owner's traversal.
+  EXPECT_EQ(q.steal_half(loot), 3u);
+  EXPECT_EQ(loot, (std::vector<std::uint32_t>{4, 3, 2}));
+  // The owner keeps the front of its run, still in schedule order.
+  std::uint32_t item = 0;
+  ASSERT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 0u);
+  ASSERT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 1u);
+  EXPECT_FALSE(q.pop(item));
+  EXPECT_EQ(q.steal_half(loot), 0u);
+}
+
+TEST(StealQueue, ConcurrentThievesAndOwnerClaimEachItemExactlyOnce) {
+  // Hammer one queue from an owner popping and three thieves stealing
+  // halves; every item must be claimed exactly once across all parties.
+  constexpr std::uint32_t kItems = 5000;
+  par::StealQueue q;
+  std::vector<std::uint32_t> order(kItems);
+  std::iota(order.begin(), order.end(), 0u);
+  q.assign(order.data(), 0, kItems);
+
+  std::vector<std::atomic<int>> claimed(kItems);
+  std::atomic<std::size_t> total{0};
+  const auto claim = [&](std::uint32_t item) {
+    claimed[item].fetch_add(1);
+    total.fetch_add(1);
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // owner
+    std::uint32_t item = 0;
+    while (total.load() < kItems)
+      if (q.pop(item)) claim(item);
+  });
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {  // thief: steal, consume the loot, repeat
+      std::vector<std::uint32_t> loot;
+      while (total.load() < kItems) {
+        const std::size_t got = q.steal_half(loot);
+        for (std::size_t i = 0; i < got; ++i) claim(loot[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::uint32_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
+}
+
+// --- balanced_runs ----------------------------------------------------------
+
+TEST(BalancedRuns, UniformWeightsSplitNearEvenly) {
+  const std::vector<std::size_t> runs =
+      par::balanced_runs(100, 4, [](std::size_t) { return 1.0; });
+  ASSERT_EQ(runs.size(), 5u);
+  EXPECT_EQ(runs.front(), 0u);
+  EXPECT_EQ(runs.back(), 100u);
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_LE(runs[w], runs[w + 1]);
+    EXPECT_NEAR(static_cast<double>(runs[w + 1] - runs[w]), 25.0, 1.0);
+  }
+}
+
+TEST(BalancedRuns, SkewedWeightsEqualizeWeightNotCount) {
+  // First 10 items carry 10x the weight of the rest: the first run must be
+  // short in item count.
+  const std::vector<std::size_t> runs = par::balanced_runs(
+      100, 2, [](std::size_t i) { return i < 10 ? 10.0 : 1.0; });
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs.front(), 0u);
+  EXPECT_EQ(runs.back(), 100u);
+  // Total weight 190, fair share 95: the cut lands inside the heavy head.
+  EXPECT_LT(runs[1], 20u);
+}
+
+TEST(BalancedRuns, MoreWorkersThanItemsLeavesTailRunsEmpty) {
+  const std::vector<std::size_t> runs =
+      par::balanced_runs(2, 5, [](std::size_t) { return 1.0; });
+  ASSERT_EQ(runs.size(), 6u);
+  EXPECT_EQ(runs.front(), 0u);
+  EXPECT_EQ(runs.back(), 2u);
+  for (std::size_t w = 0; w < 5; ++w) EXPECT_LE(runs[w], runs[w + 1]);
+}
+
+// --- StealScheduler / WorkStealingPool --------------------------------------
+
+TEST(StealScheduler, RunsEveryIndexExactlyOnceUnderSkewedRuns) {
+  // All work initially on worker 0: the other workers must steal all of
+  // their share. Counters must account for every execution exactly once.
+  constexpr std::size_t kN = 2000;
+  par::ThreadPool pool(4);
+  par::WorkStealingPool ws(pool);
+  std::vector<std::uint32_t> order(kN);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<std::size_t> runs(ws.size() + 1, kN);
+  runs[0] = 0;  // worker 0 owns everything
+
+  std::vector<std::atomic<int>> hits(kN);
+  const par::StealStats stats =
+      ws.run_ordered(order.data(), kN, runs,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  EXPECT_EQ(stats.local + stats.stolen, kN);
+  EXPECT_LE(stats.steals, stats.stolen);
+}
+
+TEST(StealScheduler, BalancedRunsExecuteRepeatedFrames) {
+  // The backends' steady-state shape: one scheduler reused frame after
+  // frame with the same order and runs.
+  constexpr std::size_t kN = 500;
+  par::ThreadPool pool(3);
+  par::WorkStealingPool ws(pool);
+  std::vector<std::uint32_t> order(kN);
+  std::iota(order.begin(), order.end(), 0u);
+  const std::vector<std::size_t> runs =
+      par::balanced_runs(kN, ws.size(), [](std::size_t) { return 1.0; });
+
+  for (int frame = 0; frame < 5; ++frame) {
+    std::vector<std::atomic<int>> hits(kN);
+    const par::StealStats stats =
+        ws.run_ordered(order.data(), kN, runs,
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "frame " << frame << " index " << i;
+    EXPECT_EQ(stats.local + stats.stolen, kN) << "frame " << frame;
+  }
+}
+
+TEST(StealScheduler, SingleWorkerRunsEverythingLocally) {
+  par::ThreadPool pool(1);
+  par::WorkStealingPool ws(pool);
+  std::vector<std::uint32_t> order = {0, 1, 2, 3};
+  std::vector<std::size_t> visit_order;
+  const par::StealStats stats = ws.run_ordered(
+      order.data(), order.size(), {0, 4},
+      [&](std::size_t i) { visit_order.push_back(i); });
+  // One worker, no one to steal from: schedule order is preserved exactly.
+  EXPECT_EQ(visit_order, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(stats.local, 4u);
+  EXPECT_EQ(stats.stolen, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+}
+
+// --- Morton ordering --------------------------------------------------------
+
+TEST(MortonOrder, Morton2dInterleavesBits) {
+  EXPECT_EQ(par::morton2d(0, 0), 0u);
+  EXPECT_EQ(par::morton2d(1, 0), 1u);
+  EXPECT_EQ(par::morton2d(0, 1), 2u);
+  EXPECT_EQ(par::morton2d(1, 1), 3u);
+  EXPECT_EQ(par::morton2d(2, 0), 4u);
+  EXPECT_EQ(par::morton2d(0xFFFF, 0xFFFF), 0xFFFFFFFFu);
+}
+
+TEST(MortonOrder, IsAPermutationWithEmptyRectsLast) {
+  std::vector<par::Rect> keys = {
+      {64, 64, 96, 96}, {0, 0, 32, 32}, {10, 10, 10, 20} /* empty */,
+      {32, 0, 64, 32},  {0, 32, 32, 64}, {5, 5, 5, 5} /* empty */,
+  };
+  const std::vector<std::uint32_t> order = par::morton_order(keys);
+  ASSERT_EQ(order.size(), keys.size());
+  std::vector<std::uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // The two empty rects land at the tail, in index order.
+  EXPECT_EQ(order[order.size() - 2], 2u);
+  EXPECT_EQ(order[order.size() - 1], 5u);
+  // The origin tile sorts before the (64, 64) tile.
+  EXPECT_LT(std::find(order.begin(), order.end(), 1u),
+            std::find(order.begin(), order.end(), 0u));
+}
+
+TEST(MortonOrder, OrderedTileScheduleCoversEveryPixelExactlyOnce) {
+  // The property the steal plan depends on: reordering a partition by
+  // source locality is a permutation — painting the ordered tiles touches
+  // every output pixel exactly once.
+  const int w = 160, h = 120;
+  const core::Corrector corr = core::Corrector::builder(w, h).build();
+  const std::vector<par::Rect> tiles =
+      par::partition(w, h, par::PartitionKind::Tiles, 0, 48, 24);
+
+  core::ExecContext ctx;
+  ctx.src = {nullptr, w, h, 1, static_cast<std::size_t>(w)};
+  ctx.dst = {nullptr, w, h, 1, static_cast<std::size_t>(w)};
+  ctx.map = corr.map();
+  ctx.mode = core::MapMode::FloatLut;
+  const std::vector<par::Rect> ordered =
+      core::order_tiles_by_source_locality(ctx, tiles);
+
+  ASSERT_EQ(ordered.size(), tiles.size());
+  std::vector<int> paint(static_cast<std::size_t>(w) * h, 0);
+  for (const par::Rect& t : ordered)
+    for (int y = t.y0; y < t.y1; ++y)
+      for (int x = t.x0; x < t.x1; ++x)
+        ++paint[static_cast<std::size_t>(y) * w + x];
+  EXPECT_TRUE(std::all_of(paint.begin(), paint.end(),
+                          [](int c) { return c == 1; }));
+  // And the order genuinely changed from raster order somewhere (the warp
+  // is non-trivial), so the test would catch an identity short-circuit.
+  EXPECT_NE(ordered, tiles);
+}
+
+}  // namespace
+}  // namespace fisheye
