@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     // backend reports through rt::TileStats.
     if (!tiles_done && res.width == 1280) {
       tiles_done = true;
-      for (const std::string spec :
+      for (const std::string& spec :
            {std::string("serial"), std::string("pool:dynamic,rows"),
             std::string("simd")}) {
         const bench::BackendRun r =

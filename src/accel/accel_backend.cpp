@@ -61,9 +61,9 @@ core::ExecutionPlan CellBackend::plan(const core::ExecContext& ctx) {
   tiles.reserve(platform->tiles().size());
   for (const SpeTile& t : platform->tiles()) tiles.push_back(t.out);
   std::vector<double> seconds = platform->tile_seconds();
-  core::ExecutionPlan plan =
-      make_plan(ctx, std::move(tiles), std::move(platform));
-  plan.set_converted(std::move(converted));
+  core::ExecutionPlan plan = make_plan(ctx, std::move(tiles),
+                                       std::move(platform),
+                                       std::move(converted));
   // The cost model is static: per-tile times are a property of the plan,
   // not of any particular frame. Fill the slots once.
   plan.instrumentation().tile_seconds = std::move(seconds);
@@ -158,11 +158,8 @@ core::ExecutionPlan FpgaBackend::plan(const core::ExecContext& ctx) {
           ? std::make_shared<FpgaPlatform>(*ectx.compact, config_)
           : std::make_shared<FpgaPlatform>(*ectx.packed, config_);
   // One streaming pass over the frame: a single plan tile.
-  core::ExecutionPlan plan =
-      make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}},
-                std::move(platform));
-  plan.set_converted(std::move(converted));
-  return plan;
+  return make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}},
+                   std::move(platform), std::move(converted));
 }
 
 void FpgaBackend::execute(const core::ExecutionPlan& plan,

@@ -18,15 +18,40 @@ namespace fisheye::accel {
 
 namespace {
 
+/// Validate a spec-supplied BlockCacheConfig (cache_sim.hpp requires
+/// power-of-two block dims and sets, ways in [1, 64]) at factory level so
+/// bad specs throw InvalidArgument instead of tripping contracts later.
+void require_cache_config(const core::BackendSpec& spec,
+                          const std::string& key,
+                          const std::vector<int>& v) {
+  const auto pow2 = [](int x) { return x > 0 && (x & (x - 1)) == 0; };
+  if (!pow2(v[0]) || !pow2(v[1]) || !pow2(v[2]))
+    throw InvalidArgument(
+        "backend spec '" + spec.text() + "': option '" + key +
+        "' block dims and sets must be powers of two, got '" +
+        std::to_string(v[0]) + "x" + std::to_string(v[1]) + "x" +
+        std::to_string(v[2]) + "x" + std::to_string(v[3]) + "'");
+  core::require_spec_range(spec, key, v[3], 1, 64);
+  core::require_spec_range(spec, key, v[0], 1, 1 << 12);
+  core::require_spec_range(spec, key, v[1], 1, 1 << 12);
+  core::require_spec_range(spec, key, v[2], 1, 1 << 20);
+}
+
 std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
   SpeConfig c;
   c.num_spes = spec.value_int("spes", c.num_spes);
+  core::require_spec_range(spec, "spes", c.num_spes, 1, 64);
   if (spec.flag("sbuf")) c.double_buffering = false;
   if (spec.flag("dbuf")) c.double_buffering = true;
   std::tie(c.tile_w, c.tile_h) =
       spec.value_dims("tile", c.tile_w, c.tile_h);
-  c.local_store_bytes = static_cast<std::size_t>(
-      spec.value_int("ls", static_cast<int>(c.local_store_bytes)));
+  core::require_spec_range(spec, "tile", c.tile_w, 8, 1 << 16);
+  core::require_spec_range(spec, "tile", c.tile_h, 1, 1 << 16);
+  const int ls = spec.value_int("ls", static_cast<int>(c.local_store_bytes));
+  // Floor matches LocalStore's minimum capacity plus the 2 KB code/stack
+  // headroom the decomposer reserves.
+  core::require_spec_range(spec, "ls", ls, 4096, 1 << 30);
+  c.local_store_bytes = static_cast<std::size_t>(ls);
   if (const auto sched = spec.value("schedule")) {
     if (*sched == "rr") {
       c.schedule = TileSchedule::RoundRobin;
@@ -44,6 +69,9 @@ std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
   }
   c.cost.cycles_per_pixel =
       spec.value_double("cpp", c.cost.cycles_per_pixel);
+  if (c.cost.cycles_per_pixel <= 0.0)
+    throw InvalidArgument("backend spec '" + spec.text() +
+                          "': option 'cpp' must be positive");
   auto backend = std::make_unique<CellBackend>(c);
   core::apply_map_option(spec, *backend);
   spec.finish(
@@ -55,13 +83,16 @@ std::unique_ptr<core::Backend> make_cell(core::BackendSpec& spec) {
 std::unique_ptr<core::Backend> make_gpu(core::BackendSpec& spec) {
   GpuConfig c;
   c.cost.num_sms = spec.value_int("sms", c.cost.num_sms);
+  core::require_spec_range(spec, "sms", c.cost.num_sms, 1, 256);
   const double ghz = spec.value_double("clock", 0.0);
   if (ghz > 0.0) c.cost.clock_hz = ghz * 1e9;
   const std::vector<int> tex = spec.value_int_list(
       "tex", {c.tex_cache.block_w, c.tex_cache.block_h, c.tex_cache.sets,
               c.tex_cache.ways});
+  require_cache_config(spec, "tex", tex);
   c.tex_cache = {tex[0], tex[1], tex[2], tex[3]};
   c.block_dim = spec.value_int("block", c.block_dim);
+  core::require_spec_range(spec, "block", c.block_dim, 4, 32);
   spec.finish("sms=N, clock=GHZ, tex=BWxBHxSETSxWAYS, block=N");
   return std::make_unique<GpuBackend>(c);
 }
@@ -73,11 +104,17 @@ std::unique_ptr<core::Backend> make_fpga(core::BackendSpec& spec) {
   const std::vector<int> cache = spec.value_int_list(
       "cache",
       {c.cache.block_w, c.cache.block_h, c.cache.sets, c.cache.ways});
+  require_cache_config(spec, "cache", cache);
   c.cache = {cache[0], cache[1], cache[2], cache[3]};
-  c.lut_bram_bytes = static_cast<std::size_t>(
-      spec.value_int("bram", static_cast<int>(c.lut_bram_bytes)));
+  const int bram = spec.value_int("bram", static_cast<int>(c.lut_bram_bytes));
+  core::require_spec_range(spec, "bram", bram, 0, 1 << 30);
+  c.lut_bram_bytes = static_cast<std::size_t>(bram);
   c.cost.ddr_bytes_per_cycle =
       spec.value_double("ddr", c.cost.ddr_bytes_per_cycle);
+  // ddr=0 disables the bandwidth term entirely, so only negatives are bad.
+  if (c.cost.ddr_bytes_per_cycle < 0.0)
+    throw InvalidArgument("backend spec '" + spec.text() +
+                          "': option 'ddr' must be non-negative");
   auto backend = std::make_unique<FpgaBackend>(c);
   core::apply_map_option(spec, *backend);
   spec.finish(

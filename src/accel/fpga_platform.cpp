@@ -1,6 +1,7 @@
 #include "accel/fpga_platform.hpp"
 
-#include "core/remap.hpp"
+#include "core/execution_plan.hpp"
+#include "core/kernel.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::accel {
@@ -21,13 +22,16 @@ AccelFrameStats FpgaPlatform::run_frame(img::ConstImageView<std::uint8_t> src,
   FE_EXPECTS(dst.width == out_w && dst.height == out_h);
   FE_EXPECTS(src.channels == dst.channels);
 
-  // Functional output: identical datapath to the CPU fixed-point kernels.
-  if (cmap_)
-    core::remap_compact_rect(src, dst, *cmap_,
-                             {0, 0, dst.width, dst.height}, fill);
-  else
-    core::remap_packed_rect(src, dst, *map_,
-                            {0, 0, dst.width, dst.height}, fill);
+  // Functional output: the registry's fixed-point kernel for this map
+  // representation — identical datapath to the CPU packed/compact paths.
+  core::ExecContext kctx;
+  kctx.src = src;
+  kctx.dst = dst;
+  kctx.packed = map_;
+  kctx.compact = cmap_;
+  kctx.mode = cmap_ ? core::MapMode::CompactLut : core::MapMode::PackedLut;
+  kctx.opts = {core::Interp::Bilinear, img::BorderMode::Constant, fill};
+  core::resolve_kernel(kctx)(src, dst, {0, 0, dst.width, dst.height});
 
   // Timing: raster scan of the output; every valid pixel touches its
   // bilinear footprint through the block cache.

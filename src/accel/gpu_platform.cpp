@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "core/remap.hpp"
+#include "core/execution_plan.hpp"
+#include "core/kernel.hpp"
 #include "parallel/partition.hpp"
 #include "util/error.hpp"
 
@@ -20,10 +21,16 @@ AccelFrameStats GpuPlatform::run_frame(img::ConstImageView<std::uint8_t> src,
   FE_EXPECTS(dst.width == map_->width && dst.height == map_->height);
   FE_EXPECTS(src.channels == dst.channels);
 
-  // Functional output: identical kernel to the CPU reference.
-  core::remap_rect(src, dst, *map_,
-                   {0, 0, dst.width, dst.height},
-                   {core::Interp::Bilinear, img::BorderMode::Constant, fill});
+  // Functional output: the registry's float-LUT bilinear kernel — the same
+  // resolved function object every CPU backend runs, so outputs are
+  // bit-identical to the serial reference by construction.
+  core::ExecContext kctx;
+  kctx.src = src;
+  kctx.dst = dst;
+  kctx.map = map_;
+  kctx.mode = core::MapMode::FloatLut;
+  kctx.opts = {core::Interp::Bilinear, img::BorderMode::Constant, fill};
+  core::resolve_kernel(kctx)(src, dst, {0, 0, dst.width, dst.height});
 
   const GpuCostModel& c = config_.cost;
   const int bd = config_.block_dim;

@@ -1,26 +1,16 @@
 #include "accel/spe_platform.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
+#include <cstring>
 
+#include "core/execution_plan.hpp"
+#include "core/kernel.hpp"
 #include "parallel/work_stealing.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace fisheye::accel {
-
-namespace {
-
-/// Bilinear sample from a local source window with constant fill; (sx, sy)
-/// are window-local coordinates. Bit-compatible with the scalar reference
-/// kernel for constant-border maps (see spe_platform.hpp).
-inline std::uint8_t blend_u8(float v) noexcept {
-  const int r = static_cast<int>(v + 0.5f);
-  return static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
-}
-
-}  // namespace
 
 CellLikePlatform::CellLikePlatform(const core::WarpMap& map, int src_width,
                                    int src_height, int channels,
@@ -242,6 +232,19 @@ AccelFrameStats CellLikePlatform::run_frame(
   AccelFrameStats stats;
   stats.tiles = tiles_.size();
 
+  // The SPE "program" is not written here: the compute kernel comes from
+  // the registry (core/kernel.hpp), resolved once per frame — the same
+  // windowed function object the CPU backends run. This simulator owns
+  // only the DMA, local-store, and scheduling model around it.
+  core::ExecContext kctx;
+  kctx.src = src;
+  kctx.dst = dst;
+  kctx.map = map_;
+  kctx.compact = cmap_;
+  kctx.mode = cmap_ ? core::MapMode::CompactLut : core::MapMode::FloatLut;
+  kctx.opts = {core::Interp::Bilinear, img::BorderMode::Constant, fill};
+  const core::ResolvedKernel kernel = core::resolve_kernel(kctx);
+
   // --- scheduling: greedy earliest-finish assignment of tiles to SPEs ---
   const int n_spes = config_.num_spes;
   struct Lane {
@@ -390,145 +393,21 @@ AccelFrameStats CellLikePlatform::run_frame(
       const std::size_t win_pitch =
           static_cast<std::size_t>(win_w) * channels_;
 
-      if (cmap_) {
-        // Integer reconstruction kernel, bit-exact with remap_compact_rect:
-        // absolute fixed-point coordinates are reconstructed from the local
-        // grid slice, validity-tested, clamped against the full frame, and
-        // only then shifted into the window (the source bbox covers every
-        // clamped footprint, so window taps never go out of bounds).
-        const par::Rect g = grid_rect(tile.out);
-        const int sgw = g.width();
-        const std::size_t slice_px = static_cast<std::size_t>(g.area());
-        const auto* lgx = reinterpret_cast<const std::int32_t*>(map_local);
-        const std::int32_t* lgy = lgx + slice_px;
-        const int frac = cmap_->frac_bits;
-        const int wshift = frac >= 8 ? frac - 8 : 0;
-        const int wscale_up = frac >= 8 ? 0 : 8 - frac;
-        const std::int32_t frac_mask = (std::int32_t{1} << frac) - 1;
-        const int shift = cmap_->shift();
-        const int smask = cmap_->stride - 1;
-        const std::int64_t gs = cmap_->stride;
-        const int rshift = 2 * shift;
-        const std::int64_t half =
-            rshift > 0 ? (std::int64_t{1} << (rshift - 1)) : 0;
-        const std::int32_t one = std::int32_t{1} << frac;
-        const std::int32_t lim_x = static_cast<std::int32_t>(src_width_)
-                                   << frac;
-        const std::int32_t lim_y = static_cast<std::int32_t>(src_height_)
-                                   << frac;
-        const std::int32_t max_fx = lim_x - one;
-        const std::int32_t max_fy = lim_y - one;
-
-        for (int yy = 0; yy < th; ++yy) {
-          const int y = tile.out.y0 + yy;
-          const std::int64_t ty = y & smask;
-          const std::size_t row0 =
-              static_cast<std::size_t>((y >> shift) - g.y0) * sgw;
-          const std::size_t row1 = row0 + sgw;
-          for (int xx = 0; xx < tw; ++xx) {
-            const int x = tile.out.x0 + xx;
-            const std::size_t cx =
-                static_cast<std::size_t>((x >> shift) - g.x0);
-            const std::int64_t tx = x & smask;
-            const std::int64_t lx =
-                lgx[row0 + cx] * (gs - ty) + lgx[row1 + cx] * ty;
-            const std::int64_t rx =
-                lgx[row0 + cx + 1] * (gs - ty) + lgx[row1 + cx + 1] * ty;
-            const std::int64_t ly =
-                lgy[row0 + cx] * (gs - ty) + lgy[row1 + cx] * ty;
-            const std::int64_t ry =
-                lgy[row0 + cx + 1] * (gs - ty) + lgy[row1 + cx + 1] * ty;
-            std::int32_t fx = static_cast<std::int32_t>(
-                (lx * gs + tx * (rx - lx) + half) >> rshift);
-            std::int32_t fy = static_cast<std::int32_t>(
-                (ly * gs + tx * (ry - ly) + half) >> rshift);
-            std::uint8_t* out_px_ptr =
-                out_local + (static_cast<std::size_t>(yy) * tw + xx) *
-                                channels_;
-            if (fx <= -one || fy <= -one || fx >= lim_x || fy >= lim_y) {
-              for (int ch2 = 0; ch2 < channels_; ++ch2) out_px_ptr[ch2] = fill;
-              continue;
-            }
-            fx = fx < 0 ? 0 : (fx > max_fx ? max_fx : fx);
-            fy = fy < 0 ? 0 : (fy > max_fy ? max_fy : fy);
-            const std::int32_t ix = fx >> frac;
-            const std::int32_t iy = fy >> frac;
-            const std::int32_t ix1 = ix + 1 < src_width_ ? ix + 1 : ix;
-            const std::int32_t iy1 = iy + 1 < src_height_ ? iy + 1 : iy;
-            const std::int32_t ax = ((fx & frac_mask) >> wshift) << wscale_up;
-            const std::int32_t ay = ((fy & frac_mask) >> wshift) << wscale_up;
-            const std::uint8_t* r0 =
-                src_local +
-                static_cast<std::size_t>(iy - tile.src_box.y0) * win_pitch;
-            const std::uint8_t* r1 =
-                src_local +
-                static_cast<std::size_t>(iy1 - tile.src_box.y0) * win_pitch;
-            const int lx0 = (ix - tile.src_box.x0) * channels_;
-            const int lx1 = (ix1 - tile.src_box.x0) * channels_;
-            const int w00 = (256 - ax) * (256 - ay);
-            const int w10 = ax * (256 - ay);
-            const int w01 = (256 - ax) * ay;
-            const int w11 = ax * ay;
-            for (int ch2 = 0; ch2 < channels_; ++ch2) {
-              const int v = w00 * r0[lx0 + ch2] + w10 * r0[lx1 + ch2] +
-                            w01 * r1[lx0 + ch2] + w11 * r1[lx1 + ch2];
-              out_px_ptr[ch2] = static_cast<std::uint8_t>((v + (1 << 15)) >> 16);
-            }
-          }
-        }
-      } else {
-        const float off_x = static_cast<float>(tile.src_box.x0);
-        const float off_y = static_cast<float>(tile.src_box.y0);
-        const float* mx = reinterpret_cast<const float*>(map_local);
-        const float* my = mx + out_px;
-
-        for (int yy = 0; yy < th; ++yy) {
-          for (int xx = 0; xx < tw; ++xx) {
-            const std::size_t i =
-                static_cast<std::size_t>(yy) * tw + xx;
-            const float sx = mx[i] - off_x;
-            const float sy = my[i] - off_y;
-            std::uint8_t* out_px_ptr = out_local + i * channels_;
-            const float fx = std::floor(sx);
-            const float fy = std::floor(sy);
-            const int x0 = static_cast<int>(fx);
-            const int y0 = static_cast<int>(fy);
-            const float ax = sx - fx;
-            const float ay = sy - fy;
-            const float w00 = (1.0f - ax) * (1.0f - ay);
-            const float w10 = ax * (1.0f - ay);
-            const float w01 = (1.0f - ax) * ay;
-            const float w11 = ax * ay;
-            if (x0 >= 0 && y0 >= 0 && x0 + 1 < win_w && y0 + 1 < win_h) {
-              const std::uint8_t* r0 =
-                  src_local + static_cast<std::size_t>(y0) * win_pitch +
-                  static_cast<std::size_t>(x0) * channels_;
-              const std::uint8_t* r1 = r0 + win_pitch;
-              for (int ch2 = 0; ch2 < channels_; ++ch2) {
-                const float v = w00 * r0[ch2] + w10 * r0[channels_ + ch2] +
-                                w01 * r1[ch2] + w11 * r1[channels_ + ch2];
-                out_px_ptr[ch2] = blend_u8(v);
-              }
-            } else {
-              // Border taps: constant fill outside the window.
-              auto fetch = [&](int xi, int yi, int ch2) -> float {
-                if (xi < 0 || yi < 0 || xi >= win_w || yi >= win_h)
-                  return static_cast<float>(fill);
-                return static_cast<float>(
-                    src_local[static_cast<std::size_t>(yi) * win_pitch +
-                              static_cast<std::size_t>(xi) * channels_ + ch2]);
-              };
-              for (int ch2 = 0; ch2 < channels_; ++ch2) {
-                const float v = w00 * fetch(x0, y0, ch2) +
-                                w10 * fetch(x0 + 1, y0, ch2) +
-                                w01 * fetch(x0, y0 + 1, ch2) +
-                                w11 * fetch(x0 + 1, y0 + 1, ch2);
-                out_px_ptr[ch2] = blend_u8(v);
-              }
-            }
-          }
-        }
-      }
+      // Registry kernel over the DMA'd window: the source bbox covers
+      // every in-frame tap of the tile's pixels, so sampling the window
+      // with constant fill is bit-exact with full-frame execution.
+      const img::ConstImageView<std::uint8_t> window(src_local, win_w, win_h,
+                                                     channels_, win_pitch);
+      kernel.run_windowed(window, dst, tile.out, tile.src_box.x0,
+                          tile.src_box.y0);
+      // Mirror the freshly computed rect into the local output buffer so
+      // the DMA-put below transfers exactly what the SPE would hold.
+      for (int yy = 0; yy < th; ++yy)
+        std::memcpy(
+            out_local + static_cast<std::size_t>(yy) * tw * channels_,
+            dst.row(tile.out.y0 + yy) +
+                static_cast<std::size_t>(tile.out.x0) * channels_,
+            static_cast<std::size_t>(tw) * channels_);
     }
     dma.put_rect(out_local, dst, tile.out);
     stats.bytes_in += map_bytes;

@@ -15,6 +15,7 @@ namespace {
 std::unique_ptr<core::Backend> make_cluster(core::BackendSpec& spec) {
   ClusterConfig c;
   c.ranks = spec.value_int("ranks", c.ranks);
+  core::require_spec_range(spec, "ranks", c.ranks, 1, 1024);
   if (const auto net = spec.value("net")) {
     if (*net == "gige") {
       c.network = InterconnectModel::gigabit_ethernet();
@@ -30,6 +31,9 @@ std::unique_ptr<core::Backend> make_cluster(core::BackendSpec& spec) {
   if (spec.flag("bcast")) c.distribution = Distribution::FullBroadcast;
   if (spec.flag("scatter")) c.distribution = Distribution::StripScatter;
   c.node_speed = spec.value_double("speed", c.node_speed);
+  if (c.node_speed <= 0.0)
+    throw InvalidArgument("backend spec '" + spec.text() +
+                          "': option 'speed' must be positive");
   spec.finish("ranks=N, net=gige|10gige|ib, scatter|bcast, speed=X");
   return std::make_unique<ClusterSimBackend>(c);
 }

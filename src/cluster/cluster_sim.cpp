@@ -6,7 +6,7 @@
 #include <string>
 
 #include "core/backend_registry.hpp"
-#include "core/remap.hpp"
+#include "core/kernel.hpp"
 #include "parallel/partition.hpp"
 #include "runtime/timer.hpp"
 #include "util/error.hpp"
@@ -54,7 +54,7 @@ core::ExecutionPlan ClusterSimBackend::plan(const core::ExecContext& ctx) {
 void ClusterSimBackend::execute(const core::ExecutionPlan& plan,
                                 const core::ExecContext& ctx) {
   check_plan(plan, ctx);
-  const core::WarpMap& map = *ctx.map;
+  const core::ResolvedKernel& kernel = plan.kernel();
   const std::vector<par::Rect>& strips = plan.tiles();
   const ClusterPlanState& state = *plan.state<ClusterPlanState>();
 
@@ -99,12 +99,12 @@ void ClusterSimBackend::execute(const core::ExecutionPlan& plan,
                     static_cast<std::size_t>(window.width()) * ch);
       // Strip-local map view: reuse the global map with the dst offset by
       // building a shifted rect remap into a full-size proxy is wasteful;
-      // instead remap directly into the real dst via the offset variant,
+      // instead run the plan's windowed kernel directly into the real dst,
       // then copy into local_out to model the rank-private buffer.
       img::ImageView<std::uint8_t> dst_strip = ctx.dst.rows(strip.y0,
                                                             strip.height());
-      core::remap_rect_offset(local_src.view(), ctx.dst, map, strip,
-                              window.x0, window.y0, ctx.opts);
+      kernel.run_windowed(local_src.view(), ctx.dst, strip, window.x0,
+                          window.y0);
       for (int y = 0; y < strip.height(); ++y)
         std::memcpy(local_out.row(y),
                     dst_strip.row(y),

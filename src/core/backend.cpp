@@ -1,10 +1,13 @@
 #include "core/backend.hpp"
 
+#include <atomic>
 #include <cstdint>
+#include <numeric>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "core/kernel.hpp"
 #include "core/tile_order.hpp"
 #include "parallel/work_stealing.hpp"
 #include "runtime/timer.hpp"
@@ -19,35 +22,28 @@ namespace fisheye::core {
 
 namespace {
 
-/// Stamp the analytic traffic estimate into a plan's frame slots (CPU
-/// backends; the simulators overwrite with modeled DMA/DDR counts).
-void record_bytes(const ExecutionPlan& plan, const ExecContext& ctx) {
+/// Stamp the plan-time analytic traffic estimate into a plan's frame slots
+/// (CPU backends; the simulators overwrite with modeled DMA/DDR counts).
+void record_bytes(const ExecutionPlan& plan) {
   PlanInstrumentation& inst = plan.instrumentation();
-  inst.bytes_in = estimate_bytes_in(ctx);
-  inst.bytes_out = estimate_bytes_out(ctx);
+  const Workspace& ws = plan.workspace();
+  inst.bytes_in = ws.bytes_in_estimate;
+  inst.bytes_out = ws.bytes_out_estimate;
   inst.modeled = false;
 }
 
-/// Plan state for schedule=steal. The plan's tile vector is already stored
-/// in Morton order of the tiles' source-bbox centroids, so `order` is the
-/// identity permutation over it; `runs` are the per-worker initial deque
+/// Fill a plan workspace's steal-schedule slots for a team of `workers`.
+/// The workspace's tile vector is already stored in Morton order of the
+/// tiles' source-bbox centroids, so `steal_order` is the identity
+/// permutation over it; `steal_runs` are the per-worker initial deque
 /// runs, balanced by tile area (see par::balanced_runs).
-struct StealPlanState {
-  std::vector<std::uint32_t> order;
-  std::vector<std::size_t> runs;
-};
-
-/// Build steal-schedule plan state over `tiles` for a team of `workers`.
-std::shared_ptr<StealPlanState> make_steal_state(
-    const std::vector<par::Rect>& tiles, unsigned workers) {
-  auto st = std::make_shared<StealPlanState>();
-  st->order.resize(tiles.size());
-  for (std::size_t i = 0; i < tiles.size(); ++i)
-    st->order[i] = static_cast<std::uint32_t>(i);
-  st->runs = par::balanced_runs(tiles.size(), workers, [&](std::size_t i) {
-    return static_cast<double>(tiles[i].area());
-  });
-  return st;
+void init_steal_state(Workspace& ws, unsigned workers) {
+  ws.steal_order.resize(ws.tiles.size());
+  std::iota(ws.steal_order.begin(), ws.steal_order.end(), 0u);
+  par::balanced_runs_into(ws.steal_runs, ws.tiles.size(), workers,
+                          [&](std::size_t i) {
+                            return static_cast<double>(ws.tiles[i].area());
+                          });
 }
 
 }  // namespace
@@ -80,13 +76,17 @@ MapChoice MapChoice::parse(const std::string& value) {
     if (value.size() > compact.size()) {
       const std::string tail = value.substr(compact.size() + 1);
       int stride = 0;
+      bool integral = true;
       try {
         std::size_t pos = 0;
         stride = std::stoi(tail, &pos);
-        if (pos != tail.size()) stride = 0;
+        if (pos != tail.size()) integral = false;
       } catch (const std::exception&) {
-        stride = 0;
+        integral = false;
       }
+      if (!integral)
+        throw InvalidArgument("map=compact: stride expects an integer, got '" +
+                              tail + "'");
       if (stride < 1 || stride > 64 || (stride & (stride - 1)) != 0)
         throw InvalidArgument("map=compact: stride must be a power of two "
                               "in [1, 64], got '" + tail + "'");
@@ -110,27 +110,39 @@ par::Schedule ScheduleChoice::parse(const std::string& value) {
 ExecutionPlan Backend::plan(const ExecContext& ctx) {
   std::shared_ptr<const ConvertedMap> converted;
   (void)resolve_map(ctx, converted);  // validates the choice against ctx
-  ExecutionPlan p =
-      make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}});
-  p.set_converted(std::move(converted));
-  return p;
+  return make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}},
+                   nullptr, std::move(converted));
 }
 
 void Backend::execute(const ExecContext& ctx) {
-  if (!cached_plan_.matches(ctx, name())) cached_plan_ = plan(ctx);
+  if (!cached_plan_.matches(ctx, cached_name())) cached_plan_ = plan(ctx);
   execute(cached_plan_, ctx);
+}
+
+const std::string& Backend::cached_name() const {
+  if (name_cache_.empty()) name_cache_ = name();
+  return name_cache_;
 }
 
 ExecutionPlan Backend::make_plan(const ExecContext& ctx,
                                  std::vector<par::Rect> tiles,
-                                 std::shared_ptr<void> state) const {
-  return ExecutionPlan(plan_key(ctx, name()), std::move(tiles),
-                       std::move(state));
+                                 std::shared_ptr<void> state,
+                                 std::shared_ptr<const ConvertedMap> converted,
+                                 KernelVariant variant) const {
+  ExecutionPlan p(plan_key(ctx, cached_name()), std::move(tiles),
+                  std::move(state));
+  const ExecContext ectx = converted ? converted->apply(ctx) : ctx;
+  p.set_converted(std::move(converted));
+  p.set_kernel(resolve_kernel(ectx, variant));
+  Workspace& ws = p.workspace();
+  ws.bytes_in_estimate = estimate_bytes_in(ectx);
+  ws.bytes_out_estimate = estimate_bytes_out(ectx);
+  return p;
 }
 
 void Backend::check_plan(const ExecutionPlan& plan,
                          const ExecContext& ctx) const {
-  FE_EXPECTS(plan.matches(ctx, name()));
+  FE_EXPECTS(plan.matches(ctx, cached_name()));
 }
 
 ExecContext Backend::resolve_map(
@@ -155,28 +167,18 @@ ExecContext Backend::resolve_map(
                           " supports bilinear interpolation only");
   auto conv = std::make_shared<ConvertedMap>();
   conv->mode = want;
-  switch (want) {
-    case MapMode::FloatLut:
-      break;  // pointer rewrite only; ctx.map is already present
-    case MapMode::PackedLut:
-      conv->packed = pack_map(*ctx.map, ctx.src.width, ctx.src.height,
-                              map_choice_.frac_bits);
-      break;
-    case MapMode::CompactLut:
-      conv->compact = compact_map(*ctx.map, ctx.src.width, ctx.src.height,
-                                  map_choice_.stride, map_choice_.frac_bits);
-      break;
-    case MapMode::OnTheFly:
-      throw InvalidArgument(name() + ": map= cannot select on-the-fly");
+  if (want == MapMode::PackedLut) {
+    conv->packed = pack_map(*ctx.map, ctx.src.width, ctx.src.height,
+                            map_choice_.frac_bits);
+  } else if (want == MapMode::CompactLut) {
+    conv->compact = compact_map(*ctx.map, ctx.src.width, ctx.src.height,
+                                map_choice_.stride, map_choice_.frac_bits);
+  } else if (want == MapMode::OnTheFly) {
+    throw InvalidArgument(name() + ": map= cannot select on-the-fly");
   }
+  // map=float is a pointer rewrite only; ctx.map is already present.
   converted = std::move(conv);
   return converted->apply(ctx);
-}
-
-ExecContext Backend::effective(const ExecutionPlan& plan,
-                               const ExecContext& ctx) noexcept {
-  const ConvertedMap* conv = plan.converted();
-  return conv != nullptr ? conv->apply(ctx) : ctx;
 }
 
 std::string Backend::decorate_spec(std::string spec) const {
@@ -186,43 +188,18 @@ std::string Backend::decorate_spec(std::string spec) const {
   return spec;
 }
 
-void execute_rect(const ExecContext& ctx, par::Rect rect) {
-  switch (ctx.mode) {
-    case MapMode::FloatLut:
-      FE_EXPECTS(ctx.map != nullptr);
-      remap_rect(ctx.src, ctx.dst, *ctx.map, rect, ctx.opts);
-      return;
-    case MapMode::PackedLut:
-      FE_EXPECTS(ctx.packed != nullptr);
-      FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
-      remap_packed_rect(ctx.src, ctx.dst, *ctx.packed, rect, ctx.opts.fill);
-      return;
-    case MapMode::CompactLut:
-      FE_EXPECTS(ctx.compact != nullptr);
-      FE_EXPECTS(ctx.opts.interp == Interp::Bilinear);
-      remap_compact_rect(ctx.src, ctx.dst, *ctx.compact, rect, ctx.opts.fill);
-      return;
-    case MapMode::OnTheFly:
-      FE_EXPECTS(ctx.camera != nullptr && ctx.view != nullptr);
-      remap_otf_rect(ctx.src, ctx.dst, *ctx.camera, *ctx.view, rect, ctx.opts,
-                     ctx.fast_math);
-      return;
-  }
-  throw InvalidArgument("execute_rect: unknown map mode");
-}
-
 void SerialBackend::execute(const ExecutionPlan& plan,
                             const ExecContext& ctx) {
   check_plan(plan, ctx);
-  const ExecContext ectx = effective(plan, ctx);
+  const ResolvedKernel& kernel = plan.kernel();
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   for (std::size_t i = 0; i < plan.tiles().size(); ++i) {
     const rt::Stopwatch sw;
-    execute_rect(ectx, plan.tiles()[i]);
+    kernel(ctx.src, ctx.dst, plan.tiles()[i]);
     inst.tile_seconds[i] = sw.elapsed_seconds();
   }
-  record_bytes(plan, ectx);
+  record_bytes(plan);
 }
 
 PoolBackend::PoolBackend(par::ThreadPool& pool) : PoolBackend(pool, Options{}) {}
@@ -262,35 +239,35 @@ ExecutionPlan PoolBackend::plan(const ExecContext& ctx) {
   std::vector<par::Rect> tiles =
       par::partition(ctx.dst.width, ctx.dst.height, options_.partition,
                      chunks, options_.tile_w, options_.tile_h);
-  std::shared_ptr<void> state;
-  if (options_.schedule == par::Schedule::Steal) {
+  const bool steal = options_.schedule == par::Schedule::Steal;
+  if (steal) {
     // Reorder the partition by source locality once, at plan time, and
     // pre-split it into the workers' initial deque runs. The effective
     // (post map=) context supplies the source boxes — it is what execute()
     // will actually gather from.
     tiles = order_tiles_by_source_locality(ectx, std::move(tiles));
-    state = make_steal_state(tiles, pool_.size());
   }
-  ExecutionPlan p = make_plan(ctx, std::move(tiles), std::move(state));
-  p.set_converted(std::move(converted));
+  ExecutionPlan p =
+      make_plan(ctx, std::move(tiles), nullptr, std::move(converted));
+  if (steal) init_steal_state(p.workspace(), pool_.size());
   return p;
 }
 
 void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
   check_plan(plan, ctx);
-  const ExecContext ectx = effective(plan, ctx);
+  const ResolvedKernel& kernel = plan.kernel();
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   if (options_.schedule == par::Schedule::Steal) {
-    const StealPlanState* st = plan.state<StealPlanState>();
-    FE_EXPECTS(st != nullptr);
+    const Workspace& ws = plan.workspace();
     if (!steal_) steal_ = std::make_unique<par::WorkStealingPool>(pool_);
     par::detail::ErrorSlot errors;
     const par::StealStats ss = steal_->run_ordered(
-        st->order.data(), st->order.size(), st->runs, [&](std::size_t i) {
+        ws.steal_order.data(), ws.steal_order.size(), ws.steal_runs,
+        [&](std::size_t i) {
           try {
             const rt::Stopwatch sw;
-            execute_rect(ectx, plan.tiles()[i]);
+            kernel(ctx.src, ctx.dst, plan.tiles()[i]);
             inst.tile_seconds[i] = sw.elapsed_seconds();
           } catch (...) {
             errors.capture();
@@ -299,7 +276,7 @@ void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
     inst.local_tiles = ss.local;
     inst.stolen_tiles = ss.stolen;
     inst.steals = ss.steals;
-    record_bytes(plan, ectx);
+    record_bytes(plan);
     errors.rethrow_if_set();
     return;
   }
@@ -307,11 +284,11 @@ void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
       pool_, plan.tiles().size(),
       [&](std::size_t i) {
         const rt::Stopwatch sw;
-        execute_rect(ectx, plan.tiles()[i]);
+        kernel(ctx.src, ctx.dst, plan.tiles()[i]);
         inst.tile_seconds[i] = sw.elapsed_seconds();
       },
       {options_.schedule, 1});
-  record_bytes(plan, ectx);
+  record_bytes(plan);
 }
 
 SimdBackend::SimdBackend(unsigned threads) {
@@ -329,45 +306,58 @@ std::string SimdBackend::name() const {
 
 ExecutionPlan SimdBackend::plan(const ExecContext& ctx) {
   std::shared_ptr<const ConvertedMap> converted;
-  const ExecContext ectx = resolve_map(ctx, converted);
-  // Two SoA kernels: float LUT and compact LUT (see remap_simd.hpp).
-  FE_EXPECTS((ectx.mode == MapMode::FloatLut && ectx.map != nullptr) ||
-             (ectx.mode == MapMode::CompactLut && ectx.compact != nullptr));
-  FE_EXPECTS(ectx.opts.interp == Interp::Bilinear);
-  // The SoA kernels support constant fill only.
-  FE_EXPECTS(ectx.opts.border == img::BorderMode::Constant);
-  ExecutionPlan p =
+  (void)resolve_map(ctx, converted);
+  // Two SoA kernels — float LUT and compact LUT, bilinear, constant border
+  // (see remap_simd.hpp); resolve_kernel rejects everything else.
+  std::vector<par::Rect> tiles =
       pool_ == nullptr
-          ? make_plan(ctx, {par::Rect{0, 0, ctx.dst.width, ctx.dst.height}})
-          : make_plan(ctx,
-                      par::partition(ctx.dst.width, ctx.dst.height,
-                                     par::PartitionKind::RowBlocks,
-                                     static_cast<int>(pool_->size()) * 4));
-  p.set_converted(std::move(converted));
+          ? std::vector<par::Rect>{par::Rect{0, 0, ctx.dst.width,
+                                             ctx.dst.height}}
+          : par::partition(ctx.dst.width, ctx.dst.height,
+                           par::PartitionKind::RowBlocks,
+                           static_cast<int>(pool_->size()) * 4);
+  ExecutionPlan p = make_plan(ctx, std::move(tiles), nullptr,
+                              std::move(converted), KernelVariant::SimdSoa);
+  // One SoA strip scratch per lane, owned by the plan: tiles borrow their
+  // lane's scratch instead of burning ~11 KB of stack per tile.
+  p.workspace().soa.resize(pool_ != nullptr ? pool_->size() : 1);
   return p;
 }
 
 void SimdBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
   check_plan(plan, ctx);
-  const ExecContext ectx = effective(plan, ctx);
+  const ResolvedKernel& kernel = plan.kernel();
+  Workspace& ws = plan.workspace();
   PlanInstrumentation& inst = plan.instrumentation();
-  inst.begin_frame(plan.tiles().size());
-  const auto run_tile = [&](std::size_t i) {
+  const std::size_t n = plan.tiles().size();
+  inst.begin_frame(n);
+  if (pool_ == nullptr) {
     const rt::Stopwatch sw;
-    if (ectx.mode == MapMode::CompactLut)
-      simd::remap_compact_soa(ectx.src, ectx.dst, *ectx.compact,
-                              plan.tiles()[i], ectx.opts.fill);
-    else
-      simd::remap_bilinear_soa(ectx.src, ectx.dst, *ectx.map, plan.tiles()[i],
-                               ectx.opts.fill);
-    inst.tile_seconds[i] = sw.elapsed_seconds();
-  };
-  if (pool_ == nullptr)
-    run_tile(0);
-  else
-    par::parallel_for_each(*pool_, plan.tiles().size(), run_tile,
-                           {par::Schedule::Dynamic, 1});
-  record_bytes(plan, ectx);
+    kernel(ctx.src, ctx.dst, plan.tiles()[0], ws.soa.data());
+    inst.tile_seconds[0] = sw.elapsed_seconds();
+    record_bytes(plan);
+    return;
+  }
+  // Self-scheduled dynamic loop: each lane owns one workspace scratch and
+  // pulls tiles off a shared cursor (the allocation-free equivalent of
+  // parallel_for_each with Schedule::Dynamic, chunk 1).
+  std::atomic<std::size_t> cursor{0};
+  par::detail::ErrorSlot errors;
+  pool_->run_indexed(ws.soa.size(), [&](std::size_t lane) {
+    simd::SoaScratch* scratch = ws.soa.data() + lane;
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        const rt::Stopwatch sw;
+        kernel(ctx.src, ctx.dst, plan.tiles()[i], scratch);
+        inst.tile_seconds[i] = sw.elapsed_seconds();
+      } catch (...) {
+        errors.capture();
+      }
+    }
+  });
+  record_bytes(plan);
+  errors.rethrow_if_set();
 }
 
 #ifdef _OPENMP
@@ -389,7 +379,6 @@ ExecutionPlan OpenMpBackend::plan(const ExecContext& ctx) {
   const ExecContext ectx = resolve_map(ctx, converted);
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
   std::vector<par::Rect> tiles;
-  std::shared_ptr<void> state;
   switch (schedule_) {
     case par::Schedule::Static:
       // One contiguous row block per thread, mirroring schedule(static)
@@ -410,41 +399,41 @@ ExecutionPlan OpenMpBackend::plan(const ExecContext& ctx) {
       tiles = order_tiles_by_source_locality(
           ectx, par::partition(ctx.dst.width, ctx.dst.height,
                                par::PartitionKind::Tiles, 0, 64, 64));
-      state = make_steal_state(tiles, static_cast<unsigned>(threads));
       break;
   }
-  ExecutionPlan p = make_plan(ctx, std::move(tiles), std::move(state));
-  p.set_converted(std::move(converted));
+  ExecutionPlan p =
+      make_plan(ctx, std::move(tiles), nullptr, std::move(converted));
+  if (schedule_ == par::Schedule::Steal)
+    init_steal_state(p.workspace(), static_cast<unsigned>(threads));
   return p;
 }
 
 void OpenMpBackend::execute(const ExecutionPlan& plan,
                             const ExecContext& ctx) {
   check_plan(plan, ctx);
-  const ExecContext ectx = effective(plan, ctx);
+  const ResolvedKernel& kernel = plan.kernel();
   PlanInstrumentation& inst = plan.instrumentation();
   inst.begin_frame(plan.tiles().size());
   const int threads = threads_ > 0 ? threads_ : omp_get_max_threads();
   const int n = static_cast<int>(plan.tiles().size());
   if (schedule_ == par::Schedule::Steal) {
-    const StealPlanState* st = plan.state<StealPlanState>();
-    FE_EXPECTS(st != nullptr);
+    Workspace& ws = plan.workspace();
     const unsigned team = static_cast<unsigned>(threads);
     if (!steal_ || steal_->workers() != team)
       steal_ = std::make_unique<par::StealScheduler>(team);
     // Runs were planned for `team` workers; if the OpenMP max-thread count
-    // moved under a threads-unspecified spec since planning, resplit.
-    const std::vector<std::size_t>* runs = &st->runs;
-    std::vector<std::size_t> resplit;
-    if (st->runs.size() != static_cast<std::size_t>(team) + 1) {
-      resplit = par::balanced_runs(plan.tiles().size(), team,
-                                   [&](std::size_t i) {
-                                     return static_cast<double>(
-                                         plan.tiles()[i].area());
-                                   });
-      runs = &resplit;
+    // moved under a threads-unspecified spec since planning, resplit into
+    // the workspace's reusable slot.
+    const std::vector<std::size_t>* runs = &ws.steal_runs;
+    if (ws.steal_runs.size() != static_cast<std::size_t>(team) + 1) {
+      par::balanced_runs_into(ws.resplit_runs, plan.tiles().size(), team,
+                              [&](std::size_t i) {
+                                return static_cast<double>(
+                                    plan.tiles()[i].area());
+                              });
+      runs = &ws.resplit_runs;
     }
-    steal_->begin_frame(st->order.data(), st->order.size(), *runs);
+    steal_->begin_frame(ws.steal_order.data(), ws.steal_order.size(), *runs);
     par::detail::ErrorSlot errors;
 #pragma omp parallel num_threads(threads)
     {
@@ -452,7 +441,7 @@ void OpenMpBackend::execute(const ExecutionPlan& plan,
                    [&](std::size_t i) {
                      try {
                        const rt::Stopwatch sw;
-                       execute_rect(ectx, plan.tiles()[i]);
+                       kernel(ctx.src, ctx.dst, plan.tiles()[i]);
                        inst.tile_seconds[i] = sw.elapsed_seconds();
                      } catch (...) {
                        errors.capture();
@@ -463,13 +452,13 @@ void OpenMpBackend::execute(const ExecutionPlan& plan,
     inst.local_tiles = ss.local;
     inst.stolen_tiles = ss.stolen;
     inst.steals = ss.steals;
-    record_bytes(plan, ectx);
+    record_bytes(plan);
     errors.rethrow_if_set();
     return;
   }
   const auto run_tile = [&](int i) {
     const rt::Stopwatch sw;
-    execute_rect(ectx, plan.tiles()[static_cast<std::size_t>(i)]);
+    kernel(ctx.src, ctx.dst, plan.tiles()[static_cast<std::size_t>(i)]);
     inst.tile_seconds[static_cast<std::size_t>(i)] = sw.elapsed_seconds();
   };
   switch (schedule_) {
@@ -489,7 +478,7 @@ void OpenMpBackend::execute(const ExecutionPlan& plan,
       break;
     }
   }
-  record_bytes(plan, ectx);
+  record_bytes(plan);
 }
 #endif
 

@@ -100,32 +100,39 @@ class Backend {
 
   /// Spec-selected map representation (the map= option). Participates in
   /// name(), so plans made under different choices never alias.
-  void set_map_choice(const MapChoice& choice) { map_choice_ = choice; }
+  void set_map_choice(const MapChoice& choice) {
+    map_choice_ = choice;
+    name_cache_.clear();
+  }
   [[nodiscard]] const MapChoice& map_choice() const noexcept {
     return map_choice_;
   }
 
  protected:
-  /// Stamp a plan with this backend's key for `ctx`.
+  /// Stamp a plan with this backend's key for `ctx`: resolves the tile
+  /// kernel (of `variant`) against the effective — post map= conversion —
+  /// context, attaches `converted`, and stores the plan-time byte
+  /// estimates in the plan's Workspace.
   [[nodiscard]] ExecutionPlan make_plan(
       const ExecContext& ctx, std::vector<par::Rect> tiles,
-      std::shared_ptr<void> state = nullptr) const;
+      std::shared_ptr<void> state = nullptr,
+      std::shared_ptr<const ConvertedMap> converted = nullptr,
+      KernelVariant variant = KernelVariant::Scalar) const;
 
   /// Validate plan/context agreement at the top of execute() overrides.
   void check_plan(const ExecutionPlan& plan, const ExecContext& ctx) const;
 
   /// Resolve map_choice() against `ctx`: the context the backend will
   /// actually execute. Fills `converted` (to be attached to the plan via
-  /// set_converted) when a representation change is needed; throws
+  /// make_plan) when a representation change is needed; throws
   /// InvalidArgument when the choice cannot be satisfied.
   [[nodiscard]] ExecContext resolve_map(
       const ExecContext& ctx,
       std::shared_ptr<const ConvertedMap>& converted) const;
 
-  /// Per-frame effective context under `plan`: applies the plan's
-  /// ConvertedMap (if any) to the caller's context.
-  [[nodiscard]] static ExecContext effective(const ExecutionPlan& plan,
-                                             const ExecContext& ctx) noexcept;
+  /// name(), computed once and cached: the steady-state paths compare it
+  /// every frame and must not pay a string allocation to do so.
+  [[nodiscard]] const std::string& cached_name() const;
 
   /// Append the canonical map= option to a spec string (no-op when unset).
   [[nodiscard]] std::string decorate_spec(std::string spec) const;
@@ -133,11 +140,8 @@ class Backend {
  private:
   ExecutionPlan cached_plan_;
   MapChoice map_choice_;
+  mutable std::string name_cache_;
 };
-
-/// Executes a rectangle of ctx.dst with the serial kernels; shared by every
-/// CPU backend below and by the accelerator simulators.
-void execute_rect(const ExecContext& ctx, par::Rect rect);
 
 /// Single-thread whole-frame execution (one plan tile).
 class SerialBackend final : public Backend {

@@ -60,6 +60,14 @@ std::vector<int> parse_x_list(const std::string& spec, const std::string& key,
 
 }  // namespace
 
+void require_spec_range(const BackendSpec& spec, const std::string& key,
+                        long long v, long long lo, long long hi) {
+  if (v < lo || v > hi)
+    throw InvalidArgument("backend spec '" + spec.text() + "': option '" +
+                          key + "' must be in [" + std::to_string(lo) + ", " +
+                          std::to_string(hi) + "], got " + std::to_string(v));
+}
+
 BackendSpec BackendSpec::parse(const std::string& spec) {
   BackendSpec s;
   s.text_ = spec;
@@ -204,6 +212,10 @@ std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
   o.chunks = spec.value_int("chunks", o.chunks);
   std::tie(o.tile_w, o.tile_h) = spec.value_dims("tile", o.tile_w, o.tile_h);
   const int threads = spec.value_int("threads", 0);
+  require_spec_range(spec, "threads", threads, 0, 1024);
+  require_spec_range(spec, "chunks/rows/cols", o.chunks, 0, 1 << 20);
+  require_spec_range(spec, "tile", o.tile_w, 1, 1 << 16);
+  require_spec_range(spec, "tile", o.tile_h, 1, 1 << 16);
   auto backend = std::make_unique<PoolBackend>(o,
                                                static_cast<unsigned>(threads));
   apply_map_option(spec, *backend);
@@ -215,7 +227,9 @@ constexpr const char* kSimdOptions =
     "threads=N (1 = no pool), map=float|compact:<stride>";
 
 std::unique_ptr<Backend> make_simd(BackendSpec& spec) {
-  const int threads = spec.value_int("threads", -1);
+  const std::optional<std::string> tv = spec.value("threads");
+  const int threads = tv ? parse_int(spec.text(), "threads", *tv) : -1;
+  if (tv) require_spec_range(spec, "threads", threads, 0, 1024);
   auto backend =
       threads < 0 ? std::make_unique<SimdBackend>(&par::default_pool())
                   : std::make_unique<SimdBackend>(
@@ -245,6 +259,7 @@ BackendRegistry::BackendRegistry() {
       "map=float|packed|compact:<stride>",
       [](BackendSpec& spec) -> std::unique_ptr<Backend> {
         const int threads = spec.value_int("threads", 0);
+        require_spec_range(spec, "threads", threads, 0, 1024);
         const par::Schedule schedule =
             schedule_option(spec, par::Schedule::Static);
         auto backend = std::make_unique<OpenMpBackend>(threads, schedule);
@@ -302,6 +317,7 @@ std::unique_ptr<Backend> BackendRegistry::create(const std::string& spec) {
   BackendSpec parsed = BackendSpec::parse(spec);
   BackendRegistry& reg = instance();
   Factory factory;
+  std::string summary;
   {
     const std::scoped_lock lock(reg.mu_);
     const auto it = std::find_if(
@@ -315,8 +331,14 @@ std::unique_ptr<Backend> BackendRegistry::create(const std::string& spec) {
       throw InvalidArgument(os.str());
     }
     factory = it->second.factory;
+    summary = it->second.summary;
   }
-  return factory(parsed);
+  std::unique_ptr<Backend> backend = factory(parsed);
+  // Registry-level backstop: even if a factory forgets its own finish(),
+  // no spec with unconsumed (typo'd or unknown) options ever constructs a
+  // backend silently — the leftover token is named in the error.
+  parsed.finish(summary);
+  return backend;
 }
 
 }  // namespace fisheye::core

@@ -145,6 +145,13 @@ class BackendRegistry {
 /// unknown map formats or bad strides.
 void apply_map_option(BackendSpec& spec, Backend& backend);
 
+/// Factory-level bounds check: throws InvalidArgument (user input, not a
+/// contract violation) when `v` falls outside [lo, hi], naming the spec and
+/// option. Every factory validates its numeric options with this so no
+/// spec string can reach an internal FE_EXPECTS deeper in the stack.
+void require_spec_range(const BackendSpec& spec, const std::string& key,
+                        long long v, long long lo, long long hi);
+
 /// Static-object helper for self-registering translation units.
 struct BackendRegistrar {
   BackendRegistrar(std::string kind, std::string summary,

@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "core/remap.hpp"
+#include "core/execution_plan.hpp"
+#include "core/kernel.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::cv_compat {
@@ -45,8 +46,13 @@ void remap(img::ConstImageView<std::uint8_t> src,
            img::ImageView<std::uint8_t> dst, const core::WarpMap& map,
            core::Interp interp, img::BorderMode border,
            std::uint8_t border_value) {
-  core::remap_rect(src, dst, map, {0, 0, dst.width, dst.height},
-                   {interp, border, border_value});
+  core::ExecContext ctx;
+  ctx.src = src;
+  ctx.dst = dst;
+  ctx.map = &map;
+  ctx.mode = core::MapMode::FloatLut;
+  ctx.opts = {interp, border, border_value};
+  core::resolve_kernel(ctx)(src, dst, {0, 0, dst.width, dst.height});
 }
 
 }  // namespace fisheye::cv_compat

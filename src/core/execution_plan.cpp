@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "simd/remap_simd.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::core {
@@ -19,34 +20,8 @@ PlanKey plan_key(const ExecContext& ctx, std::string backend_name) {
   k.border = ctx.opts.border;
   k.fill = ctx.opts.fill;
   k.fast_math = ctx.fast_math;
-  switch (ctx.mode) {
-    case MapMode::FloatLut:
-      FE_EXPECTS(ctx.map != nullptr);
-      k.map = ctx.map;
-      k.map_generation = ctx.map->generation;
-      k.map_width = ctx.map->width;
-      k.map_height = ctx.map->height;
-      break;
-    case MapMode::PackedLut:
-      FE_EXPECTS(ctx.packed != nullptr);
-      k.map = ctx.packed;
-      k.map_generation = ctx.packed->generation;
-      k.map_width = ctx.packed->width;
-      k.map_height = ctx.packed->height;
-      break;
-    case MapMode::CompactLut:
-      FE_EXPECTS(ctx.compact != nullptr);
-      k.map = ctx.compact;
-      k.map_generation = ctx.compact->generation;
-      k.map_width = ctx.compact->width;
-      k.map_height = ctx.compact->height;
-      k.map_stride = ctx.compact->stride;
-      break;
-    case MapMode::OnTheFly:
-      k.camera = ctx.camera;
-      k.view = ctx.view;
-      break;
-  }
+  k.map = map_identity(ctx);
+  FE_EXPECTS(k.map.present);
   return k;
 }
 
@@ -57,40 +32,23 @@ ExecContext ConvertedMap::apply(ExecContext ctx) const noexcept {
   return ctx;
 }
 
-std::size_t estimate_bytes_in(const ExecContext& ctx) noexcept {
-  const std::size_t px = static_cast<std::size_t>(ctx.dst.width) *
-                         static_cast<std::size_t>(ctx.dst.height);
-  const std::size_t ch = static_cast<std::size_t>(ctx.src.channels);
-  std::size_t lut = 0;
-  switch (ctx.mode) {
-    case MapMode::FloatLut: lut = px * 2 * sizeof(float); break;
-    case MapMode::PackedLut: lut = px * 2 * sizeof(std::int32_t); break;
-    case MapMode::CompactLut:
-      // The whole grid is streamed once per frame, not 8 bytes per pixel —
-      // the bandwidth win the compact representation exists for.
-      lut = ctx.compact != nullptr ? ctx.compact->bytes() : 0;
-      break;
-    case MapMode::OnTheFly: lut = 0; break;
-  }
-  // Bilinear reads up to four taps per pixel per channel; nearest one.
-  const std::size_t taps = ctx.opts.interp == Interp::Bilinear ? 4 : 1;
-  return lut + px * ch * taps;
-}
-
-std::size_t estimate_bytes_out(const ExecContext& ctx) noexcept {
-  return static_cast<std::size_t>(ctx.dst.width) *
-         static_cast<std::size_t>(ctx.dst.height) *
-         static_cast<std::size_t>(ctx.src.channels);
-}
+Workspace::Workspace() = default;
+Workspace::~Workspace() = default;
 
 ExecutionPlan::ExecutionPlan(PlanKey key, std::vector<par::Rect> tiles,
                              std::shared_ptr<void> state)
     : key_(std::move(key)),
-      tiles_(std::move(tiles)),
+      ws_(std::make_shared<Workspace>()),
       state_(std::move(state)),
       inst_(std::make_shared<PlanInstrumentation>()) {
-  FE_EXPECTS(!tiles_.empty());
-  inst_->tile_seconds.reserve(tiles_.size());
+  FE_EXPECTS(!tiles.empty());
+  ws_->tiles = std::move(tiles);
+  inst_->tile_seconds.reserve(ws_->tiles.size());
+}
+
+const std::vector<par::Rect>& ExecutionPlan::tiles() const noexcept {
+  static const std::vector<par::Rect> kNone;
+  return ws_ ? ws_->tiles : kNone;
 }
 
 bool ExecutionPlan::matches(const ExecContext& ctx,
@@ -106,27 +64,8 @@ bool ExecutionPlan::matches(const ExecContext& ctx,
       key_.border != ctx.opts.border || key_.fill != ctx.opts.fill ||
       key_.fast_math != ctx.fast_math)
     return false;
-  switch (ctx.mode) {
-    case MapMode::FloatLut:
-      return ctx.map != nullptr && key_.map == ctx.map &&
-             key_.map_generation == ctx.map->generation &&
-             key_.map_width == ctx.map->width &&
-             key_.map_height == ctx.map->height;
-    case MapMode::PackedLut:
-      return ctx.packed != nullptr && key_.map == ctx.packed &&
-             key_.map_generation == ctx.packed->generation &&
-             key_.map_width == ctx.packed->width &&
-             key_.map_height == ctx.packed->height;
-    case MapMode::CompactLut:
-      return ctx.compact != nullptr && key_.map == ctx.compact &&
-             key_.map_generation == ctx.compact->generation &&
-             key_.map_width == ctx.compact->width &&
-             key_.map_height == ctx.compact->height &&
-             key_.map_stride == ctx.compact->stride;
-    case MapMode::OnTheFly:
-      return key_.camera == ctx.camera && key_.view == ctx.view;
-  }
-  return false;
+  const MapIdentity id = map_identity(ctx);
+  return id.present && id == key_.map;
 }
 
 rt::TileStats ExecutionPlan::tile_stats() const {

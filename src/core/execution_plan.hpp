@@ -13,11 +13,16 @@
 // options, and the owning backend's canonical name. Anything in the key
 // changing invalidates the plan.
 //
-// Plans also carry per-tile instrumentation slots: every backend —
-// serial, pooled, SIMD, and the accelerator simulators — fills one
-// seconds slot per tile each frame (wall-clock on CPU, cycle-model on the
-// simulators) plus byte counters, summarized uniformly through
-// rt::summarize_tiles.
+// A plan owns three kinds of per-plan storage:
+//  * a ResolvedKernel — the tile compute function, looked up in the kernel
+//    catalogue (core/kernel.hpp) once at plan time;
+//  * a Workspace arena — the tile vector plus every steady-state scratch
+//    buffer (steal order/runs, resplit runs, SIMD SoA strips), sized at
+//    plan time so execute() performs no heap allocation;
+//  * per-tile instrumentation slots: every backend — serial, pooled, SIMD,
+//    and the accelerator simulators — fills one seconds slot per tile each
+//    frame (wall-clock on CPU, cycle-model on the simulators) plus byte
+//    counters, summarized uniformly through rt::summarize_tiles.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/kernel.hpp"
 #include "core/mapping.hpp"
 #include "core/remap.hpp"
 #include "image/image.hpp"
@@ -37,25 +43,6 @@ namespace fisheye::core {
 
 class FisheyeCamera;
 class ViewProjection;
-
-/// How source coordinates are obtained per output pixel.
-enum class MapMode {
-  FloatLut,    ///< precomputed float WarpMap
-  PackedLut,   ///< precomputed fixed-point PackedMap (bilinear only)
-  CompactLut,  ///< block-subsampled CompactMap, reconstructed per pixel
-               ///< (bilinear only)
-  OnTheFly,    ///< recomputed per pixel from camera + view
-};
-
-[[nodiscard]] constexpr const char* map_mode_name(MapMode m) noexcept {
-  switch (m) {
-    case MapMode::FloatLut: return "float-lut";
-    case MapMode::PackedLut: return "packed-lut";
-    case MapMode::CompactLut: return "compact-lut";
-    case MapMode::OnTheFly: return "on-the-fly";
-  }
-  return "?";
-}
 
 /// Everything a backend needs to produce one output frame. Pointers are
 /// non-owning and valid for the duration of execute(); which of map/packed/
@@ -98,17 +85,9 @@ struct PlanKey {
   img::BorderMode border = img::BorderMode::Constant;
   std::uint8_t fill = 0;
   bool fast_math = false;
-  /// Map identity: address + generation + dims (WarpMap, PackedMap or
-  /// CompactMap, per mode); generation defeats address recycling.
-  const void* map = nullptr;
-  std::uint64_t map_generation = 0;
-  int map_width = 0, map_height = 0;
-  /// Grid pitch for CompactLut (0 otherwise): plans built for different
-  /// subsampling strides are never interchangeable.
-  int map_stride = 0;
-  /// OnTheFly identity (camera/view live for the corrector's lifetime).
-  const void* camera = nullptr;
-  const void* view = nullptr;
+  /// Identity of the coordinate source (core/kernel.hpp): table address +
+  /// generation + dims per mode, or the camera/view pair for on-the-fly.
+  MapIdentity map;
 };
 
 /// Build the key for `ctx` as planned by a backend named `backend_name`.
@@ -118,6 +97,7 @@ struct PlanKey {
 /// Analytic traffic estimate for one frame of `ctx`: LUT reads plus the
 /// bilinear tap upper bound (in), destination writes (out). CPU backends
 /// report these; the simulators report their modeled DMA/DDR counts.
+/// (Defined in core/kernel.cpp with the rest of the per-mode logic.)
 [[nodiscard]] std::size_t estimate_bytes_in(const ExecContext& ctx) noexcept;
 [[nodiscard]] std::size_t estimate_bytes_out(const ExecContext& ctx) noexcept;
 
@@ -146,11 +126,41 @@ struct PlanInstrumentation {
   }
 };
 
-/// One-time execution recipe: the tile decomposition, optional
-/// backend-private prepared state (reorganized maps, platform instances),
-/// and the instrumentation slots. Cheap to copy (shared state); a given
-/// plan may be *executed* by at most one thread at a time because frames
-/// write its instrumentation slots.
+/// Per-plan arena: every buffer the steady-state execute path touches,
+/// sized at plan time so frames allocate nothing. The tile decomposition
+/// lives here too — the plan IS its workspace, and backends annotate it
+/// with whatever schedule state they need (steal order/runs, SoA scratch).
+/// Like the instrumentation slots, the workspace is written by execution,
+/// which is why a plan may be executed by one thread at a time.
+struct Workspace {
+  Workspace();
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The plan's tile decomposition (schedule order for steal plans).
+  std::vector<par::Rect> tiles;
+  /// schedule=steal: tile indices in schedule order (identity permutation
+  /// over `tiles`, which are stored pre-ordered) and the per-worker
+  /// initial deque runs (see par::balanced_runs).
+  std::vector<std::uint32_t> steal_order;
+  std::vector<std::size_t> steal_runs;
+  /// Re-balanced runs for frames whose worker count differs from the
+  /// planned one (OpenMP teams can move); reused across frames.
+  std::vector<std::size_t> resplit_runs;
+  /// One SoA strip scratch per SIMD lane (simd/remap_simd.hpp).
+  std::vector<simd::SoaScratch> soa;
+  /// Analytic per-frame traffic, computed once at plan time.
+  std::size_t bytes_in_estimate = 0;
+  std::size_t bytes_out_estimate = 0;
+};
+
+/// One-time execution recipe: the tile decomposition and scratch arena
+/// (Workspace), the resolved tile kernel, optional backend-private prepared
+/// state (reorganized maps, platform instances), and the instrumentation
+/// slots. Cheap to copy (shared state); a given plan may be *executed* by
+/// at most one thread at a time because frames write its workspace and
+/// instrumentation slots.
 class ExecutionPlan {
  public:
   ExecutionPlan() = default;  ///< invalid; matches() nothing
@@ -166,9 +176,18 @@ class ExecutionPlan {
                              std::string_view backend_name) const noexcept;
 
   [[nodiscard]] const PlanKey& key() const noexcept { return key_; }
-  [[nodiscard]] const std::vector<par::Rect>& tiles() const noexcept {
-    return tiles_;
+  [[nodiscard]] const std::vector<par::Rect>& tiles() const noexcept;
+
+  /// The plan-time resolved tile compute function (invalid on plans built
+  /// by backends that execute outside the catalogue — none today).
+  [[nodiscard]] const ResolvedKernel& kernel() const noexcept {
+    return kernel_;
   }
+  void set_kernel(ResolvedKernel k) noexcept { kernel_ = k; }
+
+  /// Scratch arena; mutable through a const plan, like instrumentation()
+  /// (execution fills scratch, it does not change what the plan *is*).
+  [[nodiscard]] Workspace& workspace() const noexcept { return *ws_; }
 
   /// Backend-private prepared state (type known to the owning backend).
   template <class T>
@@ -196,7 +215,8 @@ class ExecutionPlan {
 
  private:
   PlanKey key_;
-  std::vector<par::Rect> tiles_;
+  ResolvedKernel kernel_;
+  std::shared_ptr<Workspace> ws_;
   std::shared_ptr<void> state_;
   std::shared_ptr<const ConvertedMap> converted_;
   std::shared_ptr<PlanInstrumentation> inst_;

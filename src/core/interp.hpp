@@ -15,6 +15,16 @@
 #include "image/image.hpp"
 #include "util/mathx.hpp"
 
+// GCC's -Wstringop-overflow mis-models the per-channel `out[c]` loops
+// below: after vectorization it assumes a worst-case store width even
+// though `channels` is bounded by the caller's buffer at every call site.
+// Silence the false positive at the definition site so -Werror builds of
+// including TUs stay clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+
 namespace fisheye::core {
 
 enum class Interp { Nearest, Bilinear, Bicubic, Lanczos3 };
@@ -188,16 +198,11 @@ inline void sample_lanczos3(img::ConstImageView<std::uint8_t> src, float sx,
   }
 }
 
-/// Runtime-dispatched sample (slow path; executors specialize per kernel).
-inline void sample(Interp interp, img::ConstImageView<std::uint8_t> src,
-                   float sx, float sy, img::BorderMode mode, std::uint8_t fill,
-                   std::uint8_t* out) noexcept {
-  switch (interp) {
-    case Interp::Nearest: sample_nearest(src, sx, sy, mode, fill, out); return;
-    case Interp::Bilinear: sample_bilinear(src, sx, sy, mode, fill, out); return;
-    case Interp::Bicubic: sample_bicubic(src, sx, sy, mode, fill, out); return;
-    case Interp::Lanczos3: sample_lanczos3(src, sx, sy, mode, fill, out); return;
-  }
-}
+// Runtime Interp dispatch lives in core/kernel.cpp (sample_kernel /
+// resolve_kernel): resolve a function pointer once, outside pixel loops.
 
 }  // namespace fisheye::core
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

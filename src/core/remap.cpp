@@ -39,40 +39,47 @@ void remap_rect_generic(img::ConstImageView<std::uint8_t> src,
 
 }  // namespace
 
-void remap_rect_offset(img::ConstImageView<std::uint8_t> src,
-                       img::ImageView<std::uint8_t> dst, const WarpMap& map,
-                       par::Rect rect, int src_off_x, int src_off_y,
-                       const RemapOptions& opts) {
-  switch (opts.interp) {
-    case Interp::Nearest:
-      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
-                         [](auto&&... args) { sample_nearest(args...); });
-      return;
-    case Interp::Bilinear:
-      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
-                         [](auto&&... args) { sample_bilinear(args...); });
-      return;
-    case Interp::Bicubic:
-      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
-                         [](auto&&... args) { sample_bicubic(args...); });
-      return;
-    case Interp::Lanczos3:
-      remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
-                         [](auto&&... args) { sample_lanczos3(args...); });
-      return;
-  }
-  throw InvalidArgument("remap: unknown interpolation");
+namespace detail {
+
+void remap_rect_nearest(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                        par::Rect rect, int src_off_x, int src_off_y,
+                        const RemapOptions& opts) {
+  remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                     [](auto&&... args) { sample_nearest(args...); });
 }
 
-void remap_rect(img::ConstImageView<std::uint8_t> src,
-                img::ImageView<std::uint8_t> dst, const WarpMap& map,
-                par::Rect rect, const RemapOptions& opts) {
-  remap_rect_offset(src, dst, map, rect, 0, 0, opts);
+void remap_rect_bilinear(img::ConstImageView<std::uint8_t> src,
+                         img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                         par::Rect rect, int src_off_x, int src_off_y,
+                         const RemapOptions& opts) {
+  remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                     [](auto&&... args) { sample_bilinear(args...); });
 }
 
-void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
-                       img::ImageView<std::uint8_t> dst, const PackedMap& map,
-                       par::Rect rect, std::uint8_t fill) {
+void remap_rect_bicubic(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                        par::Rect rect, int src_off_x, int src_off_y,
+                        const RemapOptions& opts) {
+  remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                     [](auto&&... args) { sample_bicubic(args...); });
+}
+
+void remap_rect_lanczos3(img::ConstImageView<std::uint8_t> src,
+                         img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                         par::Rect rect, int src_off_x, int src_off_y,
+                         const RemapOptions& opts) {
+  remap_rect_generic(src, dst, map, rect, src_off_x, src_off_y, opts,
+                     [](auto&&... args) { sample_lanczos3(args...); });
+}
+
+}  // namespace detail
+
+void remap_packed_rect_offset(img::ConstImageView<std::uint8_t> src,
+                              img::ImageView<std::uint8_t> dst,
+                              const PackedMap& map, par::Rect rect,
+                              int src_off_x, int src_off_y, int src_width,
+                              int src_height, std::uint8_t fill) {
   FE_EXPECTS(src.channels == dst.channels);
   FE_EXPECTS(map.width == dst.width && map.height == dst.height);
   expect_rect_in(rect, dst.width, dst.height);
@@ -99,21 +106,33 @@ void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
       const int y0 = fy >> frac;
       const int ax = ((fx & frac_mask) >> wshift) << wscale_up;  // 0..256
       const int ay = ((fy & frac_mask) >> wshift) << wscale_up;
-      const int x1 = x0 + 1 < src.width ? x0 + 1 : x0;
-      const int y1 = y0 + 1 < src.height ? y0 + 1 : y0;
-      const std::uint8_t* r0 = src.row(y0);
-      const std::uint8_t* r1 = src.row(y1);
+      // The +1 taps clamp against the FULL-frame dims the map was packed
+      // for, not the window: the edge-pixel behaviour must not depend on
+      // how the frame was tiled.
+      const int x1 = x0 + 1 < src_width ? x0 + 1 : x0;
+      const int y1 = y0 + 1 < src_height ? y0 + 1 : y0;
+      const std::uint8_t* r0 = src.row(y0 - src_off_y);
+      const std::uint8_t* r1 = src.row(y1 - src_off_y);
+      const int lx0 = (x0 - src_off_x) * ch;
+      const int lx1 = (x1 - src_off_x) * ch;
       const int w00 = (256 - ax) * (256 - ay);
       const int w10 = ax * (256 - ay);
       const int w01 = (256 - ax) * ay;
       const int w11 = ax * ay;
       for (int c = 0; c < ch; ++c) {
-        const int v = w00 * r0[x0 * ch + c] + w10 * r0[x1 * ch + c] +
-                      w01 * r1[x0 * ch + c] + w11 * r1[x1 * ch + c];
+        const int v = w00 * r0[lx0 + c] + w10 * r0[lx1 + c] +
+                      w01 * r1[lx0 + c] + w11 * r1[lx1 + c];
         out[c] = static_cast<std::uint8_t>((v + (1 << 15)) >> 16);
       }
     }
   }
+}
+
+void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst, const PackedMap& map,
+                       par::Rect rect, std::uint8_t fill) {
+  remap_packed_rect_offset(src, dst, map, rect, 0, 0, src.width, src.height,
+                           fill);
 }
 
 void remap_compact_rect_offset(img::ConstImageView<std::uint8_t> src,
@@ -234,12 +253,12 @@ util::Vec2 project_fast(const FisheyeCamera& camera,
   return {camera.cx() + ray.x * inv, camera.cy() + ray.y * inv};
 }
 
-}  // namespace
-
-void remap_otf_rect(img::ConstImageView<std::uint8_t> src,
-                    img::ImageView<std::uint8_t> dst,
-                    const FisheyeCamera& camera, const ViewProjection& view,
-                    par::Rect rect, const RemapOptions& opts, bool fast_math) {
+template <class SampleFn>
+void remap_otf_generic(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const FisheyeCamera& camera, const ViewProjection& view,
+                       par::Rect rect, const RemapOptions& opts,
+                       bool fast_math, SampleFn&& sample_fn) {
   FE_EXPECTS(src.channels == dst.channels);
   FE_EXPECTS(view.width() == dst.width && view.height() == dst.height);
   expect_rect_in(rect, dst.width, dst.height);
@@ -250,11 +269,53 @@ void remap_otf_rect(img::ConstImageView<std::uint8_t> src,
       const util::Vec2 s =
           fast_math ? project_fast(camera, view, x, y)
                     : project_exact(camera, view, x, y);
-      sample(opts.interp, src, static_cast<float>(s.x),
-             static_cast<float>(s.y), opts.border, opts.fill,
-             out_row + static_cast<std::size_t>(x) * dst.channels);
+      sample_fn(src, static_cast<float>(s.x), static_cast<float>(s.y),
+                opts.border, opts.fill,
+                out_row + static_cast<std::size_t>(x) * dst.channels);
     }
   }
 }
+
+}  // namespace
+
+namespace detail {
+
+void remap_otf_nearest(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const FisheyeCamera& camera, const ViewProjection& view,
+                       par::Rect rect, const RemapOptions& opts,
+                       bool fast_math) {
+  remap_otf_generic(src, dst, camera, view, rect, opts, fast_math,
+                    [](auto&&... args) { sample_nearest(args...); });
+}
+
+void remap_otf_bilinear(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const FisheyeCamera& camera,
+                        const ViewProjection& view, par::Rect rect,
+                        const RemapOptions& opts, bool fast_math) {
+  remap_otf_generic(src, dst, camera, view, rect, opts, fast_math,
+                    [](auto&&... args) { sample_bilinear(args...); });
+}
+
+void remap_otf_bicubic(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const FisheyeCamera& camera, const ViewProjection& view,
+                       par::Rect rect, const RemapOptions& opts,
+                       bool fast_math) {
+  remap_otf_generic(src, dst, camera, view, rect, opts, fast_math,
+                    [](auto&&... args) { sample_bicubic(args...); });
+}
+
+void remap_otf_lanczos3(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const FisheyeCamera& camera,
+                        const ViewProjection& view, par::Rect rect,
+                        const RemapOptions& opts, bool fast_math) {
+  remap_otf_generic(src, dst, camera, view, rect, opts, fast_math,
+                    [](auto&&... args) { sample_lanczos3(args...); });
+}
+
+}  // namespace detail
 
 }  // namespace fisheye::core

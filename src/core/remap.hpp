@@ -56,6 +56,18 @@ void remap_packed_rect(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst, const PackedMap& map,
                        par::Rect rect, std::uint8_t fill);
 
+/// Windowed variant: `src` is a copied sub-window of the real source whose
+/// top-left corner sits at (src_off_x, src_off_y) in full-frame
+/// coordinates. The +1-tap clamp needs the full-frame source dimensions
+/// the map was packed against — a PackedMap does not record them (its
+/// serialized format predates windowed execution), so they are passed
+/// explicitly. The window must cover every valid entry's 2x2 footprint.
+void remap_packed_rect_offset(img::ConstImageView<std::uint8_t> src,
+                              img::ImageView<std::uint8_t> dst,
+                              const PackedMap& map, par::Rect rect,
+                              int src_off_x, int src_off_y, int src_width,
+                              int src_height, std::uint8_t fill);
+
 /// Compact-map remap: reconstructs each pixel's fixed-point source
 /// coordinate from the stride×stride grid (integer bilinear interpolation,
 /// incremental per row), re-tests it against the source bounds, then runs
@@ -86,5 +98,51 @@ void remap_otf_rect(img::ConstImageView<std::uint8_t> src,
                     const FisheyeCamera& camera, const ViewProjection& view,
                     par::Rect rect, const RemapOptions& opts,
                     bool fast_math = false);
+
+namespace detail {
+
+/// Monomorphized executors, one per interpolation kernel. The public
+/// remap_rect/remap_otf_rect entry points and the tile-kernel catalogue
+/// (core/kernel.cpp — the library's ONLY runtime interpolation dispatch)
+/// resolve onto these; nothing below this layer branches on Interp.
+void remap_rect_nearest(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                        par::Rect rect, int src_off_x, int src_off_y,
+                        const RemapOptions& opts);
+void remap_rect_bilinear(img::ConstImageView<std::uint8_t> src,
+                         img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                         par::Rect rect, int src_off_x, int src_off_y,
+                         const RemapOptions& opts);
+void remap_rect_bicubic(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                        par::Rect rect, int src_off_x, int src_off_y,
+                        const RemapOptions& opts);
+void remap_rect_lanczos3(img::ConstImageView<std::uint8_t> src,
+                         img::ImageView<std::uint8_t> dst, const WarpMap& map,
+                         par::Rect rect, int src_off_x, int src_off_y,
+                         const RemapOptions& opts);
+
+void remap_otf_nearest(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const FisheyeCamera& camera, const ViewProjection& view,
+                       par::Rect rect, const RemapOptions& opts,
+                       bool fast_math);
+void remap_otf_bilinear(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const FisheyeCamera& camera,
+                        const ViewProjection& view, par::Rect rect,
+                        const RemapOptions& opts, bool fast_math);
+void remap_otf_bicubic(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const FisheyeCamera& camera, const ViewProjection& view,
+                       par::Rect rect, const RemapOptions& opts,
+                       bool fast_math);
+void remap_otf_lanczos3(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const FisheyeCamera& camera,
+                        const ViewProjection& view, par::Rect rect,
+                        const RemapOptions& opts, bool fast_math);
+
+}  // namespace detail
 
 }  // namespace fisheye::core

@@ -6,35 +6,9 @@
 
 namespace fisheye::core {
 
-std::vector<par::Rect> source_locality_keys(
-    const ExecContext& ctx, const std::vector<par::Rect>& tiles) {
-  std::vector<par::Rect> keys;
-  keys.reserve(tiles.size());
-  switch (ctx.mode) {
-    case MapMode::FloatLut:
-      if (ctx.map != nullptr) {
-        for (const par::Rect& t : tiles)
-          keys.push_back(
-              source_bbox(*ctx.map, t, ctx.src.width, ctx.src.height));
-        return keys;
-      }
-      break;
-    case MapMode::CompactLut:
-      if (ctx.compact != nullptr) {
-        for (const par::Rect& t : tiles)
-          keys.push_back(source_bbox(*ctx.compact, t));
-        return keys;
-      }
-      break;
-    case MapMode::PackedLut:
-    case MapMode::OnTheFly:
-      break;
-  }
-  // No per-pixel source table to query: key on the output tiles. They are
-  // never empty, so none get demoted to the fill tail.
-  keys = tiles;
-  return keys;
-}
+// source_locality_keys lives in core/kernel.cpp: the per-representation
+// source-extent query is part of the map-mode dispatch the kernel
+// catalogue centralizes.
 
 std::vector<par::Rect> order_tiles_by_source_locality(
     const ExecContext& ctx, std::vector<par::Rect> tiles) {

@@ -28,7 +28,19 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::scoped_lock lock(mu_);
     FE_EXPECTS(!stopping_);
-    queue_.push_back(std::move(task));
+    if (ring_count_ == ring_.size()) {
+      // Grow and restore contiguity. Rare: capacity is bounded by the peak
+      // outstanding-task count (the lane count for run_indexed frames), so
+      // steady-state frames never reach here.
+      std::vector<std::function<void()>> bigger(
+          std::max<std::size_t>(ring_.size() * 2, 16));
+      for (std::size_t i = 0; i < ring_count_; ++i)
+        bigger[i] = std::move(ring_[(ring_head_ + i) % ring_.size()]);
+      ring_ = std::move(bigger);
+      ring_head_ = 0;
+    }
+    ring_[(ring_head_ + ring_count_) % ring_.size()] = std::move(task);
+    ++ring_count_;
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -44,10 +56,11 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_task_.wait(lock, [this] { return stopping_ || ring_count_ != 0; });
+      if (ring_count_ == 0) return;  // stopping_ and drained
+      task = std::move(ring_[ring_head_]);
+      ring_head_ = (ring_head_ + 1) % ring_.size();
+      --ring_count_;
     }
     task();
     {

@@ -11,7 +11,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -102,7 +101,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  /// Task queue as a ring over a capacity-stable vector (a deque's block
+  /// churn allocates as the queue cycles; this one stops allocating once
+  /// grown to the peak outstanding-task count). Slots hold small pointer
+  /// captures, so assigning into a slot stays within std::function's SBO.
+  std::vector<std::function<void()>> ring_;
+  std::size_t ring_head_ = 0;   ///< index of the oldest queued task
+  std::size_t ring_count_ = 0;  ///< queued (not yet popped) tasks
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -252,14 +252,16 @@ class WorkStealingPool {
 };
 
 /// Split the (already ordered) tile sequence into workers() contiguous
-/// initial runs of near-equal total weight; returns the runs offsets
-/// (workers + 1 entries). `weight(i)` is the balance proxy for item i —
-/// tile area for the pooled backends.
+/// initial runs of near-equal total weight, writing the runs offsets
+/// (workers + 1 entries) into `runs`. `weight(i)` is the balance proxy for
+/// item i — tile area for the pooled backends. Writing into a caller-owned
+/// vector lets steady-state resplits reuse its capacity (no allocation
+/// after the first frame).
 template <class WeightFn>
-std::vector<std::size_t> balanced_runs(std::size_t n, unsigned workers,
-                                       WeightFn&& weight) {
+void balanced_runs_into(std::vector<std::size_t>& runs, std::size_t n,
+                        unsigned workers, WeightFn&& weight) {
   FE_EXPECTS(workers >= 1);
-  std::vector<std::size_t> runs(workers + 1, n);
+  runs.assign(workers + 1, n);
   runs[0] = 0;
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) total += weight(i);
@@ -275,6 +277,14 @@ std::vector<std::size_t> balanced_runs(std::size_t n, unsigned workers,
     }
   }
   for (; w < workers; ++w) runs[w] = std::max(runs[w - 1], runs[w]);
+}
+
+/// Convenience form returning a fresh runs vector.
+template <class WeightFn>
+std::vector<std::size_t> balanced_runs(std::size_t n, unsigned workers,
+                                       WeightFn&& weight) {
+  std::vector<std::size_t> runs;
+  balanced_runs_into(runs, n, workers, std::forward<WeightFn>(weight));
   return runs;
 }
 

@@ -8,20 +8,6 @@ namespace fisheye::simd {
 
 namespace {
 
-// Strip length processed per scratch refill. Long enough to amortize the
-// two-pass split, short enough that scratch (10 arrays) stays inside L1.
-constexpr int kStrip = 256;
-
-struct Scratch {
-  alignas(64) std::int32_t x0[kStrip];
-  alignas(64) std::int32_t y0[kStrip];
-  alignas(64) float w00[kStrip];
-  alignas(64) float w10[kStrip];
-  alignas(64) float w01[kStrip];
-  alignas(64) float w11[kStrip];
-  alignas(64) std::int32_t valid[kStrip];
-};
-
 inline std::uint8_t round_clamp_u8(float v) noexcept {
   const int r = static_cast<int>(v + 0.5f);
   return static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
@@ -32,13 +18,13 @@ inline std::uint8_t round_clamp_u8(float v) noexcept {
 void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
                         img::ImageView<std::uint8_t> dst,
                         const core::WarpMap& map, par::Rect rect,
-                        std::uint8_t fill) {
+                        std::uint8_t fill, SoaScratch& scratch) {
   FE_EXPECTS(src.channels == dst.channels);
   FE_EXPECTS(map.width == dst.width && map.height == dst.height);
   FE_EXPECTS(rect.x0 >= 0 && rect.y0 >= 0 && rect.x1 <= dst.width &&
              rect.y1 <= dst.height);
 
-  Scratch s;
+  SoaScratch& s = scratch;
   const int ch = src.channels;
   const auto src_w = static_cast<float>(src.width);
   const auto src_h = static_cast<float>(src.height);
@@ -48,8 +34,8 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
     const std::size_t row = static_cast<std::size_t>(y) * map.width;
     std::uint8_t* __restrict out_row = dst.row(y);
 
-    for (int xb = rect.x0; xb < rect.x1; xb += kStrip) {
-      const int n = std::min(kStrip, rect.x1 - xb);
+    for (int xb = rect.x0; xb < rect.x1; xb += kSoaStrip) {
+      const int n = std::min(kSoaStrip, rect.x1 - xb);
       const float* __restrict mx = map.src_x.data() + row + xb;
       const float* __restrict my = map.src_y.data() + row + xb;
 
@@ -112,33 +98,25 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
   }
 }
 
-namespace {
-
-/// Scratch for the compact-map kernel: clamped tap coordinates plus the
-/// 0..256 integer blend weights, one slot per strip pixel.
-struct CompactScratch {
-  alignas(64) std::int32_t x0[kStrip];
-  alignas(64) std::int32_t y0[kStrip];
-  alignas(64) std::int32_t x1[kStrip];
-  alignas(64) std::int32_t y1[kStrip];
-  alignas(64) std::int32_t ax[kStrip];
-  alignas(64) std::int32_t ay[kStrip];
-  alignas(64) std::int32_t valid[kStrip];
-};
-
-}  // namespace
+void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const core::WarpMap& map, par::Rect rect,
+                        std::uint8_t fill) {
+  SoaScratch scratch;
+  remap_bilinear_soa(src, dst, map, rect, fill, scratch);
+}
 
 void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst,
                        const core::CompactMap& map, par::Rect rect,
-                       std::uint8_t fill) {
+                       std::uint8_t fill, SoaScratch& scratch) {
   FE_EXPECTS(src.channels == dst.channels);
   FE_EXPECTS(map.width == dst.width && map.height == dst.height);
   FE_EXPECTS(src.width == map.src_width && src.height == map.src_height);
   FE_EXPECTS(rect.x0 >= 0 && rect.y0 >= 0 && rect.x1 <= dst.width &&
              rect.y1 <= dst.height);
 
-  CompactScratch s;
+  SoaScratch& s = scratch;
   const int ch = src.channels;
   const std::size_t pitch = src.pitch;
 
@@ -167,8 +145,8 @@ void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
     const std::size_t g1 = g0 + map.grid_w;
     std::uint8_t* __restrict out_row = dst.row(y);
 
-    for (int xb = rect.x0; xb < rect.x1; xb += kStrip) {
-      const int n = std::min(kStrip, rect.x1 - xb);
+    for (int xb = rect.x0; xb < rect.x1; xb += kSoaStrip) {
+      const int n = std::min(kSoaStrip, rect.x1 - xb);
 
       // Pass 1: reconstruct + tap/weight computation, SoA. Same integer
       // expressions as the scalar kernel, so outputs match bit-for-bit.
@@ -228,6 +206,14 @@ void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
       }
     }
   }
+}
+
+void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const core::CompactMap& map, par::Rect rect,
+                       std::uint8_t fill) {
+  SoaScratch scratch;
+  remap_compact_soa(src, dst, map, rect, fill, scratch);
 }
 
 }  // namespace fisheye::simd

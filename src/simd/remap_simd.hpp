@@ -22,10 +22,39 @@
 
 namespace fisheye::simd {
 
+/// Strip length processed per scratch refill. Long enough to amortize the
+/// two-pass split, short enough that the scratch arrays stay inside L1.
+inline constexpr int kSoaStrip = 256;
+
+/// SoA strip scratch shared by both kernels: one slot per strip pixel.
+/// The float kernel fills x0/y0 + the float weights; the compact kernel
+/// fills the clamped tap coordinates + the 0..256 integer weights. Sized
+/// ~11 KB — callers running many lanes should allocate one per lane once
+/// (the pooled SIMD backend keeps them in its plan's Workspace) rather
+/// than burn stack per tile.
+struct SoaScratch {
+  alignas(64) std::int32_t x0[kSoaStrip];
+  alignas(64) std::int32_t y0[kSoaStrip];
+  alignas(64) std::int32_t x1[kSoaStrip];
+  alignas(64) std::int32_t y1[kSoaStrip];
+  alignas(64) float w00[kSoaStrip];
+  alignas(64) float w10[kSoaStrip];
+  alignas(64) float w01[kSoaStrip];
+  alignas(64) float w11[kSoaStrip];
+  alignas(64) std::int32_t ax[kSoaStrip];
+  alignas(64) std::int32_t ay[kSoaStrip];
+  alignas(64) std::int32_t valid[kSoaStrip];
+};
+
 /// Bilinear remap of `rect` with constant-fill border. Bit-exact against
 /// core::remap_rect with Interp::Bilinear + BorderMode::Constant is NOT
 /// guaranteed (float rounding order differs); agreement within +-1 level is
-/// (tested property).
+/// (tested property). The scratch overload reuses caller storage; the
+/// short form burns a stack-local scratch per call.
+void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
+                        img::ImageView<std::uint8_t> dst,
+                        const core::WarpMap& map, par::Rect rect,
+                        std::uint8_t fill, SoaScratch& scratch);
 void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
                         img::ImageView<std::uint8_t> dst,
                         const core::WarpMap& map, par::Rect rect,
@@ -40,6 +69,10 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
 /// Unlike the float kernel this one is bit-exact against its scalar
 /// counterpart (core::remap_compact_rect): both run identical integer
 /// arithmetic (tested property).
+void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst,
+                       const core::CompactMap& map, par::Rect rect,
+                       std::uint8_t fill, SoaScratch& scratch);
 void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst,
                        const core::CompactMap& map, par::Rect rect,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/kernel.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
 #include "util/rng.hpp"
@@ -37,6 +38,7 @@ img::Image8 render_from_environment(img::ConstImageView<std::uint8_t> env,
                                     core::Interp interp) {
   FE_EXPECTS(width > 0 && height > 0);
   img::Image8 out(width, height, env.channels);
+  const core::SampleFn sample = core::sample_kernel(interp);
   for (int y = 0; y < height; ++y) {
     std::uint8_t* row = out.row(y);
     for (int x = 0; x < width; ++x) {
@@ -46,9 +48,9 @@ img::Image8 render_from_environment(img::ConstImageView<std::uint8_t> env,
       const util::Vec2 uv = environment_coords(world, env.width, env.height);
       // Longitude wraps; Replicate handles the poles and the (rare) x at
       // the wrap column within a pixel of the seam.
-      core::sample(interp, env, static_cast<float>(uv.x),
-                   static_cast<float>(uv.y), img::BorderMode::Replicate, 0,
-                   row + static_cast<std::size_t>(x) * env.channels);
+      sample(env, static_cast<float>(uv.x), static_cast<float>(uv.y),
+             img::BorderMode::Replicate, 0,
+             row + static_cast<std::size_t>(x) * env.channels);
     }
   }
   return out;

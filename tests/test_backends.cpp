@@ -134,8 +134,8 @@ INSTANTIATE_TEST_SUITE_P(Shapes, BackendEquivalence,
                                            Shape{160, 120, 3},
                                            Shape{321, 201, 1},
                                            Shape{127, 97, 3}),
-                         [](const auto& info) {
-                           const Shape s = info.param;
+                         [](const auto& pinfo) {
+                           const Shape s = pinfo.param;
                            return std::to_string(s.w) + "x" +
                                   std::to_string(s.h) + "c" +
                                   std::to_string(s.ch);

@@ -55,8 +55,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, CameraSweep,
                                            LensKind::Equisolid,
                                            LensKind::Orthographic,
                                            LensKind::Stereographic),
-                         [](const auto& info) {
-                           return std::string(lens_kind_name(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(lens_kind_name(pinfo.param));
                          });
 
 TEST(Camera, OpticalAxisHitsPrincipalPoint) {

@@ -1,0 +1,159 @@
+// Robustness: no backend spec string, however malformed, may crash the
+// process or trip an internal contract. Every BackendSpec::parse or
+// BackendRegistry::create outcome is either a constructed backend or an
+// InvalidArgument naming the problem. Deterministic "fuzzing": random byte
+// soup, structured token soup assembled from the real option vocabulary,
+// and targeted out-of-range values for every numeric option.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend_registry.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::core {
+namespace {
+
+/// Parse must either succeed or throw InvalidArgument; anything else
+/// (another exception type, a contract abort) fails the test.
+void expect_parse_no_crash(const std::string& spec) {
+  try {
+    (void)BackendSpec::parse(spec);
+  } catch (const InvalidArgument&) {
+    // expected for garbage
+  }
+}
+
+/// Same guarantee one level up: registry create either builds a working
+/// backend (whose name() must itself round-trip through parse) or throws
+/// InvalidArgument.
+void expect_create_no_crash(const std::string& spec) {
+  try {
+    const std::unique_ptr<Backend> b = BackendRegistry::create(spec);
+    ASSERT_NE(b, nullptr) << spec;
+    EXPECT_FALSE(b->name().empty()) << spec;
+  } catch (const InvalidArgument&) {
+    // expected for out-of-range or unknown options
+  }
+}
+
+TEST(FuzzBackendSpec, ParseRandomByteSoup) {
+  util::Rng rng(401);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string spec(rng.next_below(64), '\0');
+    for (char& c : spec) c = static_cast<char>(rng.next_below(256));
+    expect_parse_no_crash(spec);
+  }
+}
+
+TEST(FuzzBackendSpec, ParsePunctuationSoup) {
+  // The separators themselves, in every broken arrangement.
+  util::Rng rng(402);
+  const char alphabet[] = {':', ',', '=', 'x', 'a', '1', '-', '.', ' '};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string spec(rng.next_below(24), '\0');
+    for (char& c : spec)
+      c = alphabet[rng.next_below(sizeof(alphabet))];
+    expect_parse_no_crash(spec);
+  }
+}
+
+// Token soup: random but plausible specs assembled from the real kind and
+// option vocabulary, so the corpus exercises every factory's validation
+// paths rather than dying at the parser.
+TEST(FuzzBackendSpec, CreateTokenSoupNeverCrashes) {
+  const std::vector<std::string> kinds = {
+      "serial", "pool", "simd",  "openmp", "cell",
+      "gpu",    "fpga", "cluster", "bogus", ""};
+  const std::vector<std::string> keys = {
+      "threads", "rows",  "cols", "chunks", "tile", "spes", "ls",
+      "sms",     "clock", "tex",  "cache",  "block", "bram", "ddr",
+      "ranks",   "net",   "speed", "map",   "schedule", "cpp", "junk"};
+  const std::vector<std::string> values = {
+      "-1",       "0",     "1",       "2",     "3",        "4",
+      "7",        "8",     "64",      "100000", "99999999999999",
+      "3.5",      "-2.5",  "zzz",     "",      "16x16",    "0x0",
+      "32x8x8x1", "3x8x8x1", "8x8x8x0", "float", "packed",
+      "compact:4", "compact:3", "compact:zz", "steal", "dynamic",
+      "rr",       "gige",  "ib"};
+  const std::vector<std::string> flags = {"dbuf", "sbuf", "scatter",
+                                          "bcast", "tiles", "junkflag"};
+  util::Rng rng(403);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string spec = kinds[rng.next_below(kinds.size())];
+    const std::size_t nopts = rng.next_below(4);
+    for (std::size_t i = 0; i < nopts; ++i) {
+      spec += i == 0 ? ':' : ',';
+      if (rng.next_below(4) == 0) {
+        spec += flags[rng.next_below(flags.size())];
+      } else {
+        spec += keys[rng.next_below(keys.size())];
+        spec += '=';
+        spec += values[rng.next_below(values.size())];
+      }
+    }
+    expect_create_no_crash(spec);
+  }
+}
+
+// Every numeric option has a factory-level range guard, so hostile values
+// surface as InvalidArgument instead of reaching a contract check (or an
+// allocation sized from the value) deeper in the stack.
+TEST(FuzzBackendSpec, OutOfRangeValuesThrowInvalidArgument) {
+  const char* bad[] = {
+      "pool:threads=-2",    "pool:threads=100000", "pool:rows=-1",
+      "pool:tile=0x0",      "pool:tile=100000x100000",
+      "simd:threads=-2",    "simd:threads=100000",
+      "cell:spes=0",        "cell:spes=100000",    "cell:tile=1x1",
+      "cell:ls=16",         "cell:cpp=0",          "cell:cpp=-1",
+      "gpu:sms=0",          "gpu:sms=100000",      "gpu:block=2",
+      "gpu:block=64",       "gpu:tex=3x8x8x1",     "gpu:tex=8x8x8x0",
+      "fpga:cache=5x8x8x1", "fpga:cache=8x8x8x100", "fpga:bram=-5",
+      "fpga:ddr=-1",        "cluster:ranks=0",     "cluster:ranks=100000",
+      "cluster:speed=0",    "cluster:speed=-2",
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW((void)BackendRegistry::create(spec), InvalidArgument)
+        << spec;
+}
+
+TEST(FuzzBackendSpec, UnknownOptionsNameTheToken) {
+  // Satellite guarantee: a typo'd option is rejected with the offending
+  // token in the message, for every registered kind.
+  for (const std::string& kind : BackendRegistry::instance().kinds()) {
+    try {
+      (void)BackendRegistry::create(kind + ":bogus_option=1");
+      FAIL() << kind << " accepted an unknown option";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("bogus_option"),
+                std::string::npos)
+          << kind << ": " << e.what();
+    }
+  }
+}
+
+TEST(FuzzBackendSpec, InRangeSpecsRoundTrip) {
+  // Positive control for the fuzz corpus: well-formed specs build, and the
+  // canonical name reparses to an equivalent backend.
+  const char* good[] = {
+      "serial",
+      "pool:dynamic,rows=4,threads=2",
+      "simd:threads=2",
+      "cell:spes=4,sbuf,tile=64x16",
+      "gpu:sms=16,block=16,tex=32x8x8x1",
+      "fpga:clock=100,cache=32x8x8x1",
+      "cluster:ranks=4,net=gige,scatter",
+  };
+  for (const char* spec : good) {
+    const std::unique_ptr<Backend> b = BackendRegistry::create(spec);
+    ASSERT_NE(b, nullptr) << spec;
+    const std::unique_ptr<Backend> b2 = BackendRegistry::create(b->name());
+    EXPECT_EQ(b2->name(), b->name()) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace fisheye::core

@@ -119,8 +119,9 @@ TEST_P(ReflectProperty, AlwaysInRangeAndPeriodic) {
     const int r = reflect_index(i, n);
     EXPECT_GE(r, 0);
     EXPECT_LT(r, n);
-    if (n > 1)
+    if (n > 1) {
       EXPECT_EQ(reflect_index(i + 2 * (n - 1), n), r) << "i=" << i;
+    }
   }
 }
 

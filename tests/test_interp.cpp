@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/interp.hpp"
+#include "core/kernel.hpp"
 #include "image/synth.hpp"
 #include "util/rng.hpp"
 
@@ -34,7 +35,8 @@ TEST_P(AllKernels, ReproducesConstantImagesExactly) {
   for (int i = 0; i < 200; ++i) {
     const float sx = static_cast<float>(rng.uniform(3.0, 28.0));
     const float sy = static_cast<float>(rng.uniform(3.0, 28.0));
-    sample(GetParam(), im.view(), sx, sy, img::BorderMode::Constant, 0, &out);
+    sample_kernel(GetParam())(im.view(), sx, sy, img::BorderMode::Constant, 0,
+                              &out);
     EXPECT_EQ(out, 137) << interp_name(GetParam()) << " at " << sx << ','
                         << sy;
   }
@@ -49,8 +51,9 @@ TEST_P(AllKernels, ExactAtIntegerCoordinates) {
   std::uint8_t out = 0;
   for (int y = 4; y < 12; ++y)
     for (int x = 4; x < 12; ++x) {
-      sample(GetParam(), im.view(), static_cast<float>(x),
-             static_cast<float>(y), img::BorderMode::Constant, 0, &out);
+      sample_kernel(GetParam())(im.view(), static_cast<float>(x),
+                                static_cast<float>(y),
+                                img::BorderMode::Constant, 0, &out);
       EXPECT_EQ(out, im.at(x, y))
           << interp_name(GetParam()) << " at " << x << ',' << y;
     }
@@ -63,7 +66,8 @@ TEST_P(AllKernels, HandlesMultiChannel) {
       for (int c = 0; c < 3; ++c)
         im.at(x, y, c) = static_cast<std::uint8_t>(40 * c + 10);
   std::uint8_t out[3] = {};
-  sample(GetParam(), im.view(), 3.4f, 4.6f, img::BorderMode::Constant, 0, out);
+  sample_kernel(GetParam())(im.view(), 3.4f, 4.6f, img::BorderMode::Constant,
+                            0, out);
   EXPECT_EQ(out[0], 10);
   EXPECT_EQ(out[1], 50);
   EXPECT_EQ(out[2], 90);
@@ -72,8 +76,8 @@ TEST_P(AllKernels, HandlesMultiChannel) {
 INSTANTIATE_TEST_SUITE_P(Kernels, AllKernels,
                          ::testing::Values(Interp::Nearest, Interp::Bilinear,
                                            Interp::Bicubic, Interp::Lanczos3),
-                         [](const auto& info) {
-                           return std::string(interp_name(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(interp_name(pinfo.param));
                          });
 
 TEST(Nearest, PicksClosestSample) {

@@ -86,8 +86,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, LensSweep,
                                            LensKind::Orthographic,
                                            LensKind::Stereographic,
                                            LensKind::Rectilinear),
-                         [](const auto& info) {
-                           return std::string(lens_kind_name(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(lens_kind_name(pinfo.param));
                          });
 
 TEST(Equidistant, IsLinearInTheta) {

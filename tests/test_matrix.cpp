@@ -33,7 +33,7 @@ TEST(Vec3, NormalizedHasUnitNorm) {
 }
 
 TEST(Vec3, NormalizeZeroViolatesContract) {
-  EXPECT_THROW(Vec3{}.normalized(), fisheye::InvalidArgument);
+  EXPECT_THROW((void)Vec3{}.normalized(), fisheye::InvalidArgument);
 }
 
 TEST(Mat3, IdentityActsTrivially) {

@@ -1,0 +1,162 @@
+// The tentpole guarantee of the plan/execute split: once a plan is built
+// and warmed up, steady-state execute() performs ZERO heap allocations on
+// every CPU backend — the Workspace arena (tiles, steal order/runs,
+// resplit buffers, SoA scratch) and the instrumentation slots are all
+// sized at plan time or during the first frames.
+//
+// The hook is a counting global operator new: warm the plan for a few
+// frames (lazy pool spin-up, vector capacity growth, libgomp internals),
+// snapshot the counter, run more frames, and require a zero delta.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+
+#include "core/backend.hpp"
+#include "core/backend_registry.hpp"
+#include "core/mapping.hpp"
+#include "core/projection.hpp"
+#include "image/image.hpp"
+#include "util/mathx.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace fisheye::core {
+namespace {
+
+using util::deg_to_rad;
+
+constexpr int kW = 96;
+constexpr int kH = 64;
+
+struct Frame {
+  img::Image8 src{kW, kH, 1};
+  img::Image8 dst{kW, kH, 1};
+  WarpMap map;
+  CompactMap cmap;
+
+  Frame() {
+    const FisheyeCamera cam = FisheyeCamera::centered(
+        LensKind::Equidistant, deg_to_rad(170.0), kW, kH);
+    const PerspectiveView view(kW, kH, cam.lens().focal());
+    map = build_map(cam, view);
+    cmap = compact_map(map, kW, kH, 4);
+    src.fill(100);
+  }
+
+  [[nodiscard]] ExecContext ctx(MapMode mode = MapMode::FloatLut) {
+    ExecContext c;
+    c.src = src.view();
+    c.dst = dst.view();
+    if (mode == MapMode::CompactLut) {
+      c.compact = &cmap;
+    } else {
+      c.map = &map;
+    }
+    c.mode = mode;
+    return c;
+  }
+};
+
+void expect_zero_steady_state_allocs(const std::string& spec,
+                                     MapMode mode = MapMode::FloatLut) {
+  Frame frame;
+  const std::unique_ptr<Backend> backend = BackendRegistry::create(spec);
+  const ExecContext ctx = frame.ctx(mode);
+  const ExecutionPlan plan = backend->plan(ctx);
+  // Warmup: first frames may lazily spin up pools, grow steal-deque and
+  // instrumentation capacity, or touch allocator-backed TLS.
+  for (int i = 0; i < 6; ++i) backend->execute(plan, ctx);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 12; ++i) backend->execute(plan, ctx);
+  const std::size_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(delta, 0u) << spec << ": " << delta
+                       << " allocations across 12 steady-state frames";
+}
+
+TEST(PlanAllocations, SerialIsAllocationFree) {
+  expect_zero_steady_state_allocs("serial");
+}
+
+TEST(PlanAllocations, SerialCompactIsAllocationFree) {
+  expect_zero_steady_state_allocs("serial", MapMode::CompactLut);
+}
+
+TEST(PlanAllocations, PoolStaticIsAllocationFree) {
+  expect_zero_steady_state_allocs("pool:static,threads=2");
+}
+
+TEST(PlanAllocations, PoolDynamicIsAllocationFree) {
+  expect_zero_steady_state_allocs("pool:dynamic,rows=8,threads=2");
+}
+
+TEST(PlanAllocations, PoolGuidedIsAllocationFree) {
+  expect_zero_steady_state_allocs("pool:guided,tiles,tile=32x16,threads=2");
+}
+
+TEST(PlanAllocations, PoolStealIsAllocationFree) {
+  expect_zero_steady_state_allocs("pool:steal,tiles,tile=32x16,threads=2");
+}
+
+TEST(PlanAllocations, SimdSingleLaneIsAllocationFree) {
+  expect_zero_steady_state_allocs("simd:threads=1");
+}
+
+TEST(PlanAllocations, SimdPooledIsAllocationFree) {
+  expect_zero_steady_state_allocs("simd:threads=2");
+}
+
+TEST(PlanAllocations, SimdCompactIsAllocationFree) {
+  expect_zero_steady_state_allocs("simd:threads=2", MapMode::CompactLut);
+}
+
+TEST(PlanAllocations, OpenMpSchedulesAreAllocationFree) {
+  if (!BackendRegistry::instance().has("openmp"))
+    GTEST_SKIP() << "built without OpenMP";
+  for (const char* sched : {"static", "dynamic", "guided", "steal"})
+    expect_zero_steady_state_allocs(
+        std::string("openmp:threads=2,schedule=") + sched);
+}
+
+}  // namespace
+}  // namespace fisheye::core

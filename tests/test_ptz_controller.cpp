@@ -40,9 +40,9 @@ TEST(PtzPath, MultiSegment) {
 TEST(PtzPath, RejectsUnorderedKeys) {
   PtzPath path;
   path.keys = {{1.0, {}}, {0.5, {}}};
-  EXPECT_THROW(path.at(0.7), fisheye::InvalidArgument);
+  EXPECT_THROW((void)path.at(0.7), fisheye::InvalidArgument);
   PtzPath empty;
-  EXPECT_THROW(empty.at(0.0), fisheye::InvalidArgument);
+  EXPECT_THROW((void)empty.at(0.0), fisheye::InvalidArgument);
 }
 
 TEST(VirtualPtz, RebuildsOnlyWhenPoseChanges) {

@@ -54,8 +54,8 @@ TEST_P(IdentityAllInterps, IdentityMapReproducesImage) {
 INSTANTIATE_TEST_SUITE_P(Kernels, IdentityAllInterps,
                          ::testing::Values(Interp::Nearest, Interp::Bilinear,
                                            Interp::Bicubic, Interp::Lanczos3),
-                         [](const auto& info) {
-                           return std::string(interp_name(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(interp_name(pinfo.param));
                          });
 
 TEST(Remap, IntegerTranslationShifts) {

@@ -1,0 +1,182 @@
+// Windowed-execution equivalence: the remap_*_rect_offset variants feed
+// every accelerator local-store / DMA path, so for any output rect whose
+// source window covers the taps, the windowed result must be bit-exact
+// with the full-frame kernel — for all three map representations and every
+// interpolation kernel the float path supports. Rects are randomized
+// interior rectangles, not hand-picked corners.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/mapping.hpp"
+#include "core/projection.hpp"
+#include "core/remap.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace fisheye::core {
+namespace {
+
+using util::deg_to_rad;
+
+constexpr int kW = 72;
+constexpr int kH = 56;
+constexpr std::uint8_t kFill = 9;
+
+img::Image8 random_image(int w, int h, int ch, std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::Image8 im(w, h, ch);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w * ch; ++x)
+      im.row(y)[x] = static_cast<std::uint8_t>(rng.next_below(256));
+  return im;
+}
+
+const WarpMap& test_map() {
+  static const WarpMap map = [] {
+    const FisheyeCamera cam = FisheyeCamera::centered(
+        LensKind::Equidistant, deg_to_rad(170.0), kW, kH);
+    const PerspectiveView view(kW, kH, cam.lens().focal());
+    return build_map(cam, view);
+  }();
+  return map;
+}
+
+par::Rect random_rect(util::Rng& rng) {
+  const int x0 = static_cast<int>(rng.next_below(kW - 2));
+  const int y0 = static_cast<int>(rng.next_below(kH - 2));
+  const int x1 = x0 + 1 + static_cast<int>(rng.next_below(kW - x0 - 1));
+  const int y1 = y0 + 1 + static_cast<int>(rng.next_below(kH - y0 - 1));
+  return {x0, y0, x1, y1};
+}
+
+/// Copy `box` out of `src` — the stand-in for an accelerator DMA get.
+img::Image8 copy_window(const img::Image8& src, par::Rect box) {
+  img::Image8 window(box.width(), box.height(), src.channels());
+  for (int y = 0; y < box.height(); ++y)
+    for (int x = 0; x < box.width() * src.channels(); ++x)
+      window.row(y)[x] = src.row(box.y0 + y)[box.x0 * src.channels() + x];
+  return window;
+}
+
+void expect_rect_equal(const img::Image8& a, const img::Image8& b,
+                       par::Rect rect, const std::string& label) {
+  for (int y = rect.y0; y < rect.y1; ++y)
+    for (int x = rect.x0; x < rect.x1; ++x)
+      for (int c = 0; c < a.channels(); ++c)
+        ASSERT_EQ(a.at(x, y, c), b.at(x, y, c))
+            << label << " at " << x << ',' << y << " ch " << c;
+}
+
+// --- Float LUT, all four interpolation kernels -----------------------------
+
+class WindowedFloatSweep : public ::testing::TestWithParam<Interp> {};
+
+TEST_P(WindowedFloatSweep, OffsetMatchesFullFrameOnRandomRects) {
+  const Interp interp = GetParam();
+  const WarpMap& map = test_map();
+  const img::Image8 src = random_image(kW, kH, 3, 17);
+  const RemapOptions opts{interp, img::BorderMode::Constant, kFill};
+  // source_bbox covers the bilinear 2x2 footprint; wider kernels reach
+  // support/2 - 1 further taps on each side. Taps beyond the inflated box
+  // are outside the frame, so constant fill makes window == full frame.
+  const int inflate = std::max(0, interp_support(interp) / 2 - 1);
+  util::Rng rng(29);
+  for (int trial = 0; trial < 25; ++trial) {
+    const par::Rect rect = random_rect(rng);
+    par::Rect box = source_bbox(map, rect, kW, kH);
+    if (box.empty()) continue;
+    box.x0 = std::max(0, box.x0 - inflate);
+    box.y0 = std::max(0, box.y0 - inflate);
+    box.x1 = std::min(kW, box.x1 + inflate);
+    box.y1 = std::min(kH, box.y1 + inflate);
+
+    img::Image8 full(kW, kH, 3);
+    full.fill(0);
+    remap_rect(src.view(), full.view(), map, rect, opts);
+
+    const img::Image8 window = copy_window(src, box);
+    img::Image8 tiled(kW, kH, 3);
+    tiled.fill(0);
+    remap_rect_offset(window.view(), tiled.view(), map, rect, box.x0, box.y0,
+                      opts);
+    expect_rect_equal(full, tiled, rect,
+                      std::string(interp_name(interp)) + " trial " +
+                          std::to_string(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, WindowedFloatSweep,
+                         ::testing::Values(Interp::Nearest, Interp::Bilinear,
+                                           Interp::Bicubic, Interp::Lanczos3),
+                         [](const auto& pinfo) {
+                           return std::string(interp_name(pinfo.param));
+                         });
+
+// --- Packed LUT ------------------------------------------------------------
+
+TEST(WindowedPackedSweep, OffsetMatchesFullFrameOnRandomRects) {
+  const WarpMap& map = test_map();
+  const PackedMap packed = pack_map(map, kW, kH);
+  const img::Image8 src = random_image(kW, kH, 1, 23);
+  util::Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const par::Rect rect = random_rect(rng);
+    const par::Rect box = source_bbox(map, rect, kW, kH);
+    if (box.empty()) continue;
+
+    img::Image8 full(kW, kH, 1);
+    full.fill(0);
+    remap_packed_rect(src.view(), full.view(), packed, rect, kFill);
+
+    const img::Image8 window = copy_window(src, box);
+    img::Image8 tiled(kW, kH, 1);
+    tiled.fill(0);
+    remap_packed_rect_offset(window.view(), tiled.view(), packed, rect,
+                             box.x0, box.y0, kW, kH, kFill);
+    expect_rect_equal(full, tiled, rect, "packed trial " +
+                                             std::to_string(trial));
+  }
+}
+
+// --- Compact LUT, every legal stride ---------------------------------------
+
+class WindowedCompactSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowedCompactSweep, OffsetMatchesFullFrameOnRandomRects) {
+  const int stride = GetParam();
+  const WarpMap& map = test_map();
+  const CompactMap cmap = compact_map(map, kW, kH, stride);
+  const img::Image8 src = random_image(kW, kH, 3, 41);
+  util::Rng rng(37 + static_cast<std::uint64_t>(stride));
+  for (int trial = 0; trial < 25; ++trial) {
+    const par::Rect rect = random_rect(rng);
+    // The compact overload computes the bbox of *reconstructed*
+    // coordinates — the exact pixels remap_compact_rect will touch.
+    const par::Rect box = source_bbox(cmap, rect);
+    if (box.empty()) continue;
+
+    img::Image8 full(kW, kH, 3);
+    full.fill(0);
+    remap_compact_rect(src.view(), full.view(), cmap, rect, kFill);
+
+    const img::Image8 window = copy_window(src, box);
+    img::Image8 tiled(kW, kH, 3);
+    tiled.fill(0);
+    remap_compact_rect_offset(window.view(), tiled.view(), cmap, rect,
+                              box.x0, box.y0, kFill);
+    expect_rect_equal(full, tiled, rect,
+                      "compact stride " + std::to_string(stride) +
+                          " trial " + std::to_string(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, WindowedCompactSweep,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto& pinfo) {
+                           return "stride" + std::to_string(pinfo.param);
+                         });
+
+}  // namespace
+}  // namespace fisheye::core

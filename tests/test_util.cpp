@@ -272,8 +272,8 @@ TEST(Args, ParsesNamedPositionalAndFlags) {
 TEST(Args, NumericValidation) {
   const char* argv[] = {"prog", "--n", "abc", "--f", "2.5"};
   const util::Args args(5, argv);
-  EXPECT_THROW(args.get_double("n", 0.0), InvalidArgument);
-  EXPECT_THROW(args.get_int("f", 0), InvalidArgument);  // non-integral
+  EXPECT_THROW((void)args.get_double("n", 0.0), InvalidArgument);
+  EXPECT_THROW((void)args.get_int("f", 0), InvalidArgument);  // non-integral
   EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 2.5);
   EXPECT_EQ(args.get_int("missing", 7), 7);
 }
