@@ -1,0 +1,241 @@
+// F22 — Multi-stream scaling: M cameras on one work-stealing pool.
+//
+// The serving question the single-frame figures can't answer: how does
+// aggregate throughput and per-stream tail latency behave as simulated
+// cameras are added to one fixed pool? The load is deliberately mixed —
+// stream 0 is a heavy wide-angle camera, the rest are small PTZ-style
+// views at assorted resolutions and fields of view — because that is the
+// regime where hybrid frame×tile scheduling earns its keep: small frames
+// stay cache-local on one worker while the heavy frame recruits idle
+// workers via cross-stream steals, and the FIFO frame claim keeps any one
+// stream from starving the rest.
+//
+// Each stream runs closed-loop (its retire callback submits the next
+// frame), so the executor is saturated at every sweep point. Reported per
+// sweep point: aggregate fps, its ratio vs the solo row (the CI assert),
+// per-stream p99 latency extremes, the fairness spread (max−min mean
+// submit→first-tile wait across streams), starvation events, and tiles
+// stolen cross-stream.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/timer.hpp"
+#include "stream/stream_executor.hpp"
+#include "util/mathx.hpp"
+
+namespace {
+
+using namespace fisheye;
+
+struct CamSpec {
+  int w = 0, h = 0;
+  double fov_deg = 0.0;
+};
+
+// Stream 0 is the heavy camera; the tail cycles through light PTZ views.
+// The mix matters even on a single-core runner: the light streams cost
+// 1/36–1/64 of the heavy one, so added streams raise aggregate fps (more
+// frames per unit of work) rather than just dividing the machine M ways.
+CamSpec spec_for(std::size_t i) {
+  if (i == 0) return {768, 432, 180.0};
+  switch (i % 3) {
+    case 1: return {96, 54, 120.0};
+    case 2: return {128, 72, 140.0};
+    default: return {96, 54, 160.0};
+  }
+}
+
+/// Shared per-spec assets: the corrector (plan source) and a short input
+/// loop. Built once per distinct spec, reused by every stream and sweep
+/// point — F22 measures service, not map generation.
+struct SpecAssets {
+  std::unique_ptr<core::Corrector> corrector;
+  std::vector<img::Image8> inputs;  ///< 3-frame loop
+};
+
+SpecAssets make_assets(const CamSpec& spec) {
+  SpecAssets a;
+  a.corrector = std::make_unique<core::Corrector>(
+      core::Corrector::builder(spec.w, spec.h)
+          .fov_degrees(spec.fov_deg)
+          .config());
+  const auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(spec.fov_deg), spec.w,
+      spec.h);
+  const video::SyntheticVideoSource source(cam, spec.w, spec.h, 1);
+  for (int f = 0; f < 3; ++f) a.inputs.push_back(source.frame(f));
+  return a;
+}
+
+/// One closed-loop stream: the retire callback records the latency and
+/// resubmits until `target` frames are in. Retires of one stream are
+/// serialized by the executor, so the callback needs no locking.
+struct StreamDriver {
+  stream::StreamExecutor* exec = nullptr;
+  stream::StreamId id = 0;
+  const SpecAssets* assets = nullptr;
+  img::Image8 out;
+  int target = 0;
+  std::vector<double> latencies;
+
+  void submit_next(std::uint64_t prev_seq) {
+    const auto& inputs = assets->inputs;
+    exec->submit(id, inputs[prev_seq % inputs.size()].view(), out.view());
+  }
+};
+
+struct SweepResult {
+  double wall_seconds = 0.0;
+  double aggregate_fps = 0.0;
+  double p99_min_ms = 0.0, p99_max_ms = 0.0;
+  double wait_spread_ms = 0.0;
+  std::size_t starved = 0;
+  std::size_t stolen = 0;
+  std::vector<rt::StreamStats> stats;
+  std::vector<std::vector<double>> latencies;  ///< per stream, seconds
+};
+
+SweepResult run_sweep(std::map<std::tuple<int, int, int>, SpecAssets>& cache,
+                      par::ThreadPool& pool, std::size_t streams,
+                      int frames_per_stream) {
+  stream::StreamExecutorOptions opts;
+  opts.max_streams = streams;
+  stream::StreamExecutor exec(pool, opts);
+
+  std::vector<std::unique_ptr<StreamDriver>> drivers;
+  for (std::size_t i = 0; i < streams; ++i) {
+    const CamSpec spec = spec_for(i);
+    const auto key = std::make_tuple(spec.w, spec.h,
+                                     static_cast<int>(spec.fov_deg));
+    auto it = cache.find(key);
+    if (it == cache.end()) it = cache.emplace(key, make_assets(spec)).first;
+
+    auto d = std::make_unique<StreamDriver>();
+    d->exec = &exec;
+    d->assets = &it->second;
+    d->out = img::Image8(spec.w, spec.h, 1);
+    d->target = frames_per_stream;
+    d->latencies.reserve(static_cast<std::size_t>(frames_per_stream));
+    StreamDriver* raw = d.get();
+    d->id = exec.add_stream(
+        *it->second.corrector, 1,
+        [raw](stream::StreamId, std::uint64_t seq, double latency) {
+          raw->latencies.push_back(latency);
+          if (seq < static_cast<std::uint64_t>(raw->target))
+            raw->submit_next(seq);
+        });
+    drivers.push_back(std::move(d));
+  }
+
+  const rt::Stopwatch wall;
+  for (auto& d : drivers) d->submit_next(0);
+  for (auto& d : drivers)
+    exec.wait(d->id, static_cast<std::uint64_t>(d->target));
+  exec.drain();
+
+  SweepResult r;
+  r.wall_seconds = wall.elapsed_seconds();
+  r.aggregate_fps =
+      static_cast<double>(streams) * frames_per_stream / r.wall_seconds;
+  double wait_min = 0.0, wait_max = 0.0;
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    const rt::StreamStats st = exec.stats(drivers[i]->id);
+    const double p99 = rt::percentile(drivers[i]->latencies, 99.0) * 1e3;
+    const double mean_wait =
+        st.frames > 0 ? st.total_wait_seconds / st.frames : 0.0;
+    if (i == 0) {
+      r.p99_min_ms = r.p99_max_ms = p99;
+      wait_min = wait_max = mean_wait;
+    } else {
+      r.p99_min_ms = std::min(r.p99_min_ms, p99);
+      r.p99_max_ms = std::max(r.p99_max_ms, p99);
+      wait_min = std::min(wait_min, mean_wait);
+      wait_max = std::max(wait_max, mean_wait);
+    }
+    r.starved += st.starvation_events;
+    r.stolen += st.tiles_stolen;
+    r.stats.push_back(st);
+    r.latencies.push_back(std::move(drivers[i]->latencies));
+  }
+  r.wait_spread_ms = (wait_max - wait_min) * 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fisheye;
+  bench::init(argc, argv);
+  rt::print_banner("F22",
+                   "multi-stream scaling, mixed-resolution cameras, one pool");
+
+  const unsigned workers = std::clamp(std::thread::hardware_concurrency(),
+                                      2u, 8u);
+  par::ThreadPool pool(workers);
+  const int frames_per_stream = bench::quick() ? 40 : 120;
+  const std::vector<std::size_t> sweep =
+      bench::quick() ? std::vector<std::size_t>{1, 2, 8}
+                     : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64};
+
+  std::map<std::tuple<int, int, int>, SpecAssets> cache;
+  util::Table table({"streams", "workers", "frames", "wall s", "agg fps",
+                     "vs solo", "p99 ms (min)", "p99 ms (max)",
+                     "wait spread ms", "starved", "stolen tiles"});
+  double solo_fps = 0.0;
+  SweepResult eight;  // kept for the per-stream detail table
+  for (const std::size_t streams : sweep) {
+    SweepResult r = run_sweep(cache, pool, streams, frames_per_stream);
+    if (streams == 1) solo_fps = r.aggregate_fps;
+    table.row()
+        .add(streams)
+        .add(workers)
+        .add(streams * static_cast<std::size_t>(frames_per_stream))
+        .add(r.wall_seconds, 3)
+        .add(r.aggregate_fps, 1)
+        .add(solo_fps > 0.0 ? r.aggregate_fps / solo_fps : 0.0, 2)
+        .add(r.p99_min_ms, 2)
+        .add(r.p99_max_ms, 2)
+        .add(r.wait_spread_ms, 3)
+        .add(r.starved)
+        .add(r.stolen);
+    if (streams == 8) eight = std::move(r);
+  }
+  table.print(std::cout, "F22: multi-stream scaling");
+
+  if (!eight.stats.empty()) {
+    util::Table detail({"stream", "res", "fov", "frames", "p50 ms", "p99 ms",
+                        "mean wait ms", "max wait ms", "local", "stolen",
+                        "starved"});
+    for (std::size_t i = 0; i < eight.stats.size(); ++i) {
+      const CamSpec spec = spec_for(i);
+      const rt::StreamStats& st = eight.stats[i];
+      detail.row()
+          .add(i)
+          .add(std::to_string(spec.w) + "x" + std::to_string(spec.h))
+          .add(spec.fov_deg, 0)
+          .add(st.frames)
+          .add(rt::percentile(eight.latencies[i], 50.0) * 1e3, 2)
+          .add(rt::percentile(eight.latencies[i], 99.0) * 1e3, 2)
+          .add(st.frames ? st.total_wait_seconds / st.frames * 1e3 : 0.0, 3)
+          .add(st.max_wait_seconds * 1e3, 3)
+          .add(st.tiles_local)
+          .add(st.tiles_stolen)
+          .add(st.starvation_events);
+    }
+    detail.print(std::cout, "F22: per-stream detail at 8 streams");
+  }
+
+  std::cout << "expected shape: aggregate fps grows with stream count — the "
+               "added PTZ streams are 36-64x cheaper than the heavy camera, "
+               "so 8 mixed streams clear 6x solo throughput even on one "
+               "core, and on a real multicore the heavy stream additionally "
+               "recruits idle workers (stolen tiles > 0). Wait spread and "
+               "starvation stay near zero: FIFO frame claiming serves every "
+               "stream.\n";
+  return 0;
+}

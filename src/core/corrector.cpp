@@ -1,5 +1,8 @@
 #include "core/corrector.hpp"
 
+#include <numeric>
+
+#include "core/tile_order.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
 
@@ -86,6 +89,40 @@ void Corrector::correct(const Prepared& prepared,
                         img::ImageView<std::uint8_t> dst) const {
   FE_EXPECTS(prepared.valid());
   prepared.backend->execute(prepared.plan, make_context(src, dst));
+}
+
+ExecutionPlan Corrector::prepare_stream(int channels, int tile_w,
+                                        int tile_h) const {
+  FE_EXPECTS(channels >= 1);
+  FE_EXPECTS(tile_w >= 8 && tile_h >= 8);
+  // Shape-only views: planning reads geometry, never pixels.
+  const img::ConstImageView<std::uint8_t> src(
+      nullptr, config_.src_width, config_.src_height, channels,
+      static_cast<std::size_t>(config_.src_width) * channels);
+  const img::ImageView<std::uint8_t> dst{
+      nullptr, config_.out_width, config_.out_height, channels,
+      static_cast<std::size_t>(config_.out_width) * channels};
+  const ExecContext ctx = make_context(src, dst);
+
+  std::vector<par::Rect> tiles = order_tiles_by_source_locality(
+      ctx, par::partition(config_.out_width, config_.out_height,
+                          par::PartitionKind::Tiles, 0, tile_w, tile_h));
+  ExecutionPlan plan(plan_key(ctx, kStreamPlanName), std::move(tiles));
+  plan.set_kernel(resolve_kernel(ctx, KernelVariant::Scalar));
+
+  Workspace& ws = plan.workspace();
+  const std::size_t n = plan.tiles().size();
+  // Tiles are stored pre-ordered, so the schedule permutation is identity.
+  ws.steal_order.resize(n);
+  std::iota(ws.steal_order.begin(), ws.steal_order.end(), 0u);
+  ws.bytes_in_estimate = estimate_bytes_in(ctx);
+  ws.bytes_out_estimate = estimate_bytes_out(ctx);
+  // Pre-size the per-tile slots so the first frame already allocates
+  // nothing (begin_frame reuses this capacity from then on).
+  plan.instrumentation().begin_frame(n);
+  plan.instrumentation().bytes_in = ws.bytes_in_estimate;
+  plan.instrumentation().bytes_out = ws.bytes_out_estimate;
+  return plan;
 }
 
 }  // namespace fisheye::core

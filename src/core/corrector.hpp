@@ -76,6 +76,20 @@ class Corrector {
   void correct(const Prepared& prepared, img::ConstImageView<std::uint8_t> src,
                img::ImageView<std::uint8_t> dst) const;
 
+  /// Canonical backend name stamped into stream plans (PlanKey::backend).
+  static constexpr const char* kStreamPlanName = "stream";
+
+  /// Plan for multi-stream service (stream::StreamExecutor): a
+  /// source-locality-ordered square-tile decomposition whose schedule
+  /// permutation, instrumentation slots, and byte estimates are all sized
+  /// here — per-frame service against the plan allocates nothing. One plan
+  /// per stream: the plan's workspace and instrumentation are that
+  /// stream's arena, written by whichever workers serve its frames but
+  /// only for one frame at a time (the executor serializes frames within a
+  /// stream).
+  [[nodiscard]] ExecutionPlan prepare_stream(int channels = 1, int tile_w = 64,
+                                             int tile_h = 64) const;
+
   /// The context correct() hands to the backend; exposed so benches and the
   /// accelerator simulators can drive backends directly.
   [[nodiscard]] ExecContext make_context(

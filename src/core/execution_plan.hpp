@@ -131,7 +131,12 @@ struct PlanInstrumentation {
 /// lives here too — the plan IS its workspace, and backends annotate it
 /// with whatever schedule state they need (steal order/runs, SoA scratch).
 /// Like the instrumentation slots, the workspace is written by execution,
-/// which is why a plan may be executed by one thread at a time.
+/// which is why a plan may execute at most one frame at a time. Within
+/// that one frame, cooperating workers are fine — the pooled backends and
+/// the multi-stream executor write disjoint per-tile slots concurrently —
+/// but the frame-level counters and begin_frame() resets must stay
+/// serialized against each other (the stream executor does this at frame
+/// retire).
 struct Workspace {
   Workspace();
   ~Workspace();

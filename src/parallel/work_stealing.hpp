@@ -18,23 +18,38 @@
 //                      order); thieves lock and take HALF of the remaining
 //                      items from the head — the far end of the owner's
 //                      traversal, keeping the contested halves disjoint.
+//  * StealPolicy     — steal granularity: a don't-steal-below floor and a
+//                      minimum batch, so thieves never thrash over the
+//                      last few tiles of a nearly-drained run.
 //  * StealScheduler  — a set of cache-line-padded worker blocks plus the
 //                      stealing run loop; thread-agnostic, so it can be
 //                      driven by ThreadPool lanes or by an OpenMP team.
+//  * StreamScheduler — the hybrid frame×tile generalization: S stream
+//                      slots instead of W worker deques. Each slot holds
+//                      one in-flight frame (a locality-ordered tile run);
+//                      a worker claims the oldest unowned frame and walks
+//                      its run in order (owner-LIFO within a stream), and
+//                      idle workers steal tile batches across streams.
 //  * WorkStealingPool— StealScheduler bound to a ThreadPool: per-frame
 //                      dispatch with zero per-frame allocation after the
-//                      first frame (blocks and queues are reused).
+//                      first frame (blocks and queues are reused). Grows a
+//                      service mode that dedicates every pool lane to a
+//                      StreamScheduler (the multi-stream executor).
 //
 // Queues are mutex-protected: a steal is O(half the queue) under the lock
-// and owner pops are uncontended in the common case. At tile granularity
-// (thousands of pixels each) the lock cost is noise, and the scheme is
-// clean under ThreadSanitizer — the CI TSan job builds exactly this.
+// and owner pops are uncontended in the common case. Victim selection reads
+// a relaxed size mirror (approx_size) so the scan never touches a lock. At
+// tile granularity (thousands of pixels each) the residual lock cost is
+// noise, and the scheme is clean under ThreadSanitizer — the CI TSan job
+// builds exactly this.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -55,6 +70,21 @@ struct StealStats {
   std::size_t steals = 0;  ///< successful steal operations (≤ stolen)
 };
 
+/// Steal granularity. Stealing half of a tiny far-end run thrashes: the
+/// thief pays a lock + O(n) copy for one or two near-free tiles, the victim
+/// immediately runs dry and steals back, and on small tile counts (skewed
+/// frames, low-resolution streams) that ping-pong erases the schedule's
+/// win over static (the F2b regression). The floor says "leave short runs
+/// to their owner" — the residual imbalance is bounded by floor-1 tiles —
+/// and min_batch makes every successful steal carry enough work to amortize
+/// its cost.
+struct StealPolicy {
+  /// Don't steal from a queue holding fewer than this many items.
+  std::size_t steal_floor = 4;
+  /// Take at least this many items per steal (capped by what's there).
+  std::size_t min_batch = 2;
+};
+
 /// One worker's queue of tile indices. Owner takes from the tail; thieves
 /// take half from the head. All operations lock; see the header comment
 /// for why that is the right trade at tile granularity.
@@ -68,6 +98,7 @@ class StealQueue {
     items_.reserve(end - begin);
     for (std::size_t i = end; i > begin; --i)
       items_.push_back(order[i - 1]);
+    size_.store(items_.size(), std::memory_order_relaxed);
   }
 
   /// Owner pop (LIFO tail). Returns false when empty.
@@ -76,21 +107,28 @@ class StealQueue {
     if (items_.empty()) return false;
     out = items_.back();
     items_.pop_back();
+    size_.store(items_.size(), std::memory_order_relaxed);
     return true;
   }
 
-  /// Steal ceil(half) of the remaining items from the head into `loot`
-  /// (cleared first). Returns the number of items taken.
-  std::size_t steal_half(std::vector<std::uint32_t>& loot) {
+  /// Steal ceil(half) — at least min(min_batch, size) — of the remaining
+  /// items from the head into `loot` (cleared first), unless fewer than
+  /// `floor` items remain, in which case nothing is taken. Returns the
+  /// number of items taken.
+  std::size_t steal_half(std::vector<std::uint32_t>& loot,
+                         std::size_t floor = 0, std::size_t min_batch = 1) {
     loot.clear();
     const std::scoped_lock lock(mu_);
-    if (items_.empty()) return 0;
-    const std::size_t take = (items_.size() + 1) / 2;
+    const std::size_t n = items_.size();
+    if (n == 0 || n < floor) return 0;
     // Head = front of the vector = the far end of the owner's traversal.
+    const std::size_t take =
+        std::max((n + 1) / 2, std::min(min_batch, n));
     loot.assign(items_.begin(),
                 items_.begin() + static_cast<std::ptrdiff_t>(take));
     items_.erase(items_.begin(),
                  items_.begin() + static_cast<std::ptrdiff_t>(take));
+    size_.store(items_.size(), std::memory_order_relaxed);
     return take;
   }
 
@@ -99,9 +137,16 @@ class StealQueue {
     return items_.size();
   }
 
+  /// Lock-free size mirror for victim scans. May be momentarily stale;
+  /// steal_half re-validates under the lock.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::uint32_t> items_;
+  std::atomic<std::size_t> size_{0};
 };
 
 /// The deques plus the stealing loop, independent of who provides the
@@ -109,8 +154,8 @@ class StealQueue {
 /// worker blocks persist), and a given instance runs one frame at a time.
 class StealScheduler {
  public:
-  explicit StealScheduler(unsigned workers)
-      : blocks_(workers == 0 ? 1 : workers) {
+  explicit StealScheduler(unsigned workers, StealPolicy policy = {})
+      : policy_(policy), blocks_(workers == 0 ? 1 : workers) {
     FE_EXPECTS(workers >= 1);
   }
 
@@ -158,26 +203,29 @@ class StealScheduler {
       if (remaining_.load(std::memory_order_acquire) == 0) return;
       // Steal half of the largest visible queue: the victim with the most
       // work left is both the best balance repair and keeps the stolen
-      // half contiguous in schedule order.
+      // half contiguous in schedule order. The scan reads the relaxed size
+      // mirrors — no locks — and the policy floor leaves short runs to
+      // their owners instead of thrashing over the tail.
       std::size_t victim = blocks_.size();
       std::size_t victim_size = 0;
       for (std::size_t v = 0; v < blocks_.size(); ++v) {
         if (v == w) continue;
-        const std::size_t sz = blocks_[v].queue.size();
+        const std::size_t sz = blocks_[v].queue.approx_size();
         if (sz > victim_size) {
           victim = v;
           victim_size = sz;
         }
       }
-      if (victim == blocks_.size()) {
-        // Nothing visible to steal; another worker may still be executing
+      if (victim == blocks_.size() || victim_size < policy_.steal_floor) {
+        // Nothing worth stealing; another worker may still be executing
         // its last tiles (remaining_ > 0). Yield instead of spinning hard:
-        // the wait is bounded by one tile's execution time.
+        // the wait is bounded by a few tiles' execution time.
         if (remaining_.load(std::memory_order_acquire) == 0) return;
         std::this_thread::yield();
         continue;
       }
-      const std::size_t got = blocks_[victim].queue.steal_half(self.loot);
+      const std::size_t got = blocks_[victim].queue.steal_half(
+          self.loot, policy_.steal_floor, policy_.min_batch);
       if (got == 0) continue;  // raced with the victim draining; rescan
       ++self.steals;
       ++self.stolen;  // the first looted tile, run below
@@ -216,13 +264,307 @@ class StealScheduler {
     std::size_t steals = 0;
   };
 
+  StealPolicy policy_;
   std::vector<Block> blocks_;
   std::atomic<std::size_t> remaining_{0};
+};
+
+/// One frame of one stream, loaded onto a StreamScheduler slot: the tile
+/// indices in schedule order plus the callbacks that execute one tile and
+/// retire the frame. Both callbacks must not throw — the executor layer
+/// wraps kernels with its own error slot.
+struct StreamJob {
+  const std::uint32_t* order = nullptr;  ///< tile indices in schedule order
+  std::size_t count = 0;                 ///< tiles in the frame
+  void* env = nullptr;                   ///< passed through to the callbacks
+  void (*run)(void* env, std::uint32_t item, unsigned worker) = nullptr;
+  /// Called exactly once per job, by the worker that finishes the frame's
+  /// last tile, after the slot has gone idle — so posting the stream's
+  /// next frame from inside retire is legal. `frame` carries the frame's
+  /// local/stolen/steal counters (local + stolen == count, always).
+  void (*retire)(void* env, const StealStats& frame) = nullptr;
+};
+
+/// Hybrid frame×tile scheduler: the multi-stream generalization of
+/// StealScheduler. Where the single-frame scheduler splits ONE tile run
+/// across W worker deques, this one holds S stream slots, each carrying at
+/// most one in-flight frame as a single locality-ordered run:
+///
+///  * a free worker claims the OLDEST posted unowned frame (FIFO over post
+///    order — the fairness rule) and becomes its owner, walking the run in
+///    schedule order (owner-LIFO pops, exactly like a steal deque);
+///  * a worker that finds no claimable frame steals a tile batch from the
+///    largest visible queue across ALL streams (subject to the
+///    StealPolicy floor), so big frames recruit idle workers while small
+///    frames stay cache-local on one core;
+///  * the worker that executes a frame's last tile retires it: counters
+///    are snapshotted and reset, the slot goes idle, and the job's retire
+///    callback runs (typically posting the stream's next queued frame).
+///
+/// Slot storage is fixed at construction (max_slots), so worker scans
+/// never race a reallocation: create_slot/destroy_slot just flip a state
+/// atomic, which makes concurrent stream add/remove safe while serving.
+/// One frame at a time per slot is the caller's contract (checked).
+class StreamScheduler {
+ public:
+  static constexpr std::size_t kNoSlot =
+      std::numeric_limits<std::size_t>::max();
+
+  StreamScheduler(unsigned workers, std::size_t max_slots,
+                  StealPolicy policy = {})
+      : policy_(policy),
+        slots_(max_slots),
+        blocks_(workers == 0 ? 1 : workers) {
+    FE_EXPECTS(workers >= 1 && max_slots >= 1);
+  }
+
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(blocks_.size());
+  }
+
+  /// Claim a free slot; kNoSlot when all max_slots are in use.
+  [[nodiscard]] std::size_t create_slot() {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      int expected = kEmpty;
+      if (slots_[s].state.compare_exchange_strong(
+              expected, kIdle, std::memory_order_acq_rel))
+        return s;
+    }
+    return kNoSlot;
+  }
+
+  /// Release a slot. The slot must be idle (no job posted or running).
+  void destroy_slot(std::size_t s) {
+    FE_EXPECTS(s < slots_.size());
+    int expected = kIdle;
+    const bool idle = slots_[s].state.compare_exchange_strong(
+        expected, kEmpty, std::memory_order_acq_rel);
+    FE_EXPECTS(idle);
+  }
+
+  /// Load one frame onto an idle slot and wake the workers. The caller
+  /// must serialize posts per slot against the job's retire (the retire
+  /// callback is the natural place to post the next frame).
+  void post(std::size_t s, const StreamJob& job) {
+    FE_EXPECTS(s < slots_.size());
+    FE_EXPECTS(job.run != nullptr && job.order != nullptr && job.count > 0);
+    Slot& slot = slots_[s];
+    FE_EXPECTS(slot.state.load(std::memory_order_acquire) == kIdle);
+    slot.job = job;
+    slot.seq.store(next_seq_.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    slot.remaining.store(job.count, std::memory_order_relaxed);
+    // Advertise the largest job ever posted so workers can size their
+    // steal scratch eagerly (keeps steady-state service allocation-free
+    // even when the first steal from this stream happens much later).
+    std::size_t seen = max_count_.load(std::memory_order_relaxed);
+    while (seen < job.count &&
+           !max_count_.compare_exchange_weak(seen, job.count,
+                                             std::memory_order_relaxed)) {
+    }
+    // The queue mutex inside assign() orders everything above before any
+    // pop that yields this frame's items.
+    slot.queue.assign(job.order, 0, job.count);
+    slot.state.store(kActive, std::memory_order_release);
+    {
+      const std::scoped_lock lock(mu_);
+      ++wake_version_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Worker `w`'s service loop: claim-or-steal until stop(). Runs forever
+  /// on a ThreadPool lane (WorkStealingPool::start_service) or a dedicated
+  /// thread.
+  void run_worker(unsigned w) {
+    FE_EXPECTS(w < blocks_.size());
+    std::vector<std::uint32_t>& loot = blocks_[w].loot;
+    for (;;) {
+      // Grow the steal scratch up-front (a steal never loots more than one
+      // whole job), so the steal path itself stays allocation-free.
+      const std::size_t cap = max_count_.load(std::memory_order_relaxed);
+      if (loot.capacity() < cap) loot.reserve(cap);
+      if (own_one(w)) continue;
+      if (steal_one(w, loot)) continue;
+      // Nothing runnable: sleep until a post (or stop) bumps the version.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_) return;
+      const std::uint64_t version = wake_version_;
+      lock.unlock();
+      // Re-scan after reading the version so a post that landed between
+      // the failed scans and the lock cannot be slept through.
+      if (own_one(w) || steal_one(w, loot)) continue;
+      lock.lock();
+      if (stop_) return;
+      if (wake_version_ == version) cv_.wait(lock);
+    }
+  }
+
+  /// Ask every worker to exit once it goes idle. Terminal: a stopped
+  /// scheduler never serves again (executor lifetimes match this).
+  void stop() {
+    {
+      const std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  static constexpr int kEmpty = 0;   ///< slot unassigned
+  static constexpr int kIdle = 1;    ///< slot assigned, no job in flight
+  static constexpr int kActive = 2;  ///< job posted and not yet retired
+  static constexpr unsigned kNoOwner = std::numeric_limits<unsigned>::max();
+
+  /// One stream's in-flight frame. Counter ownership: `local` is written
+  /// only by the slot's current owner and read/reset only by the retiring
+  /// worker — the remaining-counter acquire/release chain makes both safe
+  /// without atomics; stolen/steals are touched by concurrent thieves and
+  /// stay atomic.
+  struct alignas(util::kCacheLine) Slot {
+    std::atomic<int> state{kEmpty};
+    std::atomic<unsigned> owner{kNoOwner};
+    std::atomic<std::uint64_t> seq{0};       ///< post order (FIFO fairness)
+    std::atomic<std::size_t> remaining{0};   ///< tiles not yet executed
+    std::atomic<std::size_t> stolen{0};
+    std::atomic<std::size_t> steals{0};
+    std::size_t local = 0;
+    StreamJob job{};
+    StealQueue queue;
+  };
+
+  struct alignas(util::kCacheLine) WorkerBlock {
+    std::vector<std::uint32_t> loot;  ///< steal scratch, reused per worker
+  };
+
+  /// Claim the oldest posted frame that still has unclaimed run items and
+  /// drain it in schedule order. Returns true when at least one tile ran.
+  bool own_one(unsigned w) {
+    for (;;) {
+      std::size_t best = kNoSlot;
+      std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        Slot& slot = slots_[s];
+        if (slot.state.load(std::memory_order_acquire) != kActive) continue;
+        if (slot.owner.load(std::memory_order_relaxed) != kNoOwner) continue;
+        if (slot.queue.approx_size() == 0) continue;
+        const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+        if (seq < best_seq) {
+          best_seq = seq;
+          best = s;
+        }
+      }
+      if (best == kNoSlot) return false;
+      Slot& slot = slots_[best];
+      unsigned expected = kNoOwner;
+      if (!slot.owner.compare_exchange_strong(expected, w,
+                                              std::memory_order_acq_rel))
+        continue;  // lost the claim race; rescan
+      if (slot.state.load(std::memory_order_acquire) != kActive) {
+        // The frame retired (or the slot was destroyed) between the scan
+        // and the claim; let go and rescan.
+        slot.owner.store(kNoOwner, std::memory_order_release);
+        continue;
+      }
+      if (drain_own(w, slot, best_seq)) return true;
+    }
+  }
+
+  /// Owner loop over one slot: pop-and-run the locality run in order. The
+  /// job is re-read after every pop — the queue mutex orders a post()'s
+  /// job write before the pop that first yields the new frame's items, so
+  /// the copy always matches the frame the item belongs to even when the
+  /// frame retires and the next one is posted mid-drain. Crossing such a
+  /// frame boundary exits the loop so the worker re-runs the FIFO scan
+  /// (fairness: a camping owner must not shut out older streams).
+  bool drain_own(unsigned w, Slot& slot, std::uint64_t claimed_seq) {
+    bool ran = false;
+    std::uint32_t item = 0;
+    while (slot.queue.pop(item)) {
+      ran = true;
+      ++slot.local;
+      const StreamJob job = slot.job;
+      const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+      job.run(job.env, item, w);
+      finish_item(slot);
+      if (seq != claimed_seq) break;
+    }
+    slot.owner.store(kNoOwner, std::memory_order_release);
+    return ran;
+  }
+
+  /// Steal a tile batch from the largest visible queue across all streams
+  /// and run it. A stolen batch belongs to exactly one frame (a queue only
+  /// ever holds the posted frame's items), and the thief's unfinished
+  /// items pin that frame, so the job copy is stable for the whole batch.
+  bool steal_one(unsigned w, std::vector<std::uint32_t>& loot) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      std::size_t victim = kNoSlot;
+      std::size_t victim_size = 0;
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        Slot& slot = slots_[s];
+        if (slot.state.load(std::memory_order_acquire) != kActive) continue;
+        const std::size_t sz = slot.queue.approx_size();
+        if (sz > victim_size) {
+          victim = s;
+          victim_size = sz;
+        }
+      }
+      if (victim == kNoSlot || victim_size < policy_.steal_floor)
+        return false;
+      Slot& slot = slots_[victim];
+      const std::size_t got =
+          slot.queue.steal_half(loot, policy_.steal_floor, policy_.min_batch);
+      if (got == 0) continue;  // raced with the owner draining; rescan
+      const StreamJob job = slot.job;
+      slot.steals.fetch_add(1, std::memory_order_relaxed);
+      slot.stolen.fetch_add(got, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < got; ++i) {
+        job.run(job.env, loot[i], w);
+        finish_item(slot);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Account one executed tile; the worker that brings `remaining` to zero
+  /// retires the frame. Every contributor's counter writes happen before
+  /// its decrement (release), so the retiring worker's acquire sees them
+  /// all — reading and resetting the counters here is race-free.
+  void finish_item(Slot& slot) {
+    if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    StealStats frame;
+    frame.local = slot.local;
+    frame.stolen = slot.stolen.load(std::memory_order_relaxed);
+    frame.steals = slot.steals.load(std::memory_order_relaxed);
+    slot.local = 0;
+    slot.stolen.store(0, std::memory_order_relaxed);
+    slot.steals.store(0, std::memory_order_relaxed);
+    const StreamJob job = slot.job;
+    slot.state.store(kIdle, std::memory_order_release);
+    if (job.retire != nullptr) job.retire(job.env, frame);
+  }
+
+  StealPolicy policy_;
+  std::vector<Slot> slots_;
+  std::vector<WorkerBlock> blocks_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::size_t> max_count_{0};  ///< largest job.count ever posted
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t wake_version_ = 0;  ///< guarded by mu_
+  bool stop_ = false;               ///< guarded by mu_
 };
 
 /// StealScheduler driven by ThreadPool lanes: the pooled backends' steal
 /// schedule. Construction is cheap (no threads of its own); per-frame
 /// dispatch reuses the persistent worker blocks.
+///
+/// Also the binding point for hybrid frame×tile service: start_service()
+/// dedicates every pool lane to a StreamScheduler until stop_service() —
+/// the substrate of stream::StreamExecutor. A serving pool is fully
+/// occupied, so run_ordered() and service are mutually exclusive.
 class WorkStealingPool {
  public:
   explicit WorkStealingPool(ThreadPool& pool)
@@ -237,6 +579,7 @@ class WorkStealingPool {
   template <class Fn>
   StealStats run_ordered(const std::uint32_t* order, std::size_t n,
                          const std::vector<std::size_t>& runs, Fn&& fn) {
+    FE_EXPECTS(serving_ == nullptr);
     if (n == 0) return {};
     scheduler_.begin_frame(order, n, runs);
     pool_.run_indexed(scheduler_.workers(),
@@ -246,9 +589,31 @@ class WorkStealingPool {
     return scheduler_.stats();
   }
 
+  /// Dedicate every pool lane to `streams` until stop_service(). The
+  /// scheduler must be sized to this pool (streams.workers() == size()).
+  void start_service(StreamScheduler& streams) {
+    FE_EXPECTS(serving_ == nullptr);
+    FE_EXPECTS(streams.workers() == pool_.size());
+    serving_ = &streams;
+    for (unsigned w = 0; w < pool_.size(); ++w)
+      pool_.submit([scheduler = serving_, w] { scheduler->run_worker(w); });
+  }
+
+  /// Stop the served scheduler and wait for every lane to exit. In-flight
+  /// frames complete first (stop is honoured at the idle point).
+  void stop_service() {
+    if (serving_ == nullptr) return;
+    serving_->stop();
+    pool_.wait_idle();
+    serving_ = nullptr;
+  }
+
+  [[nodiscard]] bool serving() const noexcept { return serving_ != nullptr; }
+
  private:
   ThreadPool& pool_;
   StealScheduler scheduler_;
+  StreamScheduler* serving_ = nullptr;
 };
 
 /// Split the (already ordered) tile sequence into workers() contiguous

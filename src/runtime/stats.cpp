@@ -37,6 +37,16 @@ RunStats summarize(std::vector<double> samples) {
   return s;
 }
 
+double percentile(std::vector<double> samples, double pct) {
+  FE_EXPECTS(!samples.empty());
+  FE_EXPECTS(pct >= 0.0 && pct <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(pct / 100.0 * n)));
+  return samples[std::min(rank, samples.size()) - 1];
+}
+
 TileStats summarize_tiles(const std::vector<double>& tile_seconds,
                           std::size_t bytes_in, std::size_t bytes_out) {
   TileStats t;

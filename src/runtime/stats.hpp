@@ -49,6 +49,28 @@ struct TileStats {
 TileStats summarize_tiles(const std::vector<double>& tile_seconds,
                           std::size_t bytes_in, std::size_t bytes_out);
 
+/// Per-stream service counters of the multi-stream executor
+/// (stream::StreamExecutor). Frames/tiles are cumulative since the stream
+/// was added; waits measure submit → first executed tile, the fairness
+/// signal — a stream whose frames sit posted but untouched is being
+/// starved by its neighbours. `tiles_local` counts tiles run by the
+/// frame's owning worker in schedule order, `tiles_stolen` tiles that idle
+/// workers pulled cross-stream; the two sum to frames × tiles-per-frame.
+struct StreamStats {
+  std::size_t frames = 0;        ///< frames retired
+  std::size_t tiles_local = 0;   ///< tiles run by the frame's owner
+  std::size_t tiles_stolen = 0;  ///< tiles stolen by other workers
+  std::size_t steals = 0;        ///< successful cross-stream steals
+  double total_wait_seconds = 0.0;  ///< sum of submit→first-tile waits
+  double max_wait_seconds = 0.0;    ///< worst single-frame wait
+  /// Frames whose wait exceeded the executor's starvation threshold.
+  std::size_t starvation_events = 0;
+};
+
+/// Nearest-rank percentile of `samples` (pct in [0, 100]; 50 = median-ish,
+/// 99 = p99). Takes the vector by value — sorting is part of the job.
+double percentile(std::vector<double> samples, double pct);
+
 /// Run `fn` `warmup + reps` times, timing the last `reps`; returns stats of
 /// the per-run seconds.
 template <class Fn>

@@ -55,6 +55,9 @@ struct PipelineStats {
   double wall_seconds = 0.0;
   double fps = 0.0;
   rt::RunStats per_frame;  ///< per-frame seconds distribution
+  /// Frame-parallel runs only: per-stream service counters of the
+  /// executor's stream clones (empty on the serial pipeline).
+  std::vector<rt::StreamStats> streams;
 };
 
 /// Drive `frames` frames from `source` through `corrector` on `backend`.
@@ -65,11 +68,16 @@ PipelineStats run_pipeline(
     core::Backend& backend, int frames,
     const std::function<void(int, const img::Image8&)>& sink = {});
 
-/// Inter-frame parallelism: each frame is corrected serially as one task on
-/// `pool`, with up to pool-size frames in flight — the latency-tolerant
-/// alternative to splitting a single frame (compared in F16). `sink`, if
-/// given, is called in frame order after the batch completes. Outputs are
-/// identical to the serial path (tested).
+/// Inter-frame parallelism: up to pool-size frames in flight at once — the
+/// throughput-oriented alternative to splitting a single frame (compared
+/// in F16). Runs on stream::StreamExecutor: the corrector is registered as
+/// min(pool, frames) stream clones, frames are submitted round-robin, and
+/// the shared work-stealing pool serves them — so unlike the old
+/// one-task-per-frame path, per-frame latencies are real measurements
+/// (submit → retire) and per-stream steal/fairness counters come back in
+/// PipelineStats::streams. `sink`, if given, is called in frame order
+/// after the batch completes. Outputs are identical to the serial path
+/// (tested).
 PipelineStats run_pipeline_frame_parallel(
     const SyntheticVideoSource& source, const core::Corrector& corrector,
     par::ThreadPool& pool, int frames,
