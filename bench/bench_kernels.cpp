@@ -72,9 +72,10 @@ BENCHMARK(BM_RemapPacked);
 
 void BM_RemapSimdSoA(benchmark::State& state) {
   Fixture& f = fixture720();
+  simd::SoaScratch scratch;
   for (auto _ : state) {
     simd::remap_bilinear_soa(f.src.view(), f.dst.view(), f.map,
-                             {0, 0, f.w, f.h}, 0);
+                             {0, 0, f.w, f.h}, 0, scratch);
     benchmark::DoNotOptimize(f.dst.row(0));
   }
   state.SetItemsProcessed(state.iterations() * f.w * f.h);

@@ -1,0 +1,89 @@
+// Plan-time autotuner: resolve tuned=auto by measurement.
+//
+// A backend whose spec carries tuned=auto defers several knobs — kernel
+// datapath, SoA strip length, tile shape, map representation — to its
+// first plan(). The backend enumerates its candidate TunedSpecs, this
+// engine measures each on a couple of synthesized frames of the context's
+// exact geometry (gradient-filled, so gathers touch realistic addresses),
+// and the fastest candidate is locked into the backend's canonical name
+// as a round-trippable tuned=<token>. Decisions are memoized process-wide
+// by (ISA, geometry, base spec) — and, when the FISHEYE_TUNE_CACHE
+// environment variable names a file, across processes too — so replanning
+// the same configuration never re-measures.
+//
+// The measurement frames are private allocations: the caller's context may
+// carry null pixel pointers (plan-time contract) and is never written.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace fisheye::core {
+
+/// A candidate tuning point plus a display label (debug/bench output).
+struct AutotuneCandidate {
+  TunedSpec spec;
+  std::string label;
+};
+
+/// Process-wide memo of autotune decisions, keyed by
+/// autotune_cache_key(). Always in-memory; mirrored to the file named by
+/// the FISHEYE_TUNE_CACHE environment variable when it is set (loaded
+/// once, lazily — tests that never set the variable touch no disk).
+class AutotuneCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t stores = 0;
+  };
+
+  static AutotuneCache& instance();
+
+  [[nodiscard]] std::optional<TunedSpec> lookup(const std::string& key);
+  void store(const std::string& key, const TunedSpec& spec);
+  /// Drop every memoized decision (tests; does not truncate the disk file).
+  void clear();
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  AutotuneCache() = default;
+  void load_disk_locked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, TunedSpec> entries_;
+  Stats stats_;
+  bool disk_loaded_ = false;
+};
+
+/// Cache key for tuning `ctx` under `base_spec` (the backend's pending
+/// name, tuned=auto included): ISA × frame geometry × mode × spec. Tuning
+/// is hardware- and shape-specific; the ISA token keeps a cache file moved
+/// between machines from poisoning decisions.
+[[nodiscard]] std::string autotune_cache_key(const ExecContext& ctx,
+                                             const std::string& base_spec);
+
+using AutotunePlanFn =
+    std::function<ExecutionPlan(const ExecContext&, const TunedSpec&)>;
+using AutotuneExecFn =
+    std::function<void(const ExecutionPlan&, const ExecContext&)>;
+
+/// Measure `candidates` on synthesized frames of ctx's geometry and return
+/// the fastest (best of `frames` timed runs after `warmup` untimed ones),
+/// memoized through AutotuneCache under `cache_key`. A candidate whose
+/// plan_fn throws is skipped; nullopt when none planned successfully (the
+/// caller falls back to its untuned path, which surfaces the real error).
+[[nodiscard]] std::optional<TunedSpec> autotune_select(
+    const ExecContext& ctx, const std::string& cache_key,
+    const std::vector<AutotuneCandidate>& candidates,
+    const AutotunePlanFn& plan_fn, const AutotuneExecFn& exec_fn,
+    int warmup = 1, int frames = 3);
+
+}  // namespace fisheye::core

@@ -7,10 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/autotune.hpp"
 #include "core/kernel.hpp"
 #include "core/tile_order.hpp"
 #include "parallel/work_stealing.hpp"
 #include "runtime/timer.hpp"
+#include "simd/remap_gather.hpp"
 #include "simd/remap_simd.hpp"
 #include "util/error.hpp"
 
@@ -98,6 +100,112 @@ MapChoice MapChoice::parse(const std::string& value) {
                         "' (valid: float, packed, compact:<stride>)");
 }
 
+KernelVariant DatapathChoice::parse(const std::string& value) {
+  if (value == "scalar") return KernelVariant::Scalar;
+  if (value == "soa") return KernelVariant::SimdSoa;
+  if (value == "gather") return KernelVariant::SimdGather;
+  throw InvalidArgument("datapath=: unknown datapath '" + value +
+                        "' (valid: scalar, soa, gather)");
+}
+
+const char* DatapathChoice::token(KernelVariant v) noexcept {
+  switch (v) {
+    case KernelVariant::Scalar: return "scalar";
+    case KernelVariant::SimdSoa: return "soa";
+    case KernelVariant::SimdGather: return "gather";
+  }
+  return "?";
+}
+
+std::string TunedSpec::token() const {
+  std::string out;
+  out += datapath ? DatapathChoice::token(*datapath) : "-";
+  out += '/';
+  out += strip > 0 ? std::to_string(strip) : "-";
+  out += '/';
+  if (tile_w > 0 && tile_h > 0)
+    out += std::to_string(tile_w) + 'x' + std::to_string(tile_h);
+  else
+    out += '-';
+  out += '/';
+  if (map) {
+    // MapChoice::spec_text() is "map=<token>"; the slot wants the token.
+    const std::string m = map->spec_text();
+    out += m.substr(m.find('=') + 1);
+  } else {
+    out += '-';
+  }
+  return out;
+}
+
+TunedSpec TunedSpec::parse(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = value.find('/', start);
+    if (pos == std::string::npos) {
+      parts.push_back(value.substr(start));
+      break;
+    }
+    parts.push_back(value.substr(start, pos - start));
+    start = pos + 1;
+  }
+  if (parts.size() != 4)
+    throw InvalidArgument("tuned=: expected 'auto' or " +
+                          std::string("<datapath|->/<strip|->/<WxH|->/") +
+                          "<map|->, got '" + value + "'");
+  TunedSpec t;
+  try {
+    if (parts[0] != "-") t.datapath = DatapathChoice::parse(parts[0]);
+    if (parts[1] != "-") {
+      std::size_t used = 0;
+      t.strip = std::stoi(parts[1], &used);
+      if (used != parts[1].size() || t.strip < 1)
+        throw InvalidArgument("tuned=: strip expects a positive integer, "
+                              "got '" + parts[1] + "'");
+    }
+    if (parts[2] != "-") {
+      const std::size_t x = parts[2].find('x');
+      std::size_t uw = 0, uh = 0;
+      if (x == std::string::npos)
+        throw InvalidArgument("tuned=: tile expects WxH, got '" + parts[2] +
+                              "'");
+      const std::string ws = parts[2].substr(0, x);
+      const std::string hs = parts[2].substr(x + 1);
+      t.tile_w = std::stoi(ws, &uw);
+      t.tile_h = std::stoi(hs, &uh);
+      if (uw != ws.size() || uh != hs.size() || t.tile_w < 1 || t.tile_h < 1)
+        throw InvalidArgument("tuned=: tile expects WxH, got '" + parts[2] +
+                              "'");
+    }
+    if (parts[3] != "-") t.map = MapChoice::parse(parts[3]);
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    if (what.rfind("tuned=", 0) == 0) throw;
+    throw InvalidArgument("tuned=: " + what);
+  } catch (const std::exception&) {
+    throw InvalidArgument("tuned=: malformed token '" + value + "'");
+  }
+  return t;
+}
+
+std::string TunedChoice::spec_text() const {
+  if (!requested) return {};
+  return "tuned=" + (pending ? std::string("auto") : spec.token());
+}
+
+TunedChoice TunedChoice::parse(const std::string& value) {
+  TunedChoice c;
+  c.requested = true;
+  if (value == "auto") {
+    c.pending = true;
+    return c;
+  }
+  c.pending = false;
+  c.spec = TunedSpec::parse(value);
+  return c;
+}
+
 par::Schedule ScheduleChoice::parse(const std::string& value) {
   if (value == "static") return par::Schedule::Static;
   if (value == "dynamic") return par::Schedule::Dynamic;
@@ -128,12 +236,12 @@ ExecutionPlan Backend::make_plan(const ExecContext& ctx,
                                  std::vector<par::Rect> tiles,
                                  std::shared_ptr<void> state,
                                  std::shared_ptr<const ConvertedMap> converted,
-                                 KernelVariant variant) const {
+                                 KernelVariant variant, int soa_strip) const {
   ExecutionPlan p(plan_key(ctx, cached_name()), std::move(tiles),
                   std::move(state));
   const ExecContext ectx = converted ? converted->apply(ctx) : ctx;
   p.set_converted(std::move(converted));
-  p.set_kernel(resolve_kernel(ectx, variant));
+  p.set_kernel(resolve_kernel(ectx, variant, soa_strip));
   Workspace& ws = p.workspace();
   ws.bytes_in_estimate = estimate_bytes_in(ectx);
   ws.bytes_out_estimate = estimate_bytes_out(ectx);
@@ -148,31 +256,37 @@ void Backend::check_plan(const ExecutionPlan& plan,
 ExecContext Backend::resolve_map(
     const ExecContext& ctx,
     std::shared_ptr<const ConvertedMap>& converted) const {
+  return resolve_map(ctx, converted, map_choice_);
+}
+
+ExecContext Backend::resolve_map(
+    const ExecContext& ctx, std::shared_ptr<const ConvertedMap>& converted,
+    const MapChoice& choice) const {
   converted = nullptr;
-  if (!map_choice_.set()) return ctx;
-  const MapMode want = *map_choice_.mode;
+  if (!choice.set()) return ctx;
+  const MapMode want = *choice.mode;
   const bool already =
       want == ctx.mode &&
       (want != MapMode::CompactLut ||
-       (ctx.compact != nullptr && ctx.compact->stride == map_choice_.stride));
+       (ctx.compact != nullptr && ctx.compact->stride == choice.stride));
   if (already) return ctx;
   if (ctx.map == nullptr)
-    throw InvalidArgument(name() + ": " + map_choice_.spec_text() +
+    throw InvalidArgument(name() + ": " + choice.spec_text() +
                           " needs the context's float WarpMap to convert "
                           "from, but the context (mode " +
                           map_mode_name(ctx.mode) + ") carries none");
   if ((want == MapMode::PackedLut || want == MapMode::CompactLut) &&
       ctx.opts.interp != Interp::Bilinear)
-    throw InvalidArgument(name() + ": " + map_choice_.spec_text() +
+    throw InvalidArgument(name() + ": " + choice.spec_text() +
                           " supports bilinear interpolation only");
   auto conv = std::make_shared<ConvertedMap>();
   conv->mode = want;
   if (want == MapMode::PackedLut) {
     conv->packed = pack_map(*ctx.map, ctx.src.width, ctx.src.height,
-                            map_choice_.frac_bits);
+                            choice.frac_bits);
   } else if (want == MapMode::CompactLut) {
     conv->compact = compact_map(*ctx.map, ctx.src.width, ctx.src.height,
-                                map_choice_.stride, map_choice_.frac_bits);
+                                choice.stride, choice.frac_bits);
   } else if (want == MapMode::OnTheFly) {
     throw InvalidArgument(name() + ": map= cannot select on-the-fly");
   }
@@ -182,9 +296,13 @@ ExecContext Backend::resolve_map(
 }
 
 std::string Backend::decorate_spec(std::string spec) const {
-  if (!map_choice_.set()) return spec;
-  spec += spec.find(':') == std::string::npos ? ':' : ',';
-  spec += map_choice_.spec_text();
+  const auto append = [&spec](const std::string& opt) {
+    if (opt.empty()) return;
+    spec += spec.find(':') == std::string::npos ? ':' : ',';
+    spec += opt;
+  };
+  append(map_choice_.spec_text());
+  append(tuned_.spec_text());
   return spec;
 }
 
@@ -232,13 +350,23 @@ std::string PoolBackend::name() const {
 }
 
 ExecutionPlan PoolBackend::plan(const ExecContext& ctx) {
+  maybe_autotune(ctx);
+  const TunedChoice& t = tuned();
+  return plan_with(ctx, t.requested && !t.pending ? t.spec : TunedSpec{});
+}
+
+ExecutionPlan PoolBackend::plan_with(const ExecContext& ctx,
+                                     const TunedSpec& t) {
   std::shared_ptr<const ConvertedMap> converted;
-  const ExecContext ectx = resolve_map(ctx, converted);
+  const ExecContext ectx =
+      resolve_map(ctx, converted, t.map ? *t.map : map_choice());
   int chunks = options_.chunks;
   if (chunks == 0) chunks = static_cast<int>(pool_.size()) * 4;
+  const int tile_w = t.tile_w > 0 ? t.tile_w : options_.tile_w;
+  const int tile_h = t.tile_h > 0 ? t.tile_h : options_.tile_h;
   std::vector<par::Rect> tiles =
       par::partition(ctx.dst.width, ctx.dst.height, options_.partition,
-                     chunks, options_.tile_w, options_.tile_h);
+                     chunks, tile_w, tile_h);
   const bool steal = options_.schedule == par::Schedule::Steal;
   if (steal) {
     // Reorder the partition by source locality once, at plan time, and
@@ -248,9 +376,36 @@ ExecutionPlan PoolBackend::plan(const ExecContext& ctx) {
     tiles = order_tiles_by_source_locality(ectx, std::move(tiles));
   }
   ExecutionPlan p =
-      make_plan(ctx, std::move(tiles), nullptr, std::move(converted));
+      make_plan(ctx, std::move(tiles), nullptr, std::move(converted),
+                t.datapath.value_or(KernelVariant::Scalar), t.strip);
   if (steal) init_steal_state(p.workspace(), pool_.size());
   return p;
+}
+
+void PoolBackend::maybe_autotune(const ExecContext& ctx) {
+  if (!tuned().requested || !tuned().pending) return;
+  // The pool backend's measured axis is the tile shape; it only exists
+  // under a Tiles partition (row/cyclic decompositions ignore tile=).
+  if (options_.partition != par::PartitionKind::Tiles) {
+    resolve_tuned(TunedSpec{});
+    return;
+  }
+  std::vector<AutotuneCandidate> cands;
+  cands.push_back({TunedSpec{}, "default"});
+  constexpr int kTiles[][2] = {{32, 32}, {64, 64}, {128, 64}, {128, 32}};
+  for (const auto& wh : kTiles) {
+    TunedSpec t;
+    t.tile_w = wh[0];
+    t.tile_h = wh[1];
+    cands.push_back({t, "tile " + t.token()});
+  }
+  const auto best = autotune_select(
+      ctx, autotune_cache_key(ctx, cached_name()), cands,
+      [this](const ExecContext& c, const TunedSpec& t) {
+        return plan_with(c, t);
+      },
+      [this](const ExecutionPlan& p, const ExecContext& c) { execute(p, c); });
+  if (best) resolve_tuned(*best);
 }
 
 void PoolBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {
@@ -298,17 +453,32 @@ SimdBackend::SimdBackend(unsigned threads) {
   }
 }
 
+void SimdBackend::set_datapath(KernelVariant v) {
+  datapath_ = v;
+  clear_name_cache();
+}
+
 std::string SimdBackend::name() const {
   std::ostringstream os;
   os << "simd:threads=" << (pool_ != nullptr ? pool_->size() : 1);
+  if (datapath_ != KernelVariant::SimdSoa)
+    os << ",datapath=" << DatapathChoice::token(datapath_);
   return decorate_spec(os.str());
 }
 
 ExecutionPlan SimdBackend::plan(const ExecContext& ctx) {
+  maybe_autotune(ctx);
+  const TunedChoice& t = tuned();
+  return plan_with(ctx, t.requested && !t.pending ? t.spec : TunedSpec{});
+}
+
+ExecutionPlan SimdBackend::plan_with(const ExecContext& ctx,
+                                     const TunedSpec& t) {
   std::shared_ptr<const ConvertedMap> converted;
-  (void)resolve_map(ctx, converted);
-  // Two SoA kernels — float LUT and compact LUT, bilinear, constant border
-  // (see remap_simd.hpp); resolve_kernel rejects everything else.
+  (void)resolve_map(ctx, converted, t.map ? *t.map : map_choice());
+  // SoA/gather strip kernels — float, packed (gather only) and compact
+  // LUTs, bilinear, constant border; resolve_kernel rejects everything
+  // else and effective_variant() degrades gather off-AVX2.
   std::vector<par::Rect> tiles =
       pool_ == nullptr
           ? std::vector<par::Rect>{par::Rect{0, 0, ctx.dst.width,
@@ -316,12 +486,48 @@ ExecutionPlan SimdBackend::plan(const ExecContext& ctx) {
           : par::partition(ctx.dst.width, ctx.dst.height,
                            par::PartitionKind::RowBlocks,
                            static_cast<int>(pool_->size()) * 4);
-  ExecutionPlan p = make_plan(ctx, std::move(tiles), nullptr,
-                              std::move(converted), KernelVariant::SimdSoa);
+  ExecutionPlan p =
+      make_plan(ctx, std::move(tiles), nullptr, std::move(converted),
+                t.datapath.value_or(datapath_), t.strip);
   // One SoA strip scratch per lane, owned by the plan: tiles borrow their
   // lane's scratch instead of burning ~11 KB of stack per tile.
   p.workspace().soa.resize(pool_ != nullptr ? pool_->size() : 1);
   return p;
+}
+
+void SimdBackend::maybe_autotune(const ExecContext& ctx) {
+  if (!tuned().requested || !tuned().pending) return;
+  std::vector<AutotuneCandidate> cands;
+  std::vector<KernelVariant> variants{KernelVariant::SimdSoa};
+  if (simd::gather_available())
+    variants.push_back(KernelVariant::SimdGather);
+  for (const KernelVariant v : variants) {
+    for (const int strip : {128, simd::kSoaStrip}) {
+      TunedSpec t;
+      t.datapath = v;
+      t.strip = strip;
+      cands.push_back({t, t.token()});
+    }
+  }
+  // Map-representation candidate: trading the float LUT for a compact
+  // grid often wins on bandwidth; only probed when the context can
+  // convert and the user didn't pin map= explicitly.
+  if (!map_choice().set() && ctx.mode == MapMode::FloatLut &&
+      ctx.map != nullptr && ctx.opts.interp == Interp::Bilinear) {
+    for (const KernelVariant v : variants) {
+      TunedSpec t;
+      t.datapath = v;
+      t.map = MapChoice::parse("compact:8");
+      cands.push_back({t, t.token()});
+    }
+  }
+  const auto best = autotune_select(
+      ctx, autotune_cache_key(ctx, cached_name()), cands,
+      [this](const ExecContext& c, const TunedSpec& t) {
+        return plan_with(c, t);
+      },
+      [this](const ExecutionPlan& p, const ExecContext& c) { execute(p, c); });
+  if (best) resolve_tuned(*best);
 }
 
 void SimdBackend::execute(const ExecutionPlan& plan, const ExecContext& ctx) {

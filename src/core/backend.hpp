@@ -62,6 +62,58 @@ struct ScheduleChoice {
   static constexpr const char* kHelp = "schedule=static|dynamic|guided|steal";
 };
 
+/// Kernel-datapath selection requested by a spec's `datapath=` option on
+/// the simd backend. Thin parse/help wrapper mirroring ScheduleChoice;
+/// the selected variant is still subject to core::effective_variant() at
+/// plan time (gather degrades to SoA/scalar off-AVX2, FISHEYE_FORCE_SCALAR
+/// grounds everything), so a spec tuned on one host runs everywhere.
+struct DatapathChoice {
+  /// Parse an option value ("scalar", "soa", "gather"). Throws
+  /// InvalidArgument naming the offending token.
+  static KernelVariant parse(const std::string& value);
+  /// Canonical option token for a variant ("scalar"/"soa"/"gather").
+  [[nodiscard]] static const char* token(KernelVariant v) noexcept;
+  /// The option values datapath-aware backends accept, for help text.
+  static constexpr const char* kHelp = "datapath=scalar|soa|gather";
+};
+
+/// One point of the plan-time tuning space the autotuner searches: kernel
+/// datapath, SoA strip length, tile shape, and map representation. Unset
+/// axes (nullopt / 0) keep the backend's configured default for that axis.
+struct TunedSpec {
+  std::optional<KernelVariant> datapath;
+  int strip = 0;                 ///< SoA/gather strip pixels (0 = default)
+  int tile_w = 0, tile_h = 0;    ///< tile partition override (0 = default)
+  std::optional<MapChoice> map;  ///< map-representation override
+
+  /// Canonical slash token, e.g. "gather/128/-/-" ('-' = axis unset).
+  [[nodiscard]] std::string token() const;
+  /// Parse a token (a tuned= value other than "auto"). Throws
+  /// InvalidArgument naming the tuned= option.
+  static TunedSpec parse(const std::string& value);
+
+  [[nodiscard]] bool operator==(const TunedSpec&) const noexcept = default;
+};
+
+/// tuned= option state carried by a backend: requested-but-pending
+/// ("tuned=auto" before the first plan measures) or resolved to a concrete
+/// TunedSpec — in which case name() carries the resolved token and
+/// BackendRegistry::create(name()) reconstructs the tuned backend without
+/// re-measurement.
+struct TunedChoice {
+  bool requested = false;
+  bool pending = false;
+  TunedSpec spec;
+
+  /// "tuned=auto", "tuned=<token>", or "" when not requested.
+  [[nodiscard]] std::string spec_text() const;
+  /// Parse the tuned= option value ("auto" or a TunedSpec token).
+  static TunedChoice parse(const std::string& value);
+  /// The option values tuning-aware backends accept, for help text.
+  static constexpr const char* kHelp =
+      "tuned=auto|<datapath|->/<strip|->/<WxH|->/<map|->";
+};
+
 /// Strategy interface with a plan/execute split.
 ///
 /// Thread-safety: plan() is const-like and reentrant; a given ExecutionPlan
@@ -108,16 +160,34 @@ class Backend {
     return map_choice_;
   }
 
+  /// Spec-selected tuning (the tuned= option). "auto" defers the choice to
+  /// plan time: the first plan() measures the backend's candidate set on
+  /// synthesized frames (core/autotune.hpp) and locks the winner into the
+  /// name, so create(name()) round-trips without re-measuring.
+  void set_tuned(const TunedChoice& choice) {
+    tuned_ = choice;
+    name_cache_.clear();
+  }
+  [[nodiscard]] const TunedChoice& tuned() const noexcept { return tuned_; }
+
  protected:
   /// Stamp a plan with this backend's key for `ctx`: resolves the tile
-  /// kernel (of `variant`) against the effective — post map= conversion —
-  /// context, attaches `converted`, and stores the plan-time byte
-  /// estimates in the plan's Workspace.
+  /// kernel (of `variant`, `soa_strip`) against the effective — post map=
+  /// conversion — context, attaches `converted`, and stores the plan-time
+  /// byte estimates in the plan's Workspace.
   [[nodiscard]] ExecutionPlan make_plan(
       const ExecContext& ctx, std::vector<par::Rect> tiles,
       std::shared_ptr<void> state = nullptr,
       std::shared_ptr<const ConvertedMap> converted = nullptr,
-      KernelVariant variant = KernelVariant::Scalar) const;
+      KernelVariant variant = KernelVariant::Scalar, int soa_strip = 0) const;
+
+  /// Lock a measured tuned= winner in: subsequent name()/plan() calls carry
+  /// the resolved token instead of "auto".
+  void resolve_tuned(const TunedSpec& spec) {
+    tuned_.spec = spec;
+    tuned_.pending = false;
+    name_cache_.clear();
+  }
 
   /// Validate plan/context agreement at the top of execute() overrides.
   void check_plan(const ExecutionPlan& plan, const ExecContext& ctx) const;
@@ -130,16 +200,28 @@ class Backend {
       const ExecContext& ctx,
       std::shared_ptr<const ConvertedMap>& converted) const;
 
+  /// Same, for an explicit choice (a tuned= map override instead of the
+  /// backend's own map= option).
+  [[nodiscard]] ExecContext resolve_map(
+      const ExecContext& ctx, std::shared_ptr<const ConvertedMap>& converted,
+      const MapChoice& choice) const;
+
   /// name(), computed once and cached: the steady-state paths compare it
   /// every frame and must not pay a string allocation to do so.
   [[nodiscard]] const std::string& cached_name() const;
 
-  /// Append the canonical map= option to a spec string (no-op when unset).
+  /// Invalidate the cached name after a derived-class option changes what
+  /// name() returns (e.g. SimdBackend::set_datapath).
+  void clear_name_cache() noexcept { name_cache_.clear(); }
+
+  /// Append the canonical map= and tuned= options to a spec string (no-op
+  /// for unset choices).
   [[nodiscard]] std::string decorate_spec(std::string spec) const;
 
  private:
   ExecutionPlan cached_plan_;
   MapChoice map_choice_;
+  TunedChoice tuned_;
   mutable std::string name_cache_;
 };
 
@@ -184,6 +266,14 @@ class PoolBackend final : public Backend {
   [[nodiscard]] std::string name() const override;
 
  private:
+  /// plan() with explicit tuning overrides (tile shape, map); the
+  /// autotuner's probe path and the resolved tuned= path.
+  [[nodiscard]] ExecutionPlan plan_with(const ExecContext& ctx,
+                                        const TunedSpec& t);
+  /// Resolve a pending tuned=auto by measuring this backend's candidate
+  /// tile shapes on synthesized frames of ctx's geometry.
+  void maybe_autotune(const ExecContext& ctx);
+
   std::unique_ptr<par::ThreadPool> owned_pool_;
   par::ThreadPool& pool_;
   /// Steal-schedule executor over pool_; created on first steal plan and
@@ -207,9 +297,23 @@ class SimdBackend final : public Backend {
   void execute(const ExecutionPlan& plan, const ExecContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
+  /// Explicit kernel datapath (the datapath= option); SimdSoa by default.
+  /// Subject to effective_variant() degrade at plan time.
+  void set_datapath(KernelVariant v);
+  [[nodiscard]] KernelVariant datapath() const noexcept { return datapath_; }
+
  private:
+  /// plan() with explicit tuning overrides (datapath, strip, map); the
+  /// autotuner's probe path and the resolved tuned= path.
+  [[nodiscard]] ExecutionPlan plan_with(const ExecContext& ctx,
+                                        const TunedSpec& t);
+  /// Resolve a pending tuned=auto by measuring this backend's candidate
+  /// set (datapath × strip × map representation) on synthesized frames.
+  void maybe_autotune(const ExecContext& ctx);
+
   std::unique_ptr<par::ThreadPool> owned_pool_;
   par::ThreadPool* pool_ = nullptr;
+  KernelVariant datapath_ = KernelVariant::SimdSoa;
 };
 
 #ifdef _OPENMP

@@ -181,10 +181,23 @@ par::Schedule schedule_option(BackendSpec& spec, par::Schedule def) {
   }
 }
 
+/// Parse a spec's `tuned=` option through TunedChoice, prefixing errors
+/// with the offending spec text. No-op when absent.
+void apply_tuned_option(BackendSpec& spec, Backend& backend) {
+  const auto v = spec.value("tuned");
+  if (!v) return;
+  try {
+    backend.set_tuned(TunedChoice::parse(*v));
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument("backend spec '" + spec.text() + "': " + e.what());
+  }
+}
+
 constexpr const char* kPoolOptions =
     "static|dynamic|guided|steal (or schedule=static|dynamic|guided|steal), "
     "rows[=N]|cyclic|tiles|cols[=N], chunks=N, "
-    "tile=WxH, threads=N, map=float|packed|compact:<stride>";
+    "tile=WxH, threads=N, map=float|packed|compact:<stride>, "
+    "tuned=auto|<spec>";
 
 std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
   PoolBackend::Options o;
@@ -219,12 +232,14 @@ std::unique_ptr<Backend> make_pool(BackendSpec& spec) {
   auto backend = std::make_unique<PoolBackend>(o,
                                                static_cast<unsigned>(threads));
   apply_map_option(spec, *backend);
+  apply_tuned_option(spec, *backend);
   spec.finish(kPoolOptions);
   return backend;
 }
 
 constexpr const char* kSimdOptions =
-    "threads=N (1 = no pool), map=float|compact:<stride>";
+    "threads=N (1 = no pool), datapath=scalar|soa|gather, "
+    "map=float|compact:<stride>, tuned=auto|<spec>";
 
 std::unique_ptr<Backend> make_simd(BackendSpec& spec) {
   const std::optional<std::string> tv = spec.value("threads");
@@ -234,7 +249,16 @@ std::unique_ptr<Backend> make_simd(BackendSpec& spec) {
       threads < 0 ? std::make_unique<SimdBackend>(&par::default_pool())
                   : std::make_unique<SimdBackend>(
                         static_cast<unsigned>(threads));
+  if (const auto dv = spec.value("datapath")) {
+    try {
+      backend->set_datapath(DatapathChoice::parse(*dv));
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument("backend spec '" + spec.text() + "': " +
+                            e.what());
+    }
+  }
   apply_map_option(spec, *backend);
+  apply_tuned_option(spec, *backend);
   spec.finish(kSimdOptions);
   return backend;
 }

@@ -1,8 +1,10 @@
 #include "core/execution_plan.hpp"
 
+#include <sstream>
 #include <utility>
 
 #include "simd/remap_simd.hpp"
+#include "util/cpu.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::core {
@@ -66,6 +68,20 @@ bool ExecutionPlan::matches(const ExecContext& ctx,
     return false;
   const MapIdentity id = map_identity(ctx);
   return id.present && id == key_.map;
+}
+
+std::string ExecutionPlan::describe() const {
+  if (!valid()) return "invalid plan";
+  std::ostringstream os;
+  os << key_.backend << ": " << key_.dst_width << 'x' << key_.dst_height
+     << " in " << ws_->tiles.size()
+     << (ws_->tiles.size() == 1 ? " tile" : " tiles");
+  if (kernel_.valid())
+    os << ", kernel " << map_mode_name(kernel_.key().mode) << " x "
+       << interp_name(kernel_.key().interp) << " x "
+       << variant_name(kernel_.key().variant);
+  os << ", isa=" << util::cpu_info().isa();
+  return os.str();
 }
 
 rt::TileStats ExecutionPlan::tile_stats() const {

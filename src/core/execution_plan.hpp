@@ -209,6 +209,12 @@ class ExecutionPlan {
   /// Uniform per-tile summary of the most recently executed frame.
   [[nodiscard]] rt::TileStats tile_stats() const;
 
+  /// One-line human-readable summary: backend name, output geometry, tile
+  /// count, resolved kernel (mode × interp × datapath variant) and the
+  /// host ISA the plan resolved under — what actually runs, post
+  /// effective_variant() degrade, not what was requested.
+  [[nodiscard]] std::string describe() const;
+
   /// Spec-selected map representation (map= option), or null when the plan
   /// executes the context's own representation.
   [[nodiscard]] const ConvertedMap* converted() const noexcept {

@@ -8,7 +8,9 @@
 
 #include "core/execution_plan.hpp"
 #include "core/tile_order.hpp"
+#include "simd/remap_gather.hpp"
 #include "simd/remap_simd.hpp"
+#include "util/cpu.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::core {
@@ -75,19 +77,60 @@ void k_otf_lanczos3(const KernelBinding& b, const TileArgs& a) {
 // --- SoA SIMD kernels (constant border only) ----------------------------
 
 void k_simd_float_bilinear(const KernelBinding& b, const TileArgs& a) {
-  if (a.scratch != nullptr)
+  if (a.scratch != nullptr) {
     simd::remap_bilinear_soa(a.src, a.dst, *b.map, a.rect, b.opts.fill,
-                             *a.scratch);
-  else
-    simd::remap_bilinear_soa(a.src, a.dst, *b.map, a.rect, b.opts.fill);
+                             *a.scratch, b.soa_strip);
+  } else {
+    simd::SoaScratch scratch;
+    simd::remap_bilinear_soa(a.src, a.dst, *b.map, a.rect, b.opts.fill,
+                             scratch, b.soa_strip);
+  }
 }
 
 void k_simd_compact_bilinear(const KernelBinding& b, const TileArgs& a) {
-  if (a.scratch != nullptr)
+  if (a.scratch != nullptr) {
     simd::remap_compact_soa(a.src, a.dst, *b.compact, a.rect, b.opts.fill,
-                            *a.scratch);
-  else
-    simd::remap_compact_soa(a.src, a.dst, *b.compact, a.rect, b.opts.fill);
+                            *a.scratch, b.soa_strip);
+  } else {
+    simd::SoaScratch scratch;
+    simd::remap_compact_soa(a.src, a.dst, *b.compact, a.rect, b.opts.fill,
+                            scratch, b.soa_strip);
+  }
+}
+
+// --- AVX2 gather kernels (constant border only) -------------------------
+
+void k_gather_float_bilinear(const KernelBinding& b, const TileArgs& a) {
+  if (a.scratch != nullptr) {
+    simd::remap_bilinear_gather(a.src, a.dst, *b.map, a.rect, b.opts.fill,
+                                *a.scratch, b.soa_strip);
+  } else {
+    simd::SoaScratch scratch;
+    simd::remap_bilinear_gather(a.src, a.dst, *b.map, a.rect, b.opts.fill,
+                                scratch, b.soa_strip);
+  }
+}
+
+void k_gather_packed_bilinear(const KernelBinding& b, const TileArgs& a) {
+  if (a.scratch != nullptr) {
+    simd::remap_packed_gather(a.src, a.dst, *b.packed, a.rect, b.opts.fill,
+                              *a.scratch, b.soa_strip);
+  } else {
+    simd::SoaScratch scratch;
+    simd::remap_packed_gather(a.src, a.dst, *b.packed, a.rect, b.opts.fill,
+                              scratch, b.soa_strip);
+  }
+}
+
+void k_gather_compact_bilinear(const KernelBinding& b, const TileArgs& a) {
+  if (a.scratch != nullptr) {
+    simd::remap_compact_gather(a.src, a.dst, *b.compact, a.rect, b.opts.fill,
+                               *a.scratch, b.soa_strip);
+  } else {
+    simd::SoaScratch scratch;
+    simd::remap_compact_gather(a.src, a.dst, *b.compact, a.rect, b.opts.fill,
+                               scratch, b.soa_strip);
+  }
 }
 
 // --- the catalogue ------------------------------------------------------
@@ -105,6 +148,7 @@ struct KernelEntry {
 
 constexpr KernelVariant kScalar = KernelVariant::Scalar;
 constexpr KernelVariant kSimd = KernelVariant::SimdSoa;
+constexpr KernelVariant kGather = KernelVariant::SimdGather;
 
 constexpr KernelEntry kCatalogue[] = {
     {MapMode::FloatLut, Interp::Nearest, true, kScalar, true,
@@ -131,6 +175,12 @@ constexpr KernelEntry kCatalogue[] = {
      &k_simd_float_bilinear},
     {MapMode::CompactLut, Interp::Bilinear, false, kSimd, false,
      &k_simd_compact_bilinear},
+    {MapMode::FloatLut, Interp::Bilinear, false, kGather, false,
+     &k_gather_float_bilinear},
+    {MapMode::PackedLut, Interp::Bilinear, false, kGather, false,
+     &k_gather_packed_bilinear},
+    {MapMode::CompactLut, Interp::Bilinear, false, kGather, false,
+     &k_gather_compact_bilinear},
 };
 
 const KernelEntry* find_entry(const KernelKey& key) noexcept {
@@ -143,10 +193,6 @@ const KernelEntry* find_entry(const KernelKey& key) noexcept {
     return &e;
   }
   return nullptr;
-}
-
-constexpr const char* variant_name(KernelVariant v) noexcept {
-  return v == KernelVariant::SimdSoa ? "simd-soa" : "scalar";
 }
 
 }  // namespace
@@ -179,7 +225,30 @@ std::string kernel_catalogue() {
   return out;
 }
 
-ResolvedKernel resolve_kernel(const ExecContext& ctx, KernelVariant variant) {
+KernelVariant effective_variant(const ExecContext& ctx,
+                                KernelVariant wanted) noexcept {
+  if (wanted == KernelVariant::Scalar) return wanted;
+  // Kill switch first: FISHEYE_FORCE_SCALAR grounds every SIMD variant.
+  if (util::force_scalar()) return KernelVariant::Scalar;
+  if (wanted == KernelVariant::SimdGather && !simd::gather_available()) {
+    // Degrade along the datapath axis only: the SoA kernel at the SAME
+    // lattice point, else scalar. A point the SoA family never covers
+    // (e.g. bicubic) stays SimdGather so resolve_kernel throws loudly.
+    const KernelKey soa{ctx.mode, ctx.opts.interp, ctx.opts.border,
+                        PixelLayout::InterleavedU8, KernelVariant::SimdSoa};
+    const KernelKey gather{ctx.mode, ctx.opts.interp, ctx.opts.border,
+                           PixelLayout::InterleavedU8,
+                           KernelVariant::SimdGather};
+    if (find_entry(gather) == nullptr) return wanted;
+    return find_entry(soa) != nullptr ? KernelVariant::SimdSoa
+                                      : KernelVariant::Scalar;
+  }
+  return wanted;
+}
+
+ResolvedKernel resolve_kernel(const ExecContext& ctx, KernelVariant variant,
+                              int soa_strip) {
+  variant = effective_variant(ctx, variant);
   const KernelKey key{ctx.mode, ctx.opts.interp, ctx.opts.border,
                       PixelLayout::InterleavedU8, variant};
   const KernelEntry* entry = find_entry(key);
@@ -198,6 +267,7 @@ ResolvedKernel resolve_kernel(const ExecContext& ctx, KernelVariant variant) {
   b.fast_math = ctx.fast_math;
   b.src_width = ctx.src.width;
   b.src_height = ctx.src.height;
+  b.soa_strip = soa_strip;
   if (ctx.mode == MapMode::FloatLut) {
     FE_EXPECTS(ctx.map != nullptr);
     b.map = ctx.map;

@@ -61,9 +61,19 @@ enum class PixelLayout : std::uint8_t {
 
 /// Which implementation family executes the tile.
 enum class KernelVariant : std::uint8_t {
-  Scalar,   ///< portable per-pixel kernels (core/remap.cpp)
-  SimdSoa,  ///< two-pass SoA strip kernels (simd/remap_simd.cpp)
+  Scalar,      ///< portable per-pixel kernels (core/remap.cpp)
+  SimdSoa,     ///< two-pass SoA strip kernels (simd/remap_simd.cpp)
+  SimdGather,  ///< AVX2 hardware-gather pass 2 (simd/remap_gather.cpp)
 };
+
+[[nodiscard]] constexpr const char* variant_name(KernelVariant v) noexcept {
+  switch (v) {
+    case KernelVariant::Scalar: return "scalar";
+    case KernelVariant::SimdSoa: return "simd-soa";
+    case KernelVariant::SimdGather: return "simd-gather";
+  }
+  return "?";
+}
 
 /// A point in the kernel lattice; what resolve_kernel() looks up.
 struct KernelKey {
@@ -91,6 +101,9 @@ struct KernelBinding {
   int src_height = 0;
   RemapOptions opts;
   bool fast_math = false;
+  /// SoA/gather strip length in pixels (0 = simd::kSoaStrip); a plan-time
+  /// tuning knob — the scratch arrays bound it, so kernels clamp.
+  int soa_strip = 0;
 };
 
 /// Per-call operands: the frame's pixel views, the output rectangle, and —
@@ -148,11 +161,24 @@ class ResolvedKernel {
   bool windowed_ = false;
 };
 
+/// Runtime-feasible variant for `ctx`: SimdGather degrades to SimdSoa
+/// (when catalogued for the context's key) or Scalar when the gather
+/// datapath is unavailable here (not compiled in, CPU lacks AVX2, or
+/// FISHEYE_FORCE_SCALAR is set); FISHEYE_FORCE_SCALAR degrades every SIMD
+/// variant to Scalar. Capability mismatches (an interpolation or border
+/// the variant never supports) are NOT degraded — resolve_kernel still
+/// throws for those, so misconfiguration stays loud.
+[[nodiscard]] KernelVariant effective_variant(const ExecContext& ctx,
+                                              KernelVariant wanted) noexcept;
+
 /// Look up the kernel for `ctx` and bind its frame-invariant operands.
-/// Throws InvalidArgument (naming the unsupported combination) when the
-/// catalogue has no kernel for the context's key.
+/// `variant` is first passed through effective_variant(); `soa_strip`
+/// (0 = default) is bound for the SoA/gather strip kernels. Throws
+/// InvalidArgument (naming the unsupported combination) when the catalogue
+/// has no kernel for the context's key.
 [[nodiscard]] ResolvedKernel resolve_kernel(
-    const ExecContext& ctx, KernelVariant variant = KernelVariant::Scalar);
+    const ExecContext& ctx, KernelVariant variant = KernelVariant::Scalar,
+    int soa_strip = 0);
 
 /// True when the catalogue has a kernel for `key`.
 [[nodiscard]] bool kernel_supported(const KernelKey& key) noexcept;

@@ -49,12 +49,17 @@ struct SoaScratch {
 /// Bilinear remap of `rect` with constant-fill border. Bit-exact against
 /// core::remap_rect with Interp::Bilinear + BorderMode::Constant is NOT
 /// guaranteed (float rounding order differs); agreement within +-1 level is
-/// (tested property). The scratch overload reuses caller storage; the
-/// short form burns a stack-local scratch per call.
+/// (tested property). The scratch overload reuses caller storage; `strip`
+/// pixels are staged per scratch refill (0 selects kSoaStrip, larger
+/// values are clamped to it — the plan-time autotuner probes this axis).
 void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
                         img::ImageView<std::uint8_t> dst,
                         const core::WarpMap& map, par::Rect rect,
-                        std::uint8_t fill, SoaScratch& scratch);
+                        std::uint8_t fill, SoaScratch& scratch,
+                        int strip = kSoaStrip);
+[[deprecated(
+    "burns ~11 KB of stack per call; pass caller-owned SoaScratch "
+    "(plan Workspaces carry one per lane)")]]
 void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
                         img::ImageView<std::uint8_t> dst,
                         const core::WarpMap& map, par::Rect rect,
@@ -72,7 +77,11 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
 void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst,
                        const core::CompactMap& map, par::Rect rect,
-                       std::uint8_t fill, SoaScratch& scratch);
+                       std::uint8_t fill, SoaScratch& scratch,
+                       int strip = kSoaStrip);
+[[deprecated(
+    "burns ~11 KB of stack per call; pass caller-owned SoaScratch "
+    "(plan Workspaces carry one per lane)")]]
 void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst,
                        const core::CompactMap& map, par::Rect rect,

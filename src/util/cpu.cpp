@@ -1,5 +1,6 @@
 #include "util/cpu.hpp"
 
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -30,20 +31,28 @@ const CpuInfo& cpu_info() noexcept {
 std::string CpuInfo::summary() const {
   std::ostringstream os;
   os << hardware_threads << " hw thread" << (hardware_threads == 1 ? "" : "s");
-  os << ", isa:";
-  bool any = false;
+  os << ", isa: " << isa();
+  return os.str();
+}
+
+std::string CpuInfo::isa() const {
+  std::string out;
   auto add = [&](bool have, const char* name) {
-    if (have) {
-      os << (any ? "+" : " ") << name;
-      any = true;
-    }
+    if (!have) return;
+    if (!out.empty()) out += '+';
+    out += name;
   };
   add(sse2, "sse2");
   add(avx2, "avx2");
   add(avx512f, "avx512f");
   add(fma, "fma");
-  if (!any) os << " scalar";
-  return os.str();
+  if (out.empty()) out = "scalar";
+  return out;
+}
+
+bool force_scalar() noexcept {
+  const char* v = std::getenv("FISHEYE_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
 }  // namespace fisheye::util

@@ -138,10 +138,11 @@ TEST(CompactMap, SoaKernelMatchesScalarBitExact) {
     b.fill(7);
     // Full frame plus an offset interior rect: both paths must agree on
     // rect handling, not just on (0,0)-anchored strips.
+    simd::SoaScratch scratch;
     for (const par::Rect rect :
          {par::Rect{0, 0, w, h}, par::Rect{13, 9, w - 5, h - 3}}) {
       remap_compact_rect(src.view(), a.view(), cm, rect, 0);
-      simd::remap_compact_soa(src.view(), b.view(), cm, rect, 0);
+      simd::remap_compact_soa(src.view(), b.view(), cm, rect, 0, scratch);
     }
     EXPECT_TRUE(img::equal_pixels<std::uint8_t>(a.view(), b.view()))
         << "stride=" << stride;

@@ -71,14 +71,17 @@ TEST(FuzzBackendSpec, CreateTokenSoupNeverCrashes) {
   const std::vector<std::string> keys = {
       "threads", "rows",  "cols", "chunks", "tile", "spes", "ls",
       "sms",     "clock", "tex",  "cache",  "block", "bram", "ddr",
-      "ranks",   "net",   "speed", "map",   "schedule", "cpp", "junk"};
+      "ranks",   "net",   "speed", "map",   "schedule", "cpp", "junk",
+      "datapath", "tuned"};
   const std::vector<std::string> values = {
       "-1",       "0",     "1",       "2",     "3",        "4",
       "7",        "8",     "64",      "100000", "99999999999999",
       "3.5",      "-2.5",  "zzz",     "",      "16x16",    "0x0",
       "32x8x8x1", "3x8x8x1", "8x8x8x0", "float", "packed",
       "compact:4", "compact:3", "compact:zz", "steal", "dynamic",
-      "rr",       "gige",  "ib"};
+      "rr",       "gige",  "ib",   "scalar", "soa",   "gather", "auto",
+      "gather/128/-/-", "-/-/128x64/-", "soa/64/32x32/compact:8",
+      "auto/9",   "a/b",   "gather/0/-/-", "////"};
   const std::vector<std::string> flags = {"dbuf", "sbuf", "scatter",
                                           "bcast", "tiles", "junkflag"};
   util::Rng rng(403);
@@ -114,6 +117,10 @@ TEST(FuzzBackendSpec, OutOfRangeValuesThrowInvalidArgument) {
       "fpga:cache=5x8x8x1", "fpga:cache=8x8x8x100", "fpga:bram=-5",
       "fpga:ddr=-1",        "cluster:ranks=0",     "cluster:ranks=100000",
       "cluster:speed=0",    "cluster:speed=-2",
+      "simd:datapath=avx9", "simd:datapath=",      "pool:datapath=soa",
+      "simd:tuned=zzz",     "simd:tuned=auto/9",   "simd:tuned=gather/0/-/-",
+      "simd:tuned=a/b",     "pool:tuned=-/-/0x0/-",
+      "simd:tuned=-/-/-/martian",
   };
   for (const char* spec : bad)
     EXPECT_THROW((void)BackendRegistry::create(spec), InvalidArgument)

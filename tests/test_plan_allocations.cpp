@@ -153,6 +153,21 @@ TEST(PlanAllocations, SimdCompactIsAllocationFree) {
   expect_zero_steady_state_allocs("simd:threads=2", MapMode::CompactLut);
 }
 
+TEST(PlanAllocations, SimdGatherIsAllocationFree) {
+  expect_zero_steady_state_allocs("simd:threads=1,datapath=gather");
+}
+
+TEST(PlanAllocations, SimdTunedAutoIsAllocationFree) {
+  // Autotuning probes candidate plans at plan() time (which allocates
+  // freely); the resolved plan must still be zero-alloc in steady state.
+  expect_zero_steady_state_allocs("simd:threads=1,tuned=auto");
+}
+
+TEST(PlanAllocations, PoolTunedAutoIsAllocationFree) {
+  expect_zero_steady_state_allocs(
+      "pool:steal,tiles,tile=32x16,threads=2,tuned=auto");
+}
+
 TEST(PlanAllocations, OpenMpSchedulesAreAllocationFree) {
   if (!BackendRegistry::instance().has("openmp"))
     GTEST_SKIP() << "built without OpenMP";

@@ -48,7 +48,8 @@ TEST_P(SimdShapes, MatchesScalarOnInteriorMaps) {
   img::Image8 scalar(w, h, ch), vec(w, h, ch);
   core::remap_rect(src.view(), scalar.view(), map, {0, 0, w, h},
                    {core::Interp::Bilinear, img::BorderMode::Constant, 0});
-  remap_bilinear_soa(src.view(), vec.view(), map, {0, 0, w, h}, 0);
+  SoaScratch scratch;
+  remap_bilinear_soa(src.view(), vec.view(), map, {0, 0, w, h}, 0, scratch);
   // Same arithmetic, possibly different rounding order: within 1 level.
   EXPECT_LE(img::max_abs_diff(scalar.view(), vec.view()), 1);
   EXPECT_LT(img::fraction_differing(scalar.view(), vec.view(), 0), 0.01);
@@ -69,7 +70,9 @@ TEST(Simd, RealCorrectionMapCloseToScalar) {
   img::Image8 scalar(320, 240, 3), vec(320, 240, 3);
   core::remap_rect(src.view(), scalar.view(), map, {0, 0, 320, 240},
                    {core::Interp::Bilinear, img::BorderMode::Constant, 0});
-  remap_bilinear_soa(src.view(), vec.view(), map, {0, 0, 320, 240}, 0);
+  SoaScratch scratch;
+  remap_bilinear_soa(src.view(), vec.view(), map, {0, 0, 320, 240}, 0,
+                     scratch);
   // The SoA kernel fills the 1-px source frame instead of blending; real
   // maps touch it only along the circle edge. Overall agreement is tight.
   EXPECT_LT(img::fraction_differing(scalar.view(), vec.view(), 1), 0.01);
@@ -83,7 +86,8 @@ TEST(Simd, OutsideMapPixelsGetFill) {
   map.src_y.assign(8, -1e9f);
   const img::Image8 src = random_image(16, 16, 1, 3);
   img::Image8 dst(8, 1, 1);
-  remap_bilinear_soa(src.view(), dst.view(), map, {0, 0, 8, 1}, 42);
+  SoaScratch scratch;
+  remap_bilinear_soa(src.view(), dst.view(), map, {0, 0, 8, 1}, 42, scratch);
   for (int x = 0; x < 8; ++x) EXPECT_EQ(dst.at(x, 0), 42);
 }
 
@@ -92,7 +96,8 @@ TEST(Simd, RespectsRectBounds) {
   const WarpMap map = random_interior_map(32, 32, 32, 32, 9);
   img::Image8 dst(32, 32, 1);
   dst.fill(111);
-  remap_bilinear_soa(src.view(), dst.view(), map, {8, 8, 24, 24}, 0);
+  SoaScratch scratch;
+  remap_bilinear_soa(src.view(), dst.view(), map, {8, 8, 24, 24}, 0, scratch);
   EXPECT_EQ(dst.at(0, 0), 111);
   EXPECT_EQ(dst.at(31, 31), 111);
   EXPECT_EQ(dst.at(7, 8), 111);
@@ -107,9 +112,10 @@ TEST(Simd, RespectsRectBounds) {
 TEST(Simd, ContractViolations) {
   img::Image8 src(8, 8, 1), dst(8, 8, 3);
   WarpMap map = random_interior_map(8, 8, 8, 8, 1);
-  EXPECT_THROW(
-      remap_bilinear_soa(src.view(), dst.view(), map, {0, 0, 8, 8}, 0),
-      fisheye::InvalidArgument);
+  SoaScratch scratch;
+  EXPECT_THROW(remap_bilinear_soa(src.view(), dst.view(), map, {0, 0, 8, 8},
+                                  0, scratch),
+               fisheye::InvalidArgument);
 }
 
 }  // namespace
