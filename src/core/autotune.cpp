@@ -21,6 +21,12 @@ const char* cache_file() {
   return (path != nullptr && path[0] != '\0') ? path : nullptr;
 }
 
+/// First line of every cache file. A file that does not start with exactly
+/// this token — older format, different tool, truncation that ate the
+/// header, binary garbage — is ignored wholesale and rewritten on the next
+/// store(); decisions are cheap to re-measure and must never be poisoned.
+constexpr const char* kDiskFormatTag = "fisheye-tune-cache/1";
+
 }  // namespace
 
 AutotuneCache& AutotuneCache::instance() {
@@ -35,14 +41,17 @@ void AutotuneCache::load_disk_locked() {
   if (path == nullptr) return;
   std::ifstream in(path);
   std::string line;
+  if (!std::getline(in, line) || line != kDiskFormatTag) return;
   while (std::getline(in, line)) {
     const std::size_t tab = line.find('\t');
-    if (tab == std::string::npos) continue;
+    if (tab == std::string::npos || tab == 0) continue;
     try {
       entries_.insert_or_assign(line.substr(0, tab),
                                 TunedSpec::parse(line.substr(tab + 1)));
-    } catch (const InvalidArgument&) {
-      // A hand-edited or stale line never breaks tuning; it is re-measured.
+    } catch (const std::exception&) {
+      // A hand-edited, truncated, or stale line never breaks tuning — the
+      // decision is simply re-measured. std::exception, not just
+      // InvalidArgument: numeric parsing throws std:: types too.
     }
   }
 }
@@ -66,10 +75,20 @@ void AutotuneCache::store(const std::string& key, const TunedSpec& spec) {
   ++stats_.stores;
   if (const char* path = cache_file()) {
     // Rewrite the whole file: it holds a handful of lines and rewriting
-    // keeps it free of superseded duplicates.
+    // keeps it free of superseded duplicates (and repairs any corrupt or
+    // version-skewed file the load pass ignored).
     std::ofstream out(path, std::ios::trunc);
+    out << kDiskFormatTag << '\n';
     for (const auto& [k, v] : entries_) out << k << '\t' << v.token() << '\n';
   }
+}
+
+void AutotuneCache::reload_disk() {
+  const std::scoped_lock lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+  disk_loaded_ = false;
+  load_disk_locked();
 }
 
 void AutotuneCache::clear() {

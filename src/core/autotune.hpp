@@ -51,6 +51,11 @@ class AutotuneCache {
   void store(const std::string& key, const TunedSpec& spec);
   /// Drop every memoized decision (tests; does not truncate the disk file).
   void clear();
+  /// Drop in-memory state and re-read the FISHEYE_TUNE_CACHE file (tests:
+  /// the file is otherwise loaded once per process). A missing, corrupt,
+  /// truncated, or version-skewed file is ignored entirely — the cache
+  /// comes back empty and the next store() rewrites the file cleanly.
+  void reload_disk();
   [[nodiscard]] Stats stats() const;
 
  private:

@@ -94,7 +94,6 @@ void Corrector::correct(const Prepared& prepared,
 ExecutionPlan Corrector::prepare_stream(int channels, int tile_w,
                                         int tile_h) const {
   FE_EXPECTS(channels >= 1);
-  FE_EXPECTS(tile_w >= 8 && tile_h >= 8);
   // Shape-only views: planning reads geometry, never pixels.
   const img::ConstImageView<std::uint8_t> src(
       nullptr, config_.src_width, config_.src_height, channels,
@@ -102,12 +101,23 @@ ExecutionPlan Corrector::prepare_stream(int channels, int tile_w,
   const img::ImageView<std::uint8_t> dst{
       nullptr, config_.out_width, config_.out_height, channels,
       static_cast<std::size_t>(config_.out_width) * channels};
-  const ExecContext ctx = make_context(src, dst);
+  return build_service_plan(make_context(src, dst), tile_w, tile_h,
+                            kStreamPlanName);
+}
+
+ExecutionPlan build_service_plan(const ExecContext& ctx, int tile_w, int tile_h,
+                                 std::string plan_name, int tile_region_w,
+                                 int tile_region_h) {
+  FE_EXPECTS(tile_w >= 8 && tile_h >= 8);
+  if (tile_region_w == 0) tile_region_w = ctx.dst.width;
+  if (tile_region_h == 0) tile_region_h = ctx.dst.height;
+  FE_EXPECTS(tile_region_w >= 1 && tile_region_w <= ctx.dst.width);
+  FE_EXPECTS(tile_region_h >= 1 && tile_region_h <= ctx.dst.height);
 
   std::vector<par::Rect> tiles = order_tiles_by_source_locality(
-      ctx, par::partition(config_.out_width, config_.out_height,
+      ctx, par::partition(tile_region_w, tile_region_h,
                           par::PartitionKind::Tiles, 0, tile_w, tile_h));
-  ExecutionPlan plan(plan_key(ctx, kStreamPlanName), std::move(tiles));
+  ExecutionPlan plan(plan_key(ctx, std::move(plan_name)), std::move(tiles));
   plan.set_kernel(resolve_kernel(ctx, KernelVariant::Scalar));
 
   Workspace& ws = plan.workspace();

@@ -188,4 +188,18 @@ inline Corrector::Builder Corrector::builder(int src_width, int src_height) {
   return {src_width, src_height};
 }
 
+/// Build a service plan for `ctx` under PlanKey backend `plan_name`: a
+/// source-locality-ordered square-tile decomposition whose schedule
+/// permutation, instrumentation slots, and byte estimates are all sized
+/// here, so per-frame execution against the plan allocates nothing. Tiles
+/// cover [0,tile_region_w) x [0,tile_region_h) (0 = ctx.dst dims); the
+/// serving layer passes a region smaller than ctx.dst when the output
+/// carries compact-grid padding no client ever reads. Shared by
+/// Corrector::prepare_stream and serve::PlanCache.
+[[nodiscard]] ExecutionPlan build_service_plan(const ExecContext& ctx,
+                                               int tile_w, int tile_h,
+                                               std::string plan_name,
+                                               int tile_region_w = 0,
+                                               int tile_region_h = 0);
+
 }  // namespace fisheye::core

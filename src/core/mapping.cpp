@@ -52,6 +52,25 @@ WarpMap build_map(const FisheyeCamera& camera, const ViewProjection& view) {
   return map;
 }
 
+WarpMap build_map_window(const FisheyeCamera& camera,
+                         const ViewProjection& view, par::Rect window) {
+  WarpMap map = alloc_map(window.width(), window.height());
+  for (int y = 0; y < map.height; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * map.width;
+    const int vy = window.y0 + y;
+    for (int x = 0; x < map.width; ++x) {
+      // Absolute view coordinates, cast exactly as build_map casts them, so
+      // the window is a bit-exact crop of the full map.
+      const util::Vec3 ray = view.ray_for_pixel(
+          {static_cast<double>(window.x0 + x), static_cast<double>(vy)});
+      const util::Vec2 src = camera.project(ray);
+      map.src_x[row + x] = static_cast<float>(src.x);
+      map.src_y[row + x] = static_cast<float>(src.y);
+    }
+  }
+  return map;
+}
+
 WarpMap build_synthesis_map(const FisheyeCamera& camera, int scene_width,
                             int scene_height, double scene_focal_px,
                             int fisheye_width, int fisheye_height) {

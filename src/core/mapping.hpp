@@ -175,6 +175,15 @@ struct CompactEntry {
 /// For every output pixel: ray_for_pixel -> camera.project.
 WarpMap build_map(const FisheyeCamera& camera, const ViewProjection& view);
 
+/// Windowed build: the map for output pixels [x0,x1) x [y0,y1) of `view`,
+/// bit-exact equal to the corresponding region of build_map(camera, view)
+/// (per-pixel evaluation is position-independent, so a window is a crop).
+/// The window may extend past the view's nominal dims — the serving layer
+/// pads compact-mode windows one stride right/bottom so every grid line the
+/// kernels read is sampled rather than extrapolated.
+WarpMap build_map_window(const FisheyeCamera& camera,
+                         const ViewProjection& view, par::Rect window);
+
 /// Build the *synthesis* map that renders a fisheye image from an ideal
 /// pinhole scene: for every fisheye pixel, the scene pixel it sees. Scene
 /// camera: focal `scene_focal_px`, principal point at the scene centre.

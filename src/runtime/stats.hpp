@@ -67,6 +67,27 @@ struct StreamStats {
   std::size_t starvation_events = 0;
 };
 
+/// Cumulative counters of the virtual-PTZ serving layer (serve::Server).
+/// Requests are client view rects; clusters are the coalesced regions the
+/// kernels actually ran. tiles_requested − tiles_executed is the
+/// coalescing benefit: tiles that would have run had every view been
+/// corrected independently but were served from a shared cluster output.
+struct ServeStats {
+  std::size_t requests = 0;   ///< view requests accepted
+  std::size_t retired = 0;    ///< requests served (crop delivered)
+  std::size_t frames = 0;     ///< source frames dispatched
+  std::size_t clusters = 0;   ///< coalesced clusters executed
+  std::size_t plan_hits = 0;    ///< cluster plans served from the PlanCache
+  std::size_t plan_misses = 0;  ///< cluster plans built (map + plan + output)
+  std::size_t plan_evictions = 0;  ///< cache entries dropped (LRU or flush)
+  std::size_t cache_bytes = 0;     ///< bytes resident in the PlanCache
+  std::size_t cache_entries = 0;   ///< entries resident in the PlanCache
+  std::size_t tiles_executed = 0;   ///< tiles run across all clusters
+  std::size_t tiles_requested = 0;  ///< tiles had every view run alone
+  double total_latency_seconds = 0.0;  ///< sum of request → crop-delivered
+  double max_latency_seconds = 0.0;    ///< worst single request
+};
+
 /// Nearest-rank percentile of `samples` (pct in [0, 100]; 50 = median-ish,
 /// 99 = p99). Takes the vector by value — sorting is part of the job.
 double percentile(std::vector<double> samples, double pct);

@@ -1,0 +1,124 @@
+#include "serve/coalesce.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fisheye::serve {
+
+namespace {
+
+[[nodiscard]] bool intersects(par::Rect a, par::Rect b) noexcept {
+  return a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1;
+}
+
+[[nodiscard]] par::Rect rect_union(par::Rect a, par::Rect b) noexcept {
+  return {std::min(a.x0, b.x0), std::min(a.y0, b.y0), std::max(a.x1, b.x1),
+          std::max(a.y1, b.y1)};
+}
+
+}  // namespace
+
+void Coalescer::coalesce(const std::vector<QuantizedView>& views,
+                         bool enabled) {
+  const std::size_t n = views.size();
+  clusters_.clear();
+  scratch_.clear();
+  members_.clear();
+  cluster_of_.assign(n, 0);
+
+  if (!enabled) {
+    // Uncoalesced baseline: one cluster per request, duplicates included.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      clusters_.push_back({views[i].level, views[i].rect, i, 1});
+      members_.push_back(i);
+    }
+    return;
+  }
+
+  // Sort request indices by (level, rect): duplicates become adjacent, so
+  // pass 1 collapses them without any hashing.
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::sort(order_.begin(), order_.end(),
+            [&views](std::uint32_t a, std::uint32_t b) {
+              const QuantizedView& va = views[a];
+              const QuantizedView& vb = views[b];
+              if (va.level != vb.level) return va.level < vb.level;
+              const par::Rect& ra = va.rect;
+              const par::Rect& rb = vb.rect;
+              if (ra.x0 != rb.x0) return ra.x0 < rb.x0;
+              if (ra.y0 != rb.y0) return ra.y0 < rb.y0;
+              if (ra.x1 != rb.x1) return ra.x1 < rb.x1;
+              return ra.y1 < rb.y1;
+            });
+
+  // Pass 1: one cluster per distinct (level, rect).
+  for (const std::uint32_t idx : order_) {
+    const QuantizedView& v = views[idx];
+    if (!scratch_.empty() && scratch_.back().level == v.level &&
+        scratch_.back().bounds == v.rect) {
+      ++scratch_.back().count;
+    } else {
+      scratch_.push_back({v.level, v.rect, 0, 1});
+    }
+    cluster_of_[idx] = static_cast<std::uint32_t>(scratch_.size() - 1);
+  }
+
+  // Pass 2: merge overlapping clusters to a fixpoint. The guard — the
+  // union bbox holds no more pixels than the parts — means a merge never
+  // increases kernel work, so the tiles-saved counter cannot go negative
+  // from merging. Cluster counts are small after dedup (distinct rects,
+  // not requests), so the quadratic sweep per level is cheap.
+  alias_.resize(scratch_.size());
+  std::iota(alias_.begin(), alias_.end(), 0u);
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t a = 0; a < scratch_.size(); ++a) {
+      if (scratch_[a].count == 0) continue;  // absorbed
+      for (std::size_t b = a + 1; b < scratch_.size(); ++b) {
+        if (scratch_[b].level != scratch_[a].level) break;  // level-sorted
+        if (scratch_[b].count == 0) continue;
+        const par::Rect u = rect_union(scratch_[a].bounds, scratch_[b].bounds);
+        if (!intersects(scratch_[a].bounds, scratch_[b].bounds)) continue;
+        if (u.area() >
+            scratch_[a].bounds.area() + scratch_[b].bounds.area())
+          continue;
+        scratch_[a].bounds = u;
+        scratch_[a].count += scratch_[b].count;
+        scratch_[b].count = 0;
+        alias_[b] = static_cast<std::uint32_t>(a);
+        merged = true;
+      }
+    }
+  }
+  // Path-compress aliases (an absorbed cluster may itself have absorbed).
+  for (std::size_t c = 0; c < alias_.size(); ++c) {
+    std::uint32_t root = alias_[c];
+    while (alias_[root] != root) root = alias_[root];
+    alias_[c] = root;
+  }
+
+  // Compact live clusters and group member request indices per cluster
+  // (counting sort over the final cluster ids — no per-cluster vectors).
+  remap_.assign(scratch_.size(), 0);
+  for (std::size_t c = 0; c < scratch_.size(); ++c) {
+    if (scratch_[c].count == 0) continue;
+    remap_[c] = static_cast<std::uint32_t>(clusters_.size());
+    clusters_.push_back(scratch_[c]);
+  }
+  std::uint32_t offset = 0;
+  for (ViewCluster& cl : clusters_) {
+    cl.first = offset;
+    offset += cl.count;
+  }
+  members_.resize(n);
+  // Reuse order_ as per-cluster fill cursors.
+  order_.assign(clusters_.size(), 0u);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t c = remap_[alias_[cluster_of_[i]]];
+    members_[clusters_[c].first + order_[c]++] = i;
+  }
+}
+
+}  // namespace fisheye::serve

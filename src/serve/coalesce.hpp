@@ -1,0 +1,68 @@
+// View coalescing for the virtual-PTZ serving layer.
+//
+// Per source frame, N clients request overlapping pan/tilt/zoom rects of
+// the same corrected view pyramid. Running the windowed kernels once per
+// request wastes work exactly where traffic concentrates — popular views
+// are by definition requested many times. The coalescer groups a frame's
+// quantized view rects into clusters: exact duplicates collapse outright,
+// and overlapping rects merge while the union bounding box costs no more
+// pixels than executing the parts separately — so a merge never increases
+// kernel work, and every member crop is served from the shared cluster
+// output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/partition.hpp"
+
+namespace fisheye::serve {
+
+/// One client view as the coalescer sees it: zoom level + the rect already
+/// quantized by the server (origin aligned down, extent up), so identical
+/// nearby views become identical rects.
+struct QuantizedView {
+  int level = 0;
+  par::Rect rect;
+};
+
+/// A coalesced execution region: the union of its member views' quantized
+/// rects (still quantum-aligned — a union of aligned rects is aligned).
+/// Members are request indices `members()[first .. first + count)`.
+struct ViewCluster {
+  int level = 0;
+  par::Rect bounds;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Groups one frame's views into clusters. All storage is reused across
+/// frames: once capacities are warm, coalesce() allocates nothing — it sits
+/// on the serving hot path.
+class Coalescer {
+ public:
+  /// Cluster `views` (request index = position). When `enabled`, duplicates
+  /// share a cluster and overlapping same-level rects merge under the
+  /// union-area guard; when disabled every request is its own cluster (the
+  /// bench's uncoalesced baseline).
+  void coalesce(const std::vector<QuantizedView>& views, bool enabled);
+
+  [[nodiscard]] const std::vector<ViewCluster>& clusters() const noexcept {
+    return clusters_;
+  }
+  /// Request indices grouped by cluster (see ViewCluster::first/count).
+  [[nodiscard]] const std::vector<std::uint32_t>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  std::vector<std::uint32_t> order_;       ///< request indices, sort scratch
+  std::vector<std::uint32_t> cluster_of_;  ///< request -> pass-1 cluster
+  std::vector<std::uint32_t> alias_;       ///< pass-1 cluster -> merged root
+  std::vector<std::uint32_t> remap_;       ///< pass-1 cluster -> final index
+  std::vector<ViewCluster> scratch_;       ///< pass-1 clusters
+  std::vector<ViewCluster> clusters_;
+  std::vector<std::uint32_t> members_;
+};
+
+}  // namespace fisheye::serve

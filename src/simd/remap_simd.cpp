@@ -106,14 +106,6 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
   }
 }
 
-void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
-                        img::ImageView<std::uint8_t> dst,
-                        const core::WarpMap& map, par::Rect rect,
-                        std::uint8_t fill) {
-  SoaScratch scratch;
-  remap_bilinear_soa(src, dst, map, rect, fill, scratch);
-}
-
 void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst,
                        const core::CompactMap& map, par::Rect rect,
@@ -215,14 +207,6 @@ void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
       }
     }
   }
-}
-
-void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
-                       img::ImageView<std::uint8_t> dst,
-                       const core::CompactMap& map, par::Rect rect,
-                       std::uint8_t fill) {
-  SoaScratch scratch;
-  remap_compact_soa(src, dst, map, rect, fill, scratch);
 }
 
 }  // namespace fisheye::simd

@@ -57,13 +57,6 @@ void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
                         const core::WarpMap& map, par::Rect rect,
                         std::uint8_t fill, SoaScratch& scratch,
                         int strip = kSoaStrip);
-[[deprecated(
-    "burns ~11 KB of stack per call; pass caller-owned SoaScratch "
-    "(plan Workspaces carry one per lane)")]]
-void remap_bilinear_soa(img::ConstImageView<std::uint8_t> src,
-                        img::ImageView<std::uint8_t> dst,
-                        const core::WarpMap& map, par::Rect rect,
-                        std::uint8_t fill);
 
 /// Compact-map strip kernel, same two-pass scratch structure:
 ///   pass 1 (vectorizable): reconstruct each pixel's fixed-point source
@@ -79,12 +72,5 @@ void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
                        const core::CompactMap& map, par::Rect rect,
                        std::uint8_t fill, SoaScratch& scratch,
                        int strip = kSoaStrip);
-[[deprecated(
-    "burns ~11 KB of stack per call; pass caller-owned SoaScratch "
-    "(plan Workspaces carry one per lane)")]]
-void remap_compact_soa(img::ConstImageView<std::uint8_t> src,
-                       img::ImageView<std::uint8_t> dst,
-                       const core::CompactMap& map, par::Rect rect,
-                       std::uint8_t fill);
 
 }  // namespace fisheye::simd

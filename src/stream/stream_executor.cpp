@@ -20,12 +20,16 @@ struct StreamExecutor::Stream {
   std::size_t slot = 0;  ///< par::StreamScheduler slot index
   const core::Corrector* corrector = nullptr;
   core::ExecutionPlan plan;
+  /// Plan stream (add_plan_stream): no corrector, `plan` stays invalid,
+  /// every frame carries its own plan.
+  bool external_plans = false;
   FrameRetireFn on_retire;
 
   /// The in-flight frame. Written by activate_locked_ (no frame in
   /// flight at that point), read by every worker serving its tiles; the
   /// scheduler's post/pop ordering makes the writes visible.
   struct Active {
+    const core::ExecutionPlan* plan = nullptr;
     img::ConstImageView<std::uint8_t> src;
     img::ImageView<std::uint8_t> dst;
     std::uint64_t seq = 0;
@@ -75,7 +79,20 @@ StreamId StreamExecutor::add_stream(const core::Corrector& corrector,
       corrector.prepare_stream(channels, options_.tile_w, options_.tile_h);
   s->on_retire = std::move(on_retire);
   s->ring.resize(options_.queue_depth);
+  return register_(std::move(s));
+}
 
+StreamId StreamExecutor::add_plan_stream(FrameRetireFn on_retire,
+                                         std::size_t queue_depth) {
+  auto s = std::make_unique<Stream>();
+  s->owner = this;
+  s->external_plans = true;
+  s->on_retire = std::move(on_retire);
+  s->ring.resize(queue_depth != 0 ? queue_depth : options_.queue_depth);
+  return register_(std::move(s));
+}
+
+StreamId StreamExecutor::register_(std::unique_ptr<Stream> s) {
   const std::scoped_lock lock(registry_mu_);
   for (StreamId id = 0; id < streams_.size(); ++id) {
     if (streams_[id]) continue;
@@ -109,16 +126,39 @@ std::uint64_t StreamExecutor::submit(StreamId id,
                                      img::ConstImageView<std::uint8_t> src,
                                      img::ImageView<std::uint8_t> dst) {
   Stream& s = stream_ref_(id);
+  FE_EXPECTS(!s.external_plans);
   // Geometry gate: the plan was built for the corrector's shapes; a frame
   // of any other shape would index the tile rects out of bounds.
   FE_EXPECTS(s.plan.matches(s.corrector->make_context(src, dst),
                             core::Corrector::kStreamPlanName));
+  return enqueue_(s, s.plan, src, dst);
+}
 
+std::uint64_t StreamExecutor::submit(StreamId id,
+                                     const core::ExecutionPlan& plan,
+                                     img::ConstImageView<std::uint8_t> src,
+                                     img::ImageView<std::uint8_t> dst) {
+  Stream& s = stream_ref_(id);
+  FE_EXPECTS(s.external_plans);
+  FE_EXPECTS(plan.valid());
+  // Same geometry gate as the corrector path, against the carried plan's
+  // key: tile rects index into dst, the kernel samples src.
+  const core::PlanKey& k = plan.key();
+  FE_EXPECTS(src.width == k.src_width && src.height == k.src_height);
+  FE_EXPECTS(dst.width == k.dst_width && dst.height == k.dst_height);
+  FE_EXPECTS(src.channels == k.channels && dst.channels == k.channels);
+  return enqueue_(s, plan, src, dst);
+}
+
+std::uint64_t StreamExecutor::enqueue_(Stream& s,
+                                       const core::ExecutionPlan& plan,
+                                       img::ConstImageView<std::uint8_t> src,
+                                       img::ImageView<std::uint8_t> dst) {
   std::unique_lock<std::mutex> lock(s.mu);
   FE_EXPECTS(!s.removing);
   s.cv.wait(lock, [&s] { return s.ring_count < s.ring.size(); });
   const std::uint64_t seq = ++s.next_seq;
-  PendingFrame frame{src, dst, seq, epoch_.elapsed_seconds()};
+  PendingFrame frame{&plan, src, dst, seq, epoch_.elapsed_seconds()};
   if (s.frame_in_flight) {
     s.ring[(s.ring_head + s.ring_count) % s.ring.size()] = frame;
     ++s.ring_count;
@@ -164,7 +204,9 @@ std::size_t StreamExecutor::streams() const {
 }
 
 void StreamExecutor::activate_locked_(Stream& s, const PendingFrame& frame) {
-  s.plan.instrumentation().begin_frame(s.plan.tiles().size());
+  const core::ExecutionPlan& plan = *frame.plan;
+  plan.instrumentation().begin_frame(plan.tiles().size());
+  s.active.plan = frame.plan;
   s.active.src = frame.src;
   s.active.dst = frame.dst;
   s.active.seq = frame.seq;
@@ -173,8 +215,8 @@ void StreamExecutor::activate_locked_(Stream& s, const PendingFrame& frame) {
   s.active.started.store(false, std::memory_order_relaxed);
 
   par::StreamJob job;
-  job.order = s.plan.workspace().steal_order.data();
-  job.count = s.plan.workspace().steal_order.size();
+  job.order = plan.workspace().steal_order.data();
+  job.count = plan.workspace().steal_order.size();
   job.env = &s;
   job.run = &run_tile_;
   job.retire = &retire_frame_;
@@ -190,26 +232,27 @@ void StreamExecutor::run_tile_(void* env, std::uint32_t item,
     a.start_time = s->owner->epoch_.elapsed_seconds();
   const rt::Stopwatch sw;
   try {
-    s->plan.kernel()(a.src, a.dst, s->plan.tiles()[item]);
+    a.plan->kernel()(a.src, a.dst, a.plan->tiles()[item]);
   } catch (...) {
     // Kernels only throw on contract violations; keep the first one for
     // drain() — the scheduler itself must never see an exception.
     const std::scoped_lock lock(s->owner->error_mu_);
     if (!s->owner->error_) s->owner->error_ = std::current_exception();
   }
-  s->plan.instrumentation().tile_seconds[item] = sw.elapsed_seconds();
+  a.plan->instrumentation().tile_seconds[item] = sw.elapsed_seconds();
 }
 
 void StreamExecutor::retire_frame_(void* env, const par::StealStats& frame) {
   auto* s = static_cast<Stream*>(env);
   StreamExecutor& exec = *s->owner;
-  const std::size_t tiles = s->plan.tiles().size();
+  const core::ExecutionPlan& plan = *s->active.plan;
+  const std::size_t tiles = plan.tiles().size();
   // Race-free by construction: the retiring worker is the only one still
   // touching the frame, so it merges the frame's counters into the plan
   // and checks the conservation invariant — every tile ran exactly once,
   // as local or stolen.
   FE_ENSURES(frame.local + frame.stolen == tiles);
-  core::PlanInstrumentation& inst = s->plan.instrumentation();
+  core::PlanInstrumentation& inst = plan.instrumentation();
   inst.local_tiles = frame.local;
   inst.stolen_tiles = frame.stolen;
   inst.steals = frame.steals;

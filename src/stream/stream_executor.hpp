@@ -88,6 +88,18 @@ class StreamExecutor {
   StreamId add_stream(const core::Corrector& corrector, int channels = 1,
                       FrameRetireFn on_retire = {});
 
+  /// Register a *plan stream*: a lane with no corrector of its own, whose
+  /// every submitted frame carries its own ExecutionPlan (the serving
+  /// layer's cached per-view plans). The plan must stay valid — and must
+  /// not execute anywhere else — until the frame retires; frames within
+  /// the lane are serialized, so two frames carrying the same plan on the
+  /// same lane never race its workspace. `queue_depth` overrides the
+  /// executor-wide option for this lane (0 = use the option); the serving
+  /// layer sizes it to its own request bound so lane submits never block
+  /// inside a worker's retire path.
+  StreamId add_plan_stream(FrameRetireFn on_retire = {},
+                           std::size_t queue_depth = 0);
+
   /// Drain the stream's queued and in-flight frames, then unregister it.
   /// Must not race submit() on the same id.
   void remove_stream(StreamId id);
@@ -97,6 +109,12 @@ class StreamExecutor {
   /// queue_depth pending frames, otherwise blocks (backpressure). The
   /// src/dst buffers must stay valid until the frame retires.
   std::uint64_t submit(StreamId id, img::ConstImageView<std::uint8_t> src,
+                       img::ImageView<std::uint8_t> dst);
+
+  /// Plan-stream submit: enqueue one frame executing `plan` (see
+  /// add_plan_stream). The plan's key must match the frame geometry.
+  std::uint64_t submit(StreamId id, const core::ExecutionPlan& plan,
+                       img::ConstImageView<std::uint8_t> src,
                        img::ImageView<std::uint8_t> dst);
 
   /// Block until the stream has retired frame `seq`.
@@ -110,15 +128,18 @@ class StreamExecutor {
   [[nodiscard]] rt::StreamStats stats(StreamId id) const;
 
   /// The stream's plan (tile decomposition, last frame's instrumentation).
+  /// Invalid for plan streams — their plans arrive per frame.
   [[nodiscard]] const core::ExecutionPlan& plan(StreamId id) const;
 
   [[nodiscard]] unsigned workers() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t streams() const;  ///< currently registered
 
  private:
-  /// One queued frame: views + identity. POD-ish, lives in the pre-sized
-  /// ring, so queueing allocates nothing.
+  /// One queued frame: views + identity + the plan that executes it (the
+  /// stream's own plan, or the caller's on plan streams). POD-ish, lives
+  /// in the pre-sized ring, so queueing allocates nothing.
   struct PendingFrame {
+    const core::ExecutionPlan* plan = nullptr;
     img::ConstImageView<std::uint8_t> src;
     img::ImageView<std::uint8_t> dst;
     std::uint64_t seq = 0;
@@ -131,6 +152,10 @@ class StreamExecutor {
   static void run_tile_(void* env, std::uint32_t item, unsigned worker);
   static void retire_frame_(void* env, const par::StealStats& frame);
 
+  StreamId register_(std::unique_ptr<Stream> s);
+  std::uint64_t enqueue_(Stream& s, const core::ExecutionPlan& plan,
+                         img::ConstImageView<std::uint8_t> src,
+                         img::ImageView<std::uint8_t> dst);
   void activate_locked_(Stream& s, const PendingFrame& frame);
   [[nodiscard]] Stream& stream_ref_(StreamId id) const;
   void wait_all_idle_() noexcept;

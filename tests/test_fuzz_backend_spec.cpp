@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/backend_registry.hpp"
+#include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -140,6 +141,74 @@ TEST(FuzzBackendSpec, UnknownOptionsNameTheToken) {
           << kind << ": " << e.what();
     }
   }
+}
+
+// Serve specs ride the same convention and get the same guarantee: parse
+// either yields options (whose canonical spec() round-trips) or throws
+// InvalidArgument — never a crash, never a contract abort.
+void expect_serve_parse_no_crash(const std::string& spec) {
+  try {
+    const serve::ServeOptions o = serve::ServeOptions::parse(spec);
+    EXPECT_EQ(serve::ServeOptions::parse(o.spec()).spec(), o.spec()) << spec;
+  } catch (const InvalidArgument&) {
+    // expected for garbage
+  }
+}
+
+TEST(FuzzBackendSpec, ServeRandomByteSoupNeverCrashes) {
+  util::Rng rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string spec = "serve";
+    const std::size_t n = rng.next_below(32);
+    for (std::size_t i = 0; i < n; ++i)
+      spec += static_cast<char>(rng.next_below(256));
+    expect_serve_parse_no_crash(spec);
+  }
+}
+
+TEST(FuzzBackendSpec, ServeTokenSoupNeverCrashes) {
+  const std::vector<std::string> keys = {
+      "lanes", "queue_depth", "pending", "cache_budget", "quantum",
+      "coalesce", "map", "frac", "tile", "threads", "junk"};
+  const std::vector<std::string> values = {
+      "-1", "0", "1", "2", "4", "16", "17", "64", "65", "256", "4096",
+      "100000", "99999999999999999999", "3.5", "zzz", "", "on", "off",
+      "maybe", "float", "packed", "compact:8", "compact:0", "compact:zz",
+      "16x16", "0x0", "8K", "128M", "2G", "1T", "12Q", "Mlots", "16k",
+      "0x10", "-8M"};
+  util::Rng rng(405);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string spec = "serve";
+    const std::size_t nopts = rng.next_below(5);
+    for (std::size_t i = 0; i < nopts; ++i) {
+      spec += i == 0 ? ':' : ',';
+      spec += keys[rng.next_below(keys.size())];
+      spec += '=';
+      spec += values[rng.next_below(values.size())];
+    }
+    expect_serve_parse_no_crash(spec);
+  }
+}
+
+TEST(FuzzBackendSpec, ServeOutOfRangeValuesThrowInvalidArgument) {
+  const char* bad[] = {
+      "serve:lanes=0",          "serve:lanes=-1",
+      "serve:lanes=100000",     "serve:queue_depth=0",
+      "serve:queue_depth=65",   "serve:pending=0",
+      "serve:pending=99999999", "serve:quantum=0",
+      "serve:quantum=3",        "serve:quantum=1024",
+      "serve:coalesce=yes",     "serve:map=onthefly",
+      "serve:map=compact:0",    "serve:frac=0",
+      "serve:frac=23",          "serve:tile=0x0",
+      "serve:tile=7x7",         "serve:tile=1024x1024",
+      "serve:cache_budget=-1",  "serve:cache_budget=1T",
+      "serve:cache_budget=K",   "serve:cache_budget=9999999999999999999",
+      "serve:map=compact:16,quantum=4",
+      "pool:lanes=2",           "serve:unknown_opt=3",
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW((void)serve::ServeOptions::parse(spec), InvalidArgument)
+        << spec;
 }
 
 TEST(FuzzBackendSpec, InRangeSpecsRoundTrip) {

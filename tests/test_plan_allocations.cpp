@@ -22,6 +22,7 @@
 #include "core/projection.hpp"
 #include "image/image.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/server.hpp"
 #include "stream/stream_executor.hpp"
 #include "util/mathx.hpp"
 
@@ -219,6 +220,55 @@ TEST(PlanAllocations, StreamExecutorMultiStreamIsAllocationFree) {
   EXPECT_EQ(delta, 0u) << "StreamExecutor: " << delta
                        << " allocations across 12 steady-state rounds of "
                        << kStreams << " streams";
+}
+
+TEST(PlanAllocations, ServeCacheHitPathIsAllocationFree) {
+  // The serving-layer guarantee: once the PlanCache holds a frame's view
+  // plans and every arena is warm (request slots, coalescer scratch, lane
+  // fifos, stream rings), a steady-state frame — request accumulation,
+  // coalescing, cache hits, cluster execution, crop copies, retire
+  // callbacks — allocates nothing.
+  par::ThreadPool pool(2);
+  serve::ServerConfig cfg;
+  cfg.src_width = kW;
+  cfg.src_height = kH;
+  cfg.fov_rad = deg_to_rad(170.0);
+  cfg.levels = {{kW, kH, 0.0}};
+  const serve::ServeOptions opts =
+      serve::ServeOptions::parse("serve:lanes=2,quantum=8,tile=16x16");
+  serve::Server server(cfg, opts, pool);
+  server.set_retire([](std::uint64_t, std::uint64_t, double) {});
+
+  img::Image8 src(kW, kH, 1);
+  src.fill(100);
+  // Duplicate + overlapping views, identical every frame: after warmup
+  // every cluster is a cache hit.
+  const par::Rect rects[] = {
+      {0, 0, 48, 32}, {8, 8, 56, 40}, {8, 8, 56, 40}, {40, 24, 88, 56}};
+  constexpr std::size_t kReqs = sizeof(rects) / sizeof(rects[0]);
+  std::vector<img::Image8> crops;
+  for (const par::Rect& r : rects) crops.emplace_back(r.width(), r.height(), 1);
+
+  const auto round = [&] {
+    for (std::size_t i = 0; i < kReqs; ++i)
+      server.request(0, rects[i], crops[i].view());
+    server.submit_frame(src.cview());
+    server.drain();
+  };
+  for (int i = 0; i < 6; ++i) round();
+
+  const rt::ServeStats warm = server.stats();
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 12; ++i) round();
+  const std::size_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(delta, 0u) << "serve: " << delta
+                       << " allocations across 12 steady-state frames";
+  // Every measured cluster must have been a plan-cache hit — a miss would
+  // build maps and allocate, making the zero above vacuous.
+  const rt::ServeStats st = server.stats();
+  EXPECT_EQ(st.plan_misses, warm.plan_misses);
+  EXPECT_GT(st.plan_hits, warm.plan_hits);
 }
 
 }  // namespace
