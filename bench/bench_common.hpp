@@ -63,6 +63,8 @@ inline std::string json_escape(const std::string& s) {
 /// Table::print listener: serialize the table as {program, title,
 /// rows: [{header: cell}, ...]} and rewrite the JSON file (an array of all
 /// tables printed so far), so partial output survives a crashed bench.
+/// A row annotated with a resolved backend spec (Table::annotate) gains a
+/// "spec" key — additive, so existing BENCH_*.json schemas stay valid.
 inline void on_table_print(const util::Table& table, const std::string& title) {
   CliState& st = cli_state();
   if (st.json_path.empty()) return;
@@ -71,7 +73,8 @@ inline void on_table_print(const util::Table& table, const std::string& title) {
      << "   \"title\": \"" << json_escape(title) << "\",\n"
      << "   \"rows\": [";
   bool first_row = true;
-  for (const auto& row : table.rows()) {
+  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+    const auto& row = table.rows()[r];
     os << (first_row ? "\n" : ",\n") << "    {";
     first_row = false;
     for (std::size_t c = 0; c < row.size() && c < table.header().size(); ++c) {
@@ -79,6 +82,10 @@ inline void on_table_print(const util::Table& table, const std::string& title) {
       os << '"' << json_escape(table.header()[c]) << "\": \""
          << json_escape(row[c]) << '"';
     }
+    const std::string& spec = table.annotation(r);
+    if (!spec.empty())
+      os << (row.empty() ? "" : ", ") << "\"spec\": \"" << json_escape(spec)
+         << '"';
     os << '}';
   }
   os << (first_row ? "]}" : "\n  ]}");

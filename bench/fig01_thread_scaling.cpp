@@ -24,9 +24,10 @@ int main(int argc, char** argv) {
 
     double t1 = 0.0;
     for (const int threads : {1, 2, 4, 8}) {
-      const rt::RunStats stats = bench::measure_spec(
-          corr, src.view(), "pool:static,rows,threads=" + std::to_string(threads),
-          reps);
+      const std::string spec =
+          "pool:static,rows,threads=" + std::to_string(threads);
+      const rt::RunStats stats =
+          bench::measure_spec(corr, src.view(), spec, reps);
       if (threads == 1) t1 = stats.median;
       table.row()
           .add(res.name)
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
           .add(stats.median * 1e3, 2)
           .add(rt::fps_from_seconds(stats.median), 1)
           .add(t1 / stats.median, 2);
+      table.annotate(spec);
     }
   }
   table.print(std::cout, "F1: thread scaling");

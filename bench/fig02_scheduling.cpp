@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
           .add(r.run.median * 1e3, 2)
           .add(rt::fps_from_seconds(r.run.median), 1)
           .add(r.tiles.imbalance, 2);
+      table.annotate(r.name);
     }
   }
   table.print(std::cout, "F2: scheduling policies");

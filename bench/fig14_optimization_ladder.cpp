@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
           .add(run.min * 1e3, 2)
           .add(rt::fps_from_seconds(run.min), 1)
           .add(soa_s / run.min, 2);
+      dp.annotate(backend->name());
     };
     dp_row("simd (SoA)", "simd:threads=1,datapath=soa");
     dp_row("+ AVX2 gather", "simd:threads=1,datapath=gather");

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
           .add(static_cast<double>(s.bytes_scattered + s.bytes_gathered) /
                    1e6,
                2);
+      table.annotate(backend->name());
     }
   }
   table.print(std::cout, "F17a: ranks x interconnect");

@@ -117,6 +117,18 @@ int BackendSpec::value_int(const std::string& key, int def) {
   return v ? parse_int(text_, key, *v) : def;
 }
 
+int BackendSpec::bare_int(int def) {
+  for (Option& o : options_) {
+    if (o.has_value || o.used) continue;
+    if (o.key.empty() ||
+        o.key.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    o.used = true;
+    return parse_int(text_, o.key, o.key);
+  }
+  return def;
+}
+
 double BackendSpec::value_double(const std::string& key, double def) {
   const auto v = value(key);
   return v ? parse_double(text_, key, *v) : def;

@@ -78,6 +78,9 @@ class BackendSpec {
   std::optional<std::string> value(const std::string& key);
   /// `key=N` as int; `def` when absent. Throws on non-numeric values.
   int value_int(const std::string& key, int def);
+  /// First unconsumed bare all-digit option as int (`shard:4`); `def` when
+  /// absent. The shorthand form of a kind's primary count option.
+  int bare_int(int def);
   /// `key=X` as double; `def` when absent.
   double value_double(const std::string& key, double def);
   /// `key=WxH` as a dimension pair; `{def_w, def_h}` when absent.

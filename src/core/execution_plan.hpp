@@ -116,6 +116,12 @@ struct PlanInstrumentation {
   std::size_t local_tiles = 0;
   std::size_t stolen_tiles = 0;
   std::size_t steals = 0;
+  /// Process-sharding counters (backend=shard; zero elsewhere): shm bytes
+  /// moved this frame, strips the supervisor computed locally, and
+  /// cumulative worker respawns since the plan forked its fleet.
+  std::size_t transport_bytes = 0;
+  std::size_t fallback_strips = 0;
+  std::size_t respawns = 0;
 
   /// Reset the slots for a frame of `tiles` tiles (reuses capacity).
   void begin_frame(std::size_t tiles) {
@@ -123,6 +129,9 @@ struct PlanInstrumentation {
     local_tiles = 0;
     stolen_tiles = 0;
     steals = 0;
+    transport_bytes = 0;
+    fallback_strips = 0;
+    respawns = 0;
   }
 };
 

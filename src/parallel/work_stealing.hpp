@@ -33,8 +33,9 @@
 //  * WorkStealingPool— StealScheduler bound to a ThreadPool: per-frame
 //                      dispatch with zero per-frame allocation after the
 //                      first frame (blocks and queues are reused). Grows a
-//                      service mode that dedicates every pool lane to a
-//                      StreamScheduler (the multi-stream executor).
+//                      service mode that dedicates pool lanes to a
+//                      StreamScheduler (the multi-stream executor); several
+//                      services can split one pool's lanes between them.
 //
 // Queues are mutex-protected: a steal is O(half the queue) under the lock
 // and owner pops are uncontended in the common case. Victim selection reads
@@ -50,6 +51,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -562,9 +564,12 @@ class StreamScheduler {
 /// dispatch reuses the persistent worker blocks.
 ///
 /// Also the binding point for hybrid frame×tile service: start_service()
-/// dedicates every pool lane to a StreamScheduler until stop_service() —
-/// the substrate of stream::StreamExecutor. A serving pool is fully
-/// occupied, so run_ordered() and service are mutually exclusive.
+/// dedicates `streams.workers()` pool lanes to a StreamScheduler until
+/// stop_service() — the substrate of stream::StreamExecutor. A scheduler
+/// sized below the pool leaves lanes for other services (one scheduler per
+/// WorkStealingPool instance; stack several instances on one ThreadPool to
+/// host several schedulers). run_ordered() on an instance that is serving
+/// is still mutually exclusive with its service.
 class WorkStealingPool {
  public:
   explicit WorkStealingPool(ThreadPool& pool)
@@ -589,31 +594,67 @@ class WorkStealingPool {
     return scheduler_.stats();
   }
 
-  /// Dedicate every pool lane to `streams` until stop_service(). The
-  /// scheduler must be sized to this pool (streams.workers() == size()).
+  /// Dedicate `streams.workers()` pool lanes to `streams` until
+  /// stop_service(). The scheduler may be sized below the pool
+  /// (streams.workers() <= size()): the remaining lanes stay free for
+  /// run_indexed work or for other services — the lane sum of all
+  /// concurrent services on one ThreadPool must stay within its size, or
+  /// the excess lane tasks would queue behind the running services and
+  /// their scheduler would never reach full strength.
   void start_service(StreamScheduler& streams) {
     FE_EXPECTS(serving_ == nullptr);
-    FE_EXPECTS(streams.workers() == pool_.size());
+    FE_EXPECTS(streams.workers() <= pool_.size());
     serving_ = &streams;
-    for (unsigned w = 0; w < pool_.size(); ++w)
-      pool_.submit([scheduler = serving_, w] { scheduler->run_worker(w); });
+    join_ = std::make_shared<ServiceJoin>();
+    join_->pending.store(streams.workers(), std::memory_order_relaxed);
+    for (unsigned w = 0; w < streams.workers(); ++w)
+      pool_.submit([scheduler = serving_, join = join_, w] {
+        scheduler->run_worker(w);
+        join->lane_done();
+      });
   }
 
-  /// Stop the served scheduler and wait for every lane to exit. In-flight
+  /// Stop the served scheduler and wait for ITS lanes to exit — not the
+  /// whole pool, so services sharing the pool keep running. In-flight
   /// frames complete first (stop is honoured at the idle point).
   void stop_service() {
     if (serving_ == nullptr) return;
     serving_->stop();
-    pool_.wait_idle();
+    join_->wait();
+    join_.reset();
     serving_ = nullptr;
   }
 
   [[nodiscard]] bool serving() const noexcept { return serving_ != nullptr; }
 
  private:
+  /// Completion latch for one service's lanes. stop_service() must wait
+  /// for exactly the lanes it submitted; ThreadPool::wait_idle() would
+  /// block on every OTHER service sharing the pool. shared_ptr-held so a
+  /// lane exiting after stop_service() returned (impossible today, cheap
+  /// to make impossible forever) never touches a dead latch.
+  struct ServiceJoin {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<unsigned> pending{0};
+    void lane_done() {
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::scoped_lock lock(mu);
+        cv.notify_all();
+      }
+    }
+    void wait() {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+  };
+
   ThreadPool& pool_;
   StealScheduler scheduler_;
   StreamScheduler* serving_ = nullptr;
+  std::shared_ptr<ServiceJoin> join_;
 };
 
 /// Split the (already ordered) tile sequence into workers() contiguous

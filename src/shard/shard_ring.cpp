@@ -1,0 +1,123 @@
+#include "shard/shard_ring.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <new>
+#include <string>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <sys/mman.h>
+#endif
+
+namespace fisheye::shard {
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "cross-process futex words must be lock-free");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process sequence counters must be lock-free");
+static_assert(sizeof(RingHeader) == 64 && sizeof(WorkerSlab) == 64 &&
+                  sizeof(SlotHeader) == 64,
+              "shared blocks are exactly one cache line");
+
+void futex_wait(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                int timeout_ms) noexcept {
+#ifdef __linux__
+  timespec ts{};
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+  // FUTEX_WAIT re-checks *word == expected atomically against concurrent
+  // wakes, so a doorbell rung between our load and this call is not lost.
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+          FUTEX_WAIT, expected, &ts, nullptr, 0);
+#else
+  // Poll fallback: short bounded naps until the word moves or time is up.
+  timespec nap{};
+  nap.tv_nsec = 500000L;  // 500us
+  for (int waited_us = 0; waited_us < timeout_ms * 1000; waited_us += 500) {
+    if (word.load(std::memory_order_acquire) != expected) return;
+    nanosleep(&nap, nullptr);
+  }
+#endif
+}
+
+void futex_wake_all(const std::atomic<std::uint32_t>& word) noexcept {
+#ifdef __linux__
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+          FUTEX_WAKE, INT32_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;  // pollers notice the store on their next nap boundary
+#endif
+}
+
+FrameRing::FrameRing(const Geometry& geometry, int slots, int workers)
+    : geo_(geometry), slots_(slots), workers_(workers) {
+  FE_EXPECTS(geometry.src_w > 0 && geometry.src_h > 0);
+  FE_EXPECTS(geometry.dst_w > 0 && geometry.dst_h > 0);
+  FE_EXPECTS(geometry.channels > 0 && geometry.channels <= 4);
+  FE_EXPECTS(slots > 0 && workers > 0);
+
+  src_pitch_ = util::align_up(
+      static_cast<std::size_t>(geo_.src_w) * geo_.channels, util::kCacheLine);
+  dst_pitch_ = util::align_up(
+      static_cast<std::size_t>(geo_.dst_w) * geo_.channels, util::kCacheLine);
+  slab_off_ = sizeof(RingHeader);
+  slot0_off_ = util::align_up(
+      slab_off_ + sizeof(WorkerSlab) * static_cast<std::size_t>(workers_),
+      util::kCacheLine);
+  src_off_ = sizeof(SlotHeader);
+  dst_off_ = src_off_ + src_pitch_ * static_cast<std::size_t>(geo_.src_h);
+  slot_stride_ = util::align_up(
+      dst_off_ + dst_pitch_ * static_cast<std::size_t>(geo_.dst_h),
+      util::kCacheLine);
+  size_ = slot0_off_ + slot_stride_ * static_cast<std::size_t>(slots_);
+
+  void* mem = mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED)
+    throw Error("shard: mmap of " + std::to_string(size_) +
+                "-byte frame ring failed: " + std::strerror(errno));
+  base_ = static_cast<unsigned char*>(mem);
+  new (base_) RingHeader();
+  for (int w = 0; w < workers_; ++w)
+    new (base_ + slab_off_ + sizeof(WorkerSlab) * w) WorkerSlab();
+  for (int s = 0; s < slots_; ++s)
+    new (base_ + slot0_off_ + slot_stride_ * s) SlotHeader();
+}
+
+FrameRing::~FrameRing() {
+  if (base_ != nullptr) munmap(base_, size_);
+}
+
+RingHeader& FrameRing::header() const noexcept {
+  return *reinterpret_cast<RingHeader*>(base_);
+}
+
+WorkerSlab& FrameRing::slab(int worker) const noexcept {
+  return *reinterpret_cast<WorkerSlab*>(base_ + slab_off_ +
+                                        sizeof(WorkerSlab) * worker);
+}
+
+SlotHeader& FrameRing::slot(int s) const noexcept {
+  return *reinterpret_cast<SlotHeader*>(base_ + slot0_off_ + slot_stride_ * s);
+}
+
+img::View8 FrameRing::slot_src(int s) const noexcept {
+  return {base_ + slot0_off_ + slot_stride_ * s + src_off_, geo_.src_w,
+          geo_.src_h, geo_.channels, src_pitch_};
+}
+
+img::View8 FrameRing::slot_dst(int s) const noexcept {
+  return {base_ + slot0_off_ + slot_stride_ * s + dst_off_, geo_.dst_w,
+          geo_.dst_h, geo_.channels, dst_pitch_};
+}
+
+}  // namespace fisheye::shard

@@ -57,10 +57,12 @@ StreamExecutor::StreamExecutor(par::ThreadPool& pool,
                                StreamExecutorOptions options)
     : options_(options),
       pool_(pool),
-      scheduler_(pool.size(), options.max_streams, options.steal),
+      scheduler_(options.lanes == 0 ? pool.size() : options.lanes,
+                 options.max_streams, options.steal),
       service_(pool) {
   FE_EXPECTS(options_.max_streams >= 1);
   FE_EXPECTS(options_.queue_depth >= 1);
+  FE_EXPECTS(options_.lanes <= pool.size());
   streams_.resize(options_.max_streams);
   service_.start_service(scheduler_);
 }

@@ -66,6 +66,11 @@ struct StreamExecutorOptions {
   /// executed tile counts as a starvation event in rt::StreamStats.
   double starvation_wait_seconds = 0.25;
   par::StealPolicy steal;  ///< cross-stream steal granularity
+  /// Pool lanes dedicated to this executor (0 = every lane). Sizing it
+  /// below the pool's lane count lets several executors — multi-source
+  /// serving — split one ThreadPool: the lane sums of all services on the
+  /// pool must stay within its size.
+  unsigned lanes = 0;
 };
 
 /// See the header comment. Thread-safety: submit/wait/stats/add_stream/
@@ -73,8 +78,10 @@ struct StreamExecutorOptions {
 /// remove must not race each other (a stream has one producer).
 class StreamExecutor {
  public:
-  /// Dedicates every lane of `pool` to stream service until destruction
-  /// (the pool cannot run other work while the executor lives).
+  /// Dedicates `options.lanes` lanes of `pool` (default: every lane) to
+  /// stream service until destruction. With the default, the pool cannot
+  /// run other work while the executor lives; with fewer lanes, the rest
+  /// of the pool stays available for other executors or ordinary work.
   explicit StreamExecutor(par::ThreadPool& pool,
                           StreamExecutorOptions options = {});
   ~StreamExecutor();
@@ -131,7 +138,10 @@ class StreamExecutor {
   /// Invalid for plan streams — their plans arrive per frame.
   [[nodiscard]] const core::ExecutionPlan& plan(StreamId id) const;
 
-  [[nodiscard]] unsigned workers() const noexcept { return pool_.size(); }
+  /// Lanes actually serving this executor (== options.lanes when set).
+  [[nodiscard]] unsigned workers() const noexcept {
+    return scheduler_.workers();
+  }
   [[nodiscard]] std::size_t streams() const;  ///< currently registered
 
  private:

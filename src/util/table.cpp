@@ -23,7 +23,19 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
 Table& Table::row() {
   rows_.emplace_back();
   rows_.back().reserve(headers_.size());
+  notes_.emplace_back();
   return *this;
+}
+
+Table& Table::annotate(std::string note) {
+  FE_EXPECTS(!rows_.empty());
+  notes_.back() = std::move(note);
+  return *this;
+}
+
+const std::string& Table::annotation(std::size_t row) const noexcept {
+  static const std::string kNone;
+  return row < notes_.size() ? notes_[row] : kNone;
 }
 
 Table& Table::add(std::string cell) {

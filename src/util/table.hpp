@@ -18,6 +18,10 @@ class Table {
 
   /// Begin a new row; subsequent add() calls fill it left to right.
   Table& row();
+  /// Attach a non-printed annotation to the current row — the resolved
+  /// backend spec string on bench tables, mirrored into the --json output
+  /// as a "spec" key (see bench_common). Must follow row().
+  Table& annotate(std::string note);
   Table& add(std::string cell);
   Table& add(const char* cell);
   Table& add(double v, int precision = 2);
@@ -37,6 +41,8 @@ class Table {
       const noexcept {
     return rows_;
   }
+  /// The row's annotation; empty when none was attached.
+  [[nodiscard]] const std::string& annotation(std::size_t row) const noexcept;
 
   /// Render as a GitHub-style markdown table.
   [[nodiscard]] std::string to_markdown() const;
@@ -50,6 +56,7 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;  ///< one per row; "" = no annotation
 };
 
 /// Format a double with `precision` digits after the point.

@@ -68,12 +68,12 @@ TEST(FuzzBackendSpec, ParsePunctuationSoup) {
 TEST(FuzzBackendSpec, CreateTokenSoupNeverCrashes) {
   const std::vector<std::string> kinds = {
       "serial", "pool", "simd",  "openmp", "cell",
-      "gpu",    "fpga", "cluster", "bogus", ""};
+      "gpu",    "fpga", "cluster", "shard", "bogus", ""};
   const std::vector<std::string> keys = {
       "threads", "rows",  "cols", "chunks", "tile", "spes", "ls",
       "sms",     "clock", "tex",  "cache",  "block", "bram", "ddr",
       "ranks",   "net",   "speed", "map",   "schedule", "cpp", "junk",
-      "datapath", "tuned"};
+      "datapath", "tuned", "workers", "ring", "timeout_ms", "heartbeat_ms"};
   const std::vector<std::string> values = {
       "-1",       "0",     "1",       "2",     "3",        "4",
       "7",        "8",     "64",      "100000", "99999999999999",
@@ -118,6 +118,10 @@ TEST(FuzzBackendSpec, OutOfRangeValuesThrowInvalidArgument) {
       "fpga:cache=5x8x8x1", "fpga:cache=8x8x8x100", "fpga:bram=-5",
       "fpga:ddr=-1",        "cluster:ranks=0",     "cluster:ranks=100000",
       "cluster:speed=0",    "cluster:speed=-2",
+      "shard:0",            "shard:-1",            "shard:65",
+      "shard:workers=0",    "shard:workers=100000", "shard:ring=0",
+      "shard:ring=17",      "shard:timeout_ms=0",  "shard:heartbeat_ms=0",
+      "shard:heartbeat_ms=99999999", "shard:4,8",  "shard:workers=zzz",
       "simd:datapath=avx9", "simd:datapath=",      "pool:datapath=soa",
       "simd:tuned=zzz",     "simd:tuned=auto/9",   "simd:tuned=gather/0/-/-",
       "simd:tuned=a/b",     "pool:tuned=-/-/0x0/-",
@@ -222,6 +226,8 @@ TEST(FuzzBackendSpec, InRangeSpecsRoundTrip) {
       "gpu:sms=16,block=16,tex=32x8x8x1",
       "fpga:clock=100,cache=32x8x8x1",
       "cluster:ranks=4,net=gige,scatter",
+      "shard:4",
+      "shard:workers=2,ring=2,timeout_ms=500,heartbeat_ms=50",
   };
   for (const char* spec : good) {
     const std::unique_ptr<Backend> b = BackendRegistry::create(spec);

@@ -169,6 +169,13 @@ TEST(PlanAllocations, PoolTunedAutoIsAllocationFree) {
       "pool:steal,tiles,tile=32x16,threads=2,tuned=auto");
 }
 
+TEST(PlanAllocations, ShardSupervisorIsAllocationFree) {
+  // The supervisor's steady-state frame loop — stage source, ring the
+  // doorbell, wait on completions, gather strips — must not allocate;
+  // worker processes have their own heaps and don't count here.
+  expect_zero_steady_state_allocs("shard:workers=2,heartbeat_ms=20");
+}
+
 TEST(PlanAllocations, OpenMpSchedulesAreAllocationFree) {
   if (!BackendRegistry::instance().has("openmp"))
     GTEST_SKIP() << "built without OpenMP";

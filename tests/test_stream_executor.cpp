@@ -301,6 +301,38 @@ TEST(StreamExecutor, ConcurrentAddRemoveWhileServing) {
       solo_reference(main_corr, main_src).view(), main_out.view()));
 }
 
+TEST(StreamExecutor, TwoExecutorsSplitOnePool) {
+  // Lane-scoped service: two executors take 2 lanes each of a 4-lane
+  // pool and serve concurrently — the multi-source serving topology.
+  const int w = 96, h = 64;
+  const core::Corrector corr = make_corrector(w, h);
+  par::ThreadPool pool(4);
+  StreamExecutorOptions opts;
+  opts.lanes = 2;
+  StreamExecutor exec_a(pool, opts);
+  StreamExecutor exec_b(pool, opts);
+  EXPECT_EQ(exec_a.workers(), 2u);
+  EXPECT_EQ(exec_b.workers(), 2u);
+  const StreamId id_a = exec_a.add_stream(corr);
+  const StreamId id_b = exec_b.add_stream(corr);
+
+  for (int f = 0; f < 4; ++f) {
+    const img::Image8 src = make_fisheye(w, h, f);
+    img::Image8 out_a(w, h, 1), out_b(w, h, 1);
+    const std::uint64_t seq_a = exec_a.submit(id_a, src.view(), out_a.view());
+    const std::uint64_t seq_b = exec_b.submit(id_b, src.view(), out_b.view());
+    exec_a.wait(id_a, seq_a);
+    exec_b.wait(id_b, seq_b);
+    const img::Image8 ref = solo_reference(corr, src);
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out_a.view()))
+        << "executor A frame " << f;
+    EXPECT_TRUE(img::equal_pixels<std::uint8_t>(ref.view(), out_b.view()))
+        << "executor B frame " << f;
+  }
+  EXPECT_EQ(exec_a.stats(id_a).frames, 4u);
+  EXPECT_EQ(exec_b.stats(id_b).frames, 4u);
+}
+
 TEST(StreamExecutor, PlanCarriesPerFrameInstrumentation) {
   par::ThreadPool pool(2);
   StreamExecutor exec(pool);

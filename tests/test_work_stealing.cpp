@@ -248,5 +248,63 @@ TEST(MortonOrder, OrderedTileScheduleCoversEveryPixelExactlyOnce) {
   EXPECT_NE(ordered, tiles);
 }
 
+// --- Multi-service WorkStealingPool -----------------------------------------
+
+TEST(WorkStealingPool, TwoServicesShareOneThreadPool) {
+  // Two independent services split one pool's lanes (2 + 2 on a pool of
+  // 4). Each must make progress concurrently, and stopping one must only
+  // join its own lanes — the other keeps serving.
+  par::ThreadPool pool(4);
+  par::WorkStealingPool a(pool);
+  par::WorkStealingPool b(pool);
+  par::StreamScheduler sched_a(2, 2);
+  par::StreamScheduler sched_b(2, 2);
+  a.start_service(sched_a);
+  b.start_service(sched_b);
+
+  struct Env {
+    std::atomic<std::size_t> ran{0};
+    std::atomic<int> retired{0};
+  };
+  Env env_a, env_b;
+  std::vector<std::uint32_t> order(64);
+  std::iota(order.begin(), order.end(), 0u);
+  par::StreamJob job;
+  job.order = order.data();
+  job.count = order.size();
+  job.run = [](void* env, std::uint32_t, unsigned) {
+    static_cast<Env*>(env)->ran.fetch_add(1, std::memory_order_relaxed);
+  };
+  job.retire = [](void* env, const par::StealStats&) {
+    static_cast<Env*>(env)->retired.fetch_add(1, std::memory_order_release);
+  };
+
+  const std::size_t slot_a = sched_a.create_slot();
+  const std::size_t slot_b = sched_b.create_slot();
+  ASSERT_NE(slot_a, par::StreamScheduler::kNoSlot);
+  ASSERT_NE(slot_b, par::StreamScheduler::kNoSlot);
+  const auto wait_retired = [](const Env& e, int n) {
+    while (e.retired.load(std::memory_order_acquire) < n)
+      std::this_thread::yield();
+  };
+  for (int f = 0; f < 5; ++f) {
+    job.env = &env_a;
+    sched_a.post(slot_a, job);
+    job.env = &env_b;
+    sched_b.post(slot_b, job);
+    wait_retired(env_a, f + 1);
+    wait_retired(env_b, f + 1);
+  }
+
+  a.stop_service();  // must not wait on b's still-running lanes
+  job.env = &env_b;
+  sched_b.post(slot_b, job);
+  wait_retired(env_b, 6);
+  b.stop_service();
+
+  EXPECT_EQ(env_a.ran.load(), 5u * order.size());
+  EXPECT_EQ(env_b.ran.load(), 6u * order.size());
+}
+
 }  // namespace
 }  // namespace fisheye
