@@ -64,7 +64,9 @@ inline std::string json_escape(const std::string& s) {
 /// rows: [{header: cell}, ...]} and rewrite the JSON file (an array of all
 /// tables printed so far), so partial output survives a crashed bench.
 /// A row annotated with a resolved backend spec (Table::annotate) gains a
-/// "spec" key — additive, so existing BENCH_*.json schemas stay valid.
+/// "spec" key, and every keyed annotation (annotate(key, note) — e.g. the
+/// model-zoo bench's "lens" token) its own key — additive, so existing
+/// BENCH_*.json schemas stay valid.
 inline void on_table_print(const util::Table& table, const std::string& title) {
   CliState& st = cli_state();
   if (st.json_path.empty()) return;
@@ -82,10 +84,12 @@ inline void on_table_print(const util::Table& table, const std::string& title) {
       os << '"' << json_escape(table.header()[c]) << "\": \""
          << json_escape(row[c]) << '"';
     }
-    const std::string& spec = table.annotation(r);
-    if (!spec.empty())
-      os << (row.empty() ? "" : ", ") << "\"spec\": \"" << json_escape(spec)
-         << '"';
+    bool first_note = row.empty();
+    for (const auto& [key, note] : table.annotations(r)) {
+      os << (first_note ? "" : ", ") << '"' << json_escape(key) << "\": \""
+         << json_escape(note) << '"';
+      first_note = false;
+    }
     os << '}';
   }
   os << (first_row ? "]}" : "\n  ]}");

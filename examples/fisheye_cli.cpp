@@ -1,7 +1,11 @@
 // fisheye_cli — command-line correction utility.
 //
 //   ./fisheye_cli [input.(pgm|ppm|bmp)] --out corrected.ppm
-//       [--lens equidistant|equisolid|orthographic|stereographic]
+//       [--lens LENS_SPEC]  equidistant|equisolid|orthographic|stereographic|
+//                           rectilinear|kannala_brandt:k1=..|division:lambda=..
+//                           with optional ,fov=<deg> (core/model_spec.hpp)
+//       [--view VIEW_SPEC]  perspective[:fov=..]|cylindrical[:hfov=..]|
+//                           equirect[:hfov=..,vfov=..]|quadview[:fov=..,tilt=..]
 //       [--fov 180] [--out-width W] [--out-height H] [--out-focal F]
 //       [--interp nearest|bilinear|bicubic|lanczos3]
 //       [--border constant|replicate|reflect] [--fill 0]
@@ -35,14 +39,6 @@
 namespace {
 
 using namespace fisheye;
-
-core::LensKind parse_lens(const std::string& name) {
-  if (name == "equidistant") return core::LensKind::Equidistant;
-  if (name == "equisolid") return core::LensKind::Equisolid;
-  if (name == "orthographic") return core::LensKind::Orthographic;
-  if (name == "stereographic") return core::LensKind::Stereographic;
-  throw InvalidArgument("--lens: unknown model '" + name + "'");
-}
 
 core::Interp parse_interp(const std::string& name) {
   if (name == "nearest") return core::Interp::Nearest;
@@ -122,8 +118,8 @@ int main(int argc, char** argv) try {
 
   const MapRequest map_request = parse_map(args.get("map", "float"));
   core::Corrector::Builder builder(input.width(), input.height());
-  builder.lens(parse_lens(args.get("lens", "equidistant")))
-      .fov_degrees(args.get_double("fov", 180.0))
+  builder.lens(core::LensSpec::parse(args.get("lens", "equidistant")))
+      .view(core::ViewSpec::parse(args.get("view", "perspective")))
       .output_size(args.get_int("out-width", 0),
                    args.get_int("out-height", 0))
       .output_focal(args.get_double("out-focal", 0.0))
@@ -133,6 +129,9 @@ int main(int argc, char** argv) try {
       .map_mode(map_request.mode)
       .compact_stride(map_request.compact_stride)
       .frac_bits(args.get_int("frac-bits", 14));
+  // --fov overrides the lens spec's field of view; 0/absent keeps it.
+  if (args.get_double("fov", 0.0) > 0.0)
+    builder.fov_degrees(args.get_double("fov", 0.0));
   const core::Corrector corrector = builder.build();
   if (corrector.compact() != nullptr)
     std::cout << "compact map: stride " << corrector.compact()->stride
@@ -142,12 +141,18 @@ int main(int argc, char** argv) try {
 
   if (args.has("save-map")) {
     const std::string map_path = args.get("save-map", "map.femap");
+    // Stamp the file with the models that built it, so a later load under
+    // a different calibration is refused instead of silently remapping.
+    const core::MapProvenance prov{corrector.config().lens.name(),
+                                   corrector.config().view.name()};
     if (corrector.compact() != nullptr) {
-      core::save_map(map_path, *corrector.compact());
-      std::cout << "saved compact warp map to " << map_path << '\n';
+      core::save_map(map_path, *corrector.compact(), prov);
+      std::cout << "saved compact warp map to " << map_path << " (lens="
+                << prov.lens << ", view=" << prov.view << ")\n";
     } else if (corrector.map() != nullptr) {
-      core::save_map(map_path, *corrector.map());
-      std::cout << "saved warp map to " << map_path << '\n';
+      core::save_map(map_path, *corrector.map(), prov);
+      std::cout << "saved warp map to " << map_path << " (lens=" << prov.lens
+                << ", view=" << prov.view << ")\n";
     }
   }
 

@@ -8,6 +8,8 @@
 #include <limits>
 #include <utility>
 
+#include "core/camera.hpp"
+#include "core/projection.hpp"
 #include "runtime/timer.hpp"
 #include "util/cpu.hpp"
 #include "util/error.hpp"
@@ -113,6 +115,17 @@ std::string autotune_cache_key(const ExecContext& ctx,
   key += std::to_string(ctx.dst.width) + 'x' + std::to_string(ctx.dst.height);
   key += '|';
   key += map_mode_name(ctx.mode);
+  // Lens/view model identity: tuned decisions for one camera model must not
+  // be replayed for another — the on-the-fly datapath's cost depends on the
+  // model's inversion, and even LUT-mode maps differ in access pattern.
+  if (ctx.camera != nullptr) {
+    key += '|';
+    key += ctx.camera->lens().name();
+  }
+  if (ctx.view != nullptr) {
+    key += '|';
+    key += ctx.view->name();
+  }
   key += '|';
   key += base_spec;
   return key;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/mapping.hpp"
+#include "core/model_spec.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
 
@@ -9,7 +11,10 @@ namespace fisheye::core {
 
 FisheyeCamera::FisheyeCamera(std::shared_ptr<const LensModel> lens, double cx,
                              double cy)
-    : lens_(std::move(lens)), cx_(cx), cy_(cy) {
+    : lens_(std::move(lens)),
+      cx_(cx),
+      cy_(cy),
+      generation_(detail::next_map_generation()) {
   FE_EXPECTS(lens_ != nullptr);
 }
 
@@ -21,6 +26,15 @@ FisheyeCamera FisheyeCamera::centered(LensKind kind, double fov_rad, int width,
   const double circle_radius = 0.5 * std::min(width, height);
   const double focal = focal_for_fov(kind, fov_rad, circle_radius);
   auto lens = std::shared_ptr<const LensModel>(make_lens(kind, focal));
+  return {std::move(lens), 0.5 * (width - 1), 0.5 * (height - 1)};
+}
+
+FisheyeCamera FisheyeCamera::centered(const LensSpec& spec, int width,
+                                      int height) {
+  FE_EXPECTS(width > 0 && height > 0);
+  const double circle_radius = 0.5 * std::min(width, height);
+  const double focal = spec.focal_for_circle(circle_radius);
+  auto lens = std::shared_ptr<const LensModel>(spec.make(focal));
   return {std::move(lens), 0.5 * (width - 1), 0.5 * (height - 1)};
 }
 

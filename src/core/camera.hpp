@@ -4,12 +4,15 @@
 // +Y down, matching image coordinates) and fisheye pixel coordinates.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "core/lens_model.hpp"
 #include "util/matrix.hpp"
 
 namespace fisheye::core {
+
+struct LensSpec;
 
 class FisheyeCamera {
  public:
@@ -22,12 +25,24 @@ class FisheyeCamera {
   static FisheyeCamera centered(LensKind kind, double fov_rad, int width,
                                 int height);
 
+  /// Same, from a parsed lens spec (core/model_spec.hpp) — the spec's
+  /// parameters and field of view select and size the model.
+  static FisheyeCamera centered(const LensSpec& lens, int width, int height);
+
   [[nodiscard]] const LensModel& lens() const noexcept { return *lens_; }
   [[nodiscard]] std::shared_ptr<const LensModel> lens_ptr() const noexcept {
     return lens_;
   }
   [[nodiscard]] double cx() const noexcept { return cx_; }
   [[nodiscard]] double cy() const noexcept { return cy_; }
+
+  /// Construction identity (core/mapping.hpp's generation counter): plans
+  /// that evaluate the camera on the fly key on this, so a recalibrated
+  /// camera at a recycled address never aliases the old plan. Copies keep
+  /// the stamp — a copy is the same calibration.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
   /// Project a camera-frame ray to a fisheye pixel. The ray need not be
   /// normalized. Rays beyond the lens' max_theta land outside the image
@@ -42,6 +57,7 @@ class FisheyeCamera {
   std::shared_ptr<const LensModel> lens_;
   double cx_;
   double cy_;
+  std::uint64_t generation_;
 };
 
 }  // namespace fisheye::core

@@ -10,14 +10,22 @@ namespace fisheye::core {
 
 Corrector::Corrector(const CorrectorConfig& config) : config_(config) {
   FE_EXPECTS(config.src_width > 0 && config.src_height > 0);
-  FE_EXPECTS(config.fov_rad > 0.0);
+  // Field-of-view resolution: an explicit fov_rad overrides the lens spec;
+  // otherwise the spec's fov (default 180 degrees) governs. Either way both
+  // fields agree afterwards, so the spec's canonical name() tells the truth.
+  if (config_.fov_rad == 0.0) {
+    config_.fov_rad = config_.lens.fov_rad();
+  } else {
+    config_.lens.fov_deg = util::rad_to_deg(config_.fov_rad);
+  }
+  FE_EXPECTS(config_.fov_rad > 0.0);
   if (config_.out_width == 0) config_.out_width = config_.src_width;
   if (config_.out_height == 0) config_.out_height = config_.src_height;
   FE_EXPECTS(config_.out_width > 0 && config_.out_height > 0);
   FE_EXPECTS(config_.frac_bits >= 1 && config_.frac_bits <= 22);
 
   camera_ = std::make_unique<FisheyeCamera>(FisheyeCamera::centered(
-      config_.lens, config_.fov_rad, config_.src_width, config_.src_height));
+      config_.lens, config_.src_width, config_.src_height));
 
   double out_focal = config_.out_focal;
   if (out_focal == 0.0) {
@@ -26,8 +34,7 @@ Corrector::Corrector(const CorrectorConfig& config) : config_(config) {
     out_focal = camera_->lens().dradius_dtheta(0.0);
     config_.out_focal = out_focal;
   }
-  view_ = std::make_unique<PerspectiveView>(config_.out_width,
-                                            config_.out_height, out_focal);
+  view_ = config_.view.make(config_.out_width, config_.out_height, out_focal);
 
   if (config_.map_mode != MapMode::OnTheFly) {
     map_ = build_map(*camera_, *view_);

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "core/backend.hpp"
+#include "core/model_spec.hpp"
 
 namespace fisheye::core {
 
@@ -24,8 +25,13 @@ struct CorrectorConfig {
   // --- input geometry ---
   int src_width = 0;
   int src_height = 0;
-  LensKind lens = LensKind::Equidistant;
-  double fov_rad = 0.0;  ///< full field of view of the fisheye input
+  /// Lens model identity (kind + calibration parameters + field of view).
+  /// Implicitly convertible from LensKind, so `config.lens = LensKind::X`
+  /// keeps working.
+  LensSpec lens = LensKind::Equidistant;
+  /// Full field of view of the fisheye input; 0 = take it from the lens
+  /// spec (whose default is 180 degrees). Non-zero overrides the spec.
+  double fov_rad = 0.0;
 
   // --- output geometry ---
   int out_width = 0;    ///< 0 = same as input
@@ -33,6 +39,9 @@ struct CorrectorConfig {
   /// Output (perspective) focal length in pixels; 0 = match the lens focal,
   /// which preserves centre-of-image spatial resolution.
   double out_focal = 0.0;
+  /// Output projection (perspective undistortion by default; cylindrical,
+  /// equirect, and quadview panoramas via `view=` specs).
+  ViewSpec view;
 
   // --- kernel options ---
   RemapOptions remap;
@@ -102,7 +111,7 @@ class Corrector {
   [[nodiscard]] const FisheyeCamera& camera() const noexcept {
     return *camera_;
   }
-  [[nodiscard]] const PerspectiveView& view() const noexcept { return *view_; }
+  [[nodiscard]] const ViewProjection& view() const noexcept { return *view_; }
   /// Null unless map_mode needs it (FloatLut; also built for PackedLut as
   /// the packing source and kept for bbox analysis).
   [[nodiscard]] const WarpMap* map() const noexcept {
@@ -122,7 +131,7 @@ class Corrector {
  private:
   CorrectorConfig config_;
   std::unique_ptr<FisheyeCamera> camera_;
-  std::unique_ptr<PerspectiveView> view_;
+  std::unique_ptr<ViewProjection> view_;
   std::optional<WarpMap> map_;
   std::optional<PackedMap> packed_;
   std::optional<CompactMap> compact_;
@@ -133,10 +142,18 @@ class Corrector::Builder {
   Builder(int src_width, int src_height) {
     config_.src_width = src_width;
     config_.src_height = src_height;
-    config_.fov_rad = 3.14159265358979323846;  // 180 degrees
+    // fov_rad stays 0: resolved from the lens spec (default 180 degrees)
+    // unless fov_degrees() overrides it.
   }
-  Builder& lens(LensKind kind) {
-    config_.lens = kind;
+  /// Lens model; accepts a bare LensKind (the kind's default spec) or a
+  /// parsed LensSpec carrying calibration parameters and field of view.
+  Builder& lens(const LensSpec& spec) {
+    config_.lens = spec;
+    return *this;
+  }
+  /// Output projection spec (perspective undistortion when not called).
+  Builder& view(const ViewSpec& spec) {
+    config_.view = spec;
     return *this;
   }
   Builder& fov_degrees(double deg) {

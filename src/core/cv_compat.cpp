@@ -4,14 +4,15 @@
 
 #include "core/execution_plan.hpp"
 #include "core/kernel.hpp"
+#include "core/lens_model.hpp"
 #include "util/error.hpp"
 
 namespace fisheye::cv_compat {
 
 double kannala_brandt_theta(double theta, const std::array<double, 4>& d) {
-  const double t2 = theta * theta;
-  return theta *
-         (1.0 + t2 * (d[0] + t2 * (d[1] + t2 * (d[2] + t2 * d[3]))));
+  // The polynomial lives with the KannalaBrandt lens model; this wrapper
+  // only preserves the OpenCV-shaped entry point.
+  return core::KannalaBrandt::distort_theta(theta, d);
 }
 
 core::WarpMap init_undistort_rectify_map(const CameraMatrix& k,

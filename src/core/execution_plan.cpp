@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/camera.hpp"
+#include "core/projection.hpp"
 #include "simd/remap_simd.hpp"
 #include "util/cpu.hpp"
 #include "util/error.hpp"
@@ -24,6 +26,8 @@ PlanKey plan_key(const ExecContext& ctx, std::string backend_name) {
   k.fast_math = ctx.fast_math;
   k.map = map_identity(ctx);
   FE_EXPECTS(k.map.present);
+  if (ctx.camera != nullptr) k.lens = ctx.camera->lens().name();
+  if (ctx.view != nullptr) k.view = ctx.view->name();
   return k;
 }
 
@@ -81,6 +85,8 @@ std::string ExecutionPlan::describe() const {
        << interp_name(kernel_.key().interp) << " x "
        << variant_name(kernel_.key().variant);
   os << ", isa=" << util::cpu_info().isa();
+  if (!key_.lens.empty()) os << ", lens=" << key_.lens;
+  if (!key_.view.empty()) os << ", view=" << key_.view;
   if (inst_->transport_bytes != 0 || inst_->fallback_strips != 0 ||
       inst_->respawns != 0)
     os << ", shard[transport=" << inst_->transport_bytes / 1024

@@ -86,8 +86,16 @@ struct PlanKey {
   std::uint8_t fill = 0;
   bool fast_math = false;
   /// Identity of the coordinate source (core/kernel.hpp): table address +
-  /// generation + dims per mode, or the camera/view pair for on-the-fly.
+  /// generation + dims per mode, or the camera/view pair (with their
+  /// construction generations) for on-the-fly.
   MapIdentity map;
+  /// Canonical lens/view model names of the planning context's camera and
+  /// view (empty when the context carried none). Captured once at plan
+  /// time for describe() and the autotune cache key; steady-state
+  /// matches() compares the POD generations in `map` instead, so the hot
+  /// path stays allocation-free.
+  std::string lens;
+  std::string view;
 };
 
 /// Build the key for `ctx` as planned by a backend named `backend_name`.

@@ -6,7 +6,9 @@
 
 #include <cstddef>
 
+#include "core/camera.hpp"
 #include "core/execution_plan.hpp"
+#include "core/projection.hpp"
 #include "core/tile_order.hpp"
 #include "simd/remap_gather.hpp"
 #include "simd/remap_simd.hpp"
@@ -315,6 +317,8 @@ MapIdentity map_identity(const ExecContext& ctx) noexcept {
     case MapMode::OnTheFly:
       id.camera = ctx.camera;
       id.view = ctx.view;
+      if (ctx.camera != nullptr) id.camera_gen = ctx.camera->generation();
+      if (ctx.view != nullptr) id.view_gen = ctx.view->generation();
       break;
   }
   id.present = true;

@@ -201,6 +201,12 @@ struct MapIdentity {
   int stride = 0;
   const void* camera = nullptr;
   const void* view = nullptr;
+  /// Construction identity of the camera/view pair for OnTheFly mode
+  /// (FisheyeCamera::generation / ViewProjection::generation): a
+  /// recalibrated camera or rebuilt view landing at a recycled address
+  /// must not alias the old plan, exactly like the table generations.
+  std::uint64_t camera_gen = 0;
+  std::uint64_t view_gen = 0;
   /// False when the context lacks the representation its mode names.
   bool present = false;
 

@@ -1,6 +1,7 @@
 #include "core/lens_model.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "util/error.hpp"
 #include "util/mathx.hpp"
@@ -17,6 +18,8 @@ const char* lens_kind_name(LensKind kind) noexcept {
     case LensKind::Orthographic: return "orthographic";
     case LensKind::Stereographic: return "stereographic";
     case LensKind::Rectilinear: return "rectilinear";
+    case LensKind::KannalaBrandt: return "kannala_brandt";
+    case LensKind::Division: return "division";
   }
   return "?";
 }
@@ -116,6 +119,132 @@ class Rectilinear final : public LensModel {
 
 }  // namespace
 
+double KannalaBrandt::distort_theta(double theta,
+                                    const std::array<double, 4>& k) noexcept {
+  const double t2 = theta * theta;
+  return theta * (1.0 + t2 * (k[0] + t2 * (k[1] + t2 * (k[2] + t2 * k[3]))));
+}
+
+namespace {
+
+/// d(theta_d)/d(theta) of the Kannala-Brandt polynomial at focal = 1.
+double kb_derivative(double theta, const std::array<double, 4>& k) noexcept {
+  const double t2 = theta * theta;
+  return 1.0 + t2 * (3.0 * k[0] +
+                     t2 * (5.0 * k[1] + t2 * (7.0 * k[2] + t2 * 9.0 * k[3])));
+}
+
+/// Largest theta in (0, pi] the polynomial is strictly increasing up to:
+/// scan for the derivative's first sign change, then bisect onto it. With
+/// all-zero higher terms this is pi (the equidistant special case).
+double kb_monotone_cap(const std::array<double, 4>& k) noexcept {
+  constexpr int kSteps = 256;
+  double lo = 0.0;
+  for (int i = 1; i <= kSteps; ++i) {
+    const double theta = kPi * i / kSteps;
+    if (kb_derivative(theta, k) <= 0.0) {
+      double hi = theta;
+      for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (kb_derivative(mid, k) > 0.0 ? lo : hi) = mid;
+      }
+      // Back off a hair so dradius_dtheta stays positive on the domain.
+      return lo * (1.0 - 1e-9);
+    }
+    lo = theta;
+  }
+  return kPi;
+}
+
+}  // namespace
+
+KannalaBrandt::KannalaBrandt(double focal_px, const std::array<double, 4>& k)
+    : LensModel(focal_px), k_(k), max_theta_(kb_monotone_cap(k)) {
+  for (const double ki : k_) FE_EXPECTS(std::abs(ki) <= 5.0);
+  FE_EXPECTS(max_theta_ > 0.0);
+}
+
+double KannalaBrandt::radius_from_theta(double theta) const {
+  return focal() * distort_theta(theta, k_);
+}
+
+double KannalaBrandt::dradius_dtheta(double theta) const {
+  return focal() * kb_derivative(theta, k_);
+}
+
+double KannalaBrandt::theta_from_radius(double r) const {
+  if (r <= 0.0) return 0.0;
+  const double target = r / focal();  // invert at focal = 1
+  // Bracket: distort_theta is strictly increasing on [0, max_theta_].
+  double lo = 0.0;
+  double hi = max_theta_;
+  if (target >= distort_theta(hi, k_)) return hi;
+  // Newton from the equidistant guess, guarded into [lo, hi]: any step that
+  // leaves the bracket (or meets a degenerate derivative) becomes a
+  // bisection step, so convergence is unconditional and the usual case
+  // keeps Newton's quadratic tail.
+  double theta = std::min(target, hi);
+  for (int it = 0; it < 80; ++it) {
+    const double f = distort_theta(theta, k_) - target;
+    if (f > 0.0)
+      hi = theta;
+    else
+      lo = theta;
+    const double d = kb_derivative(theta, k_);
+    double next = theta - f / d;
+    if (!(d > 1e-12) || next <= lo || next >= hi) next = 0.5 * (lo + hi);
+    if (std::abs(next - theta) < 1e-15 * (1.0 + theta)) return next;
+    theta = next;
+  }
+  return theta;
+}
+
+std::string KannalaBrandt::name() const {
+  std::ostringstream os;
+  os << lens_kind_name(kind()) << ":k1=" << k_[0] << ",k2=" << k_[1]
+     << ",k3=" << k_[2] << ",k4=" << k_[3];
+  return os.str();
+}
+
+DivisionModel::DivisionModel(double focal_px, double lambda)
+    : LensModel(focal_px), lambda_(lambda) {
+  FE_EXPECTS(lambda <= 0.0 && lambda >= -10.0);
+}
+
+double DivisionModel::radius_from_theta(double theta) const {
+  const double u = std::tan(theta);
+  if (lambda_ == 0.0 || u == 0.0) return focal() * u;
+  return focal() * (1.0 - std::sqrt(1.0 - 4.0 * lambda_ * u * u)) /
+         (2.0 * lambda_ * u);
+}
+
+double DivisionModel::theta_from_radius(double r) const {
+  const double rd = r / focal();
+  return std::atan(rd / (1.0 + lambda_ * rd * rd));
+}
+
+double DivisionModel::dradius_dtheta(double theta) const {
+  // Implicit differentiation of u = d / (1 + lambda d^2) with u = tan theta
+  // (the closed-form inverse read forwards): du/d(theta) = 1 + u^2 and
+  // du/dd = (1 - lambda d^2) / (1 + lambda d^2)^2.
+  const double u = std::tan(theta);
+  const double d = (lambda_ == 0.0 || u == 0.0)
+                       ? u
+                       : (1.0 - std::sqrt(1.0 - 4.0 * lambda_ * u * u)) /
+                             (2.0 * lambda_ * u);
+  const double denom = 1.0 - lambda_ * d * d;
+  const double num = 1.0 + lambda_ * d * d;
+  return focal() * (1.0 + u * u) * num * num / denom;
+}
+
+double DivisionModel::max_theta() const { return kHalfPi - 1e-6; }
+
+std::string DivisionModel::name() const {
+  std::ostringstream os;
+  os << lens_kind_name(kind()) << ":lambda=" << lambda_;
+  return os.str();
+}
+
 std::unique_ptr<LensModel> make_lens(LensKind kind, double focal_px) {
   switch (kind) {
     case LensKind::Equidistant:
@@ -128,6 +257,11 @@ std::unique_ptr<LensModel> make_lens(LensKind kind, double focal_px) {
       return std::make_unique<Stereographic>(focal_px);
     case LensKind::Rectilinear:
       return std::make_unique<Rectilinear>(focal_px);
+    case LensKind::KannalaBrandt:
+      return std::make_unique<KannalaBrandt>(
+          focal_px, std::array<double, 4>{-0.02, 0.002, 0.0, 0.0});
+    case LensKind::Division:
+      return std::make_unique<DivisionModel>(focal_px, -0.25);
   }
   throw InvalidArgument("make_lens: unknown kind");
 }

@@ -5,17 +5,25 @@
 // models here are radially symmetric; r is in pixels when `focal` is the
 // focal length in pixels.
 //
-//   equidistant   r = f * theta          (the study's lens; linear in angle)
-//   equisolid     r = 2f * sin(theta/2)
-//   orthographic  r = f * sin(theta)     (theta <= pi/2)
-//   stereographic r = 2f * tan(theta/2)
-//   rectilinear   r = f * tan(theta)     (the distortion-free pinhole)
+//   equidistant     r = f * theta        (the study's lens; linear in angle)
+//   equisolid       r = 2f * sin(theta/2)
+//   orthographic    r = f * sin(theta)   (theta <= pi/2)
+//   stereographic   r = 2f * tan(theta/2)
+//   rectilinear     r = f * tan(theta)   (the distortion-free pinhole)
+//   kannala_brandt  r = f * (theta + k1 theta^3 + k2 theta^5 + k3 theta^7 +
+//                            k4 theta^9) — OpenCV's fisheye model; inverted
+//                   by guarded Newton with a bisection fallback
+//   division        r = f * d(tan theta), d(u) = (1 - sqrt(1 - 4 l u^2)) /
+//                   (2 l u) — Fitzgibbon's one-parameter division model in
+//                   normalized coordinates (exact closed-form inverse)
 //
-// Every model provides the exact forward map and its exact inverse; the
-// polynomial Brown-Conrady baseline lives in brown_conrady.hpp and is fitted
-// against these.
+// Every analytic model provides the exact forward map and its exact inverse;
+// the Kannala-Brandt polynomial is inverted numerically to full double
+// precision. The polynomial Brown-Conrady baseline lives in
+// brown_conrady.hpp and is fitted against these.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -27,6 +35,8 @@ enum class LensKind {
   Orthographic,
   Stereographic,
   Rectilinear,
+  KannalaBrandt,
+  Division,
 };
 
 [[nodiscard]] const char* lens_kind_name(LensKind kind) noexcept;
@@ -67,7 +77,68 @@ class LensModel {
   double focal_;
 };
 
+/// Kannala-Brandt theta-polynomial lens (OpenCV cv::fisheye):
+///   r = f * (theta + k1 theta^3 + k2 theta^5 + k3 theta^7 + k4 theta^9).
+/// The usable domain is capped where the polynomial stops being strictly
+/// increasing (first zero of its derivative, found at construction), so the
+/// forward map is invertible everywhere theta_from_radius can be asked.
+class KannalaBrandt final : public LensModel {
+ public:
+  /// Coefficients are dimensionless; |ki| <= 5 keeps the derivative scan
+  /// meaningful (real calibrations are orders of magnitude smaller).
+  KannalaBrandt(double focal_px, const std::array<double, 4>& k);
+
+  /// The forward polynomial theta_d(theta) at focal = 1 — the single source
+  /// of truth shared with cv_compat::kannala_brandt_theta.
+  [[nodiscard]] static double distort_theta(
+      double theta, const std::array<double, 4>& k) noexcept;
+
+  [[nodiscard]] double radius_from_theta(double theta) const override;
+  /// Guarded Newton iteration (bisection fallback when a step leaves the
+  /// bracket or the derivative degenerates), run to double precision.
+  [[nodiscard]] double theta_from_radius(double r) const override;
+  [[nodiscard]] double dradius_dtheta(double theta) const override;
+  [[nodiscard]] double max_theta() const override { return max_theta_; }
+  [[nodiscard]] LensKind kind() const override {
+    return LensKind::KannalaBrandt;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const std::array<double, 4>& coefficients() const noexcept {
+    return k_;
+  }
+
+ private:
+  std::array<double, 4> k_;
+  double max_theta_;
+};
+
+/// One-parameter division model in normalized image coordinates:
+///   r = f * d(tan theta),  d(u) = (1 - sqrt(1 - 4 lambda u^2)) /
+///   (2 lambda u)  (d(u) = u when lambda = 0).
+/// lambda <= 0 is barrel distortion; the inverse is closed-form:
+///   theta = atan(rd / (1 + lambda rd^2)),  rd = r / f.
+class DivisionModel final : public LensModel {
+ public:
+  /// `lambda` in [-10, 0]; the model stays linear in focal so
+  /// focal_for_fov's scale-from-unit-focal trick keeps working.
+  DivisionModel(double focal_px, double lambda);
+
+  [[nodiscard]] double radius_from_theta(double theta) const override;
+  [[nodiscard]] double theta_from_radius(double r) const override;
+  [[nodiscard]] double dradius_dtheta(double theta) const override;
+  [[nodiscard]] double max_theta() const override;
+  [[nodiscard]] LensKind kind() const override { return LensKind::Division; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
 /// Construct a model of `kind` with focal length `focal_px` (> 0).
+/// KannalaBrandt and Division get mild default parameters (k = {-0.02,
+/// 0.002, 0, 0}, lambda = -0.25); use the classes above or a LensSpec
+/// (core/model_spec.hpp) for calibrated coefficients.
 std::unique_ptr<LensModel> make_lens(LensKind kind, double focal_px);
 
 /// Focal length (pixels) such that a lens of `kind` images a full field of

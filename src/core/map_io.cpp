@@ -50,25 +50,75 @@ std::string finish(std::string header_and_payload, std::size_t payload_off) {
   return header_and_payload;
 }
 
-/// Validates magic + kind; returns offset past the fixed header fields and
-/// the payload span (checksum verified).
-std::size_t open_envelope(const std::string& s, std::uint8_t expected_kind) {
+/// Kinds 3/4/5 are kinds 0/1/2 with a provenance block after the kind byte.
+constexpr std::uint8_t kProvenanceKindOffset = 3;
+/// Hard cap on a stored model-name string; real canonical names are tens of
+/// bytes, so anything larger is corruption, not configuration.
+constexpr std::size_t kMaxProvenanceName = 4096;
+
+void put_provenance(std::string& out, const MapProvenance& prov) {
+  FE_EXPECTS(prov.lens.size() <= kMaxProvenanceName &&
+             prov.view.size() <= kMaxProvenanceName);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(prov.lens.size()));
+  out.append(prov.lens);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(prov.view.size()));
+  out.append(prov.view);
+}
+
+/// u16-length-prefixed string; the length must fit before the trailing
+/// checksum (callers guarantee s.size() >= 8).
+std::string get_pstring(const std::string& s, std::size_t& off) {
+  const auto len = get<std::uint16_t>(s, off);
+  if (len > kMaxProvenanceName || off + len > s.size() - 8)
+    throw IoError("map: bad provenance");
+  std::string v(s.data() + off, len);
+  off += len;
+  return v;
+}
+
+struct Envelope {
+  std::size_t off = 0;  ///< past kind byte and any provenance block
+  MapProvenance prov;   ///< empty fields for legacy kinds
+};
+
+/// Validates magic + kind (accepting `base_kind` or its provenance-stamped
+/// twin); verifies the checksum and reads the provenance block when
+/// present. Returns the offset where the kind-specific fields begin.
+Envelope open_envelope(const std::string& s, std::uint8_t base_kind) {
   if (s.size() < kMagicLen + 1 + 8 ||
       std::memcmp(s.data(), kMagic, kMagicLen) != 0)
     throw IoError("map: bad magic");
   std::size_t off = kMagicLen;
   const auto kind = get<std::uint8_t>(s, off);
-  if (kind != expected_kind) throw IoError("map: wrong kind");
-  // Checksum covers everything between the header-end (computed by the
-  // caller-specific reader) and the trailing 8 bytes; verify over the
-  // full body here: payload starts right after the dims, but hashing from
-  // `off` (post-kind) is equally binding — use that for simplicity.
+  if (kind != base_kind && kind != base_kind + kProvenanceKindOffset)
+    throw IoError("map: wrong kind");
+  // Checksum covers everything between the kind byte and the trailing 8
+  // bytes — the provenance block included, so stamped names are as guarded
+  // against bit rot as the payload.
   const std::size_t body_end = s.size() - 8;
   std::size_t tail_off = body_end;
   const auto stored = get<std::uint64_t>(s, tail_off);
   if (fnv1a(s.data() + off, body_end - off) != stored)
     throw IoError("map: checksum mismatch");
-  return off;
+  Envelope env;
+  if (kind == base_kind + kProvenanceKindOffset) {
+    env.prov.lens = get_pstring(s, off);
+    env.prov.view = get_pstring(s, off);
+  }
+  env.off = off;
+  return env;
+}
+
+/// A stamped file must agree with every non-empty field of `expected`;
+/// legacy (unstamped) files pass unconditionally.
+void check_provenance(const MapProvenance& stored,
+                      const MapProvenance& expected) {
+  if (stored.lens.empty() && stored.view.empty()) return;
+  if ((!expected.lens.empty() && stored.lens != expected.lens) ||
+      (!expected.view.empty() && stored.view != expected.view))
+    throw IoError("map: provenance mismatch: stored lens=\"" + stored.lens +
+                  "\" view=\"" + stored.view + "\", expected lens=\"" +
+                  expected.lens + "\" view=\"" + expected.view + "\"");
 }
 
 void write_file(const std::string& path, const std::string& bytes) {
@@ -88,11 +138,26 @@ std::string read_file(const std::string& path) {
 
 }  // namespace
 
-std::string encode_map(const WarpMap& map) {
-  FE_EXPECTS(map.width > 0 && map.height > 0);
-  std::string out(kMagic, kMagicLen);
-  put<std::uint8_t>(out, 0);
+namespace {
+
+/// Shared header writer: magic, kind (stamped twin when `prov` non-null),
+/// provenance block. Returns the checksum start offset.
+std::size_t begin_encode(std::string& out, std::uint8_t base_kind,
+                         const MapProvenance* prov) {
+  out.assign(kMagic, kMagicLen);
+  put<std::uint8_t>(out, prov != nullptr
+                             ? static_cast<std::uint8_t>(base_kind +
+                                                         kProvenanceKindOffset)
+                             : base_kind);
   const std::size_t payload_off = out.size();
+  if (prov != nullptr) put_provenance(out, *prov);
+  return payload_off;
+}
+
+std::string encode_float(const WarpMap& map, const MapProvenance* prov) {
+  FE_EXPECTS(map.width > 0 && map.height > 0);
+  std::string out;
+  const std::size_t payload_off = begin_encode(out, 0, prov);
   put<std::int32_t>(out, map.width);
   put<std::int32_t>(out, map.height);
   out.append(reinterpret_cast<const char*>(map.src_x.data()),
@@ -102,11 +167,10 @@ std::string encode_map(const WarpMap& map) {
   return finish(std::move(out), payload_off);
 }
 
-std::string encode_map(const PackedMap& map) {
+std::string encode_packed(const PackedMap& map, const MapProvenance* prov) {
   FE_EXPECTS(map.width > 0 && map.height > 0);
-  std::string out(kMagic, kMagicLen);
-  put<std::uint8_t>(out, 1);
-  const std::size_t payload_off = out.size();
+  std::string out;
+  const std::size_t payload_off = begin_encode(out, 1, prov);
   put<std::int32_t>(out, map.width);
   put<std::int32_t>(out, map.height);
   put<std::int32_t>(out, map.frac_bits);
@@ -117,12 +181,11 @@ std::string encode_map(const PackedMap& map) {
   return finish(std::move(out), payload_off);
 }
 
-std::string encode_map(const CompactMap& map) {
+std::string encode_compact(const CompactMap& map, const MapProvenance* prov) {
   FE_EXPECTS(map.width > 0 && map.height > 0);
   FE_EXPECTS(map.grid_w > 0 && map.grid_h > 0);
-  std::string out(kMagic, kMagicLen);
-  put<std::uint8_t>(out, 2);
-  const std::size_t payload_off = out.size();
+  std::string out;
+  const std::size_t payload_off = begin_encode(out, 2, prov);
   put<std::int32_t>(out, map.width);
   put<std::int32_t>(out, map.height);
   put<std::int32_t>(out, map.stride);
@@ -138,8 +201,34 @@ std::string encode_map(const CompactMap& map) {
   return finish(std::move(out), payload_off);
 }
 
+}  // namespace
+
+std::string encode_map(const WarpMap& map) {
+  return encode_float(map, nullptr);
+}
+
+std::string encode_map(const PackedMap& map) {
+  return encode_packed(map, nullptr);
+}
+
+std::string encode_map(const CompactMap& map) {
+  return encode_compact(map, nullptr);
+}
+
+std::string encode_map(const WarpMap& map, const MapProvenance& prov) {
+  return encode_float(map, &prov);
+}
+
+std::string encode_map(const PackedMap& map, const MapProvenance& prov) {
+  return encode_packed(map, &prov);
+}
+
+std::string encode_map(const CompactMap& map, const MapProvenance& prov) {
+  return encode_compact(map, &prov);
+}
+
 CompactMap decode_compact_map(const std::string& bytes) {
-  std::size_t off = open_envelope(bytes, 2);
+  std::size_t off = open_envelope(bytes, 2).off;
   const auto w = get<std::int32_t>(bytes, off);
   const auto h = get<std::int32_t>(bytes, off);
   const auto stride = get<std::int32_t>(bytes, off);
@@ -177,7 +266,7 @@ CompactMap decode_compact_map(const std::string& bytes) {
 }
 
 WarpMap decode_map(const std::string& bytes) {
-  std::size_t off = open_envelope(bytes, 0);
+  std::size_t off = open_envelope(bytes, 0).off;
   const auto w = get<std::int32_t>(bytes, off);
   const auto h = get<std::int32_t>(bytes, off);
   check_dims(w, h);
@@ -196,7 +285,7 @@ WarpMap decode_map(const std::string& bytes) {
 }
 
 PackedMap decode_packed_map(const std::string& bytes) {
-  std::size_t off = open_envelope(bytes, 1);
+  std::size_t off = open_envelope(bytes, 1).off;
   const auto w = get<std::int32_t>(bytes, off);
   const auto h = get<std::int32_t>(bytes, off);
   const auto frac = get<std::int32_t>(bytes, off);
@@ -217,6 +306,35 @@ PackedMap decode_packed_map(const std::string& bytes) {
   return map;
 }
 
+WarpMap decode_map(const std::string& bytes, const MapProvenance& expected) {
+  check_provenance(open_envelope(bytes, 0).prov, expected);
+  return decode_map(bytes);
+}
+
+PackedMap decode_packed_map(const std::string& bytes,
+                            const MapProvenance& expected) {
+  check_provenance(open_envelope(bytes, 1).prov, expected);
+  return decode_packed_map(bytes);
+}
+
+CompactMap decode_compact_map(const std::string& bytes,
+                              const MapProvenance& expected) {
+  check_provenance(open_envelope(bytes, 2).prov, expected);
+  return decode_compact_map(bytes);
+}
+
+MapProvenance decode_provenance(const std::string& bytes) {
+  if (bytes.size() < kMagicLen + 1 + 8 ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0)
+    throw IoError("map: bad magic");
+  std::size_t off = kMagicLen;
+  const auto kind = get<std::uint8_t>(bytes, off);
+  if (kind > 2 + kProvenanceKindOffset) throw IoError("map: wrong kind");
+  const auto base = static_cast<std::uint8_t>(
+      kind >= kProvenanceKindOffset ? kind - kProvenanceKindOffset : kind);
+  return open_envelope(bytes, base).prov;
+}
+
 void save_map(const std::string& path, const WarpMap& map) {
   write_file(path, encode_map(map));
 }
@@ -229,6 +347,21 @@ void save_map(const std::string& path, const CompactMap& map) {
   write_file(path, encode_map(map));
 }
 
+void save_map(const std::string& path, const WarpMap& map,
+              const MapProvenance& prov) {
+  write_file(path, encode_map(map, prov));
+}
+
+void save_map(const std::string& path, const PackedMap& map,
+              const MapProvenance& prov) {
+  write_file(path, encode_map(map, prov));
+}
+
+void save_map(const std::string& path, const CompactMap& map,
+              const MapProvenance& prov) {
+  write_file(path, encode_map(map, prov));
+}
+
 CompactMap load_compact_map(const std::string& path) {
   return decode_compact_map(read_file(path));
 }
@@ -239,6 +372,20 @@ WarpMap load_map(const std::string& path) {
 
 PackedMap load_packed_map(const std::string& path) {
   return decode_packed_map(read_file(path));
+}
+
+WarpMap load_map(const std::string& path, const MapProvenance& expected) {
+  return decode_map(read_file(path), expected);
+}
+
+PackedMap load_packed_map(const std::string& path,
+                          const MapProvenance& expected) {
+  return decode_packed_map(read_file(path), expected);
+}
+
+CompactMap load_compact_map(const std::string& path,
+                            const MapProvenance& expected) {
+  return decode_compact_map(read_file(path), expected);
 }
 
 }  // namespace fisheye::core

@@ -4,13 +4,18 @@
 // load it at startup — embedded targets often cannot afford the double-
 // precision trigonometry at all. Simple self-describing little-endian
 // binary format:
-//   magic "FEMAP1\n" | kind u8 (0 float, 1 packed, 2 compact) | w i32 |
-//   h i32 | kind-specific fields | payload
-// Payload: float maps store src_x then src_y as f32; packed maps add
-// frac_bits i32 and store fx then fy as i32; compact maps add stride i32,
-// frac_bits i32, src_w i32, src_h i32, max_error f32, mean_error f32 and
-// store the grid gx then gy as i32 (grid dimensions derive from w/h and
-// stride). A trailing FNV-1a checksum of the payload guards against
+//   magic "FEMAP1\n" | kind u8 | [provenance] | w i32 | h i32 |
+//   kind-specific fields | payload
+// Kinds 0 (float), 1 (packed), 2 (compact) are the legacy headerless
+// forms; kinds 3/4/5 are the same representations with a provenance block
+// after the kind byte: u16 lens-name length + bytes, u16 view-name length
+// + bytes (the canonical LensSpec/ViewSpec names of the models the map was
+// built from). Payload: float maps store src_x then src_y as f32; packed
+// maps add frac_bits i32 and store fx then fy as i32; compact maps add
+// stride i32, frac_bits i32, src_w i32, src_h i32, max_error f32,
+// mean_error f32 and store the grid gx then gy as i32 (grid dimensions
+// derive from w/h and stride). A trailing FNV-1a checksum of everything
+// after the kind byte (so the provenance block too) guards against
 // truncation and bit rot.
 #pragma once
 
@@ -20,21 +25,61 @@
 
 namespace fisheye::core {
 
+/// Camera-model identity a serialized map was built from: the canonical
+/// LensSpec::name() and ViewSpec::name() strings. Empty fields mean
+/// "unknown" (legacy files, or a caller that doesn't care).
+struct MapProvenance {
+  std::string lens;
+  std::string view;
+
+  [[nodiscard]] bool operator==(const MapProvenance&) const = default;
+};
+
 void save_map(const std::string& path, const WarpMap& map);
 void save_map(const std::string& path, const PackedMap& map);
 void save_map(const std::string& path, const CompactMap& map);
 
-/// Throws IoError on missing/corrupt/wrong-kind files.
+/// Provenance-stamped save: writes kind 3/4/5 with the model names.
+void save_map(const std::string& path, const WarpMap& map,
+              const MapProvenance& prov);
+void save_map(const std::string& path, const PackedMap& map,
+              const MapProvenance& prov);
+void save_map(const std::string& path, const CompactMap& map,
+              const MapProvenance& prov);
+
+/// Throws IoError on missing/corrupt/wrong-kind files. Each representation
+/// accepts both its legacy kind and its provenance-stamped kind.
 WarpMap load_map(const std::string& path);
 PackedMap load_packed_map(const std::string& path);
 CompactMap load_compact_map(const std::string& path);
+
+/// Loads refusing a provenance mismatch: a file stamped with model names
+/// differing from the non-empty fields of `expected` throws IoError naming
+/// stored vs expected. Legacy (unstamped) files load unconditionally.
+WarpMap load_map(const std::string& path, const MapProvenance& expected);
+PackedMap load_packed_map(const std::string& path,
+                          const MapProvenance& expected);
+CompactMap load_compact_map(const std::string& path,
+                            const MapProvenance& expected);
 
 /// In-memory forms (used by tests and any transport other than files).
 std::string encode_map(const WarpMap& map);
 std::string encode_map(const PackedMap& map);
 std::string encode_map(const CompactMap& map);
+std::string encode_map(const WarpMap& map, const MapProvenance& prov);
+std::string encode_map(const PackedMap& map, const MapProvenance& prov);
+std::string encode_map(const CompactMap& map, const MapProvenance& prov);
 WarpMap decode_map(const std::string& bytes);
 PackedMap decode_packed_map(const std::string& bytes);
 CompactMap decode_compact_map(const std::string& bytes);
+WarpMap decode_map(const std::string& bytes, const MapProvenance& expected);
+PackedMap decode_packed_map(const std::string& bytes,
+                            const MapProvenance& expected);
+CompactMap decode_compact_map(const std::string& bytes,
+                              const MapProvenance& expected);
+
+/// The provenance stored in `bytes` (empty fields for legacy kinds).
+/// Throws IoError on corrupt envelopes, like the decoders.
+MapProvenance decode_provenance(const std::string& bytes);
 
 }  // namespace fisheye::core

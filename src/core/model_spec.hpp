@@ -1,0 +1,122 @@
+// Spec-resolvable camera models: the lens and output-view counterparts of
+// the backend spec grammar (core/backend_registry.hpp).
+//
+// A lens spec is `lens=<kind>[:option,...]` (the `lens=` prefix is
+// optional) where kind is one of the seven LensKinds and the options are
+// the model's calibration parameters plus the field of view:
+//
+//   lens=equidistant                     the study's default, 180 degrees
+//   lens=equisolid:fov=160
+//   lens=kannala_brandt:k1=-0.02,k2=0.002,k3=0,k4=0
+//   lens=division:lambda=-0.25,fov=160
+//
+// A view spec is `view=<kind>[:option,...]` selecting the output
+// projection the warp map targets:
+//
+//   view=perspective                     rectilinear undistortion (default)
+//   view=perspective:fov=90              fixed-hfov virtual camera
+//   view=cylindrical:hfov=180
+//   view=equirect:hfov=180,vfov=90
+//   view=quadview:fov=90,tilt=40         ceiling-mount 4x dewarp
+//
+// Both ride BackendSpec: parsed by name, range-checked with the offending
+// token in the message, and round-trippable through the canonical name()
+// (`parse(s.name()).name() == s.name()`). Because warp maps are
+// precomputed, every model resolves to the same hot path — a spec only
+// changes what the map builder evaluates at plan time.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/lens_model.hpp"
+#include "core/projection.hpp"
+
+namespace fisheye::core {
+
+/// Parsed, validated lens identity: kind + calibration parameters + field
+/// of view. Implicitly convertible from LensKind so existing
+/// `config.lens = LensKind::X` call sites keep compiling.
+struct LensSpec {
+  LensKind kind = LensKind::Equidistant;
+  /// Kannala-Brandt k1..k4 (ignored by other kinds).
+  std::array<double, 4> k{-0.02, 0.002, 0.0, 0.0};
+  /// Division lambda (ignored by other kinds).
+  double lambda = -0.25;
+  /// Full field of view, degrees. Defaults to 180 except for the division
+  /// model, whose inverse saturates just short of 180 — its default is 160
+  /// (the paper-typical wide-angle setup). name() omits the kind's default.
+  double fov_deg = 180.0;
+
+  LensSpec() = default;
+  /// Deliberately implicit: a bare LensKind is the kind's default spec.
+  LensSpec(LensKind kind_);  // NOLINT(runtime/explicit)
+
+  /// Parse `lens=<kind>[:...]` (or the same without the prefix). Throws
+  /// InvalidArgument naming the offending token for unknown kinds, unknown
+  /// or inapplicable options (k1 on a non-KB lens), malformed values, and
+  /// out-of-range numbers.
+  static LensSpec parse(const std::string& text);
+
+  /// Canonical spec (no `lens=` prefix): kind, then the kind's parameters,
+  /// then `fov=` when not the 180-degree default. parse(name()) is the
+  /// identity on the canonical form.
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] double fov_rad() const noexcept;
+
+  /// Instantiate the model at `focal_px`.
+  [[nodiscard]] std::unique_ptr<LensModel> make(double focal_px) const;
+
+  /// Focal length (pixels) such that this spec's lens images its field of
+  /// view onto an image circle of `circle_radius_px` (focal_for_fov for
+  /// parameterized kinds). Throws InvalidArgument when fov/2 exceeds the
+  /// model's usable domain.
+  [[nodiscard]] double focal_for_circle(double circle_radius_px) const;
+
+  [[nodiscard]] bool operator==(const LensSpec&) const = default;
+};
+
+enum class ViewKind {
+  Perspective,
+  Cylindrical,
+  Equirect,
+  QuadView,
+};
+
+[[nodiscard]] const char* view_kind_name(ViewKind kind) noexcept;
+
+/// Parsed, validated output-view identity.
+struct ViewSpec {
+  ViewKind kind = ViewKind::Perspective;
+  /// Perspective/QuadView horizontal field of view, degrees; 0 on a
+  /// perspective view means "use the caller's focal" (the corrector's
+  /// out_focal, preserving centre-of-image resolution).
+  double fov_deg = 0.0;
+  double hfov_deg = 180.0;  ///< cylindrical/equirect longitude span
+  double vfov_deg = 90.0;   ///< equirect latitude span
+  double tilt_deg = 40.0;   ///< quadview downward tilt per quadrant
+
+  ViewSpec() = default;
+  /// Deliberately implicit, mirroring LensSpec(LensKind).
+  ViewSpec(ViewKind kind_);  // NOLINT(runtime/explicit)
+
+  /// Parse `view=<kind>[:...]` (or the same without the prefix); same
+  /// error contract as LensSpec::parse.
+  static ViewSpec parse(const std::string& text);
+
+  /// Canonical spec (no `view=` prefix); parse(name()) is the identity.
+  [[nodiscard]] std::string name() const;
+
+  /// Instantiate the projection for a `width` x `height` output.
+  /// `focal_px` seeds perspective views without a fov= option and the
+  /// cylindrical vertical scale; fov-specified kinds ignore it. QuadView
+  /// requires even output dimensions (four equal quadrants).
+  [[nodiscard]] std::unique_ptr<ViewProjection> make(int width, int height,
+                                                     double focal_px) const;
+
+  [[nodiscard]] bool operator==(const ViewSpec&) const = default;
+};
+
+}  // namespace fisheye::core

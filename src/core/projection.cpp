@@ -1,11 +1,16 @@
 #include "core/projection.hpp"
 
 #include <cmath>
+#include <sstream>
 
+#include "core/mapping.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
 
 namespace fisheye::core {
+
+ViewProjection::ViewProjection()
+    : generation_(detail::next_map_generation()) {}
 
 PerspectiveView::PerspectiveView(int width, int height, double focal_px,
                                  util::Mat3 rotation)
@@ -59,6 +64,44 @@ util::Vec3 CylindricalView::ray_for_pixel(util::Vec2 px) const {
   const double lon = (px.x / (width_ - 1) - 0.5) * hfov_;
   const double v = (px.y - 0.5 * (height_ - 1)) / focal_;
   return {std::sin(lon), v, std::cos(lon)};
+}
+
+QuadView::QuadView(int width, int height, double fov, double tilt)
+    : width_(width), height_(height), fov_(fov), tilt_(tilt) {
+  FE_EXPECTS(width > 0 && height > 0);
+  FE_EXPECTS(fov > 0.0 && fov < util::kPi);
+  FE_EXPECTS(tilt >= 0.0 && tilt <= util::kHalfPi);
+  if (width % 2 != 0 || height % 2 != 0)
+    throw InvalidArgument("quadview: output dimensions must be even (got " +
+                          std::to_string(width) + "x" +
+                          std::to_string(height) + ")");
+  quads_.reserve(4);
+  for (int i = 0; i < 4; ++i)
+    quads_.push_back(PerspectiveView::ptz(width / 2, height / 2,
+                                          i * util::kHalfPi, tilt, fov));
+}
+
+util::Vec3 QuadView::ray_for_pixel(util::Vec2 px) const {
+  // Quadrant layout (pan): top-left 0, top-right 90, bottom-left 180,
+  // bottom-right 270 degrees.
+  const double qw = width_ / 2;
+  const double qh = height_ / 2;
+  const int qx = px.x < qw ? 0 : 1;
+  const int qy = px.y < qh ? 0 : 1;
+  return quads_[static_cast<std::size_t>(qy * 2 + qx)].ray_for_pixel(
+      {px.x - qx * qw, px.y - qy * qh});
+}
+
+const PerspectiveView& QuadView::quadrant(int index) const {
+  FE_EXPECTS(index >= 0 && index < 4);
+  return quads_[static_cast<std::size_t>(index)];
+}
+
+std::string QuadView::name() const {
+  std::ostringstream os;
+  os << "quadview:fov=" << util::rad_to_deg(fov_)
+     << ",tilt=" << util::rad_to_deg(tilt_);
+  return os.str();
 }
 
 }  // namespace fisheye::core

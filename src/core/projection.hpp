@@ -6,8 +6,10 @@
 // Camera frame convention: +Z optical axis (forward), +X right, +Y down.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/matrix.hpp"
 
@@ -24,6 +26,20 @@ class ViewProjection {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual int width() const noexcept = 0;
   [[nodiscard]] virtual int height() const noexcept = 0;
+
+  /// Construction identity (core/mapping.hpp's generation counter): plans
+  /// that evaluate the view on the fly key on this, so a view rebuilt at a
+  /// recycled address never aliases the old plan. Copies keep the stamp —
+  /// a copy is the same logical view.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
+ protected:
+  ViewProjection();
+
+ private:
+  std::uint64_t generation_;
 };
 
 /// Pinhole output view with an optional rotation — the workhorse both for
@@ -88,6 +104,32 @@ class CylindricalView final : public ViewProjection {
   int height_;
   double hfov_;
   double focal_;
+};
+
+/// Ceiling-mount quad dewarp (the ACAP scenario): the output frame is a
+/// 2x2 grid of perspective sub-views panned 0/90/180/270 degrees around
+/// the optical axis, each tilted `tilt` toward the horizon. One warp map
+/// covers all four quadrants, so the hot path is a single remap.
+class QuadView final : public ViewProjection {
+ public:
+  /// `width`/`height` must be even (four equal quadrants); `fov` is each
+  /// quadrant's horizontal field of view, `tilt` the downward tilt.
+  /// Throws InvalidArgument (user-facing geometry) on odd dimensions.
+  QuadView(int width, int height, double fov, double tilt);
+
+  [[nodiscard]] util::Vec3 ray_for_pixel(util::Vec2 px) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int width() const noexcept override { return width_; }
+  [[nodiscard]] int height() const noexcept override { return height_; }
+  /// The quadrant sub-view for pan index 0..3 (pan = index * 90 degrees).
+  [[nodiscard]] const PerspectiveView& quadrant(int index) const;
+
+ private:
+  int width_;
+  int height_;
+  double fov_;
+  double tilt_;
+  std::vector<PerspectiveView> quads_;
 };
 
 }  // namespace fisheye::core

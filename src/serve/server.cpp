@@ -6,6 +6,7 @@
 
 #include "core/backend_registry.hpp"
 #include "util/error.hpp"
+#include "util/mathx.hpp"
 
 namespace fisheye::serve {
 
@@ -132,6 +133,13 @@ Server::Server(ServerConfig config, ServeOptions options,
                par::ThreadPool& pool)
     : config_(std::move(config)), options_(options), cache_(options.cache_budget) {
   FE_EXPECTS(config_.src_width > 0 && config_.src_height > 0);
+  // Field-of-view resolution mirrors CorrectorConfig: an explicit fov_rad
+  // overrides the lens spec, otherwise the spec's fov governs.
+  if (config_.fov_rad == 0.0) {
+    config_.fov_rad = config_.lens.fov_rad();
+  } else {
+    config_.lens.fov_deg = util::rad_to_deg(config_.fov_rad);
+  }
   FE_EXPECTS(config_.fov_rad > 0.0);
   FE_EXPECTS(config_.channels >= 1);
   if (config_.levels.empty())
@@ -142,7 +150,7 @@ Server::Server(ServerConfig config, ServeOptions options,
         "serve::Server: packed/compact maps require bilinear interpolation");
 
   camera_ = std::make_unique<core::FisheyeCamera>(core::FisheyeCamera::centered(
-      config_.lens, config_.fov_rad, config_.src_width, config_.src_height));
+      config_.lens, config_.src_width, config_.src_height));
   for (LevelSpec& level : config_.levels) {
     if (level.width <= 0 || level.height <= 0)
       throw InvalidArgument("serve::Server: level dims must be positive");
@@ -444,19 +452,25 @@ void Server::wait_idle_locked_(std::unique_lock<std::mutex>& lock) {
   });
 }
 
-void Server::recalibrate(core::LensKind lens, double fov_rad) {
-  FE_EXPECTS(fov_rad > 0.0);
+void Server::recalibrate(const core::LensSpec& lens) {
   std::unique_lock<std::mutex> lock(mu_);
   wait_idle_locked_(lock);
   config_.lens = lens;
-  config_.fov_rad = fov_rad;
+  config_.fov_rad = lens.fov_rad();
   camera_ = std::make_unique<core::FisheyeCamera>(core::FisheyeCamera::centered(
-      lens, fov_rad, config_.src_width, config_.src_height));
+      lens, config_.src_width, config_.src_height));
   ++generation_;  // old cached views are invalid by key from here on
   cache_.flush();
   stats_.plan_evictions = cache_.stats().evictions;
   stats_.cache_bytes = 0;
   stats_.cache_entries = 0;
+}
+
+void Server::recalibrate(core::LensKind lens, double fov_rad) {
+  FE_EXPECTS(fov_rad > 0.0);
+  core::LensSpec spec(lens);
+  spec.fov_deg = util::rad_to_deg(fov_rad);
+  recalibrate(spec);
 }
 
 rt::ServeStats Server::stats() const {

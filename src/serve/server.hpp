@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "core/model_spec.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/timer.hpp"
 #include "serve/coalesce.hpp"
@@ -89,8 +90,12 @@ struct ServeOptions {
 struct ServerConfig {
   int src_width = 0;
   int src_height = 0;
-  core::LensKind lens = core::LensKind::Equidistant;
-  double fov_rad = 3.14159265358979323846;  ///< 180 degrees
+  /// Lens model identity; implicitly convertible from LensKind, so
+  /// `cfg.lens = LensKind::X` keeps working.
+  core::LensSpec lens = core::LensKind::Equidistant;
+  /// 0 = take the field of view from the lens spec (default 180 degrees);
+  /// non-zero overrides the spec, like CorrectorConfig.
+  double fov_rad = 0.0;
   int channels = 1;
   core::RemapOptions remap;  ///< Bilinear required for packed/compact
   std::vector<LevelSpec> levels;  ///< at least one zoom level
@@ -143,7 +148,10 @@ class Server {
 
   /// Swap the lens model (new calibration): waits for in-flight frames,
   /// bumps the calibration generation and flushes the PlanCache — every
-  /// cached view of the old calibration is invalid by key.
+  /// cached view of the old calibration is invalid by key. The spec form
+  /// carries calibration parameters and field of view; the (kind, fov)
+  /// form wraps it for existing call sites.
+  void recalibrate(const core::LensSpec& lens);
   void recalibrate(core::LensKind lens, double fov_rad);
 
   [[nodiscard]] rt::ServeStats stats() const;

@@ -28,13 +28,32 @@ Table& Table::row() {
 }
 
 Table& Table::annotate(std::string note) {
-  FE_EXPECTS(!rows_.empty());
-  notes_.back() = std::move(note);
+  return annotate("spec", std::move(note));
+}
+
+Table& Table::annotate(std::string key, std::string note) {
+  FE_EXPECTS(!rows_.empty() && !key.empty());
+  for (auto& kv : notes_.back()) {
+    if (kv.first == key) {
+      kv.second = std::move(note);
+      return *this;
+    }
+  }
+  notes_.back().emplace_back(std::move(key), std::move(note));
   return *this;
 }
 
 const std::string& Table::annotation(std::size_t row) const noexcept {
   static const std::string kNone;
+  if (row >= notes_.size()) return kNone;
+  for (const auto& kv : notes_[row])
+    if (kv.first == "spec") return kv.second;
+  return kNone;
+}
+
+const std::vector<std::pair<std::string, std::string>>& Table::annotations(
+    std::size_t row) const noexcept {
+  static const std::vector<std::pair<std::string, std::string>> kNone;
   return row < notes_.size() ? notes_[row] : kNone;
 }
 

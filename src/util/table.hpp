@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fisheye::util {
@@ -22,6 +23,11 @@ class Table {
   /// backend spec string on bench tables, mirrored into the --json output
   /// as a "spec" key (see bench_common). Must follow row().
   Table& annotate(std::string note);
+  /// Keyed annotation: mirrored into the --json output as its own key
+  /// (e.g. the lens model token on the model-zoo bench). annotate(note) is
+  /// shorthand for annotate("spec", note). Re-annotating a key on the same
+  /// row overwrites it. Must follow row().
+  Table& annotate(std::string key, std::string note);
   Table& add(std::string cell);
   Table& add(const char* cell);
   Table& add(double v, int precision = 2);
@@ -41,8 +47,11 @@ class Table {
       const noexcept {
     return rows_;
   }
-  /// The row's annotation; empty when none was attached.
+  /// The row's "spec" annotation; empty when none was attached.
   [[nodiscard]] const std::string& annotation(std::size_t row) const noexcept;
+  /// All keyed annotations of a row, in attachment order.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  annotations(std::size_t row) const noexcept;
 
   /// Render as a GitHub-style markdown table.
   [[nodiscard]] std::string to_markdown() const;
@@ -56,7 +65,8 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
-  std::vector<std::string> notes_;  ///< one per row; "" = no annotation
+  /// One entry per row: (key, note) pairs in attachment order.
+  std::vector<std::vector<std::pair<std::string, std::string>>> notes_;
 };
 
 /// Format a double with `precision` digits after the point.

@@ -365,6 +365,50 @@ TEST(BackendRegistry, MapRebuiltAtRecycledAddressReplans) {
   EXPECT_GT(img::max_abs_diff(out_a.view(), out_b.view()), 0);
 }
 
+TEST(BackendRegistry, CameraRebuiltAtRecycledAddressReplans) {
+  // The on-the-fly twin of the recycled-map regression above: in OnTheFly
+  // mode the plan key carries the camera/view construction generations, so
+  // a recalibrated camera assigned into the SAME FisheyeCamera object (same
+  // address, same geometry) must invalidate the cached plan.
+  const int w = 96, h = 72;
+  const img::Image8 src = fisheye_input(w, h);
+
+  auto cam = core::FisheyeCamera::centered(
+      core::LensKind::Equidistant, util::deg_to_rad(180.0), w, h);
+  const core::PerspectiveView view(w, h, cam.lens().focal());
+  const std::uint64_t gen_a = cam.generation();
+
+  core::ExecContext ctx;
+  ctx.src = src.view();
+  ctx.camera = &cam;
+  ctx.view = &view;
+  ctx.mode = core::MapMode::OnTheFly;
+
+  const auto backend = BackendRegistry::create("serial");
+  img::Image8 out_a(w, h, 1);
+  ctx.dst = out_a.view();
+  backend->execute(ctx);  // caches a plan keyed on the camera generation
+
+  cam = core::FisheyeCamera::centered(
+      core::LensKind::KannalaBrandt, util::deg_to_rad(170.0), w, h);
+  EXPECT_NE(cam.generation(), gen_a);
+
+  img::Image8 out_b(w, h, 1);
+  ctx.dst = out_b.view();
+  backend->execute(ctx);  // must replan against the new calibration
+
+  img::Image8 fresh(w, h, 1);
+  ctx.dst = fresh.view();
+  BackendRegistry::create("serial")->execute(ctx);
+  EXPECT_TRUE(img::equal_pixels<std::uint8_t>(fresh.view(), out_b.view()));
+  EXPECT_GT(img::max_abs_diff(out_a.view(), out_b.view()), 0);
+
+  // Copies keep the stamp: a copied camera is the same calibration, so
+  // plans built against the original stay valid for the copy.
+  const core::FisheyeCamera copy = cam;
+  EXPECT_EQ(copy.generation(), cam.generation());
+}
+
 TEST(BackendRegistry, CopiedMapKeepsItsGeneration) {
   const auto cam = core::FisheyeCamera::centered(
       core::LensKind::Equidistant, util::deg_to_rad(180.0), 64, 48);

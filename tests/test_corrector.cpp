@@ -39,7 +39,10 @@ TEST(Builder, FluentOptionsStick) {
                              .fast_math(true)
                              .build();
   const CorrectorConfig& cfg = corr.config();
-  EXPECT_EQ(cfg.lens, LensKind::Equisolid);
+  EXPECT_EQ(cfg.lens.kind, LensKind::Equisolid);
+  // fov_degrees() overrides the lens spec's fov; the resolved config keeps
+  // both fields in agreement.
+  EXPECT_NEAR(cfg.lens.fov_deg, 160.0, 1e-12);
   EXPECT_NEAR(cfg.fov_rad, deg_to_rad(160.0), 1e-12);
   EXPECT_EQ(cfg.out_width, 800);
   EXPECT_DOUBLE_EQ(cfg.out_focal, 250.0);

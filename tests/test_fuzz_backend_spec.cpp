@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/backend_registry.hpp"
+#include "core/model_spec.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -235,6 +236,97 @@ TEST(FuzzBackendSpec, InRangeSpecsRoundTrip) {
     const std::unique_ptr<Backend> b2 = BackendRegistry::create(b->name());
     EXPECT_EQ(b2->name(), b->name()) << spec;
   }
+}
+
+// Lens/view specs (core/model_spec.hpp) ride the same convention: parse
+// either yields a value whose canonical name() round-trips, or throws
+// InvalidArgument — never a crash, never a contract abort.
+void expect_lens_parse_no_crash(const std::string& spec) {
+  try {
+    const LensSpec o = LensSpec::parse(spec);
+    EXPECT_EQ(LensSpec::parse(o.name()).name(), o.name()) << spec;
+  } catch (const InvalidArgument&) {
+    // expected for garbage
+  }
+}
+
+void expect_view_parse_no_crash(const std::string& spec) {
+  try {
+    const ViewSpec o = ViewSpec::parse(spec);
+    EXPECT_EQ(ViewSpec::parse(o.name()).name(), o.name()) << spec;
+  } catch (const InvalidArgument&) {
+    // expected for garbage
+  }
+}
+
+TEST(FuzzModelSpec, RandomByteSoupNeverCrashes) {
+  util::Rng rng(406);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string spec(rng.next_below(48), '\0');
+    for (char& c : spec) c = static_cast<char>(rng.next_below(256));
+    expect_lens_parse_no_crash(spec);
+    expect_view_parse_no_crash(spec);
+    // The registry-token prefix form takes the same path.
+    expect_lens_parse_no_crash("lens=" + spec);
+    expect_view_parse_no_crash("view=" + spec);
+  }
+}
+
+TEST(FuzzModelSpec, TokenSoupNeverCrashes) {
+  const std::vector<std::string> kinds = {
+      "equidistant", "equisolid",  "orthographic", "stereographic",
+      "rectilinear", "kannala_brandt", "division",
+      "perspective", "cylindrical", "equirect", "quadview", "bogus", ""};
+  const std::vector<std::string> keys = {"k1",   "k2",   "k3",   "k4",
+                                         "lambda", "fov",  "hfov", "vfov",
+                                         "tilt", "junk"};
+  const std::vector<std::string> values = {
+      "-1",  "0",    "1",     "2",   "90",   "160", "180", "181", "360",
+      "361", "-0.25", "0.25", "-5",  "5",    "6",   "-11", "1e9", "-1e9",
+      "nan", "inf",  "-inf",  "zzz", "",     "3..5", "0x10", "1e",
+      "--2", "1,2"};
+  util::Rng rng(407);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string spec = kinds[rng.next_below(kinds.size())];
+    const std::size_t nopts = rng.next_below(5);
+    for (std::size_t i = 0; i < nopts; ++i) {
+      spec += i == 0 ? ':' : ',';
+      spec += keys[rng.next_below(keys.size())];
+      spec += '=';
+      spec += values[rng.next_below(values.size())];
+    }
+    expect_lens_parse_no_crash(spec);
+    expect_view_parse_no_crash(spec);
+  }
+}
+
+TEST(FuzzModelSpec, OutOfRangeValuesThrowInvalidArgument) {
+  const char* bad_lens[] = {
+      "kannala_brandt:k1=9",      "kannala_brandt:k3=-6",
+      "kannala_brandt:k4=nan",    "division:lambda=1",
+      "division:lambda=-11",      "division:lambda=inf",
+      "equidistant:fov=0",        "equidistant:fov=361",
+      "equidistant:fov=-90",      "equidistant:fov=nan",
+      "equidistant:k1=0.1",       "division:k2=0.1",
+      "kannala_brandt:lambda=-1", "rectilinear:fov=180",
+      "orthographic:fov=200",     "stereographic:junk=1",
+      "fisheye",                  "",
+  };
+  for (const char* spec : bad_lens)
+    EXPECT_THROW((void)LensSpec::parse(spec), InvalidArgument) << spec;
+
+  const char* bad_view[] = {
+      "perspective:fov=180",  "perspective:fov=-1",
+      "perspective:hfov=90",  "cylindrical:hfov=0",
+      "cylindrical:hfov=361", "cylindrical:tilt=10",
+      "equirect:vfov=181",    "equirect:hfov=nan",
+      "quadview:fov=0",       "quadview:fov=179.5",
+      "quadview:tilt=91",     "quadview:tilt=-1",
+      "quadview:hfov=90",     "fishbowl",
+      "",
+  };
+  for (const char* spec : bad_view)
+    EXPECT_THROW((void)ViewSpec::parse(spec), InvalidArgument) << spec;
 }
 
 }  // namespace

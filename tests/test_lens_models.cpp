@@ -7,6 +7,7 @@
 #include "core/lens_model.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
+#include "util/rng.hpp"
 
 namespace fisheye::core {
 namespace {
@@ -74,10 +75,13 @@ TEST_P(LensSweep, FocalForFovInvertsImageCircle) {
   EXPECT_NEAR(lens->image_circle_radius(fov), radius, 1e-9);
 }
 
-TEST_P(LensSweep, NameMatchesKind) {
+TEST_P(LensSweep, NameStartsWithKind) {
   EXPECT_EQ(lens_->kind(), GetParam());
-  EXPECT_EQ(lens_->name(), lens_kind_name(GetParam()));
-  EXPECT_FALSE(lens_->name().empty());
+  // Parameterized models (kannala_brandt, division) append their
+  // coefficients after the kind token; analytic models are the bare kind.
+  const std::string name = lens_->name();
+  EXPECT_EQ(name.rfind(lens_kind_name(GetParam()), 0), 0u) << name;
+  EXPECT_FALSE(name.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, LensSweep,
@@ -85,10 +89,91 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, LensSweep,
                                            LensKind::Equisolid,
                                            LensKind::Orthographic,
                                            LensKind::Stereographic,
-                                           LensKind::Rectilinear),
+                                           LensKind::Rectilinear,
+                                           LensKind::KannalaBrandt,
+                                           LensKind::Division),
                          [](const auto& pinfo) {
                            return std::string(lens_kind_name(pinfo.param));
                          });
+
+// Inversion round-trip across the FULL usable domain (not the 95% the sweep
+// tests use): theta_from_radius(radius_from_theta(theta)) must reproduce
+// theta to 1e-9 for every model, including angles within one part in 1e6 of
+// max_theta, where the Kannala-Brandt derivative may be near-degenerate and
+// Newton has to fall back on bisection to stay inside the bracket.
+TEST(LensInversion, RoundTripIsTightOverFullDomain) {
+  constexpr double kFocal = 320.0;
+  const LensKind kinds[] = {
+      LensKind::Equidistant,   LensKind::Equisolid, LensKind::Orthographic,
+      LensKind::Stereographic, LensKind::Rectilinear,
+      LensKind::KannalaBrandt, LensKind::Division,
+  };
+  for (const LensKind kind : kinds) {
+    const auto lens = make_lens(kind, kFocal);
+    // Orthographic (asin at pi/2) and equisolid (asin of sin(theta/2) at
+    // pi) have d(radius)/d(theta) = 0 exactly at max_theta — no inverse
+    // can restore digits the forward map never encoded there. Stay a hair
+    // inside for those two; everything else is tested to the very edge.
+    const bool degenerate_edge = kind == LensKind::Orthographic ||
+                                 kind == LensKind::Equisolid;
+    const double hi = degenerate_edge ? lens->max_theta() * (1.0 - 1e-6)
+                                      : lens->max_theta();
+    for (int i = 0; i <= 400; ++i) {
+      const double theta = hi * i / 400.0;
+      const double r = lens->radius_from_theta(theta);
+      EXPECT_NEAR(lens->theta_from_radius(r), theta, 1e-9)
+          << lens->name() << " theta=" << theta;
+    }
+    // Near-max_theta edge: the last representable sliver of the domain.
+    for (const double eps : {1e-6, 1e-9, 1e-12}) {
+      const double theta = hi * (1.0 - eps);
+      const double r = lens->radius_from_theta(theta);
+      EXPECT_NEAR(lens->theta_from_radius(r), theta, 1e-9)
+          << lens->name() << " eps=" << eps;
+    }
+  }
+}
+
+TEST(LensInversion, KannalaBrandtRandomizedCoefficients) {
+  // Newton with the equidistant initial guess must converge for arbitrary
+  // mild calibrations, not just the default set. Coefficients are drawn
+  // from the range real fisheye calibrations occupy; the constructor caps
+  // max_theta at the first derivative zero, so the full domain is fair.
+  util::Rng rng(501);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::array<double, 4> k = {
+        rng.uniform(-0.25, 0.25), rng.uniform(-0.05, 0.05),
+        rng.uniform(-0.01, 0.01), rng.uniform(-0.002, 0.002)};
+    const KannalaBrandt lens(250.0, k);
+    ASSERT_GT(lens.max_theta(), 0.1);
+    // When the coefficients produce a derivative zero inside (0, pi], the
+    // constructor caps max_theta exactly there — the same degenerate edge
+    // orthographic/equisolid have, where the forward map encodes no digits
+    // for the inverse to restore. Sweep to a hair inside the cap then.
+    const double hi = lens.max_theta() < kPi
+                          ? lens.max_theta() * (1.0 - 1e-6)
+                          : lens.max_theta();
+    for (int i = 0; i <= 100; ++i) {
+      const double theta = hi * i / 100.0;
+      const double r = lens.radius_from_theta(theta);
+      EXPECT_NEAR(lens.theta_from_radius(r), theta, 1e-9)
+          << "trial=" << trial << " theta=" << theta << " " << lens.name();
+    }
+  }
+}
+
+TEST(LensInversion, DivisionInverseIsClosedForm) {
+  // Sweep lambda across its full range; the atan-based inverse is exact.
+  for (const double lambda : {0.0, -0.05, -0.25, -1.0, -4.0, -10.0}) {
+    const DivisionModel lens(200.0, lambda);
+    for (int i = 0; i <= 200; ++i) {
+      const double theta = lens.max_theta() * i / 200.0;
+      const double r = lens.radius_from_theta(theta);
+      EXPECT_NEAR(lens.theta_from_radius(r), theta, 1e-9)
+          << "lambda=" << lambda << " theta=" << theta;
+    }
+  }
+}
 
 TEST(Equidistant, IsLinearInTheta) {
   const auto lens = make_lens(LensKind::Equidistant, 100.0);

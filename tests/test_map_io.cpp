@@ -180,6 +180,132 @@ TEST(MapIo, FuzzMutationsOfValidFile) {
   }
 }
 
+// --- provenance (kinds 3/4/5) -----------------------------------------------
+
+TEST(MapIoProvenance, RoundTripsThroughAllRepresentations) {
+  const WarpMap map = test_map(24, 18);
+  const MapProvenance prov{"kannala_brandt:k1=-0.02,k2=0.002,k3=0,k4=0",
+                           "perspective"};
+  const std::string fbytes = encode_map(map, prov);
+  const std::string pbytes = encode_map(pack_map(map, 24, 18, 12), prov);
+  const std::string cbytes = encode_map(compact_map(map, 24, 18, 4), prov);
+  EXPECT_EQ(decode_provenance(fbytes), prov);
+  EXPECT_EQ(decode_provenance(pbytes), prov);
+  EXPECT_EQ(decode_provenance(cbytes), prov);
+
+  // Matching expectation decodes bit-exactly; the stamped kind also
+  // decodes through the expectation-free legacy API.
+  const WarpMap back = decode_map(fbytes, prov);
+  EXPECT_EQ(back.src_x, map.src_x);
+  EXPECT_EQ(back.src_y, map.src_y);
+  EXPECT_EQ(decode_map(fbytes).src_x, map.src_x);
+  EXPECT_EQ(decode_packed_map(pbytes, prov).fx,
+            decode_packed_map(pbytes).fx);
+  EXPECT_EQ(decode_compact_map(cbytes, prov).gx,
+            decode_compact_map(cbytes).gx);
+
+  // A partial expectation checks only its non-empty fields.
+  EXPECT_NO_THROW((decode_map(fbytes, MapProvenance{prov.lens, ""})));
+  EXPECT_NO_THROW(decode_map(fbytes, MapProvenance{}));
+}
+
+TEST(MapIoProvenance, MismatchRefusedNamingBothModels) {
+  const WarpMap map = test_map(24, 18);
+  const MapProvenance prov{"division:lambda=-0.5", "perspective"};
+  const std::string bytes = encode_map(map, prov);
+  const MapProvenance other{"equidistant", "perspective"};
+  try {
+    (void)decode_map(bytes, other);
+    FAIL() << "mismatched provenance accepted";
+  } catch (const fisheye::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("division:lambda=-0.5"), std::string::npos) << what;
+    EXPECT_NE(what.find("equidistant"), std::string::npos) << what;
+  }
+  EXPECT_THROW((decode_map(bytes, MapProvenance{prov.lens, "quadview"})),
+               fisheye::IoError);
+}
+
+TEST(MapIoProvenance, LegacyFilesLoadUnconditionally) {
+  const WarpMap map = test_map(24, 18);
+  const std::string bytes = encode_map(map);  // unstamped, kind 0
+  EXPECT_EQ(decode_provenance(bytes), MapProvenance{});
+  // An unstamped file can't contradict any expectation.
+  EXPECT_NO_THROW((decode_map(bytes, MapProvenance{"equidistant", ""})));
+  EXPECT_NO_THROW(
+      (decode_map(bytes, MapProvenance{"division:lambda=-1", "quadview"})));
+}
+
+TEST(MapIoProvenance, FileRoundTripEnforcesExpectation) {
+  const WarpMap map = test_map(24, 18);
+  const MapProvenance prov{"equisolid:fov=160", "cylindrical:hfov=200"};
+  const std::string path = ::testing::TempDir() + "/fe_map_io_prov.femap";
+  save_map(path, map, prov);
+  EXPECT_EQ(load_map(path, prov).src_x, map.src_x);
+  EXPECT_EQ(load_map(path).src_x, map.src_x);  // expectation-free load
+  EXPECT_THROW((load_map(path, MapProvenance{"equidistant", ""})),
+               fisheye::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(MapIoProvenance, KindByteFlipsNeverCrash) {
+  // The checksum covers everything *after* the kind byte, so promoting a
+  // legacy file to a stamped kind (or vice versa) passes the checksum and
+  // must be caught by the provenance/size validation instead.
+  const std::string legacy = encode_map(test_map(12, 10));
+  for (const char kind : {3, 4, 5, 1, 2, 6, 127}) {
+    std::string mutated = legacy;
+    mutated[7] = kind;  // kind byte sits right after "FEMAP1\n"
+    EXPECT_THROW((void)decode_map(mutated), fisheye::IoError) << int(kind);
+    try {
+      (void)decode_provenance(mutated);
+    } catch (const fisheye::IoError&) {
+      // expected for most flips
+    }
+  }
+  const std::string stamped =
+      encode_map(test_map(12, 10), {"equidistant", "perspective"});
+  for (const char kind : {0, 1, 2, 4, 5, 6}) {
+    std::string mutated = stamped;
+    mutated[7] = kind;
+    EXPECT_THROW((void)decode_map(mutated), fisheye::IoError) << int(kind);
+  }
+}
+
+TEST(MapIoProvenance, FuzzMutationsOfStampedFile) {
+  const std::string valid =
+      encode_map(test_map(12, 10), {"division:lambda=-0.25", "quadview"});
+  util::Rng rng(80);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    try {
+      const WarpMap m =
+          decode_map(mutated, MapProvenance{"division:lambda=-0.25", ""});
+      EXPECT_EQ(m.width, 12);
+      EXPECT_EQ(m.height, 10);
+    } catch (const fisheye::IoError&) {
+      // expected for nearly all mutations
+    }
+    try {
+      (void)decode_provenance(mutated);
+    } catch (const fisheye::IoError&) {
+      // expected
+    }
+  }
+}
+
+TEST(MapIoProvenance, TruncatedProvenanceBlockDetected) {
+  const std::string stamped = encode_map(
+      test_map(12, 10), {"kannala_brandt:k1=0.1,k2=0,k3=0,k4=0", "equirect"});
+  for (std::size_t cut :
+       {std::size_t{8}, std::size_t{9}, std::size_t{12}, std::size_t{20}})
+    EXPECT_THROW((void)decode_provenance(stamped.substr(0, cut)),
+                 fisheye::IoError)
+        << "cut=" << cut;
+}
+
 TEST(MapIo, LoadedMapDrivesRemapIdentically) {
   const WarpMap map = test_map();
   const std::string path = ::testing::TempDir() + "/fe_map_io2.femap";

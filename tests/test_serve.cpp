@@ -59,8 +59,10 @@ ServerConfig base_config() {
 /// match bit-exactly.
 img::Image8 reference_level(const ServerConfig& cfg, const ServeOptions& opt,
                             int level, img::ConstImageView<std::uint8_t> src) {
-  const auto cam = core::FisheyeCamera::centered(
-      cfg.lens, cfg.fov_rad, cfg.src_width, cfg.src_height);
+  core::LensSpec lens = cfg.lens;
+  if (cfg.fov_rad != 0.0) lens.fov_deg = util::rad_to_deg(cfg.fov_rad);
+  const auto cam =
+      core::FisheyeCamera::centered(lens, cfg.src_width, cfg.src_height);
   const serve::LevelSpec& spec = cfg.levels[static_cast<std::size_t>(level)];
   const double focal =
       spec.focal == 0.0 ? cam.lens().dradius_dtheta(0.0) : spec.focal;
